@@ -1,0 +1,77 @@
+// Shared workload configuration for the benchmark harness. Every bench
+// regenerates one table or figure of the paper's evaluation (Section 8)
+// against the synthetic substrate; the constants here mirror the paper's
+// experimental setup (Section 8.1).
+#ifndef FIXY_BENCH_WORKLOADS_H_
+#define FIXY_BENCH_WORKLOADS_H_
+
+#include <cstdio>
+#include <string>
+
+#include "common/logging.h"
+#include "core/engine.h"
+#include "sim/generate.h"
+
+namespace fixy::bench {
+
+// The paper evaluates on 46 Lyft validation scenes and 13 internal scenes
+// (Section 8.1).
+inline constexpr int kLyftValidationScenes = 46;
+inline constexpr int kInternalValidationScenes = 13;
+
+// Training scenes used to learn the feature distributions (the
+// "organizational resources" — any already-labeled data works; these
+// counts keep the benches fast while giving thousands of samples).
+inline constexpr int kLyftTrainingScenes = 8;
+inline constexpr int kInternalTrainingScenes = 6;
+
+// Seeds: fixed so every bench run reproduces bit-for-bit.
+inline constexpr uint64_t kTrainingSeed = 0xF1C5ull;
+inline constexpr uint64_t kValidationSeed = 0xE7A1ull;
+
+// The Section 8.2 exhaustively-audited internal scene contains exactly 24
+// missing tracks.
+inline constexpr int kAuditSceneMissingTracks = 24;
+
+/// A learned Fixy engine plus the profile it was trained for.
+struct TrainedPipeline {
+  sim::SimProfile profile;
+  Fixy fixy;
+};
+
+/// Generates a training set for `profile` and learns the standard feature
+/// distributions. Aborts on failure (benches have no error channel).
+inline TrainedPipeline Train(const sim::SimProfile& profile,
+                             int training_scenes) {
+  TrainedPipeline pipeline{profile, Fixy()};
+  const sim::GeneratedDataset training = sim::GenerateDataset(
+      profile, profile.name + "_train", training_scenes, kTrainingSeed);
+  const Status status = pipeline.fixy.Learn(training.dataset);
+  FIXY_CHECK_MSG(status.ok(), "learning failed: %s",
+                 status.ToString().c_str());
+  return pipeline;
+}
+
+/// The Section 8.2 "failed audit" scene: an internal-profile world dense
+/// enough to host exactly 24 missing tracks.
+inline sim::GeneratedScene GenerateAuditScene(uint64_t seed = 0xA0D17ull) {
+  sim::SimProfile profile = sim::InternalLikeProfile();
+  // The failed-audit scene is a dense urban scene: more objects for the
+  // detector to hallucinate around.
+  profile.world.mean_object_count = 44.0;
+  profile.detector.ghost_tracks_per_scene = 45.0;
+  sim::SceneGenOptions options;
+  options.exact_missing_tracks = kAuditSceneMissingTracks;
+  return sim::GenerateScene(profile, "internal_failed_audit", seed, options);
+}
+
+/// Prints a bench header naming the paper artifact being regenerated.
+inline void PrintHeader(const std::string& title) {
+  std::printf("==================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("==================================================\n");
+}
+
+}  // namespace fixy::bench
+
+#endif  // FIXY_BENCH_WORKLOADS_H_

@@ -1,0 +1,33 @@
+// Uncertainty sampling baseline (Section 8.4): "we sampled predictions
+// around a confidence threshold", the standard active-learning heuristic.
+// Predictions closest to the threshold rank first — which is exactly why
+// it cannot surface the high-confidence (0.95) model errors Fixy finds.
+#ifndef FIXY_BASELINES_UNCERTAINTY_H_
+#define FIXY_BASELINES_UNCERTAINTY_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "core/proposal.h"
+#include "data/scene.h"
+#include "dsl/track_builder.h"
+
+namespace fixy::baselines {
+
+struct UncertaintyOptions {
+  /// The decision threshold predictions are sampled around.
+  double confidence_threshold = 0.5;
+  /// Group per assembled track and keep only each track's most uncertain
+  /// prediction, so the top-k is not spent on one object.
+  bool deduplicate_by_track = true;
+  TrackBuilderOptions track_builder;
+};
+
+/// Ranks model predictions by closeness of their confidence to the
+/// threshold (most uncertain first), as model-error proposals.
+Result<std::vector<ErrorProposal>> UncertaintySampling(
+    const Scene& scene, const UncertaintyOptions& options = {});
+
+}  // namespace fixy::baselines
+
+#endif  // FIXY_BASELINES_UNCERTAINTY_H_

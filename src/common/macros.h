@@ -1,0 +1,30 @@
+// Error-propagation helper macros for Status / Result<T>.
+#ifndef FIXY_COMMON_MACROS_H_
+#define FIXY_COMMON_MACROS_H_
+
+#include "common/result.h"
+#include "common/status.h"
+
+// Evaluates `expr` (a Status) and returns it from the enclosing function if
+// it is not OK.
+#define FIXY_RETURN_IF_ERROR(expr)                      \
+  do {                                                  \
+    ::fixy::Status fixy_status_ = (expr);               \
+    if (!fixy_status_.ok()) return fixy_status_;        \
+  } while (0)
+
+#define FIXY_CONCAT_IMPL(a, b) a##b
+#define FIXY_CONCAT(a, b) FIXY_CONCAT_IMPL(a, b)
+
+// Evaluates `expr` (a Result<T>); on error returns its Status, otherwise
+// binds the value to `lhs`, e.g.
+//   FIXY_ASSIGN_OR_RETURN(double vol, ComputeVolume(box));
+#define FIXY_ASSIGN_OR_RETURN(lhs, expr)                              \
+  FIXY_ASSIGN_OR_RETURN_IMPL(FIXY_CONCAT(fixy_result_, __LINE__), lhs, expr)
+
+#define FIXY_ASSIGN_OR_RETURN_IMPL(result, lhs, expr) \
+  auto result = (expr);                               \
+  if (!result.ok()) return result.status();           \
+  lhs = std::move(result).value()
+
+#endif  // FIXY_COMMON_MACROS_H_

@@ -1,0 +1,76 @@
+// Result<T>: value-or-Status, the library's StatusOr analogue.
+#ifndef FIXY_COMMON_RESULT_H_
+#define FIXY_COMMON_RESULT_H_
+
+#include <cstdlib>
+#include <optional>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/status.h"
+
+namespace fixy {
+
+/// Holds either a value of type T or an error Status.
+///
+/// Usage:
+///   Result<double> r = ComputeFeature(obs);
+///   if (!r.ok()) return r.status();
+///   double v = r.value();
+/// or with the helper macro:
+///   FIXY_ASSIGN_OR_RETURN(double v, ComputeFeature(obs));
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (mirrors absl::StatusOr).
+  Result(T value) : value_(std::move(value)) {}
+  /// Implicit construction from a non-OK Status.
+  Result(Status status) : status_(std::move(status)) {
+    if (status_.ok()) {
+      FIXY_LOG_FATAL("Result constructed from OK status without a value");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+
+  const Status& status() const { return status_; }
+
+  /// Precondition: ok(). Aborts otherwise.
+  const T& value() const& {
+    CheckOk();
+    return *value_;
+  }
+  T& value() & {
+    CheckOk();
+    return *value_;
+  }
+  T&& value() && {
+    CheckOk();
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value or `fallback` if this Result holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  void CheckOk() const {
+    if (!value_.has_value()) {
+      FIXY_LOG_FATAL("Result::value() called on error: %s",
+                     status_.ToString().c_str());
+    }
+  }
+
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace fixy
+
+#endif  // FIXY_COMMON_RESULT_H_

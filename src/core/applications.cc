@@ -1,0 +1,230 @@
+#include "core/applications.h"
+
+#include <cmath>
+
+#include "common/macros.h"
+#include "core/features_std.h"
+#include "core/ranker.h"
+#include "graph/factor_graph.h"
+
+namespace fixy {
+
+namespace {
+
+// The bundle of a track that comes closest to the ego vehicle: its box is
+// the proposal's representative (the safety-relevant view of the object).
+size_t ClosestApproachBundle(const Track& track) {
+  size_t best = 0;
+  double best_distance = 0.0;
+  for (size_t b = 0; b < track.bundles().size(); ++b) {
+    const ObservationBundle& bundle = track.bundles()[b];
+    if (bundle.observations.empty()) continue;
+    const double d = (bundle.MeanCenter().Xy() - bundle.ego_position).Norm();
+    if (b == 0 || d < best_distance) {
+      best = b;
+      best_distance = d;
+    }
+  }
+  return best;
+}
+
+// Representative observation of a bundle: prefer the model prediction.
+const Observation& RepresentativeObservation(const ObservationBundle& bundle) {
+  const Observation* model = bundle.FindBySource(ObservationSource::kModel);
+  return model != nullptr ? *model : bundle.observations.front();
+}
+
+ErrorProposal MakeTrackProposal(const Scene& scene, const Track& track,
+                                ProposalKind kind, double score) {
+  const size_t b = ClosestApproachBundle(track);
+  const ObservationBundle& bundle = track.bundles()[b];
+  const Observation& obs = RepresentativeObservation(bundle);
+  ErrorProposal proposal;
+  proposal.scene_name = scene.name();
+  proposal.kind = kind;
+  proposal.track_id = track.id();
+  proposal.frame_index = bundle.frame_index;
+  proposal.box = obs.box;
+  proposal.object_class =
+      track.MajorityClass().value_or(ObjectClass::kCar);
+  proposal.score = score;
+  proposal.model_confidence = track.MeanModelConfidence().value_or(0.0);
+  proposal.first_frame = track.FirstFrame();
+  proposal.last_frame = track.LastFrame();
+  return proposal;
+}
+
+Scene FilterToModelOnly(const Scene& scene) {
+  Scene filtered(scene.name(), scene.frame_rate_hz());
+  for (const Frame& frame : scene.frames()) {
+    Frame copy = frame;
+    copy.observations.clear();
+    for (const Observation& obs : frame.observations) {
+      if (obs.source == ObservationSource::kModel) {
+        copy.observations.push_back(obs);
+      }
+    }
+    filtered.AddFrame(std::move(copy));
+  }
+  return filtered;
+}
+
+}  // namespace
+
+Result<std::vector<ErrorProposal>> FindMissingTracks(
+    const Scene& scene, const std::vector<FeatureDistribution>& learned,
+    const ApplicationOptions& options) {
+  const TrackBuilder builder(options.track_builder);
+  FIXY_ASSIGN_OR_RETURN(TrackSet tracks, builder.Build(scene));
+
+  // Spec: learned features with identity AOFs, plus the manual severity
+  // and filter factors of Table 2.
+  LoaSpec spec;
+  for (const FeatureDistribution& fd : learned) {
+    spec.feature_distributions.push_back(fd.WithAof(MakeIdentityAof()));
+  }
+  if (options.include_distance_severity) {
+    spec.feature_distributions.emplace_back(
+        std::make_shared<DistanceFeature>(),
+        MakeDistanceSeverityDistribution(options.distance_scale_meters));
+  }
+  spec.feature_distributions.emplace_back(
+      std::make_shared<ModelOnlyFeature>(), MakeModelOnlyDistribution());
+  if (options.include_count_filter) {
+    spec.feature_distributions.emplace_back(
+        std::make_shared<CountFeature>(),
+        MakeCountFilterDistribution(options.min_track_observations));
+  }
+
+  FIXY_ASSIGN_OR_RETURN(
+      FactorGraph graph,
+      FactorGraph::Compile(tracks, spec, scene.frame_rate_hz()));
+
+  std::vector<ErrorProposal> proposals;
+  for (size_t t = 0; t < graph.tracks().tracks.size(); ++t) {
+    const Track& track = graph.tracks().tracks[t];
+    // AOF zero-out: any track containing a human proposal is not a missing
+    // track; the remaining tracks contain only model predictions.
+    if (track.HasSource(ObservationSource::kHuman)) continue;
+    if (!track.HasSource(ObservationSource::kModel)) continue;
+    const std::optional<double> score =
+        graph.ScoreTrack(t, options.normalize_scores);
+    if (!score.has_value()) continue;
+    proposals.push_back(MakeTrackProposal(scene, track,
+                                          ProposalKind::kMissingTrack,
+                                          *score));
+  }
+  RankProposals(&proposals);
+  return proposals;
+}
+
+Result<std::vector<ErrorProposal>> FindMissingObservations(
+    const Scene& scene, const std::vector<FeatureDistribution>& learned,
+    const ApplicationOptions& options) {
+  const TrackBuilder builder(options.track_builder);
+  FIXY_ASSIGN_OR_RETURN(TrackSet tracks, builder.Build(scene));
+
+  LoaSpec spec;
+  for (const FeatureDistribution& fd : learned) {
+    spec.feature_distributions.push_back(fd.WithAof(MakeIdentityAof()));
+  }
+  if (options.include_distance_severity) {
+    spec.feature_distributions.emplace_back(
+        std::make_shared<DistanceFeature>(),
+        MakeDistanceSeverityDistribution(options.distance_scale_meters));
+  }
+
+  FIXY_ASSIGN_OR_RETURN(
+      FactorGraph graph,
+      FactorGraph::Compile(tracks, spec, scene.frame_rate_hz()));
+
+  std::vector<ErrorProposal> proposals;
+  for (size_t t = 0; t < graph.tracks().tracks.size(); ++t) {
+    const Track& track = graph.tracks().tracks[t];
+    // AOF zero-out (Section 8.3): tracks without any human proposal are
+    // zeroed, as are bundles that already contain a human proposal. The
+    // remaining candidates are model-only predictions *interior* to the
+    // human-labeled span of the track — a label missing "within" a track
+    // (Figure 6) sits between human boxes; model-only bundles at the track
+    // fringes are ordinary detection-span mismatch, not label errors.
+    if (!track.HasSource(ObservationSource::kHuman)) continue;
+    int first_human = -1;
+    int last_human = -1;
+    for (const ObservationBundle& bundle : track.bundles()) {
+      if (bundle.HasSource(ObservationSource::kHuman)) {
+        if (first_human < 0) first_human = bundle.frame_index;
+        last_human = bundle.frame_index;
+      }
+    }
+    for (size_t b = 0; b < track.bundles().size(); ++b) {
+      const ObservationBundle& bundle = track.bundles()[b];
+      if (bundle.HasSource(ObservationSource::kHuman)) continue;
+      if (!bundle.HasSource(ObservationSource::kModel)) continue;
+      if (bundle.frame_index <= first_human ||
+          bundle.frame_index >= last_human) {
+        continue;
+      }
+      const std::optional<double> score = graph.ScoreBundle(t, b);
+      if (!score.has_value()) continue;
+      const Observation& obs = RepresentativeObservation(bundle);
+      ErrorProposal proposal;
+      proposal.scene_name = scene.name();
+      proposal.kind = ProposalKind::kMissingObservation;
+      proposal.track_id = track.id();
+      proposal.frame_index = bundle.frame_index;
+      proposal.box = obs.box;
+      proposal.object_class =
+          track.MajorityClass().value_or(ObjectClass::kCar);
+      proposal.score = *score;
+      proposal.model_confidence = obs.confidence;
+      proposal.first_frame = track.FirstFrame();
+      proposal.last_frame = track.LastFrame();
+      proposals.push_back(std::move(proposal));
+    }
+  }
+  RankProposals(&proposals);
+  return proposals;
+}
+
+Result<std::vector<ErrorProposal>> FindModelErrors(
+    const Scene& scene, const std::vector<FeatureDistribution>& learned,
+    const ApplicationOptions& options) {
+  // Section 8.4: no human proposals are assumed; drop them if present.
+  const Scene model_scene = FilterToModelOnly(scene);
+  const TrackBuilder builder(options.track_builder);
+  FIXY_ASSIGN_OR_RETURN(TrackSet tracks, builder.Build(model_scene));
+
+  // "The AOF inverts the probability of each feature" so that unlikely
+  // tracks rank first. Distance and model-only are not deployed here
+  // (Section 8.4).
+  LoaSpec spec;
+  for (const FeatureDistribution& fd : learned) {
+    spec.feature_distributions.push_back(fd.WithAof(MakeInvertAof()));
+  }
+
+  FIXY_ASSIGN_OR_RETURN(
+      FactorGraph graph,
+      FactorGraph::Compile(tracks, spec, model_scene.frame_rate_hz()));
+
+  std::vector<ErrorProposal> proposals;
+  for (size_t t = 0; t < graph.tracks().tracks.size(); ++t) {
+    const Track& track = graph.tracks().tracks[t];
+    if (track.bundles().empty()) continue;
+    // Tracks of <= 2 observations are the appear assertion's territory
+    // (Section 8.4 hunts errors that are "longer than two observations, so
+    // will not trigger the appear assertion"); skipping them keeps Fixy
+    // focused on the novel error class.
+    if (track.TotalObservations() <=
+        static_cast<size_t>(options.min_track_observations)) {
+      continue;
+    }
+    const std::optional<double> score = graph.ScoreTrack(t);
+    if (!score.has_value()) continue;
+    proposals.push_back(MakeTrackProposal(scene, track,
+                                          ProposalKind::kModelError, *score));
+  }
+  RankProposals(&proposals);
+  return proposals;
+}
+
+}  // namespace fixy

@@ -1,0 +1,70 @@
+// The three applications of Section 7 of the paper, each a different
+// configuration of association, feature distributions, and AOFs over the
+// same compiled-graph scoring machinery:
+//
+//   - FindMissingTracks:        tracks the human labels missed entirely;
+//   - FindMissingObservations:  missing human boxes within labeled tracks;
+//   - FindModelErrors:          erroneous ML model predictions.
+#ifndef FIXY_CORE_APPLICATIONS_H_
+#define FIXY_CORE_APPLICATIONS_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "core/proposal.h"
+#include "data/scene.h"
+#include "dsl/feature_distribution.h"
+#include "dsl/track_builder.h"
+
+namespace fixy {
+
+/// Shared application knobs.
+struct ApplicationOptions {
+  /// Association configuration (bundler, linking thresholds).
+  TrackBuilderOptions track_builder;
+
+  /// Scale of the manual distance-severity distribution (Table 2's
+  /// Distance feature).
+  double distance_scale_meters = 25.0;
+
+  /// The Count filter threshold: tracks with this many observations or
+  /// fewer are filtered (Table 2: "two or fewer").
+  int min_track_observations = 2;
+
+  /// Ablation switches for the manual factors (Table 2's Distance and
+  /// Count); on by default, matching the paper's deployment.
+  bool include_distance_severity = true;
+  bool include_count_filter = true;
+
+  /// Section 6 score normalization (sum of factor log-likelihoods divided
+  /// by factor count). Off only in the normalization ablation.
+  bool normalize_scores = true;
+};
+
+/// Finds tracks entirely missed by human proposals (Section 7, "Finding
+/// missing tracks"). `learned` are the learned feature distributions
+/// (volume, velocity, plus any user features); the manual distance,
+/// model-only, and count factors are added internally. Only tracks that
+/// contain no human proposal are ranked (the AOF zero-out), by descending
+/// plausibility: consistent model-only tracks are likely real objects.
+Result<std::vector<ErrorProposal>> FindMissingTracks(
+    const Scene& scene, const std::vector<FeatureDistribution>& learned,
+    const ApplicationOptions& options);
+
+/// Finds missing human labels within tracks that otherwise have human
+/// proposals (Section 7, "Finding missing labels within tracks"): ranks
+/// model-only bundles inside human-containing tracks by plausibility.
+Result<std::vector<ErrorProposal>> FindMissingObservations(
+    const Scene& scene, const std::vector<FeatureDistribution>& learned,
+    const ApplicationOptions& options);
+
+/// Finds erroneous ML model predictions (Section 7, "Finding erroneous ML
+/// model predictions"). Human proposals are ignored; every learned feature
+/// is wrapped in the inverting AOF so *unlikely* tracks rank first.
+Result<std::vector<ErrorProposal>> FindModelErrors(
+    const Scene& scene, const std::vector<FeatureDistribution>& learned,
+    const ApplicationOptions& options);
+
+}  // namespace fixy
+
+#endif  // FIXY_CORE_APPLICATIONS_H_

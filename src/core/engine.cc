@@ -1,0 +1,102 @@
+#include "core/engine.h"
+
+#include "common/macros.h"
+#include "core/features_std.h"
+#include "core/model_io.h"
+
+namespace fixy {
+
+Fixy::Fixy(FixyOptions options) : options_(std::move(options)) {}
+
+Status Fixy::Learn(const Dataset& training) {
+  // Standard learned features (Table 2): class-conditional volume and
+  // velocity, plus any user-provided extras.
+  std::vector<FeaturePtr> features;
+  features.push_back(std::make_shared<VolumeFeature>());
+  features.push_back(std::make_shared<VelocityFeature>());
+  for (const FeaturePtr& extra : options_.extra_features) {
+    features.push_back(extra);
+  }
+  const DistributionLearner learner(options_.learner);
+  FIXY_ASSIGN_OR_RETURN(learned_base_, learner.Learn(training, features));
+
+  // Track-count distribution for the model-error application: counts are
+  // discrete, so fit a categorical regardless of the main estimator.
+  LearnerOptions count_options = options_.learner;
+  count_options.estimator = EstimatorKind::kCategorical;
+  const DistributionLearner count_learner(count_options);
+  FIXY_ASSIGN_OR_RETURN(
+      std::vector<FeatureDistribution> count_fd,
+      count_learner.Learn(training, {std::make_shared<CountFeature>()}));
+
+  learned_with_count_ = learned_base_;
+  learned_with_count_.push_back(std::move(count_fd.front()));
+  learned_flag_ = true;
+  return Status::Ok();
+}
+
+Status Fixy::SaveModel(const std::string& path) const {
+  FIXY_RETURN_IF_ERROR(CheckLearned());
+  // learned_with_count_ = learned_base_ + the track-count distribution, so
+  // serializing it captures the full learned state.
+  return SaveLearnedModel(learned_with_count_, path);
+}
+
+Status Fixy::LoadModel(const std::string& path) {
+  FeatureRegistry registry = FeatureRegistry::Standard();
+  for (const FeaturePtr& extra : options_.extra_features) {
+    registry.Register(extra);
+  }
+  FIXY_ASSIGN_OR_RETURN(learned_with_count_,
+                        LoadLearnedModel(path, registry));
+  // Split the count distribution back out: the label-error applications
+  // use the manual count *filter* instead of the learned distribution.
+  learned_base_.clear();
+  bool has_count = false;
+  for (const FeatureDistribution& fd : learned_with_count_) {
+    if (fd.feature().kind() == FeatureKind::kTrack &&
+        fd.feature().name() == "count") {
+      has_count = true;
+    } else {
+      learned_base_.push_back(fd);
+    }
+  }
+  if (!has_count) {
+    learned_base_.clear();
+    learned_with_count_.clear();
+    return Status::InvalidArgument(
+        "model file is missing the learned 'count' distribution");
+  }
+  learned_flag_ = true;
+  return Status::Ok();
+}
+
+Status Fixy::CheckLearned() const {
+  if (!learned_flag_) {
+    return Status::FailedPrecondition(
+        "Fixy::Learn() must succeed before ranking errors");
+  }
+  return Status::Ok();
+}
+
+Result<std::vector<ErrorProposal>> Fixy::FindMissingTracks(
+    const Scene& scene) const {
+  FIXY_RETURN_IF_ERROR(CheckLearned());
+  return fixy::FindMissingTracks(scene, learned_base_, options_.application);
+}
+
+Result<std::vector<ErrorProposal>> Fixy::FindMissingObservations(
+    const Scene& scene) const {
+  FIXY_RETURN_IF_ERROR(CheckLearned());
+  return fixy::FindMissingObservations(scene, learned_base_,
+                                       options_.application);
+}
+
+Result<std::vector<ErrorProposal>> Fixy::FindModelErrors(
+    const Scene& scene) const {
+  FIXY_RETURN_IF_ERROR(CheckLearned());
+  return fixy::FindModelErrors(scene, learned_with_count_,
+                               options_.application);
+}
+
+}  // namespace fixy

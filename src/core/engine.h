@@ -1,0 +1,87 @@
+// Fixy: the system facade. Offline, Learn() fits feature distributions
+// from existing labels (the organizational resource); online, the Find*
+// methods rank potential errors in new scenes (Section 3's workflow).
+//
+// Quickstart:
+//
+//   Fixy fixy;
+//   FIXY_RETURN_IF_ERROR(fixy.Learn(training_dataset));
+//   FIXY_ASSIGN_OR_RETURN(auto errors, fixy.FindMissingTracks(scene));
+//   for (const ErrorProposal& e : TopK(errors, 10)) { ... audit ... }
+#ifndef FIXY_CORE_ENGINE_H_
+#define FIXY_CORE_ENGINE_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "core/applications.h"
+#include "core/learner.h"
+#include "core/proposal.h"
+#include "data/scene.h"
+
+namespace fixy {
+
+/// Configuration of the full pipeline.
+struct FixyOptions {
+  LearnerOptions learner;
+  ApplicationOptions application;
+
+  /// Additional user-defined features to learn distributions for, beyond
+  /// the standard volume and velocity (see examples/custom_features.cpp).
+  std::vector<FeaturePtr> extra_features;
+};
+
+/// The Fixy engine.
+class Fixy {
+ public:
+  explicit Fixy(FixyOptions options = {});
+
+  /// Offline phase: learns the volume and velocity distributions (plus any
+  /// extra features) from `training`'s human labels, and the track-count
+  /// distribution used by the model-error application.
+  Status Learn(const Dataset& training);
+
+  bool is_learned() const { return learned_flag_; }
+
+  /// Online phase (each requires Learn() first; FailedPrecondition
+  /// otherwise). Outputs are ranked most-suspicious-first.
+  Result<std::vector<ErrorProposal>> FindMissingTracks(
+      const Scene& scene) const;
+  Result<std::vector<ErrorProposal>> FindMissingObservations(
+      const Scene& scene) const;
+  Result<std::vector<ErrorProposal>> FindModelErrors(
+      const Scene& scene) const;
+
+  /// The learned feature distributions (volume, velocity, extras) — for
+  /// inspection, tests, and the Figure 2 bench.
+  const std::vector<FeatureDistribution>& learned_features() const {
+    return learned_base_;
+  }
+
+  /// Persists the learned model (all fitted distributions) to `path` so
+  /// the online phase can run in a different process. Requires Learn().
+  Status SaveModel(const std::string& path) const;
+
+  /// Restores a model saved with SaveModel, resolving feature names
+  /// through the standard registry plus this engine's extra_features.
+  /// Replaces any previously learned state.
+  Status LoadModel(const std::string& path);
+
+  const FixyOptions& options() const { return options_; }
+
+ private:
+  Status CheckLearned() const;
+
+  FixyOptions options_;
+  bool learned_flag_ = false;
+  /// Volume + velocity + extras, for the label-error applications.
+  std::vector<FeatureDistribution> learned_base_;
+  /// learned_base_ + learned track-count, for the model-error application
+  /// (Section 8.4 adds "a track feature over the total number of
+  /// observations").
+  std::vector<FeatureDistribution> learned_with_count_;
+};
+
+}  // namespace fixy
+
+#endif  // FIXY_CORE_ENGINE_H_

@@ -1,0 +1,197 @@
+#include "core/learner.h"
+
+#include "common/macros.h"
+#include "common/string_util.h"
+#include "stats/discrete.h"
+#include "stats/gaussian.h"
+#include "stats/histogram.h"
+#include "stats/kde.h"
+
+namespace fixy {
+
+namespace {
+
+// Majority class of a bundle (empty bundles cannot occur in built tracks).
+ObjectClass BundleClass(const ObservationBundle& bundle) {
+  int counts[kNumObjectClasses] = {};
+  for (const Observation& obs : bundle.observations) {
+    ++counts[static_cast<int>(obs.object_class)];
+  }
+  int best = 0;
+  for (int i = 1; i < kNumObjectClasses; ++i) {
+    if (counts[i] > counts[best]) best = i;
+  }
+  return static_cast<ObjectClass>(best);
+}
+
+// Keeps only observations from `source` in a copy of `scene`.
+Scene FilterScene(const Scene& scene, ObservationSource source) {
+  Scene filtered(scene.name(), scene.frame_rate_hz());
+  for (const Frame& frame : scene.frames()) {
+    Frame copy = frame;
+    copy.observations.clear();
+    for (const Observation& obs : frame.observations) {
+      if (obs.source == source) copy.observations.push_back(obs);
+    }
+    filtered.AddFrame(std::move(copy));
+  }
+  return filtered;
+}
+
+}  // namespace
+
+const char* EstimatorKindToString(EstimatorKind kind) {
+  switch (kind) {
+    case EstimatorKind::kKde:
+      return "kde";
+    case EstimatorKind::kHistogram:
+      return "histogram";
+    case EstimatorKind::kGaussian:
+      return "gaussian";
+    case EstimatorKind::kCategorical:
+      return "categorical";
+  }
+  return "unknown";
+}
+
+DistributionLearner::DistributionLearner(LearnerOptions options)
+    : options_(std::move(options)) {}
+
+Result<stats::DistributionPtr> DistributionLearner::FitOne(
+    std::vector<double> values) const {
+  switch (options_.estimator) {
+    case EstimatorKind::kKde: {
+      FIXY_ASSIGN_OR_RETURN(stats::GaussianKde kde,
+                            stats::GaussianKde::Fit(std::move(values)));
+      return stats::DistributionPtr(
+          std::make_shared<stats::GaussianKde>(std::move(kde)));
+    }
+    case EstimatorKind::kHistogram: {
+      FIXY_ASSIGN_OR_RETURN(stats::HistogramDensity hist,
+                            stats::HistogramDensity::Fit(values));
+      return stats::DistributionPtr(
+          std::make_shared<stats::HistogramDensity>(std::move(hist)));
+    }
+    case EstimatorKind::kGaussian: {
+      FIXY_ASSIGN_OR_RETURN(stats::Gaussian gaussian,
+                            stats::Gaussian::Fit(values));
+      return stats::DistributionPtr(
+          std::make_shared<stats::Gaussian>(std::move(gaussian)));
+    }
+    case EstimatorKind::kCategorical: {
+      FIXY_ASSIGN_OR_RETURN(stats::Categorical categorical,
+                            stats::Categorical::Fit(values));
+      return stats::DistributionPtr(
+          std::make_shared<stats::Categorical>(std::move(categorical)));
+    }
+  }
+  return Status::Internal("unknown estimator kind");
+}
+
+Result<DistributionLearner::CollectedValues>
+DistributionLearner::CollectValues(const Dataset& training,
+                                   const Feature& feature) const {
+  CollectedValues collected;
+  const bool per_class = feature.class_conditional();
+  const TrackBuilder builder(options_.track_builder);
+
+  auto record = [&collected, per_class](std::optional<double> value,
+                                        ObjectClass cls) {
+    if (!value.has_value()) return;
+    if (per_class) {
+      collected.per_class[cls].push_back(*value);
+    } else {
+      collected.global.push_back(*value);
+    }
+  };
+
+  for (const Scene& scene : training.scenes) {
+    const Scene filtered =
+        options_.all_sources ? scene : FilterScene(scene, options_.source);
+    FIXY_ASSIGN_OR_RETURN(TrackSet tracks, builder.Build(filtered));
+    for (const Track& track : tracks.tracks) {
+      switch (feature.kind()) {
+        case FeatureKind::kObservation: {
+          const auto& f = static_cast<const ObservationFeature&>(feature);
+          for (const ObservationBundle& bundle : track.bundles()) {
+            FeatureContext ctx{bundle.ego_position, scene.frame_rate_hz()};
+            for (const Observation& obs : bundle.observations) {
+              record(f.Compute(obs, ctx), obs.object_class);
+            }
+          }
+          break;
+        }
+        case FeatureKind::kBundle: {
+          const auto& f = static_cast<const BundleFeature&>(feature);
+          for (const ObservationBundle& bundle : track.bundles()) {
+            FeatureContext ctx{bundle.ego_position, scene.frame_rate_hz()};
+            record(f.Compute(bundle, ctx), BundleClass(bundle));
+          }
+          break;
+        }
+        case FeatureKind::kTransition: {
+          const auto& f = static_cast<const TransitionFeature&>(feature);
+          for (size_t b = 0; b + 1 < track.bundles().size(); ++b) {
+            const ObservationBundle& from = track.bundles()[b];
+            const ObservationBundle& to = track.bundles()[b + 1];
+            FeatureContext ctx{from.ego_position, scene.frame_rate_hz()};
+            record(f.Compute(from, to, ctx), BundleClass(from));
+          }
+          break;
+        }
+        case FeatureKind::kTrack: {
+          const auto& f = static_cast<const TrackFeature&>(feature);
+          if (track.bundles().empty()) break;
+          FeatureContext ctx{track.bundles().front().ego_position,
+                             scene.frame_rate_hz()};
+          const auto cls = track.MajorityClass();
+          record(f.Compute(track, ctx),
+                 cls.value_or(ObjectClass::kCar));
+          break;
+        }
+      }
+    }
+  }
+  return collected;
+}
+
+Result<std::vector<FeatureDistribution>> DistributionLearner::Learn(
+    const Dataset& training, const std::vector<FeaturePtr>& features) const {
+  std::vector<FeatureDistribution> learned;
+  learned.reserve(features.size());
+  for (const FeaturePtr& feature : features) {
+    if (feature == nullptr) {
+      return Status::InvalidArgument("null feature passed to learner");
+    }
+    FIXY_ASSIGN_OR_RETURN(CollectedValues collected,
+                          CollectValues(training, *feature));
+    if (feature->class_conditional()) {
+      std::map<ObjectClass, stats::DistributionPtr> per_class;
+      for (auto& [cls, values] : collected.per_class) {
+        if (values.size() < options_.min_samples) continue;
+        FIXY_ASSIGN_OR_RETURN(stats::DistributionPtr dist,
+                              FitOne(std::move(values)));
+        per_class[cls] = std::move(dist);
+      }
+      if (per_class.empty()) {
+        return Status::InvalidArgument(StrFormat(
+            "feature '%s': no class reached %zu training samples",
+            feature->name().c_str(), options_.min_samples));
+      }
+      learned.emplace_back(feature, std::move(per_class));
+    } else {
+      if (collected.global.size() < options_.min_samples) {
+        return Status::InvalidArgument(StrFormat(
+            "feature '%s': only %zu training samples (need %zu)",
+            feature->name().c_str(), collected.global.size(),
+            options_.min_samples));
+      }
+      FIXY_ASSIGN_OR_RETURN(stats::DistributionPtr dist,
+                            FitOne(std::move(collected.global)));
+      learned.emplace_back(feature, std::move(dist));
+    }
+  }
+  return learned;
+}
+
+}  // namespace fixy

@@ -1,0 +1,92 @@
+// Offline distribution learning (Section 5.2 of the paper): "Fixy first
+// exhaustively generates the features over the data and collects the scalar
+// values. Then, for each feature, Fixy executes the fitting function over
+// the values."
+//
+// The learner consumes existing organizational resources — the (possibly
+// noisy) human labels already present in a training dataset — and fits one
+// distribution per feature (per object class for class-conditional
+// features).
+#ifndef FIXY_CORE_LEARNER_H_
+#define FIXY_CORE_LEARNER_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "data/scene.h"
+#include "dsl/feature_distribution.h"
+#include "dsl/track_builder.h"
+
+namespace fixy {
+
+/// Which estimator the learner fits for learned features. The paper's
+/// default is KDE; the others exist for the estimator ablation.
+enum class EstimatorKind {
+  kKde = 0,
+  kHistogram = 1,
+  kGaussian = 2,
+  /// Add-one-smoothed categorical over rounded values; for inherently
+  /// discrete features such as track observation counts.
+  kCategorical = 3,
+};
+
+const char* EstimatorKindToString(EstimatorKind kind);
+
+struct LearnerOptions {
+  EstimatorKind estimator = EstimatorKind::kKde;
+
+  /// Observation source the distributions are learned from. The paper
+  /// learns from already-present (human) labels.
+  ObservationSource source = ObservationSource::kHuman;
+
+  /// Learn from every source instead of `source` alone. Required for
+  /// cross-source bundle features such as class agreement ("consistency
+  /// between observations of the same object in a single time step",
+  /// Section 5.1), whose bundles only exist when sources are combined.
+  bool all_sources = false;
+
+  /// Minimum sample count required to fit a distribution. Classes with
+  /// fewer samples get no distribution (elements of that class contribute
+  /// no factor for the feature).
+  size_t min_samples = 5;
+
+  /// How training observations are assembled into tracks before feature
+  /// extraction.
+  TrackBuilderOptions track_builder;
+};
+
+/// Learns feature distributions for the given features from a training
+/// dataset.
+class DistributionLearner {
+ public:
+  explicit DistributionLearner(LearnerOptions options = {});
+
+  /// Fits one FeatureDistribution per feature. Features whose values never
+  /// materialize (or never reach min_samples for any class) produce an
+  /// InvalidArgument error, since scoring with them would be vacuous.
+  Result<std::vector<FeatureDistribution>> Learn(
+      const Dataset& training, const std::vector<FeaturePtr>& features) const;
+
+  /// Collects the raw feature values for one feature over the dataset,
+  /// keyed by object class (class-conditional features) or all under
+  /// ObjectClass::kCar slot 0 semantics is avoided: non-class-conditional
+  /// features return a single entry with nullopt key semantics via the
+  /// `global` output. Exposed for tests and the ablation benches.
+  struct CollectedValues {
+    /// Values for non-class-conditional features.
+    std::vector<double> global;
+    /// Values per class for class-conditional features.
+    std::map<ObjectClass, std::vector<double>> per_class;
+  };
+  Result<CollectedValues> CollectValues(const Dataset& training,
+                                        const Feature& feature) const;
+
+ private:
+  Result<stats::DistributionPtr> FitOne(std::vector<double> values) const;
+
+  LearnerOptions options_;
+};
+
+}  // namespace fixy
+
+#endif  // FIXY_CORE_LEARNER_H_

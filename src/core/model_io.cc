@@ -1,0 +1,280 @@
+#include "core/model_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/macros.h"
+#include "core/features_std.h"
+#include "stats/discrete.h"
+#include "stats/gaussian.h"
+#include "stats/histogram.h"
+#include "stats/kde.h"
+
+namespace fixy {
+
+namespace {
+
+constexpr const char* kModelMarker = "fixy-model";
+constexpr int kModelVersion = 1;
+
+}  // namespace
+
+FeatureRegistry FeatureRegistry::Standard() {
+  FeatureRegistry registry;
+  registry.Register(std::make_shared<VolumeFeature>());
+  registry.Register(std::make_shared<VelocityFeature>());
+  registry.Register(std::make_shared<CountFeature>());
+  registry.Register(std::make_shared<DistanceFeature>());
+  registry.Register(std::make_shared<ModelOnlyFeature>());
+  registry.Register(std::make_shared<ClassAgreementFeature>());
+  return registry;
+}
+
+void FeatureRegistry::Register(FeaturePtr feature) {
+  FIXY_CHECK(feature != nullptr);
+  features_[feature->name()] = std::move(feature);
+}
+
+Result<FeaturePtr> FeatureRegistry::Find(const std::string& name) const {
+  const auto it = features_.find(name);
+  if (it == features_.end()) {
+    return Status::NotFound("feature not registered: " + name);
+  }
+  return it->second;
+}
+
+Result<json::Value> DistributionToJson(const stats::Distribution& dist) {
+  json::Object obj;
+  if (const auto* kde = dynamic_cast<const stats::GaussianKde*>(&dist)) {
+    obj["type"] = "kde";
+    obj["bandwidth"] = kde->bandwidth();
+    json::Array samples;
+    samples.reserve(kde->samples().size());
+    for (double s : kde->samples()) samples.push_back(s);
+    obj["samples"] = std::move(samples);
+    return json::Value(std::move(obj));
+  }
+  if (const auto* hist =
+          dynamic_cast<const stats::HistogramDensity*>(&dist)) {
+    obj["type"] = "histogram";
+    obj["lo"] = hist->lower_bound();
+    obj["bin_width"] = hist->bin_width();
+    json::Array counts;
+    for (int b = 0; b < hist->num_bins(); ++b) {
+      counts.push_back(static_cast<uint64_t>(hist->bin_count(b)));
+    }
+    obj["counts"] = std::move(counts);
+    return json::Value(std::move(obj));
+  }
+  if (const auto* gaussian = dynamic_cast<const stats::Gaussian*>(&dist)) {
+    obj["type"] = "gaussian";
+    obj["mean"] = gaussian->mean();
+    obj["stddev"] = gaussian->stddev();
+    return json::Value(std::move(obj));
+  }
+  if (const auto* bernoulli = dynamic_cast<const stats::Bernoulli*>(&dist)) {
+    obj["type"] = "bernoulli";
+    obj["p_one"] = bernoulli->p_one();
+    return json::Value(std::move(obj));
+  }
+  if (const auto* categorical =
+          dynamic_cast<const stats::Categorical*>(&dist)) {
+    obj["type"] = "categorical";
+    json::Object mass;
+    for (const auto& [value, p] : categorical->mass()) {
+      mass[std::to_string(value)] = p;
+    }
+    obj["mass"] = std::move(mass);
+    return json::Value(std::move(obj));
+  }
+  return Status::Unimplemented("distribution type is not serializable: " +
+                               dist.ToString());
+}
+
+Result<stats::DistributionPtr> DistributionFromJson(
+    const json::Value& value) {
+  if (!value.is_object()) {
+    return Status::InvalidArgument("distribution must be a JSON object");
+  }
+  FIXY_ASSIGN_OR_RETURN(std::string type, value.GetString("type"));
+  if (type == "kde") {
+    FIXY_ASSIGN_OR_RETURN(double bandwidth, value.GetDouble("bandwidth"));
+    const json::Value* samples = value.Find("samples");
+    if (samples == nullptr || !samples->is_array()) {
+      return Status::InvalidArgument("kde missing samples array");
+    }
+    std::vector<double> xs;
+    xs.reserve(samples->AsArray().size());
+    for (const json::Value& s : samples->AsArray()) {
+      if (!s.is_number()) {
+        return Status::InvalidArgument("kde sample must be a number");
+      }
+      xs.push_back(s.AsDouble());
+    }
+    FIXY_ASSIGN_OR_RETURN(
+        stats::GaussianKde kde,
+        stats::GaussianKde::FitWithBandwidth(std::move(xs), bandwidth));
+    return stats::DistributionPtr(
+        std::make_shared<stats::GaussianKde>(std::move(kde)));
+  }
+  if (type == "histogram") {
+    FIXY_ASSIGN_OR_RETURN(double lo, value.GetDouble("lo"));
+    FIXY_ASSIGN_OR_RETURN(double bin_width, value.GetDouble("bin_width"));
+    const json::Value* counts = value.Find("counts");
+    if (counts == nullptr || !counts->is_array()) {
+      return Status::InvalidArgument("histogram missing counts array");
+    }
+    std::vector<size_t> bins;
+    for (const json::Value& c : counts->AsArray()) {
+      if (!c.is_number() || c.AsDouble() < 0) {
+        return Status::InvalidArgument("histogram count must be >= 0");
+      }
+      bins.push_back(static_cast<size_t>(c.AsDouble()));
+    }
+    FIXY_ASSIGN_OR_RETURN(
+        stats::HistogramDensity hist,
+        stats::HistogramDensity::FromParts(lo, bin_width, std::move(bins)));
+    return stats::DistributionPtr(
+        std::make_shared<stats::HistogramDensity>(std::move(hist)));
+  }
+  if (type == "gaussian") {
+    FIXY_ASSIGN_OR_RETURN(double mean, value.GetDouble("mean"));
+    FIXY_ASSIGN_OR_RETURN(double stddev, value.GetDouble("stddev"));
+    FIXY_ASSIGN_OR_RETURN(stats::Gaussian gaussian,
+                          stats::Gaussian::Create(mean, stddev));
+    return stats::DistributionPtr(
+        std::make_shared<stats::Gaussian>(std::move(gaussian)));
+  }
+  if (type == "bernoulli") {
+    FIXY_ASSIGN_OR_RETURN(double p_one, value.GetDouble("p_one"));
+    FIXY_ASSIGN_OR_RETURN(stats::Bernoulli bernoulli,
+                          stats::Bernoulli::Create(p_one));
+    return stats::DistributionPtr(
+        std::make_shared<stats::Bernoulli>(std::move(bernoulli)));
+  }
+  if (type == "categorical") {
+    const json::Value* mass = value.Find("mass");
+    if (mass == nullptr || !mass->is_object()) {
+      return Status::InvalidArgument("categorical missing mass object");
+    }
+    std::map<long, double> pm;
+    for (const auto& [key, p] : mass->AsObject()) {
+      if (!p.is_number()) {
+        return Status::InvalidArgument("categorical mass must be a number");
+      }
+      char* end = nullptr;
+      const long v = std::strtol(key.c_str(), &end, 10);
+      if (end != key.c_str() + key.size()) {
+        return Status::InvalidArgument("categorical key must be an integer: " +
+                                       key);
+      }
+      pm[v] = p.AsDouble();
+    }
+    FIXY_ASSIGN_OR_RETURN(stats::Categorical categorical,
+                          stats::Categorical::FromMass(std::move(pm)));
+    return stats::DistributionPtr(
+        std::make_shared<stats::Categorical>(std::move(categorical)));
+  }
+  return Status::InvalidArgument("unknown distribution type: " + type);
+}
+
+Result<json::Value> LearnedModelToJson(
+    const std::vector<FeatureDistribution>& learned) {
+  json::Array features;
+  for (const FeatureDistribution& fd : learned) {
+    json::Object entry;
+    entry["feature"] = fd.feature().name();
+    if (fd.global_distribution() != nullptr) {
+      FIXY_ASSIGN_OR_RETURN(json::Value dist,
+                            DistributionToJson(*fd.global_distribution()));
+      entry["distribution"] = std::move(dist);
+    } else {
+      json::Object per_class;
+      for (const auto& [cls, dist] : fd.per_class_distributions()) {
+        FIXY_ASSIGN_OR_RETURN(json::Value dist_json,
+                              DistributionToJson(*dist));
+        per_class[ObjectClassToString(cls)] = std::move(dist_json);
+      }
+      entry["per_class"] = std::move(per_class);
+    }
+    features.push_back(std::move(entry));
+  }
+  json::Object doc;
+  doc["format"] = kModelMarker;
+  doc["version"] = kModelVersion;
+  doc["features"] = std::move(features);
+  return json::Value(std::move(doc));
+}
+
+Result<std::vector<FeatureDistribution>> LearnedModelFromJson(
+    const json::Value& value, const FeatureRegistry& registry) {
+  if (!value.is_object()) {
+    return Status::InvalidArgument("model document must be an object");
+  }
+  FIXY_ASSIGN_OR_RETURN(std::string format, value.GetString("format"));
+  if (format != kModelMarker) {
+    return Status::InvalidArgument("not a fixy-model document");
+  }
+  FIXY_ASSIGN_OR_RETURN(int64_t version, value.GetInt64("version"));
+  if (version != kModelVersion) {
+    return Status::InvalidArgument("unsupported fixy-model version");
+  }
+  const json::Value* features = value.Find("features");
+  if (features == nullptr || !features->is_array()) {
+    return Status::InvalidArgument("model missing features array");
+  }
+  std::vector<FeatureDistribution> learned;
+  for (const json::Value& entry : features->AsArray()) {
+    FIXY_ASSIGN_OR_RETURN(std::string name, entry.GetString("feature"));
+    FIXY_ASSIGN_OR_RETURN(FeaturePtr feature, registry.Find(name));
+    if (const json::Value* dist = entry.Find("distribution");
+        dist != nullptr) {
+      FIXY_ASSIGN_OR_RETURN(stats::DistributionPtr loaded,
+                            DistributionFromJson(*dist));
+      learned.emplace_back(std::move(feature), std::move(loaded));
+    } else if (const json::Value* per_class = entry.Find("per_class");
+               per_class != nullptr && per_class->is_object()) {
+      std::map<ObjectClass, stats::DistributionPtr> loaded;
+      for (const auto& [cls_name, dist_json] : per_class->AsObject()) {
+        FIXY_ASSIGN_OR_RETURN(ObjectClass cls,
+                              ObjectClassFromString(cls_name));
+        FIXY_ASSIGN_OR_RETURN(stats::DistributionPtr dist,
+                              DistributionFromJson(dist_json));
+        loaded[cls] = std::move(dist);
+      }
+      if (loaded.empty()) {
+        return Status::InvalidArgument(
+            "per_class distribution map is empty for feature: " + name);
+      }
+      learned.emplace_back(std::move(feature), std::move(loaded));
+    } else {
+      return Status::InvalidArgument(
+          "feature entry needs 'distribution' or 'per_class': " + name);
+    }
+  }
+  return learned;
+}
+
+Status SaveLearnedModel(const std::vector<FeatureDistribution>& learned,
+                        const std::string& path) {
+  FIXY_ASSIGN_OR_RETURN(json::Value doc, LearnedModelToJson(learned));
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IoError("cannot open for writing: " + path);
+  out << json::Write(doc, /*pretty=*/true);
+  out.flush();
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::Ok();
+}
+
+Result<std::vector<FeatureDistribution>> LoadLearnedModel(
+    const std::string& path, const FeatureRegistry& registry) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open for reading: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return Status::IoError("read failed: " + path);
+  FIXY_ASSIGN_OR_RETURN(json::Value doc, json::Parse(buffer.str()));
+  return LearnedModelFromJson(doc, registry);
+}
+
+}  // namespace fixy

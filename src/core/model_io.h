@@ -1,0 +1,70 @@
+// Persistence for learned models: serializes fitted feature distributions
+// to JSON and reloads them, so the offline phase (Learn) and the online
+// phase (Find*) can run in different processes — e.g. learn once in a
+// nightly job, rank in the labeling pipeline.
+//
+// Features themselves are code, not data, so deserialization resolves them
+// by name through a FeatureRegistry; user-defined features are supported
+// by registering them before loading.
+//
+// Serializable distribution types: GaussianKde, HistogramDensity,
+// Gaussian, Bernoulli, Categorical (everything the learner fits). Manual
+// Lambda distributions are application-side configuration and are never
+// serialized.
+#ifndef FIXY_CORE_MODEL_IO_H_
+#define FIXY_CORE_MODEL_IO_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "dsl/feature_distribution.h"
+#include "json/json.h"
+
+namespace fixy {
+
+/// Maps feature names back to feature implementations at load time.
+class FeatureRegistry {
+ public:
+  /// A registry pre-populated with the standard feature library (volume,
+  /// velocity, count, distance, model_only, class_agreement).
+  static FeatureRegistry Standard();
+
+  /// Registers `feature` under feature->name(). Replaces any existing
+  /// entry with the same name.
+  void Register(FeaturePtr feature);
+
+  /// Errors: NotFound if no feature with that name is registered.
+  Result<FeaturePtr> Find(const std::string& name) const;
+
+ private:
+  std::map<std::string, FeaturePtr> features_;
+};
+
+/// Serializes one fitted distribution. Errors: Unimplemented for
+/// non-serializable distribution types (e.g. LambdaDistribution).
+Result<json::Value> DistributionToJson(const stats::Distribution& dist);
+
+/// Reconstructs a distribution written by DistributionToJson.
+Result<stats::DistributionPtr> DistributionFromJson(const json::Value& value);
+
+/// Serializes a learned model (a set of feature distributions). AOFs are
+/// not serialized — they are per-application configuration.
+Result<json::Value> LearnedModelToJson(
+    const std::vector<FeatureDistribution>& learned);
+
+/// Reconstructs a learned model; every feature name in the document must
+/// resolve through `registry`.
+Result<std::vector<FeatureDistribution>> LearnedModelFromJson(
+    const json::Value& value, const FeatureRegistry& registry);
+
+/// File-level convenience wrappers.
+Status SaveLearnedModel(const std::vector<FeatureDistribution>& learned,
+                        const std::string& path);
+Result<std::vector<FeatureDistribution>> LoadLearnedModel(
+    const std::string& path, const FeatureRegistry& registry);
+
+}  // namespace fixy
+
+#endif  // FIXY_CORE_MODEL_IO_H_

@@ -1,0 +1,27 @@
+#include "core/proposal.h"
+
+#include "common/string_util.h"
+
+namespace fixy {
+
+const char* ProposalKindToString(ProposalKind kind) {
+  switch (kind) {
+    case ProposalKind::kMissingTrack:
+      return "missing_track";
+    case ProposalKind::kMissingObservation:
+      return "missing_observation";
+    case ProposalKind::kModelError:
+      return "model_error";
+  }
+  return "unknown";
+}
+
+std::string ErrorProposal::ToString() const {
+  return StrFormat(
+      "%s %s track=%llu frames=[%d..%d] class=%s score=%.4f conf=%.2f",
+      scene_name.c_str(), ProposalKindToString(kind),
+      static_cast<unsigned long long>(track_id), first_frame, last_frame,
+      ObjectClassToString(object_class), score, model_confidence);
+}
+
+}  // namespace fixy

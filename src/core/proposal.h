@@ -1,0 +1,53 @@
+// ErrorProposal: one ranked potential error emitted by Fixy or a baseline,
+// handed to auditors (or, in this reproduction, to the exact evaluation
+// harness in src/eval).
+#ifndef FIXY_CORE_PROPOSAL_H_
+#define FIXY_CORE_PROPOSAL_H_
+
+#include <string>
+#include <vector>
+
+#include "data/track.h"
+#include "data/types.h"
+#include "geometry/box.h"
+
+namespace fixy {
+
+/// The kind of error a proposal claims.
+enum class ProposalKind {
+  /// A whole object the human labels missed (Section 8.2).
+  kMissingTrack = 0,
+  /// A single missing human box within an otherwise-labeled track (8.3).
+  kMissingObservation = 1,
+  /// An erroneous ML model prediction (8.4).
+  kModelError = 2,
+};
+
+const char* ProposalKindToString(ProposalKind kind);
+
+/// One ranked potential error.
+struct ErrorProposal {
+  std::string scene_name;
+  ProposalKind kind = ProposalKind::kMissingTrack;
+  /// Id of the assembled track the proposal refers to.
+  TrackId track_id = 0;
+  /// Frame of the proposal's representative box; for kMissingObservation,
+  /// the frame of the missing box.
+  int frame_index = 0;
+  /// Representative box (e.g. the track's closest-approach box).
+  geom::Box3d box;
+  ObjectClass object_class = ObjectClass::kCar;
+  /// Ranking score; higher ranks first.
+  double score = 0.0;
+  /// Mean model confidence of the underlying predictions, when available.
+  double model_confidence = 0.0;
+  /// Frames spanned by the underlying track (for error matching).
+  int first_frame = 0;
+  int last_frame = 0;
+
+  std::string ToString() const;
+};
+
+}  // namespace fixy
+
+#endif  // FIXY_CORE_PROPOSAL_H_

@@ -1,0 +1,30 @@
+// Serialization of ranked error proposals — the artifact handed from the
+// ranking pipeline to audit tooling ("flag problematic data ... so an
+// expert auditor can verify", Sections 2-3).
+#ifndef FIXY_CORE_PROPOSAL_IO_H_
+#define FIXY_CORE_PROPOSAL_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/proposal.h"
+#include "json/json.h"
+
+namespace fixy {
+
+/// Serializes a ranked proposal list (order preserved).
+json::Value ProposalsToJson(const std::vector<ErrorProposal>& proposals);
+
+/// Parses a document written by ProposalsToJson.
+Result<std::vector<ErrorProposal>> ProposalsFromJson(
+    const json::Value& value);
+
+/// File-level convenience wrappers.
+Status SaveProposals(const std::vector<ErrorProposal>& proposals,
+                     const std::string& path);
+Result<std::vector<ErrorProposal>> LoadProposals(const std::string& path);
+
+}  // namespace fixy
+
+#endif  // FIXY_CORE_PROPOSAL_IO_H_

@@ -1,0 +1,43 @@
+#include "core/ranker.h"
+
+#include <algorithm>
+#include <array>
+
+namespace fixy {
+
+void RankProposals(std::vector<ErrorProposal>* proposals) {
+  std::sort(proposals->begin(), proposals->end(),
+            [](const ErrorProposal& a, const ErrorProposal& b) {
+              if (a.score != b.score) return a.score > b.score;
+              if (a.scene_name != b.scene_name) {
+                return a.scene_name < b.scene_name;
+              }
+              if (a.track_id != b.track_id) return a.track_id < b.track_id;
+              return a.frame_index < b.frame_index;
+            });
+}
+
+std::vector<ErrorProposal> TopK(const std::vector<ErrorProposal>& ranked,
+                                size_t k) {
+  std::vector<ErrorProposal> top(ranked.begin(),
+                                 ranked.begin() +
+                                     std::min(k, ranked.size()));
+  return top;
+}
+
+std::vector<ErrorProposal> TopKPerClass(
+    const std::vector<ErrorProposal>& ranked, size_t k) {
+  std::array<size_t, kNumObjectClasses> taken{};
+  std::vector<ErrorProposal> top;
+  for (const ErrorProposal& proposal : ranked) {
+    size_t& count = taken[static_cast<size_t>(proposal.object_class)];
+    if (count < k) {
+      ++count;
+      top.push_back(proposal);
+    }
+  }
+  RankProposals(&top);
+  return top;
+}
+
+}  // namespace fixy

@@ -1,0 +1,14 @@
+#include "data/observation.h"
+
+#include "common/string_util.h"
+
+namespace fixy {
+
+std::string Observation::ToString() const {
+  return StrFormat("obs %llu %s %s @f%d conf=%.2f",
+                   static_cast<unsigned long long>(id),
+                   ObservationSourceToString(source),
+                   ObjectClassToString(object_class), frame_index, confidence);
+}
+
+}  // namespace fixy

@@ -1,0 +1,34 @@
+// Observation: one 3D bounding box proposed by a human labeler, an ML
+// model, or an expert auditor, at one time step. The atomic unit that LOA
+// reasons over (denoted omega in the paper's syntax, Table 1).
+#ifndef FIXY_DATA_OBSERVATION_H_
+#define FIXY_DATA_OBSERVATION_H_
+
+#include <string>
+
+#include "data/types.h"
+#include "geometry/box.h"
+
+namespace fixy {
+
+/// A single observation: source, class, oriented 3D box, timing, and (for
+/// model predictions) a confidence score.
+struct Observation {
+  ObservationId id = kInvalidObservationId;
+  ObservationSource source = ObservationSource::kHuman;
+  ObjectClass object_class = ObjectClass::kCar;
+  geom::Box3d box;
+  /// Index of the frame this observation belongs to within its scene.
+  int frame_index = 0;
+  /// Time in seconds since the start of the scene.
+  double timestamp = 0.0;
+  /// Detector confidence in [0, 1]. Human and auditor labels carry 1.0.
+  double confidence = 1.0;
+
+  /// Short debug string, e.g. "obs 17 model car @f3 conf=0.91".
+  std::string ToString() const;
+};
+
+}  // namespace fixy
+
+#endif  // FIXY_DATA_OBSERVATION_H_

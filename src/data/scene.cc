@@ -1,0 +1,89 @@
+#include "data/scene.h"
+
+#include <unordered_set>
+
+#include "common/string_util.h"
+
+namespace fixy {
+
+double Scene::DurationSeconds() const {
+  if (frames_.size() < 2) return 0.0;
+  return frames_.back().timestamp - frames_.front().timestamp;
+}
+
+size_t Scene::TotalObservations() const {
+  size_t total = 0;
+  for (const Frame& f : frames_) total += f.observations.size();
+  return total;
+}
+
+size_t Scene::CountBySource(ObservationSource source) const {
+  size_t total = 0;
+  for (const Frame& f : frames_) {
+    for (const Observation& o : f.observations) {
+      if (o.source == source) ++total;
+    }
+  }
+  return total;
+}
+
+Status Scene::Validate() const {
+  std::unordered_set<ObservationId> seen_ids;
+  double prev_timestamp = -1.0;
+  for (size_t i = 0; i < frames_.size(); ++i) {
+    const Frame& frame = frames_[i];
+    if (frame.index != static_cast<int>(i)) {
+      return Status::FailedPrecondition(
+          StrFormat("scene '%s': frame %zu has index %d", name_.c_str(), i,
+                    frame.index));
+    }
+    if (frame.timestamp < prev_timestamp) {
+      return Status::FailedPrecondition(
+          StrFormat("scene '%s': frame %zu timestamp decreases",
+                    name_.c_str(), i));
+    }
+    prev_timestamp = frame.timestamp;
+    for (const Observation& obs : frame.observations) {
+      if (obs.frame_index != frame.index) {
+        return Status::FailedPrecondition(
+            StrFormat("scene '%s': observation %llu in frame %d claims frame "
+                      "%d",
+                      name_.c_str(),
+                      static_cast<unsigned long long>(obs.id), frame.index,
+                      obs.frame_index));
+      }
+      if (obs.id == kInvalidObservationId) {
+        return Status::FailedPrecondition(
+            StrFormat("scene '%s': observation with invalid id",
+                      name_.c_str()));
+      }
+      if (!seen_ids.insert(obs.id).second) {
+        return Status::FailedPrecondition(
+            StrFormat("scene '%s': duplicate observation id %llu",
+                      name_.c_str(),
+                      static_cast<unsigned long long>(obs.id)));
+      }
+      if (!obs.box.IsValid()) {
+        return Status::FailedPrecondition(
+            StrFormat("scene '%s': observation %llu has degenerate box",
+                      name_.c_str(),
+                      static_cast<unsigned long long>(obs.id)));
+      }
+      if (obs.confidence < 0.0 || obs.confidence > 1.0) {
+        return Status::FailedPrecondition(
+            StrFormat("scene '%s': observation %llu confidence out of range",
+                      name_.c_str(),
+                      static_cast<unsigned long long>(obs.id)));
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+size_t Dataset::TotalObservations() const {
+  size_t total = 0;
+  for (const Scene& s : scenes) total += s.TotalObservations();
+  return total;
+}
+
+}  // namespace fixy

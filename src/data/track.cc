@@ -1,0 +1,120 @@
+#include "data/track.h"
+
+#include <algorithm>
+#include <array>
+
+#include "common/string_util.h"
+
+namespace fixy {
+
+bool ObservationBundle::HasSource(ObservationSource source) const {
+  return FindBySource(source) != nullptr;
+}
+
+const Observation* ObservationBundle::FindBySource(
+    ObservationSource source) const {
+  for (const Observation& obs : observations) {
+    if (obs.source == source) return &obs;
+  }
+  return nullptr;
+}
+
+geom::Vec3 ObservationBundle::MeanCenter() const {
+  geom::Vec3 sum;
+  if (observations.empty()) return sum;
+  for (const Observation& obs : observations) {
+    sum = sum + obs.box.center;
+  }
+  return sum / static_cast<double>(observations.size());
+}
+
+double ObservationBundle::MaxConfidence() const {
+  double max_conf = 0.0;
+  for (const Observation& obs : observations) {
+    max_conf = std::max(max_conf, obs.confidence);
+  }
+  return max_conf;
+}
+
+size_t Track::TotalObservations() const {
+  size_t total = 0;
+  for (const ObservationBundle& b : bundles_) total += b.observations.size();
+  return total;
+}
+
+bool Track::HasSource(ObservationSource source) const {
+  for (const ObservationBundle& b : bundles_) {
+    if (b.HasSource(source)) return true;
+  }
+  return false;
+}
+
+std::optional<ObjectClass> Track::MajorityClass() const {
+  std::array<size_t, kNumObjectClasses> counts{};
+  size_t total = 0;
+  for (const ObservationBundle& b : bundles_) {
+    for (const Observation& obs : b.observations) {
+      ++counts[static_cast<size_t>(obs.object_class)];
+      ++total;
+    }
+  }
+  if (total == 0) return std::nullopt;
+  size_t best = 0;
+  for (size_t i = 1; i < counts.size(); ++i) {
+    if (counts[i] > counts[best]) best = i;
+  }
+  return static_cast<ObjectClass>(best);
+}
+
+int Track::FirstFrame() const {
+  return bundles_.empty() ? 0 : bundles_.front().frame_index;
+}
+
+int Track::LastFrame() const {
+  return bundles_.empty() ? 0 : bundles_.back().frame_index;
+}
+
+double Track::DurationSeconds() const {
+  if (bundles_.size() < 2) return 0.0;
+  return bundles_.back().timestamp - bundles_.front().timestamp;
+}
+
+std::optional<double> Track::MeanModelConfidence() const {
+  double sum = 0.0;
+  size_t count = 0;
+  for (const ObservationBundle& b : bundles_) {
+    for (const Observation& obs : b.observations) {
+      if (obs.source == ObservationSource::kModel) {
+        sum += obs.confidence;
+        ++count;
+      }
+    }
+  }
+  if (count == 0) return std::nullopt;
+  return sum / static_cast<double>(count);
+}
+
+double Track::MinEgoDistance() const {
+  double min_dist = 0.0;
+  bool first = true;
+  for (const ObservationBundle& b : bundles_) {
+    for (const Observation& obs : b.observations) {
+      const double d = obs.box.BevCenterDistance(b.ego_position);
+      if (first || d < min_dist) {
+        min_dist = d;
+        first = false;
+      }
+    }
+  }
+  return min_dist;
+}
+
+std::string Track::ToString() const {
+  const auto cls = MajorityClass();
+  return StrFormat("track %llu [%d..%d] %zu bundles %zu obs class=%s",
+                   static_cast<unsigned long long>(id_), FirstFrame(),
+                   LastFrame(), bundles_.size(), TotalObservations(),
+                   cls.has_value() ? ObjectClassToString(*cls) : "none");
+}
+
+}  // namespace fixy

@@ -1,0 +1,47 @@
+#include "data/types.h"
+
+namespace fixy {
+
+const char* ObjectClassToString(ObjectClass cls) {
+  switch (cls) {
+    case ObjectClass::kCar:
+      return "car";
+    case ObjectClass::kTruck:
+      return "truck";
+    case ObjectClass::kPedestrian:
+      return "pedestrian";
+    case ObjectClass::kMotorcycle:
+      return "motorcycle";
+  }
+  return "unknown";
+}
+
+Result<ObjectClass> ObjectClassFromString(const std::string& name) {
+  if (name == "car") return ObjectClass::kCar;
+  if (name == "truck") return ObjectClass::kTruck;
+  if (name == "pedestrian") return ObjectClass::kPedestrian;
+  if (name == "motorcycle") return ObjectClass::kMotorcycle;
+  return Status::InvalidArgument("unknown object class: " + name);
+}
+
+const char* ObservationSourceToString(ObservationSource source) {
+  switch (source) {
+    case ObservationSource::kHuman:
+      return "human";
+    case ObservationSource::kModel:
+      return "model";
+    case ObservationSource::kAuditor:
+      return "auditor";
+  }
+  return "unknown";
+}
+
+Result<ObservationSource> ObservationSourceFromString(
+    const std::string& name) {
+  if (name == "human") return ObservationSource::kHuman;
+  if (name == "model") return ObservationSource::kModel;
+  if (name == "auditor") return ObservationSource::kAuditor;
+  return Status::InvalidArgument("unknown observation source: " + name);
+}
+
+}  // namespace fixy

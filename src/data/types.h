@@ -1,0 +1,55 @@
+// Core enums and identifiers of the observation data model.
+#ifndef FIXY_DATA_TYPES_H_
+#define FIXY_DATA_TYPES_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+
+namespace fixy {
+
+/// Object classes the evaluation focuses on ("the common classes of car,
+/// truck, pedestrian, and motorcycle", Section 8.1).
+enum class ObjectClass {
+  kCar = 0,
+  kTruck = 1,
+  kPedestrian = 2,
+  kMotorcycle = 3,
+};
+
+inline constexpr int kNumObjectClasses = 4;
+
+/// All classes, for iteration.
+inline constexpr ObjectClass kAllObjectClasses[kNumObjectClasses] = {
+    ObjectClass::kCar, ObjectClass::kTruck, ObjectClass::kPedestrian,
+    ObjectClass::kMotorcycle};
+
+const char* ObjectClassToString(ObjectClass cls);
+Result<ObjectClass> ObjectClassFromString(const std::string& name);
+
+/// Where an observation came from (Section 8.1 uses three sources:
+/// human-proposed labels, LIDAR ML model predictions, expert auditor
+/// labels).
+enum class ObservationSource {
+  kHuman = 0,
+  kModel = 1,
+  kAuditor = 2,
+};
+
+inline constexpr int kNumObservationSources = 3;
+
+const char* ObservationSourceToString(ObservationSource source);
+Result<ObservationSource> ObservationSourceFromString(const std::string& name);
+
+/// Unique observation identifier within a dataset.
+using ObservationId = uint64_t;
+
+/// Unique track identifier within an assembled scene.
+using TrackId = uint64_t;
+
+inline constexpr ObservationId kInvalidObservationId = ~0ULL;
+
+}  // namespace fixy
+
+#endif  // FIXY_DATA_TYPES_H_

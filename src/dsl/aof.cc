@@ -1,0 +1,9 @@
+#include "dsl/aof.h"
+
+namespace fixy {
+
+AofPtr MakeIdentityAof() { return std::make_shared<IdentityAof>(); }
+
+AofPtr MakeInvertAof() { return std::make_shared<InvertAof>(); }
+
+}  // namespace fixy

@@ -1,0 +1,67 @@
+// Application objective functions (AOFs), Section 5.3 of the paper.
+//
+// AOFs are numeric transformations applied to feature-distribution scores
+// before they enter the factor-graph scoring: "the most common operations
+// are taking the inverse and setting the probability to 0/1 under certain
+// conditions". Searching for *likely* components (e.g. a consistent track
+// the humans missed) uses the identity; searching for *unlikely* components
+// (e.g. ghost model predictions) uses f(x) = 1 - x.
+#ifndef FIXY_DSL_AOF_H_
+#define FIXY_DSL_AOF_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+
+namespace fixy {
+
+/// A numeric transformation of a feature-distribution score in [0, 1].
+class Aof {
+ public:
+  virtual ~Aof() = default;
+
+  /// Maps a probability-like score to a transformed score. Implementations
+  /// must map [0, 1] into [0, 1].
+  virtual double Apply(double p) const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+using AofPtr = std::shared_ptr<const Aof>;
+
+/// f(x) = x. Used when ranking components that *should* be likely.
+class IdentityAof final : public Aof {
+ public:
+  double Apply(double p) const override { return p; }
+  std::string name() const override { return "identity"; }
+};
+
+/// f(x) = 1 - x. Used when hunting unlikely components (Section 7,
+/// "finding erroneous ML model predictions").
+class InvertAof final : public Aof {
+ public:
+  double Apply(double p) const override { return 1.0 - p; }
+  std::string name() const override { return "invert"; }
+};
+
+/// Wraps an arbitrary callable as an AOF (for user-supplied transforms).
+class LambdaAof final : public Aof {
+ public:
+  LambdaAof(std::string name, std::function<double(double)> fn)
+      : name_(std::move(name)), fn_(std::move(fn)) {}
+
+  double Apply(double p) const override { return fn_(p); }
+  std::string name() const override { return name_; }
+
+ private:
+  std::string name_;
+  std::function<double(double)> fn_;
+};
+
+/// Convenience constructors.
+AofPtr MakeIdentityAof();
+AofPtr MakeInvertAof();
+
+}  // namespace fixy
+
+#endif  // FIXY_DSL_AOF_H_

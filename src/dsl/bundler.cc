@@ -1,0 +1,12 @@
+#include "dsl/bundler.h"
+
+#include "geometry/iou.h"
+
+namespace fixy {
+
+bool IouBundler::IsAssociated(const Observation& a,
+                              const Observation& b) const {
+  return geom::BevIou(a.box, b.box) > iou_threshold_;
+}
+
+}  // namespace fixy

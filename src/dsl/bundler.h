@@ -1,0 +1,48 @@
+// Bundler: decides whether two observations belong to the same object.
+//
+// Mirrors the paper's worked example (Section 3):
+//
+//   class TrackBundler(Bundler):
+//     def is_associated(self, box1, box2):
+//       return compute_iou(box1, box2) > 0.5
+//
+// The default IouBundler implements exactly that rule; users subclass
+// Bundler to override the association criterion.
+#ifndef FIXY_DSL_BUNDLER_H_
+#define FIXY_DSL_BUNDLER_H_
+
+#include <memory>
+
+#include "data/observation.h"
+
+namespace fixy {
+
+/// Association predicate over pairs of observations.
+class Bundler {
+ public:
+  virtual ~Bundler() = default;
+
+  /// True if the two observations should be considered the same object.
+  virtual bool IsAssociated(const Observation& a,
+                            const Observation& b) const = 0;
+};
+
+using BundlerPtr = std::shared_ptr<const Bundler>;
+
+/// Default bundler: birds-eye-view IoU above a threshold.
+class IouBundler final : public Bundler {
+ public:
+  explicit IouBundler(double iou_threshold = 0.5)
+      : iou_threshold_(iou_threshold) {}
+
+  bool IsAssociated(const Observation& a, const Observation& b) const override;
+
+  double iou_threshold() const { return iou_threshold_; }
+
+ private:
+  double iou_threshold_;
+};
+
+}  // namespace fixy
+
+#endif  // FIXY_DSL_BUNDLER_H_

@@ -1,0 +1,19 @@
+#include "dsl/feature.h"
+
+namespace fixy {
+
+const char* FeatureKindToString(FeatureKind kind) {
+  switch (kind) {
+    case FeatureKind::kObservation:
+      return "observation";
+    case FeatureKind::kBundle:
+      return "bundle";
+    case FeatureKind::kTransition:
+      return "transition";
+    case FeatureKind::kTrack:
+      return "track";
+  }
+  return "unknown";
+}
+
+}  // namespace fixy

@@ -1,0 +1,105 @@
+// Feature interfaces of the LOA DSL (Section 5.1 of the paper).
+//
+// A feature maps an element of a scene to a scalar; Fixy learns a
+// distribution over each feature from existing labels and scores new data
+// by likelihood. The paper defines four feature types:
+//   1. observation features   (e.g. box volume),
+//   2. bundle features        (e.g. "only model predictions present"),
+//   3. transition features    (e.g. velocity between adjacent bundles),
+//   4. track features         (e.g. number of observations).
+//
+// Users extend Fixy exactly as in the paper's Python snippets: subclass the
+// appropriate interface and override Compute (typically < 6 lines of code;
+// see core/features_std.h for the paper's Table 2 features and
+// examples/custom_features.cpp for a user-defined one).
+#ifndef FIXY_DSL_FEATURE_H_
+#define FIXY_DSL_FEATURE_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "data/observation.h"
+#include "data/track.h"
+#include "geometry/vec.h"
+
+namespace fixy {
+
+/// Context handed to feature computation: the ego pose at the element's
+/// frame and the scene's frame rate (needed e.g. to convert per-frame
+/// displacement into m/s).
+struct FeatureContext {
+  geom::Vec2 ego_position;
+  double frame_rate_hz = 10.0;
+};
+
+/// Which scene element a feature applies to.
+enum class FeatureKind {
+  kObservation = 0,
+  kBundle = 1,
+  kTransition = 2,
+  kTrack = 3,
+};
+
+const char* FeatureKindToString(FeatureKind kind);
+
+/// Base class of all features.
+class Feature {
+ public:
+  virtual ~Feature() = default;
+
+  /// Stable name used to key learned distributions (e.g. "volume").
+  virtual std::string name() const = 0;
+
+  virtual FeatureKind kind() const = 0;
+
+  /// If true, a separate distribution is learned per object class
+  /// (Table 2 marks volume and velocity class-conditional).
+  virtual bool class_conditional() const { return false; }
+};
+
+/// A feature over a single observation. Compute returns nullopt when the
+/// feature does not apply to the given observation (such elements simply
+/// contribute no factor).
+class ObservationFeature : public Feature {
+ public:
+  FeatureKind kind() const final { return FeatureKind::kObservation; }
+
+  virtual std::optional<double> Compute(const Observation& obs,
+                                        const FeatureContext& ctx) const = 0;
+};
+
+/// A feature over an observation bundle (all observations of one object in
+/// one frame).
+class BundleFeature : public Feature {
+ public:
+  FeatureKind kind() const final { return FeatureKind::kBundle; }
+
+  virtual std::optional<double> Compute(const ObservationBundle& bundle,
+                                        const FeatureContext& ctx) const = 0;
+};
+
+/// A feature over two adjacent bundles within a track.
+class TransitionFeature : public Feature {
+ public:
+  FeatureKind kind() const final { return FeatureKind::kTransition; }
+
+  virtual std::optional<double> Compute(const ObservationBundle& from,
+                                        const ObservationBundle& to,
+                                        const FeatureContext& ctx) const = 0;
+};
+
+/// A feature over an entire track.
+class TrackFeature : public Feature {
+ public:
+  FeatureKind kind() const final { return FeatureKind::kTrack; }
+
+  virtual std::optional<double> Compute(const Track& track,
+                                        const FeatureContext& ctx) const = 0;
+};
+
+using FeaturePtr = std::shared_ptr<const Feature>;
+
+}  // namespace fixy
+
+#endif  // FIXY_DSL_FEATURE_H_

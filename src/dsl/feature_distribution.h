@@ -1,0 +1,94 @@
+// FeatureDistribution: a feature bound to its learned distribution and an
+// application objective function. The factor nodes of the compiled LOA
+// graph (Section 4.3) reference these.
+#ifndef FIXY_DSL_FEATURE_DISTRIBUTION_H_
+#define FIXY_DSL_FEATURE_DISTRIBUTION_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "dsl/aof.h"
+#include "dsl/feature.h"
+#include "stats/distribution.h"
+
+namespace fixy {
+
+/// A feature together with the distribution(s) learned for it offline and
+/// the AOF applied at scoring time.
+///
+/// For class-conditional features (feature->class_conditional()), one
+/// distribution is stored per object class; elements whose class was never
+/// seen at training time produce no factor (nullopt score).
+class FeatureDistribution {
+ public:
+  /// Non-class-conditional: one distribution for all elements.
+  FeatureDistribution(FeaturePtr feature, stats::DistributionPtr distribution,
+                      AofPtr aof = nullptr);
+
+  /// Class-conditional: one distribution per class.
+  FeatureDistribution(
+      FeaturePtr feature,
+      std::map<ObjectClass, stats::DistributionPtr> per_class_distributions,
+      AofPtr aof = nullptr);
+
+  const Feature& feature() const { return *feature_; }
+  FeaturePtr feature_ptr() const { return feature_; }
+  const Aof& aof() const { return *aof_; }
+
+  /// Replaces the AOF (applications re-target the same learned
+  /// distributions with different objectives, Section 7).
+  FeatureDistribution WithAof(AofPtr aof) const;
+
+  /// Scores an element of the matching kind: computes the feature value,
+  /// looks up the (per-class) distribution, converts the value to a
+  /// normalized likelihood in (0, 1], and applies the AOF. Returns nullopt
+  /// when the feature does not apply or no distribution is available for
+  /// the element's class. Aborts if the feature kind does not match the
+  /// element type.
+  std::optional<double> ScoreObservation(const Observation& obs,
+                                         const FeatureContext& ctx) const;
+  std::optional<double> ScoreBundle(const ObservationBundle& bundle,
+                                    const FeatureContext& ctx) const;
+  std::optional<double> ScoreTransition(const ObservationBundle& from,
+                                        const ObservationBundle& to,
+                                        const FeatureContext& ctx) const;
+  std::optional<double> ScoreTrack(const Track& track,
+                                   const FeatureContext& ctx) const;
+
+  /// The raw (pre-AOF) likelihood of a feature value for the given class.
+  /// nullopt when no distribution covers the class.
+  std::optional<double> RawLikelihood(double value,
+                                      std::optional<ObjectClass> cls) const;
+
+  /// Underlying distributions (exposed for serialization). Exactly one of
+  /// the two is populated: global_distribution() is null for
+  /// class-conditional features.
+  const stats::DistributionPtr& global_distribution() const {
+    return global_distribution_;
+  }
+  const std::map<ObjectClass, stats::DistributionPtr>&
+  per_class_distributions() const {
+    return per_class_;
+  }
+
+ private:
+  std::optional<double> Transform(std::optional<double> value,
+                                  std::optional<ObjectClass> cls) const;
+
+  FeaturePtr feature_;
+  stats::DistributionPtr global_distribution_;
+  std::map<ObjectClass, stats::DistributionPtr> per_class_;
+  AofPtr aof_;
+};
+
+/// The full LOA specification for one application: the set of feature
+/// distributions that become factors in the compiled graph.
+struct LoaSpec {
+  std::vector<FeatureDistribution> feature_distributions;
+};
+
+}  // namespace fixy
+
+#endif  // FIXY_DSL_FEATURE_DISTRIBUTION_H_

@@ -1,0 +1,167 @@
+#include "dsl/track_builder.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/macros.h"
+#include "geometry/iou.h"
+
+namespace fixy {
+
+namespace {
+
+// Union-find over observation indices within one frame.
+class DisjointSet {
+ public:
+  explicit DisjointSet(size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+
+  size_t Find(size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  void Union(size_t a, size_t b) { parent_[Find(a)] = Find(b); }
+
+ private:
+  std::vector<size_t> parent_;
+};
+
+// The box used to represent a bundle when matching across frames: prefer a
+// model prediction (model boxes exist in every application of Section 7),
+// otherwise the first observation.
+const geom::Box3d& RepresentativeBox(const ObservationBundle& bundle) {
+  const Observation* model = bundle.FindBySource(ObservationSource::kModel);
+  if (model != nullptr) return model->box;
+  return bundle.observations.front().box;
+}
+
+// Groups one frame's observations into bundles via the bundler relation.
+std::vector<ObservationBundle> BundleFrame(const Frame& frame,
+                                           const Bundler& bundler) {
+  const auto& observations = frame.observations;
+  DisjointSet components(observations.size());
+  for (size_t i = 0; i < observations.size(); ++i) {
+    for (size_t j = i + 1; j < observations.size(); ++j) {
+      if (bundler.IsAssociated(observations[i], observations[j])) {
+        components.Union(i, j);
+      }
+    }
+  }
+  // Collect members per component root, preserving observation order.
+  std::vector<ObservationBundle> bundles;
+  std::vector<int> root_to_bundle(observations.size(), -1);
+  for (size_t i = 0; i < observations.size(); ++i) {
+    const size_t root = components.Find(i);
+    if (root_to_bundle[root] < 0) {
+      root_to_bundle[root] = static_cast<int>(bundles.size());
+      ObservationBundle bundle;
+      bundle.frame_index = frame.index;
+      bundle.timestamp = frame.timestamp;
+      bundle.ego_position = frame.ego_position;
+      bundles.push_back(std::move(bundle));
+    }
+    bundles[static_cast<size_t>(root_to_bundle[root])].observations.push_back(
+        observations[i]);
+  }
+  return bundles;
+}
+
+struct OpenTrack {
+  Track track;
+  int last_matched_frame = 0;
+};
+
+}  // namespace
+
+TrackBuilder::TrackBuilder(TrackBuilderOptions options)
+    : options_(std::move(options)) {
+  if (options_.bundler == nullptr) {
+    options_.bundler = std::make_shared<IouBundler>(0.5);
+  }
+}
+
+Result<TrackSet> TrackBuilder::Build(const Scene& scene) const {
+  FIXY_RETURN_IF_ERROR(scene.Validate());
+
+  TrackSet result;
+  result.scene_name = scene.name();
+
+  std::vector<OpenTrack> open;
+  TrackId next_track_id = 0;
+
+  for (const Frame& frame : scene.frames()) {
+    std::vector<ObservationBundle> bundles =
+        BundleFrame(frame, *options_.bundler);
+
+    // Candidate (track, bundle) pairs with IoU above the link threshold.
+    struct Candidate {
+      double iou;
+      size_t track_index;
+      size_t bundle_index;
+    };
+    std::vector<Candidate> candidates;
+    for (size_t t = 0; t < open.size(); ++t) {
+      const ObservationBundle& last = open[t].track.bundles().back();
+      for (size_t b = 0; b < bundles.size(); ++b) {
+        const double iou =
+            geom::BevIou(RepresentativeBox(last), RepresentativeBox(bundles[b]));
+        if (iou > options_.track_iou_threshold) {
+          candidates.push_back({iou, t, b});
+        }
+      }
+    }
+    // Greedy best-IoU matching: take pairs in descending IoU, each track
+    // and bundle used at most once.
+    std::sort(candidates.begin(), candidates.end(),
+              [](const Candidate& a, const Candidate& b) {
+                if (a.iou != b.iou) return a.iou > b.iou;
+                if (a.track_index != b.track_index) {
+                  return a.track_index < b.track_index;
+                }
+                return a.bundle_index < b.bundle_index;
+              });
+    std::vector<bool> track_used(open.size(), false);
+    std::vector<bool> bundle_used(bundles.size(), false);
+    for (const Candidate& c : candidates) {
+      if (track_used[c.track_index] || bundle_used[c.bundle_index]) continue;
+      track_used[c.track_index] = true;
+      bundle_used[c.bundle_index] = true;
+      open[c.track_index].track.AddBundle(std::move(bundles[c.bundle_index]));
+      open[c.track_index].last_matched_frame = frame.index;
+    }
+    // Unmatched bundles start new tracks.
+    for (size_t b = 0; b < bundles.size(); ++b) {
+      if (bundle_used[b]) continue;
+      OpenTrack fresh;
+      fresh.track.set_id(next_track_id++);
+      fresh.track.AddBundle(std::move(bundles[b]));
+      fresh.last_matched_frame = frame.index;
+      open.push_back(std::move(fresh));
+    }
+    // Close tracks that have not matched within the gap allowance.
+    std::vector<OpenTrack> still_open;
+    still_open.reserve(open.size());
+    for (OpenTrack& t : open) {
+      if (frame.index - t.last_matched_frame > options_.max_gap_frames) {
+        result.tracks.push_back(std::move(t.track));
+      } else {
+        still_open.push_back(std::move(t));
+      }
+    }
+    open = std::move(still_open);
+  }
+  for (OpenTrack& t : open) {
+    result.tracks.push_back(std::move(t.track));
+  }
+  // Deterministic output order: by track id.
+  std::sort(result.tracks.begin(), result.tracks.end(),
+            [](const Track& a, const Track& b) { return a.id() < b.id(); });
+  return result;
+}
+
+}  // namespace fixy

@@ -1,0 +1,50 @@
+// TrackBuilder: assembles raw per-frame observations into observation
+// bundles (within a frame) and tracks (across frames), Section 4.2 of the
+// paper. "The analyst first associates observations within a time step
+// (i.e., overlapping model predictions and human labels) and between
+// adjacent timesteps (i.e., objects across time)."
+#ifndef FIXY_DSL_TRACK_BUILDER_H_
+#define FIXY_DSL_TRACK_BUILDER_H_
+
+#include "common/result.h"
+#include "data/scene.h"
+#include "data/track.h"
+#include "dsl/bundler.h"
+
+namespace fixy {
+
+/// Options controlling track assembly.
+struct TrackBuilderOptions {
+  /// Bundler used to group observations within a frame; defaults to
+  /// IouBundler(0.5) when null.
+  BundlerPtr bundler;
+
+  /// Minimum BEV IoU for linking a bundle to the previous bundle of a
+  /// track. Looser than the in-frame threshold because objects move
+  /// between frames.
+  double track_iou_threshold = 0.1;
+
+  /// A track stays open for this many frames without a match before being
+  /// closed; gaps let flickering detections land in one track (which the
+  /// flicker baseline assertion then inspects).
+  int max_gap_frames = 2;
+};
+
+/// Groups each frame's observations into bundles (connected components
+/// under the bundler's association relation) and links bundles across
+/// frames into tracks by greedy best-IoU matching.
+///
+/// Errors: FailedPrecondition if the scene fails Scene::Validate().
+class TrackBuilder {
+ public:
+  explicit TrackBuilder(TrackBuilderOptions options = {});
+
+  Result<TrackSet> Build(const Scene& scene) const;
+
+ private:
+  TrackBuilderOptions options_;
+};
+
+}  // namespace fixy
+
+#endif  // FIXY_DSL_TRACK_BUILDER_H_

@@ -1,0 +1,49 @@
+// Dataset characterization: the per-class / per-source statistics the
+// paper uses to describe its datasets (Section 8.1 — class mix, sampling
+// rate, label density) plus the feature summaries (volume, speed) that the
+// learned distributions are fitted to. Used by `fixy_cli info` and the
+// examples.
+#ifndef FIXY_EVAL_DATASET_STATS_H_
+#define FIXY_EVAL_DATASET_STATS_H_
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "data/scene.h"
+#include "stats/summary.h"
+
+namespace fixy::eval {
+
+/// Aggregates for one object class within one source.
+struct ClassStats {
+  size_t observations = 0;
+  stats::Summary volume;
+  /// Estimated speeds from assembled tracks (m/s); empty when no
+  /// transitions exist.
+  stats::Summary speed;
+};
+
+/// Statistics over a dataset.
+struct DatasetStats {
+  size_t scenes = 0;
+  size_t frames = 0;
+  double total_duration_seconds = 0.0;
+  /// Observation counts by source.
+  std::array<size_t, kNumObservationSources> by_source{};
+  /// Per-class stats over human labels (the data distributions are learned
+  /// from).
+  std::array<ClassStats, kNumObjectClasses> human_by_class{};
+};
+
+/// Computes statistics over `dataset` (assembles human tracks to estimate
+/// speeds). Errors: FailedPrecondition if a scene fails validation.
+Result<DatasetStats> ComputeDatasetStats(const Dataset& dataset);
+
+/// Plain-text rendering, one block per class.
+std::string FormatDatasetStats(const DatasetStats& stats);
+
+}  // namespace fixy::eval
+
+#endif  // FIXY_EVAL_DATASET_STATS_H_

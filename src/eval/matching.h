@@ -1,0 +1,42 @@
+// Matching ranked error proposals against the simulator's ground-truth
+// error ledger — the mechanical replacement for the paper's manual
+// verification ("we manually checked the top 10 potential errors").
+#ifndef FIXY_EVAL_MATCHING_H_
+#define FIXY_EVAL_MATCHING_H_
+
+#include "core/proposal.h"
+#include "sim/ledger.h"
+
+namespace fixy::eval {
+
+struct MatchOptions {
+  /// Minimum BEV IoU between the proposal's box and the error's box at the
+  /// matched frame. Loose, because proposal boxes carry detector noise.
+  double iou_threshold = 0.1;
+  /// A proposal may sit this many frames outside the error's span.
+  int frame_slack = 3;
+  /// Precision protocol. The paper's auditors verify each flagged item
+  /// independently, so two proposals flagging the same truly-missing
+  /// object both count as real errors (one_to_one = false, the default).
+  /// Set true for strict greedy one-to-one matching, where duplicates of
+  /// an already-claimed error count as false positives.
+  bool one_to_one = false;
+};
+
+/// True if `proposal`'s kind can claim `error`'s type:
+///   kMissingTrack       -> kMissingTrack
+///   kMissingObservation -> kMissingObservation
+///   kModelError         -> kGhostTrack | kClassificationError |
+///                          kLocalizationError
+bool KindMatchesType(ProposalKind kind, sim::GtErrorType type);
+
+/// True if `proposal` correctly identifies `error`: same scene, compatible
+/// kind, overlapping frame spans (within slack), and geometric overlap at
+/// the proposal's representative frame.
+bool ProposalMatchesError(const ErrorProposal& proposal,
+                          const sim::GtError& error,
+                          const MatchOptions& options = {});
+
+}  // namespace fixy::eval
+
+#endif  // FIXY_EVAL_MATCHING_H_

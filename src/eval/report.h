@@ -1,0 +1,31 @@
+// Plain-text table rendering for the benchmark harness: every bench prints
+// the same rows the paper reports, side by side with the paper's numbers.
+#ifndef FIXY_EVAL_REPORT_H_
+#define FIXY_EVAL_REPORT_H_
+
+#include <string>
+#include <vector>
+
+namespace fixy::eval {
+
+/// A simple fixed-width text table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+
+  /// Renders with aligned columns and a header rule.
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// "69%"-style formatting of a fraction in [0, 1].
+std::string Percent(double fraction);
+
+}  // namespace fixy::eval
+
+#endif  // FIXY_EVAL_REPORT_H_

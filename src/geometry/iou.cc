@@ -1,0 +1,36 @@
+#include "geometry/iou.h"
+
+#include <algorithm>
+
+namespace fixy::geom {
+
+ConvexPolygon BoxBevPolygon(const Box3d& box) {
+  const auto corners = box.BevCorners();
+  return ConvexPolygon(std::vector<Vec2>(corners.begin(), corners.end()));
+}
+
+double BevIntersectionArea(const Box3d& a, const Box3d& b) {
+  if (!a.IsValid() || !b.IsValid()) return 0.0;
+  return BoxBevPolygon(a).Intersect(BoxBevPolygon(b)).Area();
+}
+
+double BevIou(const Box3d& a, const Box3d& b) {
+  if (!a.IsValid() || !b.IsValid()) return 0.0;
+  const double inter = BevIntersectionArea(a, b);
+  const double uni = a.BevArea() + b.BevArea() - inter;
+  if (uni <= 0.0) return 0.0;
+  return std::clamp(inter / uni, 0.0, 1.0);
+}
+
+double Iou3d(const Box3d& a, const Box3d& b) {
+  if (!a.IsValid() || !b.IsValid()) return 0.0;
+  const double bev_inter = BevIntersectionArea(a, b);
+  const double z_overlap =
+      std::max(0.0, std::min(a.ZMax(), b.ZMax()) - std::max(a.ZMin(), b.ZMin()));
+  const double inter = bev_inter * z_overlap;
+  const double uni = a.Volume() + b.Volume() - inter;
+  if (uni <= 0.0) return 0.0;
+  return std::clamp(inter / uni, 0.0, 1.0);
+}
+
+}  // namespace fixy::geom

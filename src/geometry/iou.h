@@ -1,0 +1,28 @@
+// Intersection-over-union for oriented boxes. BEV IoU drives observation
+// association (bundling and tracking) exactly as in the paper's worked
+// example ("compute_iou(box1, box2) > 0.5").
+#ifndef FIXY_GEOMETRY_IOU_H_
+#define FIXY_GEOMETRY_IOU_H_
+
+#include "geometry/box.h"
+#include "geometry/polygon.h"
+
+namespace fixy::geom {
+
+/// Footprint polygon of `box` in the ground plane.
+ConvexPolygon BoxBevPolygon(const Box3d& box);
+
+/// Intersection area of the two box footprints (rotated rectangles).
+double BevIntersectionArea(const Box3d& a, const Box3d& b);
+
+/// Birds-eye-view IoU: footprint intersection / footprint union.
+/// Returns 0 when either box has a degenerate footprint.
+double BevIou(const Box3d& a, const Box3d& b);
+
+/// Full 3D IoU: BEV intersection times vertical overlap, divided by the
+/// union of the volumes. Returns 0 when either box is degenerate.
+double Iou3d(const Box3d& a, const Box3d& b);
+
+}  // namespace fixy::geom
+
+#endif  // FIXY_GEOMETRY_IOU_H_

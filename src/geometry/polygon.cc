@@ -1,0 +1,71 @@
+#include "geometry/polygon.h"
+
+#include <cmath>
+
+namespace fixy::geom {
+
+namespace {
+
+// True if `p` is on the interior side (left) of the directed edge a->b,
+// within tolerance.
+bool Inside(const Vec2& p, const Vec2& a, const Vec2& b) {
+  return (b - a).Cross(p - a) >= -1e-12;
+}
+
+// Intersection point of segment p1->p2 with the infinite line through a->b.
+Vec2 LineIntersection(const Vec2& p1, const Vec2& p2, const Vec2& a,
+                      const Vec2& b) {
+  const Vec2 r = p2 - p1;
+  const Vec2 s = b - a;
+  const double denom = r.Cross(s);
+  if (std::abs(denom) < 1e-15) {
+    // Parallel within tolerance; fall back to the segment midpoint, which is
+    // the best degenerate answer and keeps areas bounded.
+    return (p1 + p2) * 0.5;
+  }
+  const double t = (a - p1).Cross(s) / denom;
+  return p1 + r * t;
+}
+
+}  // namespace
+
+double ConvexPolygon::SignedArea() const {
+  if (vertices_.size() < 3) return 0.0;
+  double sum = 0.0;
+  for (size_t i = 0; i < vertices_.size(); ++i) {
+    const Vec2& p = vertices_[i];
+    const Vec2& q = vertices_[(i + 1) % vertices_.size()];
+    sum += p.Cross(q);
+  }
+  return sum / 2.0;
+}
+
+ConvexPolygon ConvexPolygon::Intersect(const ConvexPolygon& clip) const {
+  if (empty() || clip.empty()) return ConvexPolygon();
+  std::vector<Vec2> output = vertices_;
+  const auto& clip_vertices = clip.vertices();
+  for (size_t i = 0; i < clip_vertices.size() && !output.empty(); ++i) {
+    const Vec2& a = clip_vertices[i];
+    const Vec2& b = clip_vertices[(i + 1) % clip_vertices.size()];
+    std::vector<Vec2> input = std::move(output);
+    output.clear();
+    for (size_t j = 0; j < input.size(); ++j) {
+      const Vec2& current = input[j];
+      const Vec2& prev = input[(j + input.size() - 1) % input.size()];
+      const bool current_inside = Inside(current, a, b);
+      const bool prev_inside = Inside(prev, a, b);
+      if (current_inside) {
+        if (!prev_inside) {
+          output.push_back(LineIntersection(prev, current, a, b));
+        }
+        output.push_back(current);
+      } else if (prev_inside) {
+        output.push_back(LineIntersection(prev, current, a, b));
+      }
+    }
+  }
+  if (output.size() < 3) return ConvexPolygon();
+  return ConvexPolygon(std::move(output));
+}
+
+}  // namespace fixy::geom

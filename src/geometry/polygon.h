@@ -1,0 +1,40 @@
+// Convex polygon operations in the ground plane; the substrate for rotated
+// bounding-box intersection (BEV IoU).
+#ifndef FIXY_GEOMETRY_POLYGON_H_
+#define FIXY_GEOMETRY_POLYGON_H_
+
+#include <vector>
+
+#include "geometry/vec.h"
+
+namespace fixy::geom {
+
+/// A convex polygon with vertices in counter-clockwise order. An empty
+/// vertex list denotes the empty polygon.
+class ConvexPolygon {
+ public:
+  ConvexPolygon() = default;
+  explicit ConvexPolygon(std::vector<Vec2> vertices)
+      : vertices_(std::move(vertices)) {}
+
+  const std::vector<Vec2>& vertices() const { return vertices_; }
+  bool empty() const { return vertices_.size() < 3; }
+
+  /// Signed area via the shoelace formula; counter-clockwise polygons have
+  /// positive area. Returns 0 for degenerate polygons.
+  double SignedArea() const;
+
+  /// Absolute area.
+  double Area() const { return std::abs(SignedArea()); }
+
+  /// Intersection with another convex polygon (Sutherland-Hodgman clipping).
+  /// Both polygons must be convex with counter-clockwise vertices.
+  ConvexPolygon Intersect(const ConvexPolygon& clip) const;
+
+ private:
+  std::vector<Vec2> vertices_;
+};
+
+}  // namespace fixy::geom
+
+#endif  // FIXY_GEOMETRY_POLYGON_H_

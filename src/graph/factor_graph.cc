@@ -1,0 +1,275 @@
+#include "graph/factor_graph.h"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace fixy {
+
+namespace {
+
+FeatureContext ContextForBundle(const ObservationBundle& bundle,
+                                double frame_rate_hz) {
+  FeatureContext ctx;
+  ctx.ego_position = bundle.ego_position;
+  ctx.frame_rate_hz = frame_rate_hz;
+  return ctx;
+}
+
+}  // namespace
+
+Result<FactorGraph> FactorGraph::Compile(const TrackSet& tracks,
+                                         const LoaSpec& spec,
+                                         double frame_rate_hz) {
+  FactorGraph graph;
+  graph.tracks_ = tracks;
+
+  // Create variable nodes and the (track, bundle) -> variable offset table.
+  graph.variable_offsets_.resize(tracks.tracks.size());
+  for (size_t t = 0; t < tracks.tracks.size(); ++t) {
+    const Track& track = tracks.tracks[t];
+    graph.variable_offsets_[t].resize(track.bundles().size());
+    for (size_t b = 0; b < track.bundles().size(); ++b) {
+      const ObservationBundle& bundle = track.bundles()[b];
+      if (bundle.observations.empty()) {
+        return Status::InvalidArgument(
+            StrFormat("track %zu bundle %zu is empty", t, b));
+      }
+      graph.variable_offsets_[t][b] = graph.variables_.size();
+      for (size_t o = 0; o < bundle.observations.size(); ++o) {
+        VariableNode node;
+        node.obs_id = bundle.observations[o].id;
+        node.track_index = t;
+        node.bundle_index = b;
+        node.obs_index = o;
+        graph.variables_.push_back(std::move(node));
+      }
+    }
+  }
+
+  // Instantiate factors.
+  auto add_factor = [&graph](size_t fd_index, ElementRef element, double score,
+                             std::vector<size_t> variables) {
+    FactorNode factor;
+    factor.fd_index = fd_index;
+    factor.element = element;
+    factor.score = score;
+    factor.variables = std::move(variables);
+    const size_t factor_index = graph.factors_.size();
+    for (size_t v : factor.variables) {
+      graph.variables_[v].factors.push_back(factor_index);
+    }
+    graph.factors_.push_back(std::move(factor));
+  };
+
+  for (size_t fd_index = 0; fd_index < spec.feature_distributions.size();
+       ++fd_index) {
+    const FeatureDistribution& fd = spec.feature_distributions[fd_index];
+    for (size_t t = 0; t < tracks.tracks.size(); ++t) {
+      const Track& track = tracks.tracks[t];
+      switch (fd.feature().kind()) {
+        case FeatureKind::kObservation: {
+          for (size_t b = 0; b < track.bundles().size(); ++b) {
+            const ObservationBundle& bundle = track.bundles()[b];
+            const FeatureContext ctx =
+                ContextForBundle(bundle, frame_rate_hz);
+            for (size_t o = 0; o < bundle.observations.size(); ++o) {
+              const std::optional<double> score =
+                  fd.ScoreObservation(bundle.observations[o], ctx);
+              if (!score.has_value()) continue;
+              add_factor(fd_index,
+                         {FeatureKind::kObservation, t, b, o}, *score,
+                         {graph.variable_offsets_[t][b] + o});
+            }
+          }
+          break;
+        }
+        case FeatureKind::kBundle: {
+          for (size_t b = 0; b < track.bundles().size(); ++b) {
+            const ObservationBundle& bundle = track.bundles()[b];
+            const FeatureContext ctx =
+                ContextForBundle(bundle, frame_rate_hz);
+            const std::optional<double> score = fd.ScoreBundle(bundle, ctx);
+            if (!score.has_value()) continue;
+            std::vector<size_t> vars;
+            vars.reserve(bundle.observations.size());
+            for (size_t o = 0; o < bundle.observations.size(); ++o) {
+              vars.push_back(graph.variable_offsets_[t][b] + o);
+            }
+            add_factor(fd_index, {FeatureKind::kBundle, t, b, 0}, *score,
+                       std::move(vars));
+          }
+          break;
+        }
+        case FeatureKind::kTransition: {
+          for (size_t b = 0; b + 1 < track.bundles().size(); ++b) {
+            const ObservationBundle& from = track.bundles()[b];
+            const ObservationBundle& to = track.bundles()[b + 1];
+            const FeatureContext ctx = ContextForBundle(from, frame_rate_hz);
+            const std::optional<double> score =
+                fd.ScoreTransition(from, to, ctx);
+            if (!score.has_value()) continue;
+            std::vector<size_t> vars;
+            for (size_t o = 0; o < from.observations.size(); ++o) {
+              vars.push_back(graph.variable_offsets_[t][b] + o);
+            }
+            for (size_t o = 0; o < to.observations.size(); ++o) {
+              vars.push_back(graph.variable_offsets_[t][b + 1] + o);
+            }
+            add_factor(fd_index, {FeatureKind::kTransition, t, b, 0}, *score,
+                       std::move(vars));
+          }
+          break;
+        }
+        case FeatureKind::kTrack: {
+          if (track.bundles().empty()) break;
+          const FeatureContext ctx =
+              ContextForBundle(track.bundles().front(), frame_rate_hz);
+          const std::optional<double> score = fd.ScoreTrack(track, ctx);
+          if (!score.has_value()) break;
+          std::vector<size_t> vars;
+          for (size_t b = 0; b < track.bundles().size(); ++b) {
+            for (size_t o = 0; o < track.bundles()[b].observations.size();
+                 ++o) {
+              vars.push_back(graph.variable_offsets_[t][b] + o);
+            }
+          }
+          add_factor(fd_index, {FeatureKind::kTrack, t, 0, 0}, *score,
+                     std::move(vars));
+          break;
+        }
+      }
+    }
+  }
+  return graph;
+}
+
+size_t FactorGraph::VariableIndex(size_t track_index, size_t bundle_index,
+                                  size_t obs_index) const {
+  FIXY_CHECK(track_index < variable_offsets_.size());
+  FIXY_CHECK(bundle_index < variable_offsets_[track_index].size());
+  const size_t base = variable_offsets_[track_index][bundle_index];
+  FIXY_CHECK(obs_index < tracks_.tracks[track_index]
+                             .bundles()[bundle_index]
+                             .observations.size());
+  return base + obs_index;
+}
+
+std::optional<double> FactorGraph::ScoreVariableSet(
+    const std::vector<size_t>& variable_indices, bool normalize) const {
+  std::unordered_set<size_t> seen_factors;
+  double sum = 0.0;
+  for (size_t v : variable_indices) {
+    FIXY_CHECK(v < variables_.size());
+    for (size_t f : variables_[v].factors) {
+      if (!seen_factors.insert(f).second) continue;
+      sum += std::log(factors_[f].score);
+    }
+  }
+  if (seen_factors.empty()) return std::nullopt;
+  if (!normalize) return sum;
+  return sum / static_cast<double>(seen_factors.size());
+}
+
+std::optional<double> FactorGraph::ScoreTrack(size_t track_index,
+                                              bool normalize) const {
+  FIXY_CHECK(track_index < tracks_.tracks.size());
+  std::vector<size_t> vars;
+  const Track& track = tracks_.tracks[track_index];
+  for (size_t b = 0; b < track.bundles().size(); ++b) {
+    for (size_t o = 0; o < track.bundles()[b].observations.size(); ++o) {
+      vars.push_back(variable_offsets_[track_index][b] + o);
+    }
+  }
+  return ScoreVariableSet(vars, normalize);
+}
+
+std::optional<double> FactorGraph::ScoreBundle(size_t track_index,
+                                               size_t bundle_index) const {
+  FIXY_CHECK(track_index < tracks_.tracks.size());
+  const Track& track = tracks_.tracks[track_index];
+  FIXY_CHECK(bundle_index < track.bundles().size());
+  std::vector<size_t> vars;
+  for (size_t o = 0;
+       o < track.bundles()[bundle_index].observations.size(); ++o) {
+    vars.push_back(variable_offsets_[track_index][bundle_index] + o);
+  }
+  return ScoreVariableSet(vars);
+}
+
+std::optional<double> FactorGraph::ScoreObservation(
+    size_t variable_index) const {
+  FIXY_CHECK(variable_index < variables_.size());
+  return ScoreVariableSet({variable_index});
+}
+
+Status FactorGraph::Validate() const {
+  for (size_t f = 0; f < factors_.size(); ++f) {
+    const FactorNode& factor = factors_[f];
+    if (factor.variables.empty()) {
+      return Status::Internal(StrFormat("factor %zu has no variables", f));
+    }
+    if (!(factor.score > 0.0) || factor.score > 1.0) {
+      return Status::Internal(
+          StrFormat("factor %zu score %.9g out of (0, 1]", f, factor.score));
+    }
+    for (size_t v : factor.variables) {
+      if (v >= variables_.size()) {
+        return Status::Internal(
+            StrFormat("factor %zu references invalid variable %zu", f, v));
+      }
+      const auto& var_factors = variables_[v].factors;
+      if (std::find(var_factors.begin(), var_factors.end(), f) ==
+          var_factors.end()) {
+        return Status::Internal(
+            StrFormat("edge %zu-%zu missing reverse direction", f, v));
+      }
+    }
+  }
+  for (size_t v = 0; v < variables_.size(); ++v) {
+    for (size_t f : variables_[v].factors) {
+      if (f >= factors_.size()) {
+        return Status::Internal(
+            StrFormat("variable %zu references invalid factor %zu", v, f));
+      }
+      const auto& factor_vars = factors_[f].variables;
+      if (std::find(factor_vars.begin(), factor_vars.end(), v) ==
+          factor_vars.end()) {
+        return Status::Internal(
+            StrFormat("edge %zu-%zu missing forward direction", v, f));
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+std::string FactorGraph::ToString() const {
+  std::string out = StrFormat("FactorGraph: %zu variables, %zu factors\n",
+                              variables_.size(), factors_.size());
+  for (size_t v = 0; v < variables_.size(); ++v) {
+    const VariableNode& node = variables_[v];
+    const Observation& obs = tracks_.tracks[node.track_index]
+                                 .bundles()[node.bundle_index]
+                                 .observations[node.obs_index];
+    out += StrFormat("  var %zu: track %zu bundle %zu %s\n", v,
+                     node.track_index, node.bundle_index,
+                     obs.ToString().c_str());
+  }
+  for (size_t f = 0; f < factors_.size(); ++f) {
+    const FactorNode& factor = factors_[f];
+    out += StrFormat("  factor %zu: fd=%zu kind=%s t=%zu b=%zu score=%.4f ->",
+                     f, factor.fd_index,
+                     FeatureKindToString(factor.element.kind),
+                     factor.element.track_index, factor.element.bundle_index,
+                     factor.score);
+    for (size_t v : factor.variables) {
+      out += StrFormat(" %zu", v);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace fixy

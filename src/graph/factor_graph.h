@@ -1,0 +1,115 @@
+// The factor graph Fixy compiles scenes into (Section 4.3 of the paper).
+//
+// Compilation creates one variable node per observation and one factor node
+// per (feature distribution, element) pair whose feature applies; an edge
+// connects a factor to every observation in its element. The graph is
+// bipartite by construction and scoring walks it:
+//
+//   - an observation's score is the sum of ln(aof(feature score)) over its
+//     adjacent factors (Equation 2);
+//   - a component's score is the sum over its *distinct* adjacent factors,
+//     normalized by the number of those factors (the paper's worked
+//     example: (ln 0.37 + ln 0.39 + ln 0.21) / 3 = -1.17).
+#ifndef FIXY_GRAPH_FACTOR_GRAPH_H_
+#define FIXY_GRAPH_FACTOR_GRAPH_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "data/track.h"
+#include "dsl/feature_distribution.h"
+
+namespace fixy {
+
+/// Identifies the scene element a factor was instantiated over.
+struct ElementRef {
+  FeatureKind kind = FeatureKind::kObservation;
+  size_t track_index = 0;
+  /// For kBundle and kObservation: the bundle. For kTransition: the *from*
+  /// bundle (the transition spans bundle_index -> bundle_index + 1).
+  size_t bundle_index = 0;
+  /// For kObservation only.
+  size_t obs_index = 0;
+};
+
+/// A variable node: one observation.
+struct VariableNode {
+  ObservationId obs_id = kInvalidObservationId;
+  size_t track_index = 0;
+  size_t bundle_index = 0;
+  size_t obs_index = 0;
+  /// Indices into FactorGraph::factors().
+  std::vector<size_t> factors;
+};
+
+/// A factor node: one feature distribution evaluated on one element.
+struct FactorNode {
+  /// Index into the LoaSpec's feature_distributions.
+  size_t fd_index = 0;
+  ElementRef element;
+  /// Post-AOF likelihood in (0, 1].
+  double score = 1.0;
+  /// Indices into FactorGraph::variables().
+  std::vector<size_t> variables;
+};
+
+/// A compiled, scored factor graph over one scene's tracks.
+class FactorGraph {
+ public:
+  /// Compiles `tracks` against `spec`. Every applicable feature is
+  /// evaluated eagerly and stored on its factor. Errors:
+  /// InvalidArgument if a track contains an empty bundle.
+  static Result<FactorGraph> Compile(const TrackSet& tracks,
+                                     const LoaSpec& spec,
+                                     double frame_rate_hz);
+
+  const TrackSet& tracks() const { return tracks_; }
+  const std::vector<VariableNode>& variables() const { return variables_; }
+  const std::vector<FactorNode>& factors() const { return factors_; }
+
+  /// Variable index for the observation at (track, bundle, obs); aborts on
+  /// out-of-range indices.
+  size_t VariableIndex(size_t track_index, size_t bundle_index,
+                       size_t obs_index) const;
+
+  /// Sum of ln(score) over the factors adjacent to the given variables,
+  /// counting each factor once, divided by the number of such factors
+  /// (Section 6). With normalize=false the raw sum is returned instead —
+  /// only the normalization ablation uses this; it makes components of
+  /// different sizes incomparable, which is exactly what Section 6's
+  /// normalization exists to fix. nullopt when no factor touches the set.
+  std::optional<double> ScoreVariableSet(
+      const std::vector<size_t>& variable_indices,
+      bool normalize = true) const;
+
+  /// Component scores at the three granularities the applications rank.
+  std::optional<double> ScoreTrack(size_t track_index,
+                                   bool normalize = true) const;
+  std::optional<double> ScoreBundle(size_t track_index,
+                                    size_t bundle_index) const;
+  std::optional<double> ScoreObservation(size_t variable_index) const;
+
+  /// Structural self-check: edges are consistent and the graph is
+  /// bipartite (factor adjacency lists reference valid variables and vice
+  /// versa). Returns the first violation.
+  Status Validate() const;
+
+  /// Human-readable structure dump (used by the Figure 2 bench).
+  std::string ToString() const;
+
+ private:
+  FactorGraph() = default;
+
+  TrackSet tracks_;
+  std::vector<VariableNode> variables_;
+  std::vector<FactorNode> factors_;
+  /// variable_offsets_[t][b] = variable index of observation 0 in bundle b
+  /// of track t.
+  std::vector<std::vector<size_t>> variable_offsets_;
+};
+
+}  // namespace fixy
+
+#endif  // FIXY_GRAPH_FACTOR_GRAPH_H_

@@ -1,0 +1,57 @@
+// Serialization of scenes and datasets to the JSON-based .fixy format.
+//
+// The format is stable and round-trip exact at double precision:
+//
+//   {
+//     "format": "fixy-scene",
+//     "version": 1,
+//     "name": "...",
+//     "frame_rate_hz": 10,
+//     "frames": [
+//       {"index": 0, "timestamp": 0.0,
+//        "ego": {"x": ..., "y": ..., "yaw": ...},
+//        "observations": [
+//          {"id": 1, "source": "human", "class": "car",
+//           "box": {"cx":..,"cy":..,"cz":..,"l":..,"w":..,"h":..,"yaw":..},
+//           "confidence": 1.0}, ...]}, ...]
+//   }
+#ifndef FIXY_IO_SCENE_IO_H_
+#define FIXY_IO_SCENE_IO_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "data/scene.h"
+#include "json/json.h"
+
+namespace fixy::io {
+
+/// Converts a scene to its JSON document.
+json::Value SceneToJson(const Scene& scene);
+
+/// Parses a scene from a JSON document. Errors: InvalidArgument for
+/// wrong format marker, missing fields, or unknown enum values.
+Result<Scene> SceneFromJson(const json::Value& value);
+
+/// Serializes `scene` to a string (pretty-printed if requested).
+std::string SceneToString(const Scene& scene, bool pretty = false);
+
+/// Parses a scene from serialized text.
+Result<Scene> SceneFromString(std::string_view text);
+
+/// Writes `scene` to `path`. Errors: IoError on filesystem failure.
+Status SaveScene(const Scene& scene, const std::string& path);
+
+/// Reads a scene from `path`.
+Result<Scene> LoadScene(const std::string& path);
+
+/// Writes every scene of `dataset` into `directory` as
+/// `<directory>/<scene-name>.fixy.json` plus a `manifest.json` listing them.
+Status SaveDataset(const Dataset& dataset, const std::string& directory);
+
+/// Loads a dataset previously written by SaveDataset.
+Result<Dataset> LoadDataset(const std::string& directory);
+
+}  // namespace fixy::io
+
+#endif  // FIXY_IO_SCENE_IO_H_

@@ -1,0 +1,100 @@
+// Stochastic 3D detector model: the stand-in for the paper's
+// PointPillars-style LIDAR model. Real objects are observed through a
+// miss / localization-noise / classification-noise channel with distance-
+// and occlusion-dependent recall; ghost tracks are hallucinated; a
+// configurable confidence model distinguishes the paper's well-calibrated
+// internal model (trained on audited data) from the noisier Lyft model.
+#ifndef FIXY_SIM_DETECTOR_H_
+#define FIXY_SIM_DETECTOR_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "data/observation.h"
+#include "sim/ground_truth.h"
+#include "sim/ledger.h"
+
+namespace fixy::sim {
+
+struct DetectorParams {
+  /// Recall for a near, unoccluded object.
+  double base_recall = 0.97;
+  /// Recall decays linearly from `range_falloff_start` to
+  /// `recall_at_max_range` at the sensor's max range.
+  double range_falloff_start = 30.0;
+  double max_range = 75.0;
+  double recall_at_max_range = 0.45;
+  /// Recall is additionally scaled by (1 - occlusion)^occlusion_power.
+  double occlusion_power = 1.5;
+
+  /// Localization noise on true detections.
+  double center_noise_m = 0.12;
+  double size_noise_frac = 0.04;
+  double yaw_noise_rad = 0.03;
+
+  /// Probability a real object's detections all carry the wrong class
+  /// (a consistent but wrong track — exactly the Section 8.4 error type
+  /// that ad-hoc assertions miss).
+  double track_class_confusion_rate = 0.02;
+
+  /// Confidence multiplier applied to class-confused and mislocalized
+  /// tracks: errors tend to be somewhat less confident (which is what
+  /// gives uncertainty sampling its baseline precision), but the coupling
+  /// is loose.
+  double error_confidence_factor = 0.72;
+
+  /// Probability a real object's detections are grossly mislocalized for
+  /// the whole track (overlapping-but-inconsistent boxes, Figure 9).
+  double localization_error_rate = 0.02;
+  double localization_noise_m = 0.9;
+  double localization_size_noise_frac = 0.18;
+
+  /// Hallucinated tracks per scene (Poisson mean). Ghosts are 3+ frames
+  /// long and gap-free by construction, so the appear/flicker baseline
+  /// assertions do not fire on them.
+  double ghost_tracks_per_scene = 6.0;
+  int ghost_min_frames = 3;
+  int ghost_max_frames = 9;
+  /// Per-frame center jump of a ghost (meters) — large enough that ghost
+  /// "motion" is erratic.
+  double ghost_jump_m = 0.45;
+  /// Per-frame size resampling noise of a ghost.
+  double ghost_size_noise_frac = 0.35;
+  /// Log-scale sigma of a ghost's overall size aberration: hallucinated
+  /// boxes do not respect class geometry (a "car" 40% too large), which
+  /// is what makes the population volume distribution catch them.
+  double ghost_scale_sigma = 0.35;
+
+  /// Confidence model. Calibrated (the internal model, trained on audited
+  /// data): confidence tracks detection quality. Uncalibrated (the Lyft
+  /// model, trained on noisy labels): confidence is weakly related to
+  /// quality. Confidence is a *track-level* trait plus small per-frame
+  /// noise — real detectors are consistently (over)confident about an
+  /// object, not independently per frame.
+  bool calibrated = true;
+  double per_frame_conf_noise = 0.04;
+  double calibrated_conf_noise = 0.06;
+  double uncalibrated_conf_mean = 0.72;
+  double uncalibrated_conf_sd = 0.18;
+  /// Ghost confidences: mid-range, with a fraction at ~0.95 ("errors with
+  /// confidences as high as 95%, which uncertainty sampling would miss").
+  double ghost_conf_mean = 0.55;
+  double ghost_conf_sd = 0.15;
+  double high_conf_ghost_rate = 0.25;
+};
+
+struct DetectorOutput {
+  /// observations[f] are the model predictions of frame f.
+  std::vector<std::vector<Observation>> observations;
+};
+
+/// Runs the detector channel over `gt` (visibility must be computed).
+/// Model errors (ghosts, class confusions, localization errors) are
+/// appended to `ledger`; observation ids are drawn from `next_id`.
+DetectorOutput GenerateDetections(const GtScene& gt,
+                                  const DetectorParams& params, Rng& rng,
+                                  ObservationId* next_id, GtLedger* ledger);
+
+}  // namespace fixy::sim
+
+#endif  // FIXY_SIM_DETECTOR_H_

@@ -1,0 +1,92 @@
+#include "sim/generate.h"
+
+#include <functional>
+
+#include "common/random.h"
+#include "sim/sensor.h"
+
+namespace fixy::sim {
+
+namespace {
+
+// Stable 64-bit hash of a string (FNV-1a), used to derive per-scene seeds
+// from (seed, name) without ordering effects.
+uint64_t HashName(const std::string& name) {
+  uint64_t hash = 1469598103934665603ULL;
+  for (unsigned char c : name) {
+    hash ^= c;
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+}  // namespace
+
+GeneratedScene BuildSceneFromGroundTruth(GtScene ground_truth,
+                                         const SimProfile& profile,
+                                         uint64_t seed,
+                                         const SceneGenOptions& options) {
+  GeneratedScene result;
+  result.ground_truth = std::move(ground_truth);
+  ComputeVisibility(&result.ground_truth, profile.sensor);
+
+  Rng rng(seed);
+  Rng labeler_rng = rng.Split();
+  Rng detector_rng = rng.Split();
+
+  LabelerProfile labeler = profile.labeler;
+  labeler.exact_missing_tracks = options.exact_missing_tracks.has_value()
+                                     ? options.exact_missing_tracks
+                                     : labeler.exact_missing_tracks;
+
+  ObservationId next_id = 1;
+  const LabelerOutput human = GenerateHumanLabels(
+      result.ground_truth, labeler, labeler_rng, &next_id, &result.ledger);
+  const DetectorOutput model =
+      GenerateDetections(result.ground_truth, profile.detector, detector_rng,
+                         &next_id, &result.ledger);
+
+  Scene scene(result.ground_truth.name, result.ground_truth.frame_rate_hz);
+  for (int f = 0; f < result.ground_truth.num_frames; ++f) {
+    Frame frame;
+    frame.index = f;
+    frame.timestamp = result.ground_truth.TimestampOf(f);
+    frame.ego_position =
+        result.ground_truth.ego_positions[static_cast<size_t>(f)];
+    frame.ego_yaw = result.ground_truth.ego_yaws[static_cast<size_t>(f)];
+    frame.observations = human.observations[static_cast<size_t>(f)];
+    frame.observations.insert(frame.observations.end(),
+                              model.observations[static_cast<size_t>(f)].begin(),
+                              model.observations[static_cast<size_t>(f)].end());
+    scene.AddFrame(std::move(frame));
+  }
+  result.scene = std::move(scene);
+  return result;
+}
+
+GeneratedScene GenerateScene(const SimProfile& profile,
+                             const std::string& name, uint64_t seed,
+                             const SceneGenOptions& options) {
+  const uint64_t scene_seed = seed ^ HashName(name);
+  Rng rng(scene_seed);
+  Rng world_rng = rng.Split();
+  GtScene ground_truth = GenerateWorld(profile.world, name, world_rng);
+  return BuildSceneFromGroundTruth(std::move(ground_truth), profile,
+                                   rng.NextUint64(), options);
+}
+
+GeneratedDataset GenerateDataset(const SimProfile& profile,
+                                 const std::string& prefix, int count,
+                                 uint64_t seed) {
+  GeneratedDataset result;
+  result.dataset.name = prefix;
+  for (int i = 0; i < count; ++i) {
+    const std::string name = prefix + "_" + std::to_string(i);
+    GeneratedScene generated = GenerateScene(profile, name, seed);
+    result.dataset.scenes.push_back(std::move(generated.scene));
+    result.ledger.Append(generated.ledger);
+  }
+  return result;
+}
+
+}  // namespace fixy::sim

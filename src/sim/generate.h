@@ -1,0 +1,59 @@
+// End-to-end dataset generation: world -> sensor visibility -> human
+// labels + detector predictions -> merged Scene + ground-truth error
+// ledger. The ledger is the exact-evaluation replacement for the paper's
+// human auditors.
+#ifndef FIXY_SIM_GENERATE_H_
+#define FIXY_SIM_GENERATE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "data/scene.h"
+#include "sim/ground_truth.h"
+#include "sim/ledger.h"
+#include "sim/profiles.h"
+
+namespace fixy::sim {
+
+/// Per-scene overrides.
+struct SceneGenOptions {
+  /// Force exactly this many missing tracks (Section 8.2's recall scene
+  /// has exactly 24).
+  std::optional<int> exact_missing_tracks;
+};
+
+/// One generated scene with full ground truth.
+struct GeneratedScene {
+  Scene scene;
+  GtScene ground_truth;
+  GtLedger ledger;
+};
+
+/// Generates a single scene. Deterministic in (profile, name, seed).
+GeneratedScene GenerateScene(const SimProfile& profile,
+                             const std::string& name, uint64_t seed,
+                             const SceneGenOptions& options = {});
+
+/// Builds a Scene (human + model observations merged per frame) from an
+/// already-simulated ground truth. Exposed so scenario benches can craft
+/// custom worlds (e.g. the Figure 4 occluded motorcycle).
+GeneratedScene BuildSceneFromGroundTruth(GtScene ground_truth,
+                                         const SimProfile& profile,
+                                         uint64_t seed,
+                                         const SceneGenOptions& options = {});
+
+/// A generated multi-scene dataset with its aggregated ledger.
+struct GeneratedDataset {
+  Dataset dataset;
+  GtLedger ledger;
+};
+
+/// Generates `count` scenes named `<prefix>_<i>`.
+GeneratedDataset GenerateDataset(const SimProfile& profile,
+                                 const std::string& prefix, int count,
+                                 uint64_t seed);
+
+}  // namespace fixy::sim
+
+#endif  // FIXY_SIM_GENERATE_H_

@@ -1,0 +1,23 @@
+#include "sim/ground_truth.h"
+
+#include "common/logging.h"
+
+namespace fixy::sim {
+
+geom::Box3d GtObject::BoxAt(int frame) const {
+  FIXY_CHECK(frame >= 0 && frame < static_cast<int>(states.size()));
+  const GtState& state = states[static_cast<size_t>(frame)];
+  return geom::Box3d(
+      geom::Vec3(state.position.x, state.position.y, height / 2.0), length,
+      width, height, state.yaw);
+}
+
+int GtObject::VisibleFrameCount() const {
+  int count = 0;
+  for (const GtState& state : states) {
+    if (state.visible) ++count;
+  }
+  return count;
+}
+
+}  // namespace fixy::sim

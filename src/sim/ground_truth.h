@@ -1,0 +1,64 @@
+// Ground-truth world state: the simulator's replacement for the paper's
+// physical world. Everything downstream (human labels, detector output,
+// the error ledger) is derived from this, so evaluation can be exact where
+// the paper needed human auditors.
+#ifndef FIXY_SIM_GROUND_TRUTH_H_
+#define FIXY_SIM_GROUND_TRUTH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/types.h"
+#include "geometry/box.h"
+#include "geometry/vec.h"
+
+namespace fixy::sim {
+
+/// State of one ground-truth object at one frame.
+struct GtState {
+  geom::Vec2 position;
+  double yaw = 0.0;
+  double speed = 0.0;
+  /// Filled by the sensor model: whether the object is observable from the
+  /// ego vehicle at this frame, and how much of it is angularly occluded.
+  bool visible = true;
+  double occlusion_fraction = 0.0;
+};
+
+/// One ground-truth object over the whole scene.
+struct GtObject {
+  uint64_t gt_id = 0;
+  ObjectClass object_class = ObjectClass::kCar;
+  /// Rigid extents.
+  double length = 0.0;
+  double width = 0.0;
+  double height = 0.0;
+  /// One state per scene frame.
+  std::vector<GtState> states;
+
+  /// The object's true box at `frame`.
+  geom::Box3d BoxAt(int frame) const;
+
+  /// Number of frames where the object is visible to the sensor.
+  int VisibleFrameCount() const;
+};
+
+/// Full ground truth for one scene.
+struct GtScene {
+  std::string name;
+  double frame_rate_hz = 10.0;
+  int num_frames = 0;
+  /// Ego trajectory, one entry per frame.
+  std::vector<geom::Vec2> ego_positions;
+  std::vector<double> ego_yaws;
+  std::vector<GtObject> objects;
+
+  double TimestampOf(int frame) const {
+    return static_cast<double>(frame) / frame_rate_hz;
+  }
+};
+
+}  // namespace fixy::sim
+
+#endif  // FIXY_SIM_GROUND_TRUTH_H_

@@ -1,0 +1,63 @@
+// Human-label simulator: turns ground truth into vendor-style labels with
+// injected errors (the paper's central premise: "vendors can often provide
+// erroneous labels"). Every injected error is recorded in the ledger.
+#ifndef FIXY_SIM_LABELER_H_
+#define FIXY_SIM_LABELER_H_
+
+#include <optional>
+#include <vector>
+
+#include "common/random.h"
+#include "data/observation.h"
+#include "sim/ground_truth.h"
+#include "sim/ledger.h"
+
+namespace fixy::sim {
+
+/// Error and noise rates of a labeling vendor.
+struct LabelerProfile {
+  /// Probability an object is missed entirely (a missing track).
+  double missing_track_rate = 0.10;
+
+  /// Objects visible for fewer than `short_visibility_frames` frames are
+  /// missed with this (higher) probability instead — brief occluded
+  /// objects like the paper's Figure 4 motorcycle are the hardest to
+  /// label.
+  double short_visibility_miss_rate = 0.45;
+  int short_visibility_frames = 10;
+
+  /// Probability that an *interior* visible frame of a labeled track is
+  /// skipped (a missing observation within a track, Section 8.3).
+  double missing_obs_rate = 0.0;
+
+  /// Label noise (honest imprecision, not errors).
+  double center_jitter_m = 0.07;
+  double size_jitter_frac = 0.03;
+  double yaw_jitter_rad = 0.02;
+
+  /// Objects visible for fewer frames than this are not expected to be
+  /// labeled at all and produce no ledger entry when absent.
+  int min_visible_frames_to_label = 3;
+
+  /// When set, exactly this many labelable objects are missed (used by the
+  /// Section 8.2 recall experiment, which needs a scene with exactly 24
+  /// missing tracks). Overrides the probabilistic missing-track rates.
+  std::optional<int> exact_missing_tracks;
+};
+
+/// Human labels for each frame of the scene.
+struct LabelerOutput {
+  /// observations[f] are the human labels of frame f.
+  std::vector<std::vector<Observation>> observations;
+};
+
+/// Generates human labels for `gt` (visibility must already be computed).
+/// Missing tracks / missing observations are appended to `ledger`;
+/// observation ids are drawn from `next_id`.
+LabelerOutput GenerateHumanLabels(const GtScene& gt,
+                                  const LabelerProfile& profile, Rng& rng,
+                                  ObservationId* next_id, GtLedger* ledger);
+
+}  // namespace fixy::sim
+
+#endif  // FIXY_SIM_LABELER_H_

@@ -1,0 +1,75 @@
+#include "sim/object_priors.h"
+
+#include <algorithm>
+
+namespace fixy::sim {
+
+namespace {
+
+// Means match the per-class box statistics published with the Lyft Level 5
+// dataset (cars ~4.8x1.9x1.7 m, etc.).
+constexpr ClassPrior kCarPrior = {
+    .length_mean = 4.76, .length_sd = 0.45,
+    .width_mean = 1.93, .width_sd = 0.12,
+    .height_mean = 1.72, .height_sd = 0.14,
+    .speed_mean = 8.0, .speed_sd = 3.0,
+    .stationary_fraction = 0.35};
+
+constexpr ClassPrior kTruckPrior = {
+    .length_mean = 8.0, .length_sd = 1.8,
+    .width_mean = 2.84, .width_sd = 0.30,
+    .height_mean = 3.23, .height_sd = 0.45,
+    .speed_mean = 6.5, .speed_sd = 2.5,
+    .stationary_fraction = 0.30};
+
+constexpr ClassPrior kPedestrianPrior = {
+    .length_mean = 0.81, .length_sd = 0.10,
+    .width_mean = 0.77, .width_sd = 0.10,
+    .height_mean = 1.78, .height_sd = 0.12,
+    .speed_mean = 1.4, .speed_sd = 0.4,
+    .stationary_fraction = 0.20};
+
+constexpr ClassPrior kMotorcyclePrior = {
+    .length_mean = 2.35, .length_sd = 0.25,
+    .width_mean = 0.96, .width_sd = 0.12,
+    .height_mean = 1.59, .height_sd = 0.16,
+    .speed_mean = 7.5, .speed_sd = 3.0,
+    .stationary_fraction = 0.15};
+
+// Keeps sampled extents physically plausible.
+double SamplePositive(double mean, double sd, Rng& rng) {
+  const double min_value = std::max(0.2 * mean, 0.05);
+  return std::max(min_value, rng.Normal(mean, sd));
+}
+
+}  // namespace
+
+const ClassPrior& PriorFor(ObjectClass cls) {
+  switch (cls) {
+    case ObjectClass::kCar:
+      return kCarPrior;
+    case ObjectClass::kTruck:
+      return kTruckPrior;
+    case ObjectClass::kPedestrian:
+      return kPedestrianPrior;
+    case ObjectClass::kMotorcycle:
+      return kMotorcyclePrior;
+  }
+  return kCarPrior;
+}
+
+SampledSize SampleSize(ObjectClass cls, Rng& rng) {
+  const ClassPrior& prior = PriorFor(cls);
+  return SampledSize{
+      SamplePositive(prior.length_mean, prior.length_sd, rng),
+      SamplePositive(prior.width_mean, prior.width_sd, rng),
+      SamplePositive(prior.height_mean, prior.height_sd, rng)};
+}
+
+double SampleSpeed(ObjectClass cls, Rng& rng) {
+  const ClassPrior& prior = PriorFor(cls);
+  if (rng.Bernoulli(prior.stationary_fraction)) return 0.0;
+  return std::max(0.0, rng.Normal(prior.speed_mean, prior.speed_sd));
+}
+
+}  // namespace fixy::sim

@@ -1,0 +1,42 @@
+// Class-conditional object priors: sizes and speeds per class, matching the
+// published geometry of the Lyft Level 5 classes. These priors are what the
+// learned volume/velocity feature distributions ultimately recover, so
+// fidelity here is what makes the substitution (simulator for real dataset)
+// preserve the paper's behaviour.
+#ifndef FIXY_SIM_OBJECT_PRIORS_H_
+#define FIXY_SIM_OBJECT_PRIORS_H_
+
+#include "common/random.h"
+#include "data/types.h"
+
+namespace fixy::sim {
+
+/// Size and speed prior for one object class. Sizes are Gaussian around
+/// the class mean; speeds are truncated Gaussians.
+struct ClassPrior {
+  double length_mean = 0.0, length_sd = 0.0;
+  double width_mean = 0.0, width_sd = 0.0;
+  double height_mean = 0.0, height_sd = 0.0;
+  /// Typical moving speed (m/s).
+  double speed_mean = 0.0, speed_sd = 0.0;
+  /// Fraction of instances that are stationary (parked cars, standing
+  /// pedestrians).
+  double stationary_fraction = 0.0;
+};
+
+/// The default prior for `cls`.
+const ClassPrior& PriorFor(ObjectClass cls);
+
+/// Sampled rigid extents for an object of class `cls` (strictly positive).
+struct SampledSize {
+  double length, width, height;
+};
+SampledSize SampleSize(ObjectClass cls, Rng& rng);
+
+/// Sampled speed: 0 with the class's stationary probability, otherwise a
+/// truncated (non-negative) Gaussian around the class's moving speed.
+double SampleSpeed(ObjectClass cls, Rng& rng);
+
+}  // namespace fixy::sim
+
+#endif  // FIXY_SIM_OBJECT_PRIORS_H_

@@ -1,0 +1,65 @@
+#include "sim/profiles.h"
+
+namespace fixy::sim {
+
+SimProfile LyftLikeProfile() {
+  SimProfile profile;
+  profile.name = "lyft_like";
+
+  profile.world.duration_seconds = 15.0;
+  profile.world.frame_rate_hz = 10.0;
+  profile.world.mean_object_count = 28.0;
+
+  // "The open-sourced Lyft perception dataset has a number of vehicles
+  // that were not labeled" — vendors miss ~1 in 8 objects, and half of the
+  // briefly-visible ones.
+  profile.labeler.missing_track_rate = 0.22;
+  profile.labeler.short_visibility_miss_rate = 0.55;
+  profile.labeler.missing_obs_rate = 0.0008;
+  profile.labeler.center_jitter_m = 0.09;
+
+  // Model trained on noisy labels: uncalibrated confidences, frequent
+  // hallucinations.
+  profile.detector.calibrated = false;
+  profile.detector.uncalibrated_conf_mean = 0.75;
+  profile.detector.uncalibrated_conf_sd = 0.22;
+  profile.detector.high_conf_ghost_rate = 0.20;
+  profile.detector.ghost_tracks_per_scene = 14.0;
+  profile.detector.track_class_confusion_rate = 0.08;
+  profile.detector.localization_error_rate = 0.07;
+  profile.detector.center_noise_m = 0.08;
+  profile.detector.base_recall = 0.94;
+  return profile;
+}
+
+SimProfile InternalLikeProfile() {
+  SimProfile profile;
+  profile.name = "internal";
+
+  // The internal dataset samples at a different rate and sensor layout
+  // (Section 8.1: "the class labels, sampling rate, and physical sensor
+  // layout differ between the two datasets").
+  profile.world.duration_seconds = 15.0;
+  profile.world.frame_rate_hz = 5.0;
+  profile.world.mean_object_count = 22.0;
+  profile.sensor.max_range_meters = 85.0;
+
+  // Audited labels: few missing tracks.
+  profile.labeler.missing_track_rate = 0.04;
+  profile.labeler.short_visibility_miss_rate = 0.30;
+  profile.labeler.missing_obs_rate = 0.0005;
+  profile.labeler.center_jitter_m = 0.05;
+
+  // Model trained on audited data: calibrated, fewer hallucinations — but
+  // the hallucinations it does produce are subtler (plausible geometry).
+  profile.detector.calibrated = true;
+  profile.detector.ghost_tracks_per_scene = 3.0;
+  profile.detector.ghost_size_noise_frac = 0.20;
+  profile.detector.track_class_confusion_rate = 0.015;
+  profile.detector.localization_error_rate = 0.015;
+  profile.detector.base_recall = 0.97;
+  profile.detector.max_range = 85.0;
+  return profile;
+}
+
+}  // namespace fixy::sim

@@ -1,0 +1,38 @@
+// Dataset profiles: parameter bundles that mirror the two datasets of the
+// paper's evaluation — the public Lyft Level 5 perception dataset (noisy
+// vendor labels, a model trained on that noisy data) and the internal TRI
+// dataset (audited labels, a better-calibrated model). Section 8.2:
+// "our internal model was trained on already audited data, which is of
+// higher quality and results in more calibrated model predictions."
+#ifndef FIXY_SIM_PROFILES_H_
+#define FIXY_SIM_PROFILES_H_
+
+#include <string>
+
+#include "sim/detector.h"
+#include "sim/labeler.h"
+#include "sim/sensor.h"
+#include "sim/world.h"
+
+namespace fixy::sim {
+
+/// Everything needed to generate a dataset in one style.
+struct SimProfile {
+  std::string name;
+  WorldParams world;
+  SensorParams sensor;
+  LabelerProfile labeler;
+  DetectorParams detector;
+};
+
+/// The noisy public-dataset profile: high missing-label rates, an
+/// uncalibrated detector with frequent hallucinations.
+SimProfile LyftLikeProfile();
+
+/// The audited internal-dataset profile: low missing-label rates, a
+/// calibrated detector with few hallucinations.
+SimProfile InternalLikeProfile();
+
+}  // namespace fixy::sim
+
+#endif  // FIXY_SIM_PROFILES_H_

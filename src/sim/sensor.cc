@@ -1,0 +1,86 @@
+#include "sim/sensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace fixy::sim {
+
+namespace {
+
+// Angular interval [lo, hi] subtended by an object from the sensor; the
+// half-width approximates the footprint by a disc of its mean radius.
+struct AngularInterval {
+  double center;
+  double half_width;
+  double distance;
+};
+
+AngularInterval IntervalFor(const GtObject& object, const GtState& state,
+                            const geom::Vec2& ego) {
+  const geom::Vec2 offset = state.position - ego;
+  const double distance = std::max(0.5, offset.Norm());
+  const double radius = (object.length + object.width) / 4.0;
+  AngularInterval interval;
+  interval.center = std::atan2(offset.y, offset.x);
+  interval.half_width = std::atan(radius / distance);
+  interval.distance = distance;
+  return interval;
+}
+
+// Fraction of interval `target` covered by `blocker` (both on the circle;
+// handles wraparound by comparing in the target's frame).
+double CoverageFraction(const AngularInterval& target,
+                        const AngularInterval& blocker) {
+  double delta = blocker.center - target.center;
+  while (delta > M_PI) delta -= 2.0 * M_PI;
+  while (delta < -M_PI) delta += 2.0 * M_PI;
+  const double lo = std::max(-target.half_width, delta - blocker.half_width);
+  const double hi = std::min(target.half_width, delta + blocker.half_width);
+  if (hi <= lo || target.half_width <= 0.0) return 0.0;
+  return (hi - lo) / (2.0 * target.half_width);
+}
+
+}  // namespace
+
+void ComputeVisibility(GtScene* scene, const SensorParams& params) {
+  for (int f = 0; f < scene->num_frames; ++f) {
+    const geom::Vec2 ego = scene->ego_positions[static_cast<size_t>(f)];
+    // Precompute intervals for this frame.
+    std::vector<AngularInterval> intervals;
+    intervals.reserve(scene->objects.size());
+    for (const GtObject& object : scene->objects) {
+      intervals.push_back(
+          IntervalFor(object, object.states[static_cast<size_t>(f)], ego));
+    }
+    for (size_t i = 0; i < scene->objects.size(); ++i) {
+      GtState& state = scene->objects[i].states[static_cast<size_t>(f)];
+      const AngularInterval& target = intervals[i];
+      if (target.distance > params.max_range_meters) {
+        state.visible = false;
+        state.occlusion_fraction = 1.0;
+        continue;
+      }
+      if (target.distance <= params.near_field_meters) {
+        state.visible = true;
+        state.occlusion_fraction = 0.0;
+        continue;
+      }
+      // Sum coverage by strictly closer objects. Coverage fractions of
+      // distinct blockers may overlap; summing (capped at 1) overstates
+      // occlusion slightly, which errs toward harder visibility — the
+      // conservative direction for label-error simulation.
+      double covered = 0.0;
+      for (size_t j = 0; j < scene->objects.size() && covered < 1.0; ++j) {
+        if (j == i) continue;
+        if (intervals[j].distance >= target.distance * 0.95) continue;
+        covered += CoverageFraction(target, intervals[j]);
+      }
+      covered = std::min(1.0, covered);
+      state.occlusion_fraction = covered;
+      state.visible = covered < params.occlusion_visibility_threshold;
+    }
+  }
+}
+
+}  // namespace fixy::sim

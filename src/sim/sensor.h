@@ -1,0 +1,29 @@
+// LIDAR-like sensor visibility model: range falloff plus angular occlusion
+// by closer objects. Fills the per-frame `visible` / `occlusion_fraction`
+// fields of a ground-truth scene; everything downstream (human labels and
+// detector output) only sees visible objects, which is how short occluded
+// tracks like the paper's Figure 4 motorcycle arise.
+#ifndef FIXY_SIM_SENSOR_H_
+#define FIXY_SIM_SENSOR_H_
+
+#include "sim/ground_truth.h"
+
+namespace fixy::sim {
+
+struct SensorParams {
+  /// Objects beyond this range are not observable.
+  double max_range_meters = 75.0;
+  /// An object is considered occluded when closer objects cover at least
+  /// this fraction of its angular extent.
+  double occlusion_visibility_threshold = 0.6;
+  /// Objects closer than this are never occluded (they tower over
+  /// anything between them and the sensor).
+  double near_field_meters = 6.0;
+};
+
+/// Computes visibility for every object state in `scene`.
+void ComputeVisibility(GtScene* scene, const SensorParams& params = {});
+
+}  // namespace fixy::sim
+
+#endif  // FIXY_SIM_SENSOR_H_

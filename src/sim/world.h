@@ -1,0 +1,43 @@
+// World generator: populates a street scene around a moving ego vehicle
+// with kinematic objects drawn from the class priors.
+//
+// Geometry convention: the ego drives along +x at constant speed on a
+// two-way road centered at y = 0. Traffic lanes sit at y = ±2 and ±5.5
+// (direction follows lane sign), parked vehicles at y = ±8.5, and
+// pedestrians walk the sidewalks at |y| in [9, 13].
+#ifndef FIXY_SIM_WORLD_H_
+#define FIXY_SIM_WORLD_H_
+
+#include "common/random.h"
+#include "sim/ground_truth.h"
+
+namespace fixy::sim {
+
+/// World generation parameters.
+struct WorldParams {
+  double duration_seconds = 15.0;
+  double frame_rate_hz = 10.0;
+  double ego_speed_mps = 8.0;
+
+  /// Expected number of objects (Poisson distributed).
+  double mean_object_count = 28.0;
+
+  /// Class mix weights (normalized internally).
+  double car_weight = 0.66;
+  double truck_weight = 0.12;
+  double pedestrian_weight = 0.14;
+  double motorcycle_weight = 0.08;
+
+  /// Objects spawn with x in [ego_start - behind, ego_end + ahead].
+  double spawn_behind_meters = 40.0;
+  double spawn_ahead_meters = 60.0;
+};
+
+/// Generates the ground-truth world (object states per frame). Visibility
+/// flags are left for the sensor model (sensor.h) to fill in.
+GtScene GenerateWorld(const WorldParams& params, const std::string& name,
+                      Rng& rng);
+
+}  // namespace fixy::sim
+
+#endif  // FIXY_SIM_WORLD_H_

@@ -1,0 +1,52 @@
+#include "stats/gaussian.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+#include "stats/summary.h"
+
+namespace fixy::stats {
+
+namespace {
+constexpr double kInvSqrt2Pi = 0.3989422804014327;
+}  // namespace
+
+Result<Gaussian> Gaussian::Create(double mean, double stddev) {
+  if (!std::isfinite(mean) || !std::isfinite(stddev) || stddev <= 0.0) {
+    return Status::InvalidArgument(
+        "Gaussian requires finite mean and positive stddev");
+  }
+  return Gaussian(mean, stddev);
+}
+
+Result<Gaussian> Gaussian::Fit(const std::vector<double>& samples) {
+  if (samples.empty()) {
+    return Status::InvalidArgument("Gaussian fit requires samples");
+  }
+  for (double s : samples) {
+    if (!std::isfinite(s)) {
+      return Status::InvalidArgument("Gaussian sample is not finite");
+    }
+  }
+  const double mean = Mean(samples);
+  double stddev = Stddev(samples);
+  if (stddev <= 0.0) {
+    stddev = std::max(1e-6, std::abs(mean) * 0.01);
+  }
+  return Gaussian(mean, stddev);
+}
+
+double Gaussian::Density(double x) const {
+  const double u = (x - mean_) / stddev_;
+  return kInvSqrt2Pi / stddev_ * std::exp(-0.5 * u * u);
+}
+
+double Gaussian::ModeDensity() const { return kInvSqrt2Pi / stddev_; }
+
+std::string Gaussian::ToString() const {
+  return StrFormat("Gaussian(mean=%s, stddev=%s)",
+                   DoubleToString(mean_, 4).c_str(),
+                   DoubleToString(stddev_, 4).c_str());
+}
+
+}  // namespace fixy::stats

@@ -1,0 +1,39 @@
+// Parametric Gaussian distribution; the cheap alternative estimator used in
+// the ablation benches and in tests as a ground-truth reference.
+#ifndef FIXY_STATS_GAUSSIAN_H_
+#define FIXY_STATS_GAUSSIAN_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "stats/distribution.h"
+
+namespace fixy::stats {
+
+/// A univariate normal distribution N(mean, stddev^2).
+class Gaussian final : public Distribution {
+ public:
+  /// Errors: InvalidArgument if stddev <= 0 or parameters non-finite.
+  static Result<Gaussian> Create(double mean, double stddev);
+
+  /// Maximum-likelihood fit. Degenerate samples (zero spread) get a small
+  /// positive stddev. Errors: InvalidArgument for empty/non-finite samples.
+  static Result<Gaussian> Fit(const std::vector<double>& samples);
+
+  double Density(double x) const override;
+  double ModeDensity() const override;
+  std::string ToString() const override;
+
+  double mean() const { return mean_; }
+  double stddev() const { return stddev_; }
+
+ private:
+  Gaussian(double mean, double stddev) : mean_(mean), stddev_(stddev) {}
+
+  double mean_;
+  double stddev_;
+};
+
+}  // namespace fixy::stats
+
+#endif  // FIXY_STATS_GAUSSIAN_H_

@@ -1,0 +1,104 @@
+#include "stats/kde.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+#include "stats/summary.h"
+
+namespace fixy::stats {
+
+namespace {
+
+constexpr double kInvSqrt2Pi = 0.3989422804014327;
+
+// Bandwidth below which the KDE would be numerically useless.
+constexpr double kMinBandwidth = 1e-6;
+
+Status ValidateSamples(const std::vector<double>& samples) {
+  if (samples.empty()) {
+    return Status::InvalidArgument("KDE requires at least one sample");
+  }
+  for (double s : samples) {
+    if (!std::isfinite(s)) {
+      return Status::InvalidArgument("KDE sample is not finite");
+    }
+  }
+  return Status::Ok();
+}
+
+double SelectBandwidth(const std::vector<double>& sorted, BandwidthRule rule) {
+  const double n = static_cast<double>(sorted.size());
+  const double sigma = Stddev(sorted);
+  double spread = sigma;
+  if (rule == BandwidthRule::kSilverman) {
+    const double iqr =
+        SortedQuantile(sorted, 0.75) - SortedQuantile(sorted, 0.25);
+    if (iqr > 0.0) spread = std::min(sigma, iqr / 1.34);
+    spread *= 0.9;
+  }
+  double bw = spread * std::pow(n, -0.2);
+  if (bw < kMinBandwidth) {
+    // Degenerate sample (all values equal or nearly so): fall back to a
+    // bandwidth proportional to the magnitude of the data, so the density
+    // is a narrow bump at the repeated value.
+    const double scale = std::abs(sorted.front()) + std::abs(sorted.back());
+    bw = std::max(kMinBandwidth, 0.01 * scale);
+  }
+  return bw;
+}
+
+}  // namespace
+
+GaussianKde::GaussianKde(std::vector<double> samples, double bandwidth)
+    : samples_(std::move(samples)), bandwidth_(bandwidth) {
+  std::sort(samples_.begin(), samples_.end());
+  // For a Gaussian KDE the mode is near one of the sample points; evaluating
+  // the density at every sample gives an accurate normalization constant.
+  double max_density = 0.0;
+  for (double s : samples_) {
+    max_density = std::max(max_density, Density(s));
+  }
+  mode_density_ = max_density;
+}
+
+Result<GaussianKde> GaussianKde::Fit(std::vector<double> samples,
+                                     BandwidthRule rule) {
+  FIXY_RETURN_IF_ERROR(ValidateSamples(samples));
+  std::sort(samples.begin(), samples.end());
+  const double bw = SelectBandwidth(samples, rule);
+  return GaussianKde(std::move(samples), bw);
+}
+
+Result<GaussianKde> GaussianKde::FitWithBandwidth(std::vector<double> samples,
+                                                  double bandwidth) {
+  FIXY_RETURN_IF_ERROR(ValidateSamples(samples));
+  if (!(bandwidth > 0.0) || !std::isfinite(bandwidth)) {
+    return Status::InvalidArgument("KDE bandwidth must be positive");
+  }
+  return GaussianKde(std::move(samples), bandwidth);
+}
+
+double GaussianKde::Density(double x) const {
+  // Samples are sorted, so kernels further than 8 bandwidths contribute
+  // less than 1e-14 of their mass and can be skipped.
+  const double cutoff = 8.0 * bandwidth_;
+  const auto lo = std::lower_bound(samples_.begin(), samples_.end(),
+                                   x - cutoff);
+  const auto hi = std::upper_bound(lo, samples_.end(), x + cutoff);
+  double sum = 0.0;
+  for (auto it = lo; it != hi; ++it) {
+    const double u = (x - *it) / bandwidth_;
+    sum += std::exp(-0.5 * u * u);
+  }
+  return sum * kInvSqrt2Pi /
+         (bandwidth_ * static_cast<double>(samples_.size()));
+}
+
+std::string GaussianKde::ToString() const {
+  return StrFormat("KDE(n=%zu, bw=%s)", samples_.size(),
+                   DoubleToString(bandwidth_, 4).c_str());
+}
+
+}  // namespace fixy::stats

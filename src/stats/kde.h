@@ -1,0 +1,57 @@
+// Gaussian kernel density estimation — the paper's default feature
+// distribution estimator ("By default, Fixy uses a kernel density estimator
+// (KDE) to learn feature distributions", Section 5.2).
+#ifndef FIXY_STATS_KDE_H_
+#define FIXY_STATS_KDE_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "stats/distribution.h"
+
+namespace fixy::stats {
+
+/// Rule for choosing the kernel bandwidth from the sample.
+enum class BandwidthRule {
+  /// Scott's rule: h = sigma * n^(-1/5).
+  kScott,
+  /// Silverman's rule of thumb:
+  /// h = 0.9 * min(sigma, IQR/1.34) * n^(-1/5).
+  kSilverman,
+};
+
+/// A univariate Gaussian kernel density estimator.
+class GaussianKde final : public Distribution {
+ public:
+  /// Fits a KDE to `samples`. Errors:
+  ///  - InvalidArgument if `samples` is empty or contains non-finite values.
+  /// Degenerate samples (zero spread) get a small positive fallback
+  /// bandwidth so the density stays well defined.
+  static Result<GaussianKde> Fit(std::vector<double> samples,
+                                 BandwidthRule rule = BandwidthRule::kScott);
+
+  /// Fits with an explicit bandwidth. Errors if bandwidth <= 0 or samples
+  /// empty / non-finite.
+  static Result<GaussianKde> FitWithBandwidth(std::vector<double> samples,
+                                              double bandwidth);
+
+  double Density(double x) const override;
+  double ModeDensity() const override { return mode_density_; }
+  std::string ToString() const override;
+
+  double bandwidth() const { return bandwidth_; }
+  size_t sample_count() const { return samples_.size(); }
+  /// Fitted samples, sorted ascending (exposed for serialization).
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  GaussianKde(std::vector<double> samples, double bandwidth);
+
+  std::vector<double> samples_;  // sorted ascending
+  double bandwidth_ = 0.0;
+  double mode_density_ = 0.0;
+};
+
+}  // namespace fixy::stats
+
+#endif  // FIXY_STATS_KDE_H_

@@ -1,0 +1,40 @@
+// A manually-specified distribution wrapping an arbitrary score function.
+//
+// Section 5 of the paper: "The user may also manually specify feature
+// distributions to rank severity (e.g., distance of an object to the AV) or
+// to filter certain instances." LambdaDistribution is how such manual
+// scores enter the factor graph: the callable returns a relative density in
+// [0, 1] and the mode density is 1.
+#ifndef FIXY_STATS_LAMBDA_DISTRIBUTION_H_
+#define FIXY_STATS_LAMBDA_DISTRIBUTION_H_
+
+#include <algorithm>
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "stats/distribution.h"
+
+namespace fixy::stats {
+
+/// Wraps `fn` as a Distribution with unit mode density. The callable's
+/// return value is clamped to [0, 1].
+class LambdaDistribution final : public Distribution {
+ public:
+  LambdaDistribution(std::string name, std::function<double(double)> fn)
+      : name_(std::move(name)), fn_(std::move(fn)) {}
+
+  double Density(double x) const override {
+    return std::clamp(fn_(x), 0.0, 1.0);
+  }
+  double ModeDensity() const override { return 1.0; }
+  std::string ToString() const override { return "Lambda(" + name_ + ")"; }
+
+ private:
+  std::string name_;
+  std::function<double(double)> fn_;
+};
+
+}  // namespace fixy::stats
+
+#endif  // FIXY_STATS_LAMBDA_DISTRIBUTION_H_

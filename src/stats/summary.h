@@ -1,0 +1,56 @@
+// Descriptive statistics used by the distribution fitters and the
+// evaluation harness.
+#ifndef FIXY_STATS_SUMMARY_H_
+#define FIXY_STATS_SUMMARY_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace fixy::stats {
+
+/// Arithmetic mean; 0 for an empty sample.
+double Mean(const std::vector<double>& xs);
+
+/// Unbiased sample variance (n-1 denominator); 0 for n < 2.
+double Variance(const std::vector<double>& xs);
+
+/// sqrt(Variance).
+double Stddev(const std::vector<double>& xs);
+
+/// Linear-interpolation quantile of a *sorted ascending* sample.
+/// q is clamped to [0, 1]. Precondition: xs non-empty.
+double SortedQuantile(const std::vector<double>& sorted, double q);
+
+/// Quantile of an unsorted sample (copies and sorts internally).
+double Quantile(std::vector<double> xs, double q);
+
+/// Summary of a sample in one pass-friendly struct.
+struct Summary {
+  size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+};
+
+Summary Summarize(std::vector<double> xs);
+
+/// Empirical CDF of a fitted sample: fraction of samples <= x.
+class EmpiricalCdf {
+ public:
+  /// Precondition: xs non-empty.
+  explicit EmpiricalCdf(std::vector<double> xs);
+
+  /// P(X <= x) under the empirical distribution.
+  double operator()(double x) const;
+
+  size_t sample_count() const { return sorted_.size(); }
+
+ private:
+  std::vector<double> sorted_;
+};
+
+}  // namespace fixy::stats
+
+#endif  // FIXY_STATS_SUMMARY_H_

@@ -1,0 +1,106 @@
+// Tests for src/eval/dataset_stats.
+#include <gtest/gtest.h>
+
+#include "eval/dataset_stats.h"
+#include "sim/generate.h"
+#include "sim/object_priors.h"
+
+namespace fixy::eval {
+namespace {
+
+TEST(DatasetStatsTest, EmptyDataset) {
+  const auto stats = ComputeDatasetStats(Dataset{});
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->scenes, 0u);
+  EXPECT_EQ(stats->frames, 0u);
+  EXPECT_EQ(stats->by_source[0], 0u);
+}
+
+TEST(DatasetStatsTest, CountsMatchDataset) {
+  const auto generated =
+      sim::GenerateDataset(sim::LyftLikeProfile(), "stats", 2, 99);
+  const auto stats = ComputeDatasetStats(generated.dataset);
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_EQ(stats->scenes, 2u);
+  size_t human = 0;
+  size_t model = 0;
+  size_t frames = 0;
+  for (const Scene& scene : generated.dataset.scenes) {
+    human += scene.CountBySource(ObservationSource::kHuman);
+    model += scene.CountBySource(ObservationSource::kModel);
+    frames += scene.frame_count();
+  }
+  EXPECT_EQ(stats->by_source[0], human);
+  EXPECT_EQ(stats->by_source[1], model);
+  EXPECT_EQ(stats->frames, frames);
+  size_t class_total = 0;
+  for (const ClassStats& cs : stats->human_by_class) {
+    class_total += cs.observations;
+  }
+  EXPECT_EQ(class_total, human);
+}
+
+TEST(DatasetStatsTest, VolumesMatchClassPriors) {
+  const auto generated =
+      sim::GenerateDataset(sim::LyftLikeProfile(), "stats", 3, 7);
+  const auto stats = ComputeDatasetStats(generated.dataset);
+  ASSERT_TRUE(stats.ok());
+  const ClassStats& cars =
+      stats->human_by_class[static_cast<size_t>(ObjectClass::kCar)];
+  const ClassStats& trucks =
+      stats->human_by_class[static_cast<size_t>(ObjectClass::kTruck)];
+  const ClassStats& pedestrians =
+      stats->human_by_class[static_cast<size_t>(ObjectClass::kPedestrian)];
+  ASSERT_GT(cars.observations, 10u);
+  ASSERT_GT(trucks.observations, 10u);
+  // Volume ordering: pedestrian << car << truck.
+  EXPECT_LT(pedestrians.volume.median, cars.volume.median);
+  EXPECT_LT(cars.volume.median, trucks.volume.median);
+  // Car volume median in a plausible range around the prior (4.76 x 1.93
+  // x 1.72 ~ 15.8 m^3).
+  EXPECT_NEAR(cars.volume.median, 15.8, 4.0);
+}
+
+TEST(DatasetStatsTest, SpeedsAreNonNegativeAndPlausible) {
+  const auto generated =
+      sim::GenerateDataset(sim::InternalLikeProfile(), "stats", 2, 31);
+  const auto stats = ComputeDatasetStats(generated.dataset);
+  ASSERT_TRUE(stats.ok());
+  for (const ClassStats& cs : stats->human_by_class) {
+    EXPECT_GE(cs.speed.min, 0.0);
+    EXPECT_LT(cs.speed.max, 40.0);  // nothing supersonic
+  }
+  // Pedestrians are slower than cars at the median-of-motion level.
+  const auto& cars =
+      stats->human_by_class[static_cast<size_t>(ObjectClass::kCar)];
+  const auto& peds =
+      stats->human_by_class[static_cast<size_t>(ObjectClass::kPedestrian)];
+  if (cars.speed.count > 20 && peds.speed.count > 20) {
+    EXPECT_LT(peds.speed.max, cars.speed.max);
+  }
+}
+
+TEST(DatasetStatsTest, FormatMentionsEveryClass) {
+  const auto generated =
+      sim::GenerateDataset(sim::LyftLikeProfile(), "stats", 1, 5);
+  const auto stats = ComputeDatasetStats(generated.dataset);
+  ASSERT_TRUE(stats.ok());
+  const std::string text = FormatDatasetStats(*stats);
+  for (ObjectClass cls : kAllObjectClasses) {
+    EXPECT_NE(text.find(ObjectClassToString(cls)), std::string::npos);
+  }
+  EXPECT_NE(text.find("human="), std::string::npos);
+}
+
+TEST(DatasetStatsTest, RejectsInvalidScene) {
+  Dataset dataset;
+  Scene broken("broken", 10.0);
+  Frame frame;
+  frame.index = 7;
+  broken.AddFrame(std::move(frame));
+  dataset.scenes.push_back(std::move(broken));
+  EXPECT_FALSE(ComputeDatasetStats(dataset).ok());
+}
+
+}  // namespace
+}  // namespace fixy::eval

@@ -1,0 +1,305 @@
+// Tests for src/geometry: vectors, boxes, polygon clipping, IoU — golden
+// values plus parameterized property sweeps (symmetry, bounds, identity).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "geometry/box.h"
+#include "geometry/iou.h"
+#include "geometry/polygon.h"
+#include "geometry/vec.h"
+
+namespace fixy::geom {
+namespace {
+
+constexpr double kEps = 1e-9;
+
+// ------------------------------------------------------------------ Vec
+
+TEST(VecTest, Arithmetic) {
+  const Vec2 a{1.0, 2.0};
+  const Vec2 b{3.0, -1.0};
+  EXPECT_EQ(a + b, Vec2(4.0, 1.0));
+  EXPECT_EQ(a - b, Vec2(-2.0, 3.0));
+  EXPECT_EQ(a * 2.0, Vec2(2.0, 4.0));
+  EXPECT_EQ(2.0 * a, Vec2(2.0, 4.0));
+  EXPECT_EQ(a / 2.0, Vec2(0.5, 1.0));
+}
+
+TEST(VecTest, DotAndCross) {
+  const Vec2 x{1.0, 0.0};
+  const Vec2 y{0.0, 1.0};
+  EXPECT_DOUBLE_EQ(x.Dot(y), 0.0);
+  EXPECT_DOUBLE_EQ(x.Cross(y), 1.0);
+  EXPECT_DOUBLE_EQ(y.Cross(x), -1.0);
+}
+
+TEST(VecTest, NormAndSquaredNorm) {
+  const Vec2 v{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(v.Norm(), 5.0);
+  EXPECT_DOUBLE_EQ(v.SquaredNorm(), 25.0);
+}
+
+TEST(VecTest, RotationQuarterTurn) {
+  const Vec2 v{1.0, 0.0};
+  const Vec2 r = v.Rotated(M_PI / 2.0);
+  EXPECT_NEAR(r.x, 0.0, kEps);
+  EXPECT_NEAR(r.y, 1.0, kEps);
+}
+
+TEST(VecTest, RotationPreservesNorm) {
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    const Vec2 v{rng.Uniform(-10, 10), rng.Uniform(-10, 10)};
+    const double angle = rng.Uniform(0, 2 * M_PI);
+    EXPECT_NEAR(v.Rotated(angle).Norm(), v.Norm(), 1e-9);
+  }
+}
+
+TEST(Vec3Test, BasicOps) {
+  const Vec3 a{1, 2, 3};
+  const Vec3 b{4, 5, 6};
+  EXPECT_EQ(a + b, Vec3(5, 7, 9));
+  EXPECT_DOUBLE_EQ(a.Dot(b), 32.0);
+  EXPECT_EQ(a.Xy(), Vec2(1, 2));
+}
+
+// ------------------------------------------------------------------ Box
+
+TEST(BoxTest, VolumeAndArea) {
+  const Box3d box({0, 0, 1}, 4.0, 2.0, 1.5, 0.0);
+  EXPECT_DOUBLE_EQ(box.Volume(), 12.0);
+  EXPECT_DOUBLE_EQ(box.BevArea(), 8.0);
+}
+
+TEST(BoxTest, Validity) {
+  EXPECT_TRUE(Box3d({0, 0, 0}, 1, 1, 1, 0).IsValid());
+  EXPECT_FALSE(Box3d({0, 0, 0}, 0, 1, 1, 0).IsValid());
+  EXPECT_FALSE(Box3d().IsValid());
+}
+
+TEST(BoxTest, AxisAlignedCorners) {
+  const Box3d box({0, 0, 0}, 4.0, 2.0, 1.0, 0.0);
+  const auto corners = box.BevCorners();
+  EXPECT_NEAR(corners[0].x, 2.0, kEps);
+  EXPECT_NEAR(corners[0].y, 1.0, kEps);
+  EXPECT_NEAR(corners[2].x, -2.0, kEps);
+  EXPECT_NEAR(corners[2].y, -1.0, kEps);
+}
+
+TEST(BoxTest, RotatedCornersStayAtRadius) {
+  const Box3d box({5, 5, 0}, 4.0, 2.0, 1.0, 0.7);
+  const double radius = std::sqrt(4.0 + 1.0);  // half-diagonal
+  for (const Vec2& corner : box.BevCorners()) {
+    EXPECT_NEAR((corner - Vec2{5, 5}).Norm(), radius, kEps);
+  }
+}
+
+TEST(BoxTest, ZExtent) {
+  const Box3d box({0, 0, 2.0}, 1, 1, 3.0, 0);
+  EXPECT_DOUBLE_EQ(box.ZMin(), 0.5);
+  EXPECT_DOUBLE_EQ(box.ZMax(), 3.5);
+}
+
+TEST(BoxTest, BevContains) {
+  const Box3d box({0, 0, 0}, 4.0, 2.0, 1.0, 0.0);
+  EXPECT_TRUE(box.BevContains({0, 0}));
+  EXPECT_TRUE(box.BevContains({1.9, 0.9}));
+  EXPECT_FALSE(box.BevContains({2.1, 0}));
+  EXPECT_FALSE(box.BevContains({0, 1.1}));
+}
+
+TEST(BoxTest, BevContainsRotated) {
+  const Box3d box({0, 0, 0}, 4.0, 2.0, 1.0, M_PI / 2.0);
+  // After a quarter turn, length lies along y.
+  EXPECT_TRUE(box.BevContains({0, 1.9}));
+  EXPECT_FALSE(box.BevContains({1.9, 0}));
+}
+
+TEST(BoxTest, CenterDistance) {
+  const Box3d box({3, 4, 0}, 1, 1, 1, 0);
+  EXPECT_DOUBLE_EQ(box.BevCenterDistance({0, 0}), 5.0);
+}
+
+// -------------------------------------------------------------- Polygon
+
+ConvexPolygon UnitSquare() {
+  return ConvexPolygon({{0, 0}, {1, 0}, {1, 1}, {0, 1}});
+}
+
+TEST(PolygonTest, AreaOfSquare) {
+  EXPECT_DOUBLE_EQ(UnitSquare().Area(), 1.0);
+}
+
+TEST(PolygonTest, SignedAreaPositiveForCcw) {
+  EXPECT_GT(UnitSquare().SignedArea(), 0.0);
+}
+
+TEST(PolygonTest, EmptyAndDegenerate) {
+  EXPECT_TRUE(ConvexPolygon().empty());
+  EXPECT_TRUE(ConvexPolygon({{0, 0}, {1, 1}}).empty());
+  EXPECT_DOUBLE_EQ(ConvexPolygon({{0, 0}, {1, 1}}).Area(), 0.0);
+}
+
+TEST(PolygonTest, SelfIntersectionIsIdentity) {
+  const ConvexPolygon square = UnitSquare();
+  EXPECT_NEAR(square.Intersect(square).Area(), 1.0, 1e-9);
+}
+
+TEST(PolygonTest, HalfOverlapSquares) {
+  const ConvexPolygon a = UnitSquare();
+  const ConvexPolygon b({{0.5, 0}, {1.5, 0}, {1.5, 1}, {0.5, 1}});
+  EXPECT_NEAR(a.Intersect(b).Area(), 0.5, 1e-9);
+}
+
+TEST(PolygonTest, DisjointSquares) {
+  const ConvexPolygon a = UnitSquare();
+  const ConvexPolygon b({{2, 2}, {3, 2}, {3, 3}, {2, 3}});
+  EXPECT_TRUE(a.Intersect(b).empty());
+  EXPECT_DOUBLE_EQ(a.Intersect(b).Area(), 0.0);
+}
+
+TEST(PolygonTest, ContainedSquare) {
+  const ConvexPolygon outer({{-2, -2}, {2, -2}, {2, 2}, {-2, 2}});
+  const ConvexPolygon inner = UnitSquare();
+  EXPECT_NEAR(outer.Intersect(inner).Area(), 1.0, 1e-9);
+  EXPECT_NEAR(inner.Intersect(outer).Area(), 1.0, 1e-9);
+}
+
+TEST(PolygonTest, DiamondSquareIntersection) {
+  // A unit-area diamond centered in a 2x2 square: fully contained.
+  const ConvexPolygon square({{-1, -1}, {1, -1}, {1, 1}, {-1, 1}});
+  const ConvexPolygon diamond(
+      {{0.0, -0.5}, {0.5, 0.0}, {0.0, 0.5}, {-0.5, 0.0}});
+  EXPECT_NEAR(square.Intersect(diamond).Area(), 0.5, 1e-9);
+}
+
+TEST(PolygonTest, IntersectionIsCommutativeInArea) {
+  Rng rng(71);
+  for (int i = 0; i < 50; ++i) {
+    const Box3d a({rng.Uniform(-2, 2), rng.Uniform(-2, 2), 0},
+                  rng.Uniform(0.5, 4), rng.Uniform(0.5, 3), 1.0,
+                  rng.Uniform(0, 2 * M_PI));
+    const Box3d b({rng.Uniform(-2, 2), rng.Uniform(-2, 2), 0},
+                  rng.Uniform(0.5, 4), rng.Uniform(0.5, 3), 1.0,
+                  rng.Uniform(0, 2 * M_PI));
+    const double ab = BoxBevPolygon(a).Intersect(BoxBevPolygon(b)).Area();
+    const double ba = BoxBevPolygon(b).Intersect(BoxBevPolygon(a)).Area();
+    EXPECT_NEAR(ab, ba, 1e-8);
+  }
+}
+
+// ------------------------------------------------------------------ IoU
+
+TEST(IouTest, IdenticalBoxes) {
+  const Box3d box({1, 2, 0.5}, 4, 2, 1, 0.3);
+  EXPECT_NEAR(BevIou(box, box), 1.0, 1e-9);
+  EXPECT_NEAR(Iou3d(box, box), 1.0, 1e-9);
+}
+
+TEST(IouTest, DisjointBoxes) {
+  const Box3d a({0, 0, 0.5}, 2, 2, 1, 0);
+  const Box3d b({10, 0, 0.5}, 2, 2, 1, 0);
+  EXPECT_DOUBLE_EQ(BevIou(a, b), 0.0);
+  EXPECT_DOUBLE_EQ(Iou3d(a, b), 0.0);
+}
+
+TEST(IouTest, HalfOverlapGolden) {
+  // Two 2x2 squares offset by 1 along x: intersection 2, union 6.
+  const Box3d a({0, 0, 0.5}, 2, 2, 1, 0);
+  const Box3d b({1, 0, 0.5}, 2, 2, 1, 0);
+  EXPECT_NEAR(BevIou(a, b), 2.0 / 6.0, 1e-9);
+}
+
+TEST(IouTest, RotationInvarianceOfIdenticalPairs) {
+  Rng rng(5);
+  for (int i = 0; i < 30; ++i) {
+    const double yaw = rng.Uniform(0, 2 * M_PI);
+    const Box3d a({0, 0, 0.5}, 4, 2, 1, yaw);
+    EXPECT_NEAR(BevIou(a, a), 1.0, 1e-9);
+  }
+}
+
+TEST(IouTest, Rotated45DegreeGolden) {
+  // Unit square vs the same square rotated 45 degrees: intersection is a
+  // regular octagon with area 2*(sqrt(2)-1) ~= 0.8284.
+  const Box3d a({0, 0, 0.5}, 1, 1, 1, 0);
+  const Box3d b({0, 0, 0.5}, 1, 1, 1, M_PI / 4.0);
+  const double inter = 2.0 * (std::sqrt(2.0) - 1.0);
+  const double uni = 2.0 - inter;
+  EXPECT_NEAR(BevIou(a, b), inter / uni, 1e-6);
+}
+
+TEST(IouTest, DegenerateBoxGivesZero) {
+  const Box3d degenerate({0, 0, 0}, 0, 2, 1, 0);
+  const Box3d box({0, 0, 0.5}, 2, 2, 1, 0);
+  EXPECT_DOUBLE_EQ(BevIou(degenerate, box), 0.0);
+  EXPECT_DOUBLE_EQ(Iou3d(degenerate, box), 0.0);
+}
+
+TEST(IouTest, VerticalSeparationZerosIou3d) {
+  const Box3d low({0, 0, 0.5}, 2, 2, 1, 0);
+  const Box3d high({0, 0, 5.0}, 2, 2, 1, 0);
+  EXPECT_NEAR(BevIou(low, high), 1.0, 1e-9);  // same footprint
+  EXPECT_DOUBLE_EQ(Iou3d(low, high), 0.0);    // no vertical overlap
+}
+
+TEST(IouTest, PartialVerticalOverlap) {
+  // Same footprint, half vertical overlap: inter = 4*0.5 = 2, union =
+  // 4 + 4 - 2 = 6.
+  const Box3d a({0, 0, 0.5}, 2, 2, 1, 0);
+  const Box3d b({0, 0, 1.0}, 2, 2, 1, 0);
+  EXPECT_NEAR(Iou3d(a, b), 2.0 / 6.0, 1e-9);
+}
+
+// Property sweep: IoU is symmetric, bounded, and 3D IoU never exceeds BEV
+// IoU for gravity-aligned boxes of equal height range.
+class IouPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(IouPropertyTest, SymmetricAndBounded) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 100; ++i) {
+    const Box3d a({rng.Uniform(-5, 5), rng.Uniform(-5, 5),
+                   rng.Uniform(0, 2)},
+                  rng.Uniform(0.3, 6), rng.Uniform(0.3, 3),
+                  rng.Uniform(0.5, 3), rng.Uniform(0, 2 * M_PI));
+    const Box3d b({rng.Uniform(-5, 5), rng.Uniform(-5, 5),
+                   rng.Uniform(0, 2)},
+                  rng.Uniform(0.3, 6), rng.Uniform(0.3, 3),
+                  rng.Uniform(0.5, 3), rng.Uniform(0, 2 * M_PI));
+    const double bev = BevIou(a, b);
+    const double full = Iou3d(a, b);
+    EXPECT_GE(bev, 0.0);
+    EXPECT_LE(bev, 1.0);
+    EXPECT_GE(full, 0.0);
+    EXPECT_LE(full, 1.0);
+    EXPECT_NEAR(bev, BevIou(b, a), 1e-8);
+    EXPECT_NEAR(full, Iou3d(b, a), 1e-8);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IouPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// Property: translating both boxes together leaves IoU unchanged.
+class IouTranslationTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(IouTranslationTest, TranslationInvariant) {
+  const double shift = GetParam();
+  const Box3d a({0, 0, 0.5}, 4, 2, 1, 0.4);
+  const Box3d b({1, 0.5, 0.5}, 3, 2, 1, 0.9);
+  Box3d a2 = a;
+  Box3d b2 = b;
+  a2.center.x += shift;
+  a2.center.y -= shift;
+  b2.center.x += shift;
+  b2.center.y -= shift;
+  EXPECT_NEAR(BevIou(a, b), BevIou(a2, b2), 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shifts, IouTranslationTest,
+                         ::testing::Values(-100.0, -1.5, 0.0, 2.5, 1000.0));
+
+}  // namespace
+}  // namespace fixy::geom

@@ -1,0 +1,207 @@
+// Tests for src/io: scene/dataset serialization round-trips and failure
+// injection on malformed documents and filesystem errors.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "io/scene_io.h"
+
+namespace fixy::io {
+namespace {
+
+Observation MakeObs(ObservationId id, ObservationSource source, double x,
+                    int frame, double confidence = 1.0) {
+  Observation obs;
+  obs.id = id;
+  obs.source = source;
+  obs.object_class = ObjectClass::kTruck;
+  obs.box = geom::Box3d({x, -2.5, 1.6}, 8.1, 2.8, 3.2, 0.31);
+  obs.frame_index = frame;
+  obs.timestamp = frame / 5.0;
+  obs.confidence = confidence;
+  return obs;
+}
+
+Scene MakeScene(const std::string& name = "scene_a") {
+  Scene scene(name, 5.0);
+  ObservationId id = 1;
+  for (int f = 0; f < 4; ++f) {
+    Frame frame;
+    frame.index = f;
+    frame.timestamp = f / 5.0;
+    frame.ego_position = {1.6 * f, 0.25};
+    frame.ego_yaw = 0.01 * f;
+    frame.observations.push_back(MakeObs(id++, ObservationSource::kHuman,
+                                         12.0 + f, f));
+    frame.observations.push_back(
+        MakeObs(id++, ObservationSource::kModel, 12.1 + f, f, 0.87));
+    scene.AddFrame(std::move(frame));
+  }
+  return scene;
+}
+
+std::string TempDir() {
+  static int counter = 0;
+  const std::string dir =
+      (std::filesystem::temp_directory_path() /
+       ("fixy_io_test_" + std::to_string(::getpid()) + "_" +
+        std::to_string(counter++)))
+          .string();
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+TEST(SceneIoTest, StringRoundTripPreservesEverything) {
+  const Scene original = MakeScene();
+  const auto loaded = SceneFromString(SceneToString(original));
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->name(), original.name());
+  EXPECT_DOUBLE_EQ(loaded->frame_rate_hz(), original.frame_rate_hz());
+  ASSERT_EQ(loaded->frame_count(), original.frame_count());
+  for (size_t f = 0; f < original.frame_count(); ++f) {
+    const Frame& a = original.frames()[f];
+    const Frame& b = loaded->frames()[f];
+    EXPECT_EQ(a.index, b.index);
+    EXPECT_DOUBLE_EQ(a.timestamp, b.timestamp);
+    EXPECT_DOUBLE_EQ(a.ego_position.x, b.ego_position.x);
+    EXPECT_DOUBLE_EQ(a.ego_yaw, b.ego_yaw);
+    ASSERT_EQ(a.observations.size(), b.observations.size());
+    for (size_t o = 0; o < a.observations.size(); ++o) {
+      const Observation& oa = a.observations[o];
+      const Observation& ob = b.observations[o];
+      EXPECT_EQ(oa.id, ob.id);
+      EXPECT_EQ(oa.source, ob.source);
+      EXPECT_EQ(oa.object_class, ob.object_class);
+      EXPECT_DOUBLE_EQ(oa.box.center.x, ob.box.center.x);
+      EXPECT_DOUBLE_EQ(oa.box.yaw, ob.box.yaw);
+      EXPECT_DOUBLE_EQ(oa.confidence, ob.confidence);
+      EXPECT_DOUBLE_EQ(oa.timestamp, ob.timestamp);
+    }
+  }
+}
+
+TEST(SceneIoTest, PrettyOutputAlsoParses) {
+  const Scene original = MakeScene();
+  const auto loaded = SceneFromString(SceneToString(original, true));
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->TotalObservations(), original.TotalObservations());
+}
+
+TEST(SceneIoTest, EmptySceneRoundTrips) {
+  const Scene empty("empty", 10.0);
+  const auto loaded = SceneFromString(SceneToString(empty));
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->frame_count(), 0u);
+}
+
+TEST(SceneIoTest, FileRoundTrip) {
+  const std::string dir = TempDir();
+  const Scene original = MakeScene();
+  ASSERT_TRUE(SaveScene(original, dir + "/s.fixy.json").ok());
+  const auto loaded = LoadScene(dir + "/s.fixy.json");
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->TotalObservations(), original.TotalObservations());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(SceneIoTest, LoadMissingFileFails) {
+  const auto loaded = LoadScene("/nonexistent/path/file.json");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+}
+
+TEST(SceneIoTest, RejectsWrongFormatMarker) {
+  const auto loaded = SceneFromString(
+      R"({"format":"other","version":1,"name":"x","frame_rate_hz":10,"frames":[]})");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SceneIoTest, RejectsWrongVersion) {
+  const auto loaded = SceneFromString(
+      R"({"format":"fixy-scene","version":99,"name":"x","frame_rate_hz":10,"frames":[]})");
+  EXPECT_FALSE(loaded.ok());
+}
+
+TEST(SceneIoTest, RejectsMissingFields) {
+  EXPECT_FALSE(SceneFromString(R"({"format":"fixy-scene","version":1})").ok());
+  EXPECT_FALSE(SceneFromString("[]").ok());
+  EXPECT_FALSE(SceneFromString("not json at all").ok());
+}
+
+TEST(SceneIoTest, RejectsUnknownEnumValues) {
+  Scene scene = MakeScene();
+  std::string text = SceneToString(scene);
+  // Corrupt the source enum.
+  const size_t pos = text.find("\"human\"");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 7, "\"alien\"");
+  EXPECT_FALSE(SceneFromString(text).ok());
+}
+
+TEST(SceneIoTest, RejectsInconsistentScene) {
+  // Two observations sharing an id fail Scene::Validate on load.
+  Scene scene = MakeScene();
+  std::string text = SceneToString(scene);
+  text.replace(text.find("\"id\":2"), 6, "\"id\":1");
+  const auto loaded = SceneFromString(text);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(DatasetIoTest, SaveAndLoadDataset) {
+  const std::string dir = TempDir();
+  Dataset dataset;
+  dataset.name = "mini";
+  dataset.scenes.push_back(MakeScene("scene_a"));
+  dataset.scenes.push_back(MakeScene("scene_b"));
+  ASSERT_TRUE(SaveDataset(dataset, dir).ok());
+  const auto loaded = LoadDataset(dir);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->name, "mini");
+  ASSERT_EQ(loaded->scenes.size(), 2u);
+  EXPECT_EQ(loaded->scenes[0].name(), "scene_a");
+  EXPECT_EQ(loaded->scenes[1].name(), "scene_b");
+  std::filesystem::remove_all(dir);
+}
+
+TEST(DatasetIoTest, RejectsUnnamedScene) {
+  const std::string dir = TempDir();
+  Dataset dataset;
+  dataset.scenes.push_back(MakeScene(""));
+  EXPECT_FALSE(SaveDataset(dataset, dir).ok());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(DatasetIoTest, LoadMissingManifestFails) {
+  const std::string dir = TempDir();
+  EXPECT_FALSE(LoadDataset(dir).ok());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(DatasetIoTest, LoadCorruptManifestFails) {
+  const std::string dir = TempDir();
+  std::ofstream(dir + "/manifest.json") << "{broken";
+  EXPECT_FALSE(LoadDataset(dir).ok());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(DatasetIoTest, LoadManifestReferencingMissingSceneFails) {
+  const std::string dir = TempDir();
+  std::ofstream(dir + "/manifest.json")
+      << R"({"format":"fixy-dataset","version":1,"name":"x","scenes":["gone.json"]})";
+  const auto loaded = LoadDataset(dir);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(SceneIoTest, SerializationIsDeterministic) {
+  const Scene scene = MakeScene();
+  EXPECT_EQ(SceneToString(scene), SceneToString(scene));
+}
+
+}  // namespace
+}  // namespace fixy::io

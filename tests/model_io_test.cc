@@ -1,0 +1,252 @@
+// Tests for src/core/model_io: distribution serialization round-trips,
+// learned-model persistence, the feature registry, and failure injection
+// on malformed model documents.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "common/random.h"
+#include "core/engine.h"
+#include "core/features_std.h"
+#include "core/model_io.h"
+#include "sim/generate.h"
+#include "stats/discrete.h"
+#include "stats/gaussian.h"
+#include "stats/histogram.h"
+#include "stats/kde.h"
+#include "stats/lambda_distribution.h"
+
+namespace fixy {
+namespace {
+
+std::vector<double> Sample(int n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> xs;
+  for (int i = 0; i < n; ++i) xs.push_back(rng.Normal(10.0, 2.0));
+  return xs;
+}
+
+// Round-trips one distribution through JSON and checks densities match on
+// a probe grid.
+void ExpectRoundTrip(const stats::Distribution& original) {
+  const auto doc = DistributionToJson(original);
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  // Also through text, as the file path would.
+  const auto reparsed = json::Parse(json::Write(*doc));
+  ASSERT_TRUE(reparsed.ok());
+  const auto loaded = DistributionFromJson(*reparsed);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  for (double x = -5.0; x <= 25.0; x += 0.37) {
+    EXPECT_NEAR((*loaded)->Density(x), original.Density(x), 1e-12) << x;
+  }
+  EXPECT_NEAR((*loaded)->ModeDensity(), original.ModeDensity(), 1e-12);
+}
+
+TEST(DistributionIoTest, KdeRoundTrip) {
+  ExpectRoundTrip(stats::GaussianKde::Fit(Sample(200, 1)).value());
+}
+
+TEST(DistributionIoTest, HistogramRoundTrip) {
+  ExpectRoundTrip(stats::HistogramDensity::Fit(Sample(500, 2), 24).value());
+}
+
+TEST(DistributionIoTest, GaussianRoundTrip) {
+  ExpectRoundTrip(stats::Gaussian::Create(3.5, 0.75).value());
+}
+
+TEST(DistributionIoTest, BernoulliRoundTrip) {
+  ExpectRoundTrip(stats::Bernoulli::Create(0.37).value());
+}
+
+TEST(DistributionIoTest, CategoricalRoundTrip) {
+  ExpectRoundTrip(
+      stats::Categorical::Fit({1, 1, 2, 3, 3, 3, 7, 7, 120}).value());
+}
+
+TEST(DistributionIoTest, LambdaIsNotSerializable) {
+  const stats::LambdaDistribution manual("manual", [](double) { return 1.0; });
+  const auto doc = DistributionToJson(manual);
+  ASSERT_FALSE(doc.ok());
+  EXPECT_EQ(doc.status().code(), StatusCode::kUnimplemented);
+}
+
+class DistributionIoErrorTest : public ::testing::TestWithParam<const char*> {
+};
+
+TEST_P(DistributionIoErrorTest, RejectsMalformed) {
+  const auto doc = json::Parse(GetParam());
+  ASSERT_TRUE(doc.ok()) << "test input must be valid JSON";
+  EXPECT_FALSE(DistributionFromJson(*doc).ok()) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Malformed, DistributionIoErrorTest,
+    ::testing::Values(
+        R"({})",                                        // no type
+        R"({"type":"warp"})",                           // unknown type
+        R"({"type":"kde"})",                            // missing fields
+        R"({"type":"kde","bandwidth":-1,"samples":[1]})",
+        R"({"type":"kde","bandwidth":0.5,"samples":["x"]})",
+        R"({"type":"histogram","lo":0,"bin_width":0,"counts":[1]})",
+        R"({"type":"histogram","lo":0,"bin_width":1,"counts":[]})",
+        R"({"type":"histogram","lo":0,"bin_width":1,"counts":[-3]})",
+        R"({"type":"gaussian","mean":0,"stddev":0})",
+        R"({"type":"bernoulli","p_one":1.5})",
+        R"({"type":"categorical","mass":{}})",
+        R"({"type":"categorical","mass":{"a":1.0}})",
+        R"({"type":"categorical","mass":{"1":0.4}})",   // does not sum to 1
+        "[1,2,3]"));
+
+// ---------------------------------------------------------------- Registry
+
+TEST(FeatureRegistryTest, StandardFeaturesResolve) {
+  const FeatureRegistry registry = FeatureRegistry::Standard();
+  for (const char* name : {"volume", "velocity", "count", "distance",
+                           "model_only", "class_agreement"}) {
+    const auto feature = registry.Find(name);
+    ASSERT_TRUE(feature.ok()) << name;
+    EXPECT_EQ((*feature)->name(), name);
+  }
+}
+
+TEST(FeatureRegistryTest, UnknownFeatureIsNotFound) {
+  const FeatureRegistry registry = FeatureRegistry::Standard();
+  EXPECT_EQ(registry.Find("warp_factor").status().code(),
+            StatusCode::kNotFound);
+}
+
+class CustomFeature final : public ObservationFeature {
+ public:
+  std::string name() const override { return "custom"; }
+  std::optional<double> Compute(const Observation& obs,
+                                const FeatureContext&) const override {
+    return obs.box.height;
+  }
+};
+
+TEST(FeatureRegistryTest, UserFeaturesRegister) {
+  FeatureRegistry registry = FeatureRegistry::Standard();
+  registry.Register(std::make_shared<CustomFeature>());
+  EXPECT_TRUE(registry.Find("custom").ok());
+}
+
+// ---------------------------------------------------------------- Model IO
+
+class ModelIoTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    training_ = new sim::GeneratedDataset(
+        sim::GenerateDataset(sim::LyftLikeProfile(), "train", 3, 515));
+  }
+  static void TearDownTestSuite() {
+    delete training_;
+    training_ = nullptr;
+  }
+
+  static std::string TempPath(const char* name) {
+    return (std::filesystem::temp_directory_path() / name).string();
+  }
+
+  static sim::GeneratedDataset* training_;
+};
+
+sim::GeneratedDataset* ModelIoTest::training_ = nullptr;
+
+TEST_F(ModelIoTest, EngineSaveLoadPreservesRanking) {
+  Fixy original;
+  ASSERT_TRUE(original.Learn(training_->dataset).ok());
+  const std::string path = TempPath("fixy_model_roundtrip.json");
+  ASSERT_TRUE(original.SaveModel(path).ok());
+
+  Fixy restored;
+  ASSERT_TRUE(restored.LoadModel(path).ok());
+  EXPECT_TRUE(restored.is_learned());
+
+  const auto scene = sim::GenerateScene(sim::LyftLikeProfile(), "val", 616);
+  const auto a = original.FindMissingTracks(scene.scene).value();
+  const auto b = restored.FindMissingTracks(scene.scene).value();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].track_id, b[i].track_id);
+    EXPECT_NEAR(a[i].score, b[i].score, 1e-9);
+  }
+  // The model-error application (which uses the learned count
+  // distribution) survives too.
+  const auto me_a = original.FindModelErrors(scene.scene).value();
+  const auto me_b = restored.FindModelErrors(scene.scene).value();
+  ASSERT_EQ(me_a.size(), me_b.size());
+  for (size_t i = 0; i < me_a.size(); ++i) {
+    EXPECT_NEAR(me_a[i].score, me_b[i].score, 1e-9);
+  }
+  std::filesystem::remove(path);
+}
+
+TEST_F(ModelIoTest, SaveRequiresLearnedEngine) {
+  const Fixy fixy;
+  EXPECT_EQ(fixy.SaveModel(TempPath("never.json")).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(ModelIoTest, LoadMissingFileFails) {
+  Fixy fixy;
+  EXPECT_EQ(fixy.LoadModel("/nonexistent/model.json").code(),
+            StatusCode::kIoError);
+  EXPECT_FALSE(fixy.is_learned());
+}
+
+TEST_F(ModelIoTest, LoadRejectsModelWithoutCount) {
+  // A model document containing only volume is rejected by the engine
+  // (FindModelErrors needs the count distribution).
+  Fixy original;
+  ASSERT_TRUE(original.Learn(training_->dataset).ok());
+  const auto doc = LearnedModelToJson(original.learned_features());
+  ASSERT_TRUE(doc.ok());
+  const std::string path = TempPath("fixy_model_nocount.json");
+  {
+    std::ofstream out(path);
+    out << json::Write(*doc);
+  }
+  Fixy restored;
+  EXPECT_FALSE(restored.LoadModel(path).ok());
+  std::filesystem::remove(path);
+}
+
+TEST_F(ModelIoTest, LoadRejectsUnknownFeature) {
+  const auto doc = json::Parse(
+      R"({"format":"fixy-model","version":1,"features":[
+           {"feature":"warp","distribution":{"type":"gaussian","mean":0,"stddev":1}}]})");
+  ASSERT_TRUE(doc.ok());
+  const auto loaded =
+      LearnedModelFromJson(*doc, FeatureRegistry::Standard());
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(ModelIoTest, LoadRejectsWrongFormat) {
+  const auto doc = json::Parse(R"({"format":"other","version":1})");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_FALSE(
+      LearnedModelFromJson(*doc, FeatureRegistry::Standard()).ok());
+}
+
+TEST_F(ModelIoTest, PerClassStructurePreserved) {
+  Fixy original;
+  ASSERT_TRUE(original.Learn(training_->dataset).ok());
+  const auto doc = LearnedModelToJson(original.learned_features());
+  ASSERT_TRUE(doc.ok());
+  const auto loaded =
+      LearnedModelFromJson(*doc, FeatureRegistry::Standard());
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ASSERT_EQ(loaded->size(), original.learned_features().size());
+  for (size_t i = 0; i < loaded->size(); ++i) {
+    const auto& orig = original.learned_features()[i];
+    const auto& rest = (*loaded)[i];
+    EXPECT_EQ(rest.feature().name(), orig.feature().name());
+    EXPECT_EQ(rest.per_class_distributions().size(),
+              orig.per_class_distributions().size());
+  }
+}
+
+}  // namespace
+}  // namespace fixy

@@ -1,0 +1,106 @@
+// Tests for src/core/proposal_io: proposal-list round-trips and malformed
+// document rejection.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/proposal_io.h"
+
+namespace fixy {
+namespace {
+
+ErrorProposal MakeProposal(int i) {
+  ErrorProposal p;
+  p.scene_name = "scene_" + std::to_string(i % 3);
+  p.kind = static_cast<ProposalKind>(i % 3);
+  p.track_id = static_cast<TrackId>(100 + i);
+  p.frame_index = 10 + i;
+  p.first_frame = 5 + i;
+  p.last_frame = 20 + i;
+  p.object_class = static_cast<ObjectClass>(i % kNumObjectClasses);
+  p.score = -0.1 * i;
+  p.model_confidence = 0.05 * (i % 20);
+  p.box = geom::Box3d({1.5 * i, -0.5 * i, 0.9}, 4.0 + 0.1 * i, 1.9, 1.7,
+                      0.01 * i);
+  return p;
+}
+
+TEST(ProposalIoTest, RoundTripPreservesEverything) {
+  std::vector<ErrorProposal> original;
+  for (int i = 0; i < 12; ++i) original.push_back(MakeProposal(i));
+  const auto loaded = ProposalsFromJson(ProposalsToJson(original));
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ASSERT_EQ(loaded->size(), original.size());
+  for (size_t i = 0; i < original.size(); ++i) {
+    const ErrorProposal& a = original[i];
+    const ErrorProposal& b = (*loaded)[i];
+    EXPECT_EQ(a.scene_name, b.scene_name);
+    EXPECT_EQ(a.kind, b.kind);
+    EXPECT_EQ(a.track_id, b.track_id);
+    EXPECT_EQ(a.frame_index, b.frame_index);
+    EXPECT_EQ(a.first_frame, b.first_frame);
+    EXPECT_EQ(a.last_frame, b.last_frame);
+    EXPECT_EQ(a.object_class, b.object_class);
+    EXPECT_DOUBLE_EQ(a.score, b.score);
+    EXPECT_DOUBLE_EQ(a.model_confidence, b.model_confidence);
+    EXPECT_DOUBLE_EQ(a.box.center.x, b.box.center.x);
+    EXPECT_DOUBLE_EQ(a.box.yaw, b.box.yaw);
+  }
+}
+
+TEST(ProposalIoTest, EmptyListRoundTrips) {
+  const auto loaded = ProposalsFromJson(ProposalsToJson({}));
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded->empty());
+}
+
+TEST(ProposalIoTest, FileRoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "fixy_proposals.json")
+          .string();
+  std::vector<ErrorProposal> original = {MakeProposal(1), MakeProposal(2)};
+  ASSERT_TRUE(SaveProposals(original, path).ok());
+  const auto loaded = LoadProposals(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), 2u);
+  std::filesystem::remove(path);
+}
+
+TEST(ProposalIoTest, LoadMissingFileFails) {
+  EXPECT_EQ(LoadProposals("/nonexistent/p.json").status().code(),
+            StatusCode::kIoError);
+}
+
+TEST(ProposalIoTest, RejectsMalformedDocuments) {
+  for (const char* doc :
+       {R"({"format":"other","version":1,"proposals":[]})",
+        R"({"format":"fixy-proposals","version":1})",
+        R"({"format":"fixy-proposals","version":1,"proposals":[{}]})",
+        R"({"format":"fixy-proposals","version":1,"proposals":[
+             {"scene":"s","kind":"warp","track_id":1,"frame":0,
+              "first_frame":0,"last_frame":0,"class":"car","score":0,
+              "model_confidence":0,
+              "box":{"cx":0,"cy":0,"cz":0,"l":1,"w":1,"h":1,"yaw":0}}]})",
+        "[]"}) {
+    const auto parsed = json::Parse(doc);
+    ASSERT_TRUE(parsed.ok()) << doc;
+    EXPECT_FALSE(ProposalsFromJson(*parsed).ok()) << doc;
+  }
+}
+
+TEST(ProposalIoTest, OrderIsPreserved) {
+  std::vector<ErrorProposal> original;
+  for (int i = 0; i < 5; ++i) {
+    ErrorProposal p = MakeProposal(i);
+    p.score = 1.0 - 0.2 * i;  // descending
+    original.push_back(std::move(p));
+  }
+  const auto loaded = ProposalsFromJson(ProposalsToJson(original));
+  ASSERT_TRUE(loaded.ok());
+  for (size_t i = 1; i < loaded->size(); ++i) {
+    EXPECT_GT((*loaded)[i - 1].score, (*loaded)[i].score);
+  }
+}
+
+}  // namespace
+}  // namespace fixy

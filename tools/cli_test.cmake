@@ -1,0 +1,43 @@
+# End-to-end smoke test of fixy_cli: generate -> info -> learn -> rank.
+# Invoked by ctest with -DCLI=<path-to-binary>.
+set(WORK ${CMAKE_CURRENT_BINARY_DIR}/cli_test_work)
+file(REMOVE_RECURSE ${WORK})
+file(MAKE_DIRECTORY ${WORK})
+
+function(run_cli)
+  execute_process(COMMAND ${CLI} ${ARGN} RESULT_VARIABLE rc
+                  OUTPUT_VARIABLE out ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "fixy_cli ${ARGN} failed (${rc}): ${out} ${err}")
+  endif()
+  set(CLI_OUTPUT "${out}" PARENT_SCOPE)
+endfunction()
+
+run_cli(generate --out ${WORK}/ds --profile internal --scenes 2 --seed 5)
+run_cli(info --data ${WORK}/ds)
+if(NOT CLI_OUTPUT MATCHES "2 scenes")
+  message(FATAL_ERROR "info output missing scene count: ${CLI_OUTPUT}")
+endif()
+run_cli(learn --data ${WORK}/ds --model ${WORK}/model.json)
+if(NOT EXISTS ${WORK}/model.json)
+  message(FATAL_ERROR "learn did not write the model file")
+endif()
+run_cli(rank --data ${WORK}/ds --model ${WORK}/model.json --top 3 --out ${WORK}/proposals.json)
+if(NOT CLI_OUTPUT MATCHES "candidates")
+  message(FATAL_ERROR "rank output missing candidates: ${CLI_OUTPUT}")
+endif()
+if(NOT EXISTS ${WORK}/proposals.json)
+  message(FATAL_ERROR "rank --out did not write the proposals file")
+endif()
+
+# Bad invocations must fail.
+execute_process(COMMAND ${CLI} frobnicate RESULT_VARIABLE rc OUTPUT_QUIET ERROR_QUIET)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "unknown command should fail")
+endif()
+execute_process(COMMAND ${CLI} learn --data ${WORK}/nonexistent --model ${WORK}/x.json
+                RESULT_VARIABLE rc OUTPUT_QUIET ERROR_QUIET)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "learn on missing data should fail")
+endif()
+file(REMOVE_RECURSE ${WORK})

@@ -1,0 +1,237 @@
+// fixy_cli — command-line front end for the Fixy pipeline.
+//
+// Subcommands:
+//   generate  --profile lyft|internal --scenes N --seed S --out DIR
+//             Simulate a labeled dataset (with injected errors) to DIR.
+//   learn     --data DIR --model FILE [--estimator kde|histogram|gaussian]
+//             Learn feature distributions from DIR's labels; save to FILE.
+//   rank      --data DIR --model FILE
+//             [--app missing-tracks|missing-obs|model-errors] [--top K]
+//             Rank potential errors in every scene of DIR.
+//   info      --data DIR
+//             Print dataset statistics.
+//
+// Example session:
+//   fixy_cli generate --profile lyft --scenes 4 --out /tmp/ds
+//   fixy_cli learn    --data /tmp/ds --model /tmp/model.json
+//   fixy_cli rank     --data /tmp/ds --model /tmp/model.json --top 5
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+#include "core/engine.h"
+#include "core/model_io.h"
+#include "core/proposal_io.h"
+#include "core/ranker.h"
+#include "eval/dataset_stats.h"
+#include "io/scene_io.h"
+#include "sim/generate.h"
+
+namespace fixy::cli {
+namespace {
+
+// Minimal --flag value parser; every flag takes exactly one value.
+class Flags {
+ public:
+  static Result<Flags> Parse(int argc, char** argv, int first) {
+    Flags flags;
+    for (int i = first; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) {
+        return Status::InvalidArgument("expected a --flag, got: " + arg);
+      }
+      if (i + 1 >= argc) {
+        return Status::InvalidArgument("flag needs a value: " + arg);
+      }
+      flags.values_[arg.substr(2)] = argv[++i];
+    }
+    return flags;
+  }
+
+  std::string GetOr(const std::string& name,
+                    const std::string& fallback) const {
+    const auto it = values_.find(name);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+  Result<std::string> GetRequired(const std::string& name) const {
+    const auto it = values_.find(name);
+    if (it == values_.end()) {
+      return Status::InvalidArgument("missing required flag: --" + name);
+    }
+    return it->second;
+  }
+
+  int GetIntOr(const std::string& name, int fallback) const {
+    const auto it = values_.find(name);
+    return it == values_.end() ? fallback : std::atoi(it->second.c_str());
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+Result<sim::SimProfile> ProfileByName(const std::string& name) {
+  if (name == "lyft") return sim::LyftLikeProfile();
+  if (name == "internal") return sim::InternalLikeProfile();
+  return Status::InvalidArgument("unknown profile: " + name +
+                                 " (expected lyft|internal)");
+}
+
+Status CmdGenerate(const Flags& flags) {
+  FIXY_ASSIGN_OR_RETURN(std::string out, flags.GetRequired("out"));
+  FIXY_ASSIGN_OR_RETURN(sim::SimProfile profile,
+                        ProfileByName(flags.GetOr("profile", "lyft")));
+  const int scenes = flags.GetIntOr("scenes", 4);
+  const uint64_t seed =
+      static_cast<uint64_t>(flags.GetIntOr("seed", 42));
+  const sim::GeneratedDataset generated =
+      sim::GenerateDataset(profile, profile.name, scenes, seed);
+  FIXY_RETURN_IF_ERROR(io::SaveDataset(generated.dataset, out));
+  std::printf("wrote %d scenes (%zu observations, %zu injected errors) to "
+              "%s\n",
+              scenes, generated.dataset.TotalObservations(),
+              generated.ledger.errors.size(), out.c_str());
+  return Status::Ok();
+}
+
+Status CmdLearn(const Flags& flags) {
+  FIXY_ASSIGN_OR_RETURN(std::string data, flags.GetRequired("data"));
+  FIXY_ASSIGN_OR_RETURN(std::string model_path, flags.GetRequired("model"));
+  FIXY_ASSIGN_OR_RETURN(Dataset dataset, io::LoadDataset(data));
+
+  FixyOptions options;
+  const std::string estimator = flags.GetOr("estimator", "kde");
+  if (estimator == "kde") {
+    options.learner.estimator = EstimatorKind::kKde;
+  } else if (estimator == "histogram") {
+    options.learner.estimator = EstimatorKind::kHistogram;
+  } else if (estimator == "gaussian") {
+    options.learner.estimator = EstimatorKind::kGaussian;
+  } else {
+    return Status::InvalidArgument("unknown estimator: " + estimator);
+  }
+
+  Fixy fixy(std::move(options));
+  FIXY_RETURN_IF_ERROR(fixy.Learn(dataset));
+  FIXY_RETURN_IF_ERROR(fixy.SaveModel(model_path));
+  std::printf("learned %zu feature distributions from %zu scenes; model "
+              "saved to %s\n",
+              fixy.learned_features().size() + 1, dataset.scenes.size(),
+              model_path.c_str());
+  return Status::Ok();
+}
+
+Status CmdRank(const Flags& flags) {
+  FIXY_ASSIGN_OR_RETURN(std::string data, flags.GetRequired("data"));
+  FIXY_ASSIGN_OR_RETURN(std::string model_path, flags.GetRequired("model"));
+  const std::string app = flags.GetOr("app", "missing-tracks");
+  const int top = flags.GetIntOr("top", 10);
+
+  const std::string out_path = flags.GetOr("out", "");
+
+  FIXY_ASSIGN_OR_RETURN(Dataset dataset, io::LoadDataset(data));
+  Fixy fixy;
+  FIXY_RETURN_IF_ERROR(fixy.LoadModel(model_path));
+
+  std::vector<ErrorProposal> all_proposals;
+  for (const Scene& scene : dataset.scenes) {
+    Result<std::vector<ErrorProposal>> proposals =
+        Status::InvalidArgument("unknown app: " + app +
+                                " (expected missing-tracks|missing-obs|"
+                                "model-errors)");
+    if (app == "missing-tracks") {
+      proposals = fixy.FindMissingTracks(scene);
+    } else if (app == "missing-obs") {
+      proposals = fixy.FindMissingObservations(scene);
+    } else if (app == "model-errors") {
+      proposals = fixy.FindModelErrors(scene);
+    }
+    FIXY_RETURN_IF_ERROR(proposals.status());
+    std::printf("%s: %zu candidates\n", scene.name().c_str(),
+                proposals->size());
+    int rank = 1;
+    for (const ErrorProposal& p : TopK(*proposals, static_cast<size_t>(top))) {
+      std::printf("  #%2d %s\n", rank++, p.ToString().c_str());
+    }
+    const auto scene_top = TopK(*proposals, static_cast<size_t>(top));
+    all_proposals.insert(all_proposals.end(), scene_top.begin(),
+                         scene_top.end());
+  }
+  if (!out_path.empty()) {
+    FIXY_RETURN_IF_ERROR(SaveProposals(all_proposals, out_path));
+    std::printf("wrote %zu proposals to %s\n", all_proposals.size(),
+                out_path.c_str());
+  }
+  return Status::Ok();
+}
+
+Status CmdInfo(const Flags& flags) {
+  FIXY_ASSIGN_OR_RETURN(std::string data, flags.GetRequired("data"));
+  FIXY_ASSIGN_OR_RETURN(Dataset dataset, io::LoadDataset(data));
+  std::printf("dataset '%s': %zu scenes\n", dataset.name.c_str(),
+              dataset.scenes.size());
+  for (const Scene& scene : dataset.scenes) {
+    std::printf("  %-24s %4zu frames  %5.1f s  human=%zu model=%zu\n",
+                scene.name().c_str(), scene.frame_count(),
+                scene.DurationSeconds(),
+                scene.CountBySource(ObservationSource::kHuman),
+                scene.CountBySource(ObservationSource::kModel));
+  }
+  FIXY_ASSIGN_OR_RETURN(eval::DatasetStats stats,
+                        eval::ComputeDatasetStats(dataset));
+  std::printf("\n%s", eval::FormatDatasetStats(stats).c_str());
+  return Status::Ok();
+}
+
+void PrintUsage() {
+  std::fprintf(
+      stderr,
+      "usage: fixy_cli <command> [--flag value ...]\n"
+      "  generate --out DIR [--profile lyft|internal] [--scenes N] "
+      "[--seed S]\n"
+      "  learn    --data DIR --model FILE [--estimator "
+      "kde|histogram|gaussian]\n"
+      "  rank     --data DIR --model FILE [--app "
+      "missing-tracks|missing-obs|model-errors] [--top K] [--out FILE]\n"
+      "  info     --data DIR\n");
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) {
+    PrintUsage();
+    return 2;
+  }
+  const std::string command = argv[1];
+  const Result<Flags> flags = Flags::Parse(argc, argv, 2);
+  if (!flags.ok()) {
+    std::fprintf(stderr, "error: %s\n", flags.status().ToString().c_str());
+    return 2;
+  }
+  Status status;
+  if (command == "generate") {
+    status = CmdGenerate(*flags);
+  } else if (command == "learn") {
+    status = CmdLearn(*flags);
+  } else if (command == "rank") {
+    status = CmdRank(*flags);
+  } else if (command == "info") {
+    status = CmdInfo(*flags);
+  } else {
+    PrintUsage();
+    return 2;
+  }
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace fixy::cli
+
+int main(int argc, char** argv) { return fixy::cli::Main(argc, argv); }
