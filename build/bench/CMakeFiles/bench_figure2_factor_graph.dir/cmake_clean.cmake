@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figure2_factor_graph.dir/bench_figure2_factor_graph.cc.o"
+  "CMakeFiles/bench_figure2_factor_graph.dir/bench_figure2_factor_graph.cc.o.d"
+  "bench_figure2_factor_graph"
+  "bench_figure2_factor_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure2_factor_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

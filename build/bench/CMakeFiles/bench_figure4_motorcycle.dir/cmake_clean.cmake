@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figure4_motorcycle.dir/bench_figure4_motorcycle.cc.o"
+  "CMakeFiles/bench_figure4_motorcycle.dir/bench_figure4_motorcycle.cc.o.d"
+  "bench_figure4_motorcycle"
+  "bench_figure4_motorcycle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure4_motorcycle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figure5_ghost_tracks.dir/bench_figure5_ghost_tracks.cc.o"
+  "CMakeFiles/bench_figure5_ghost_tracks.dir/bench_figure5_ghost_tracks.cc.o.d"
+  "bench_figure5_ghost_tracks"
+  "bench_figure5_ghost_tracks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure5_ghost_tracks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

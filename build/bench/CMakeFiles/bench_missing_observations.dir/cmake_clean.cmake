@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_missing_observations.dir/bench_missing_observations.cc.o"
+  "CMakeFiles/bench_missing_observations.dir/bench_missing_observations.cc.o.d"
+  "bench_missing_observations"
+  "bench_missing_observations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_missing_observations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_missing_observations.
+# This may be replaced when dependencies are built.

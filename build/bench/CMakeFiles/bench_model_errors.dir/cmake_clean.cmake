@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_model_errors.dir/bench_model_errors.cc.o"
+  "CMakeFiles/bench_model_errors.dir/bench_model_errors.cc.o.d"
+  "bench_model_errors"
+  "bench_model_errors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_model_errors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_recall.dir/bench_recall.cc.o"
+  "CMakeFiles/bench_recall.dir/bench_recall.cc.o.d"
+  "bench_recall"
+  "bench_recall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_recall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

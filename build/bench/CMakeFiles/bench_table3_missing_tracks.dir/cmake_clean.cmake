@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_missing_tracks.dir/bench_table3_missing_tracks.cc.o"
+  "CMakeFiles/bench_table3_missing_tracks.dir/bench_table3_missing_tracks.cc.o.d"
+  "bench_table3_missing_tracks"
+  "bench_table3_missing_tracks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_missing_tracks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/audit_model_predictions.dir/audit_model_predictions.cpp.o"
+  "CMakeFiles/audit_model_predictions.dir/audit_model_predictions.cpp.o.d"
+  "audit_model_predictions"
+  "audit_model_predictions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/audit_model_predictions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

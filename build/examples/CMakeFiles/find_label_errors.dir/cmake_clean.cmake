@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/find_label_errors.dir/find_label_errors.cpp.o"
+  "CMakeFiles/find_label_errors.dir/find_label_errors.cpp.o.d"
+  "find_label_errors"
+  "find_label_errors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/find_label_errors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for find_label_errors.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baselines/CMakeFiles/fixy_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/fixy_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/fixy_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/fixy_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fixy_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/fixy_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsl/CMakeFiles/fixy_dsl.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/fixy_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/fixy_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/fixy_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/fixy_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fixy_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/model_assertions.cc" "src/baselines/CMakeFiles/fixy_baselines.dir/model_assertions.cc.o" "gcc" "src/baselines/CMakeFiles/fixy_baselines.dir/model_assertions.cc.o.d"
+  "/root/repo/src/baselines/uncertainty.cc" "src/baselines/CMakeFiles/fixy_baselines.dir/uncertainty.cc.o" "gcc" "src/baselines/CMakeFiles/fixy_baselines.dir/uncertainty.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fixy_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/fixy_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/fixy_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsl/CMakeFiles/fixy_dsl.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/fixy_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/fixy_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/fixy_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/fixy_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fixy_baselines.dir/model_assertions.cc.o"
+  "CMakeFiles/fixy_baselines.dir/model_assertions.cc.o.d"
+  "CMakeFiles/fixy_baselines.dir/uncertainty.cc.o"
+  "CMakeFiles/fixy_baselines.dir/uncertainty.cc.o.d"
+  "libfixy_baselines.a"
+  "libfixy_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fixy_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

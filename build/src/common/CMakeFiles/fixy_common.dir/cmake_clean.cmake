@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fixy_common.dir/logging.cc.o"
+  "CMakeFiles/fixy_common.dir/logging.cc.o.d"
+  "CMakeFiles/fixy_common.dir/random.cc.o"
+  "CMakeFiles/fixy_common.dir/random.cc.o.d"
+  "CMakeFiles/fixy_common.dir/status.cc.o"
+  "CMakeFiles/fixy_common.dir/status.cc.o.d"
+  "CMakeFiles/fixy_common.dir/string_util.cc.o"
+  "CMakeFiles/fixy_common.dir/string_util.cc.o.d"
+  "libfixy_common.a"
+  "libfixy_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fixy_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/applications.cc" "src/core/CMakeFiles/fixy_core.dir/applications.cc.o" "gcc" "src/core/CMakeFiles/fixy_core.dir/applications.cc.o.d"
+  "/root/repo/src/core/engine.cc" "src/core/CMakeFiles/fixy_core.dir/engine.cc.o" "gcc" "src/core/CMakeFiles/fixy_core.dir/engine.cc.o.d"
+  "/root/repo/src/core/features_std.cc" "src/core/CMakeFiles/fixy_core.dir/features_std.cc.o" "gcc" "src/core/CMakeFiles/fixy_core.dir/features_std.cc.o.d"
+  "/root/repo/src/core/learner.cc" "src/core/CMakeFiles/fixy_core.dir/learner.cc.o" "gcc" "src/core/CMakeFiles/fixy_core.dir/learner.cc.o.d"
+  "/root/repo/src/core/model_io.cc" "src/core/CMakeFiles/fixy_core.dir/model_io.cc.o" "gcc" "src/core/CMakeFiles/fixy_core.dir/model_io.cc.o.d"
+  "/root/repo/src/core/proposal.cc" "src/core/CMakeFiles/fixy_core.dir/proposal.cc.o" "gcc" "src/core/CMakeFiles/fixy_core.dir/proposal.cc.o.d"
+  "/root/repo/src/core/proposal_io.cc" "src/core/CMakeFiles/fixy_core.dir/proposal_io.cc.o" "gcc" "src/core/CMakeFiles/fixy_core.dir/proposal_io.cc.o.d"
+  "/root/repo/src/core/ranker.cc" "src/core/CMakeFiles/fixy_core.dir/ranker.cc.o" "gcc" "src/core/CMakeFiles/fixy_core.dir/ranker.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fixy_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/fixy_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsl/CMakeFiles/fixy_dsl.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/fixy_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/fixy_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/fixy_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/fixy_geometry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

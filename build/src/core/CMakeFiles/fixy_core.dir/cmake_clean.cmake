@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fixy_core.dir/applications.cc.o"
+  "CMakeFiles/fixy_core.dir/applications.cc.o.d"
+  "CMakeFiles/fixy_core.dir/engine.cc.o"
+  "CMakeFiles/fixy_core.dir/engine.cc.o.d"
+  "CMakeFiles/fixy_core.dir/features_std.cc.o"
+  "CMakeFiles/fixy_core.dir/features_std.cc.o.d"
+  "CMakeFiles/fixy_core.dir/learner.cc.o"
+  "CMakeFiles/fixy_core.dir/learner.cc.o.d"
+  "CMakeFiles/fixy_core.dir/model_io.cc.o"
+  "CMakeFiles/fixy_core.dir/model_io.cc.o.d"
+  "CMakeFiles/fixy_core.dir/proposal.cc.o"
+  "CMakeFiles/fixy_core.dir/proposal.cc.o.d"
+  "CMakeFiles/fixy_core.dir/proposal_io.cc.o"
+  "CMakeFiles/fixy_core.dir/proposal_io.cc.o.d"
+  "CMakeFiles/fixy_core.dir/ranker.cc.o"
+  "CMakeFiles/fixy_core.dir/ranker.cc.o.d"
+  "libfixy_core.a"
+  "libfixy_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fixy_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/observation.cc" "src/data/CMakeFiles/fixy_data.dir/observation.cc.o" "gcc" "src/data/CMakeFiles/fixy_data.dir/observation.cc.o.d"
+  "/root/repo/src/data/scene.cc" "src/data/CMakeFiles/fixy_data.dir/scene.cc.o" "gcc" "src/data/CMakeFiles/fixy_data.dir/scene.cc.o.d"
+  "/root/repo/src/data/track.cc" "src/data/CMakeFiles/fixy_data.dir/track.cc.o" "gcc" "src/data/CMakeFiles/fixy_data.dir/track.cc.o.d"
+  "/root/repo/src/data/types.cc" "src/data/CMakeFiles/fixy_data.dir/types.cc.o" "gcc" "src/data/CMakeFiles/fixy_data.dir/types.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fixy_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/fixy_geometry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

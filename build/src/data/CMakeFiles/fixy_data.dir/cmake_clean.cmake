@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fixy_data.dir/observation.cc.o"
+  "CMakeFiles/fixy_data.dir/observation.cc.o.d"
+  "CMakeFiles/fixy_data.dir/scene.cc.o"
+  "CMakeFiles/fixy_data.dir/scene.cc.o.d"
+  "CMakeFiles/fixy_data.dir/track.cc.o"
+  "CMakeFiles/fixy_data.dir/track.cc.o.d"
+  "CMakeFiles/fixy_data.dir/types.cc.o"
+  "CMakeFiles/fixy_data.dir/types.cc.o.d"
+  "libfixy_data.a"
+  "libfixy_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fixy_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

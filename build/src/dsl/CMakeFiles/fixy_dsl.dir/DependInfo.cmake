@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dsl/aof.cc" "src/dsl/CMakeFiles/fixy_dsl.dir/aof.cc.o" "gcc" "src/dsl/CMakeFiles/fixy_dsl.dir/aof.cc.o.d"
+  "/root/repo/src/dsl/bundler.cc" "src/dsl/CMakeFiles/fixy_dsl.dir/bundler.cc.o" "gcc" "src/dsl/CMakeFiles/fixy_dsl.dir/bundler.cc.o.d"
+  "/root/repo/src/dsl/feature.cc" "src/dsl/CMakeFiles/fixy_dsl.dir/feature.cc.o" "gcc" "src/dsl/CMakeFiles/fixy_dsl.dir/feature.cc.o.d"
+  "/root/repo/src/dsl/feature_distribution.cc" "src/dsl/CMakeFiles/fixy_dsl.dir/feature_distribution.cc.o" "gcc" "src/dsl/CMakeFiles/fixy_dsl.dir/feature_distribution.cc.o.d"
+  "/root/repo/src/dsl/track_builder.cc" "src/dsl/CMakeFiles/fixy_dsl.dir/track_builder.cc.o" "gcc" "src/dsl/CMakeFiles/fixy_dsl.dir/track_builder.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fixy_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/fixy_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/fixy_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/fixy_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

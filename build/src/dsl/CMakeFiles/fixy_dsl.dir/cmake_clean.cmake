@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fixy_dsl.dir/aof.cc.o"
+  "CMakeFiles/fixy_dsl.dir/aof.cc.o.d"
+  "CMakeFiles/fixy_dsl.dir/bundler.cc.o"
+  "CMakeFiles/fixy_dsl.dir/bundler.cc.o.d"
+  "CMakeFiles/fixy_dsl.dir/feature.cc.o"
+  "CMakeFiles/fixy_dsl.dir/feature.cc.o.d"
+  "CMakeFiles/fixy_dsl.dir/feature_distribution.cc.o"
+  "CMakeFiles/fixy_dsl.dir/feature_distribution.cc.o.d"
+  "CMakeFiles/fixy_dsl.dir/track_builder.cc.o"
+  "CMakeFiles/fixy_dsl.dir/track_builder.cc.o.d"
+  "libfixy_dsl.a"
+  "libfixy_dsl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fixy_dsl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fixy_eval.dir/audit.cc.o"
+  "CMakeFiles/fixy_eval.dir/audit.cc.o.d"
+  "CMakeFiles/fixy_eval.dir/dataset_stats.cc.o"
+  "CMakeFiles/fixy_eval.dir/dataset_stats.cc.o.d"
+  "CMakeFiles/fixy_eval.dir/matching.cc.o"
+  "CMakeFiles/fixy_eval.dir/matching.cc.o.d"
+  "CMakeFiles/fixy_eval.dir/metrics.cc.o"
+  "CMakeFiles/fixy_eval.dir/metrics.cc.o.d"
+  "CMakeFiles/fixy_eval.dir/report.cc.o"
+  "CMakeFiles/fixy_eval.dir/report.cc.o.d"
+  "libfixy_eval.a"
+  "libfixy_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fixy_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fixy_geometry.dir/box.cc.o"
+  "CMakeFiles/fixy_geometry.dir/box.cc.o.d"
+  "CMakeFiles/fixy_geometry.dir/iou.cc.o"
+  "CMakeFiles/fixy_geometry.dir/iou.cc.o.d"
+  "CMakeFiles/fixy_geometry.dir/polygon.cc.o"
+  "CMakeFiles/fixy_geometry.dir/polygon.cc.o.d"
+  "libfixy_geometry.a"
+  "libfixy_geometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fixy_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fixy_graph.dir/factor_graph.cc.o"
+  "CMakeFiles/fixy_graph.dir/factor_graph.cc.o.d"
+  "libfixy_graph.a"
+  "libfixy_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fixy_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

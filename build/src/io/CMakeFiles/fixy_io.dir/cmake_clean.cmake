@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fixy_io.dir/scene_io.cc.o"
+  "CMakeFiles/fixy_io.dir/scene_io.cc.o.d"
+  "libfixy_io.a"
+  "libfixy_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fixy_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

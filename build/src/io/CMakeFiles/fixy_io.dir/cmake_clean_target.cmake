@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfixy_io.a"
+)

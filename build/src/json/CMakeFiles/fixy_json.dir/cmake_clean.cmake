@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fixy_json.dir/json.cc.o"
+  "CMakeFiles/fixy_json.dir/json.cc.o.d"
+  "libfixy_json.a"
+  "libfixy_json.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fixy_json.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

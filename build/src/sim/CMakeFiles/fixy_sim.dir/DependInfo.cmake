@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/detector.cc" "src/sim/CMakeFiles/fixy_sim.dir/detector.cc.o" "gcc" "src/sim/CMakeFiles/fixy_sim.dir/detector.cc.o.d"
+  "/root/repo/src/sim/generate.cc" "src/sim/CMakeFiles/fixy_sim.dir/generate.cc.o" "gcc" "src/sim/CMakeFiles/fixy_sim.dir/generate.cc.o.d"
+  "/root/repo/src/sim/ground_truth.cc" "src/sim/CMakeFiles/fixy_sim.dir/ground_truth.cc.o" "gcc" "src/sim/CMakeFiles/fixy_sim.dir/ground_truth.cc.o.d"
+  "/root/repo/src/sim/labeler.cc" "src/sim/CMakeFiles/fixy_sim.dir/labeler.cc.o" "gcc" "src/sim/CMakeFiles/fixy_sim.dir/labeler.cc.o.d"
+  "/root/repo/src/sim/ledger.cc" "src/sim/CMakeFiles/fixy_sim.dir/ledger.cc.o" "gcc" "src/sim/CMakeFiles/fixy_sim.dir/ledger.cc.o.d"
+  "/root/repo/src/sim/object_priors.cc" "src/sim/CMakeFiles/fixy_sim.dir/object_priors.cc.o" "gcc" "src/sim/CMakeFiles/fixy_sim.dir/object_priors.cc.o.d"
+  "/root/repo/src/sim/profiles.cc" "src/sim/CMakeFiles/fixy_sim.dir/profiles.cc.o" "gcc" "src/sim/CMakeFiles/fixy_sim.dir/profiles.cc.o.d"
+  "/root/repo/src/sim/sensor.cc" "src/sim/CMakeFiles/fixy_sim.dir/sensor.cc.o" "gcc" "src/sim/CMakeFiles/fixy_sim.dir/sensor.cc.o.d"
+  "/root/repo/src/sim/world.cc" "src/sim/CMakeFiles/fixy_sim.dir/world.cc.o" "gcc" "src/sim/CMakeFiles/fixy_sim.dir/world.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fixy_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/fixy_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/fixy_geometry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

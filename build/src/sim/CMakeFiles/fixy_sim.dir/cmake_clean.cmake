@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fixy_sim.dir/detector.cc.o"
+  "CMakeFiles/fixy_sim.dir/detector.cc.o.d"
+  "CMakeFiles/fixy_sim.dir/generate.cc.o"
+  "CMakeFiles/fixy_sim.dir/generate.cc.o.d"
+  "CMakeFiles/fixy_sim.dir/ground_truth.cc.o"
+  "CMakeFiles/fixy_sim.dir/ground_truth.cc.o.d"
+  "CMakeFiles/fixy_sim.dir/labeler.cc.o"
+  "CMakeFiles/fixy_sim.dir/labeler.cc.o.d"
+  "CMakeFiles/fixy_sim.dir/ledger.cc.o"
+  "CMakeFiles/fixy_sim.dir/ledger.cc.o.d"
+  "CMakeFiles/fixy_sim.dir/object_priors.cc.o"
+  "CMakeFiles/fixy_sim.dir/object_priors.cc.o.d"
+  "CMakeFiles/fixy_sim.dir/profiles.cc.o"
+  "CMakeFiles/fixy_sim.dir/profiles.cc.o.d"
+  "CMakeFiles/fixy_sim.dir/sensor.cc.o"
+  "CMakeFiles/fixy_sim.dir/sensor.cc.o.d"
+  "CMakeFiles/fixy_sim.dir/world.cc.o"
+  "CMakeFiles/fixy_sim.dir/world.cc.o.d"
+  "libfixy_sim.a"
+  "libfixy_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fixy_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

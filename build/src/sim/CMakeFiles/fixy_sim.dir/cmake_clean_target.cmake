@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfixy_sim.a"
+)

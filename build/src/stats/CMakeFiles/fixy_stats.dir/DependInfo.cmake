@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/discrete.cc" "src/stats/CMakeFiles/fixy_stats.dir/discrete.cc.o" "gcc" "src/stats/CMakeFiles/fixy_stats.dir/discrete.cc.o.d"
+  "/root/repo/src/stats/gaussian.cc" "src/stats/CMakeFiles/fixy_stats.dir/gaussian.cc.o" "gcc" "src/stats/CMakeFiles/fixy_stats.dir/gaussian.cc.o.d"
+  "/root/repo/src/stats/histogram.cc" "src/stats/CMakeFiles/fixy_stats.dir/histogram.cc.o" "gcc" "src/stats/CMakeFiles/fixy_stats.dir/histogram.cc.o.d"
+  "/root/repo/src/stats/kde.cc" "src/stats/CMakeFiles/fixy_stats.dir/kde.cc.o" "gcc" "src/stats/CMakeFiles/fixy_stats.dir/kde.cc.o.d"
+  "/root/repo/src/stats/summary.cc" "src/stats/CMakeFiles/fixy_stats.dir/summary.cc.o" "gcc" "src/stats/CMakeFiles/fixy_stats.dir/summary.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fixy_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fixy_stats.dir/discrete.cc.o"
+  "CMakeFiles/fixy_stats.dir/discrete.cc.o.d"
+  "CMakeFiles/fixy_stats.dir/gaussian.cc.o"
+  "CMakeFiles/fixy_stats.dir/gaussian.cc.o.d"
+  "CMakeFiles/fixy_stats.dir/histogram.cc.o"
+  "CMakeFiles/fixy_stats.dir/histogram.cc.o.d"
+  "CMakeFiles/fixy_stats.dir/kde.cc.o"
+  "CMakeFiles/fixy_stats.dir/kde.cc.o.d"
+  "CMakeFiles/fixy_stats.dir/summary.cc.o"
+  "CMakeFiles/fixy_stats.dir/summary.cc.o.d"
+  "libfixy_stats.a"
+  "libfixy_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fixy_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dataset_stats_test.dir/dataset_stats_test.cc.o"
+  "CMakeFiles/dataset_stats_test.dir/dataset_stats_test.cc.o.d"
+  "dataset_stats_test"
+  "dataset_stats_test.pdb"
+  "dataset_stats_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dataset_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proposal_io_test.dir/proposal_io_test.cc.o"
+  "CMakeFiles/proposal_io_test.dir/proposal_io_test.cc.o.d"
+  "proposal_io_test"
+  "proposal_io_test.pdb"
+  "proposal_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proposal_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fixy_cli.dir/fixy_cli.cc.o"
+  "CMakeFiles/fixy_cli.dir/fixy_cli.cc.o.d"
+  "fixy_cli"
+  "fixy_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fixy_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

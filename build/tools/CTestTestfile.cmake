@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(fixy_cli_end_to_end "/usr/bin/cmake" "-DCLI=/root/repo/build/tools/fixy_cli" "-P" "/root/repo/tools/cli_test.cmake")
+set_tests_properties(fixy_cli_end_to_end PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
