@@ -1,6 +1,7 @@
 #include "core/applications.h"
 
 #include <cmath>
+#include <limits>
 
 #include "common/macros.h"
 #include "core/features_std.h"
@@ -9,18 +10,16 @@
 
 namespace fixy {
 
-namespace {
+namespace internal {
 
-// The bundle of a track that comes closest to the ego vehicle: its box is
-// the proposal's representative (the safety-relevant view of the object).
-size_t ClosestApproachBundle(const Track& track) {
-  size_t best = 0;
-  double best_distance = 0.0;
+std::optional<size_t> ClosestApproachBundle(const Track& track) {
+  std::optional<size_t> best;
+  double best_distance = std::numeric_limits<double>::infinity();
   for (size_t b = 0; b < track.bundles().size(); ++b) {
     const ObservationBundle& bundle = track.bundles()[b];
     if (bundle.observations.empty()) continue;
     const double d = (bundle.MeanCenter().Xy() - bundle.ego_position).Norm();
-    if (b == 0 || d < best_distance) {
+    if (!best.has_value() || d < best_distance) {
       best = b;
       best_distance = d;
     }
@@ -28,29 +27,38 @@ size_t ClosestApproachBundle(const Track& track) {
   return best;
 }
 
-// Representative observation of a bundle: prefer the model prediction.
-const Observation& RepresentativeObservation(const ObservationBundle& bundle) {
+const Observation* RepresentativeObservation(const ObservationBundle& bundle) {
   const Observation* model = bundle.FindBySource(ObservationSource::kModel);
-  return model != nullptr ? *model : bundle.observations.front();
+  if (model != nullptr) return model;
+  return bundle.observations.empty() ? nullptr : &bundle.observations.front();
 }
+
+}  // namespace internal
+
+namespace {
 
 ErrorProposal MakeTrackProposal(const Scene& scene, const Track& track,
                                 ProposalKind kind, double score) {
-  const size_t b = ClosestApproachBundle(track);
-  const ObservationBundle& bundle = track.bundles()[b];
-  const Observation& obs = RepresentativeObservation(bundle);
   ErrorProposal proposal;
   proposal.scene_name = scene.name();
   proposal.kind = kind;
   proposal.track_id = track.id();
-  proposal.frame_index = bundle.frame_index;
-  proposal.box = obs.box;
   proposal.object_class =
       track.MajorityClass().value_or(ObjectClass::kCar);
   proposal.score = score;
   proposal.model_confidence = track.MeanModelConfidence().value_or(0.0);
   proposal.first_frame = track.FirstFrame();
   proposal.last_frame = track.LastFrame();
+  // A track can in principle carry empty bundles (the compiled graph
+  // rejects them, but this helper is also reachable with raw tracks):
+  // without a representative box the proposal keeps its defaults.
+  const std::optional<size_t> b = internal::ClosestApproachBundle(track);
+  if (b.has_value()) {
+    const ObservationBundle& bundle = track.bundles()[*b];
+    const Observation* obs = internal::RepresentativeObservation(bundle);
+    proposal.frame_index = bundle.frame_index;
+    if (obs != nullptr) proposal.box = obs->box;
+  }
   return proposal;
 }
 
@@ -71,12 +79,8 @@ Scene FilterToModelOnly(const Scene& scene) {
 
 }  // namespace
 
-Result<std::vector<ErrorProposal>> FindMissingTracks(
-    const Scene& scene, const std::vector<FeatureDistribution>& learned,
-    const ApplicationOptions& options) {
-  const TrackBuilder builder(options.track_builder);
-  FIXY_ASSIGN_OR_RETURN(TrackSet tracks, builder.Build(scene));
-
+LoaSpec BuildMissingTracksSpec(const std::vector<FeatureDistribution>& learned,
+                               const ApplicationOptions& options) {
   // Spec: learned features with identity AOFs, plus the manual severity
   // and filter factors of Table 2.
   LoaSpec spec;
@@ -95,6 +99,47 @@ Result<std::vector<ErrorProposal>> FindMissingTracks(
         std::make_shared<CountFeature>(),
         MakeCountFilterDistribution(options.min_track_observations));
   }
+  return spec;
+}
+
+LoaSpec BuildMissingObservationsSpec(
+    const std::vector<FeatureDistribution>& learned,
+    const ApplicationOptions& options) {
+  LoaSpec spec;
+  for (const FeatureDistribution& fd : learned) {
+    spec.feature_distributions.push_back(fd.WithAof(MakeIdentityAof()));
+  }
+  if (options.include_distance_severity) {
+    spec.feature_distributions.emplace_back(
+        std::make_shared<DistanceFeature>(),
+        MakeDistanceSeverityDistribution(options.distance_scale_meters));
+  }
+  return spec;
+}
+
+LoaSpec BuildModelErrorsSpec(const std::vector<FeatureDistribution>& learned) {
+  // "The AOF inverts the probability of each feature" so that unlikely
+  // tracks rank first. Distance and model-only are not deployed here
+  // (Section 8.4).
+  LoaSpec spec;
+  for (const FeatureDistribution& fd : learned) {
+    spec.feature_distributions.push_back(fd.WithAof(MakeInvertAof()));
+  }
+  return spec;
+}
+
+Result<std::vector<ErrorProposal>> FindMissingTracks(
+    const Scene& scene, const std::vector<FeatureDistribution>& learned,
+    const ApplicationOptions& options) {
+  return FindMissingTracks(scene, BuildMissingTracksSpec(learned, options),
+                           options);
+}
+
+Result<std::vector<ErrorProposal>> FindMissingTracks(
+    const Scene& scene, const LoaSpec& spec,
+    const ApplicationOptions& options) {
+  const TrackBuilder builder(options.track_builder);
+  FIXY_ASSIGN_OR_RETURN(TrackSet tracks, builder.Build(scene));
 
   FIXY_ASSIGN_OR_RETURN(
       FactorGraph graph,
@@ -121,18 +166,15 @@ Result<std::vector<ErrorProposal>> FindMissingTracks(
 Result<std::vector<ErrorProposal>> FindMissingObservations(
     const Scene& scene, const std::vector<FeatureDistribution>& learned,
     const ApplicationOptions& options) {
+  return FindMissingObservations(
+      scene, BuildMissingObservationsSpec(learned, options), options);
+}
+
+Result<std::vector<ErrorProposal>> FindMissingObservations(
+    const Scene& scene, const LoaSpec& spec,
+    const ApplicationOptions& options) {
   const TrackBuilder builder(options.track_builder);
   FIXY_ASSIGN_OR_RETURN(TrackSet tracks, builder.Build(scene));
-
-  LoaSpec spec;
-  for (const FeatureDistribution& fd : learned) {
-    spec.feature_distributions.push_back(fd.WithAof(MakeIdentityAof()));
-  }
-  if (options.include_distance_severity) {
-    spec.feature_distributions.emplace_back(
-        std::make_shared<DistanceFeature>(),
-        MakeDistanceSeverityDistribution(options.distance_scale_meters));
-  }
 
   FIXY_ASSIGN_OR_RETURN(
       FactorGraph graph,
@@ -166,17 +208,18 @@ Result<std::vector<ErrorProposal>> FindMissingObservations(
       }
       const std::optional<double> score = graph.ScoreBundle(t, b);
       if (!score.has_value()) continue;
-      const Observation& obs = RepresentativeObservation(bundle);
+      const Observation* obs = internal::RepresentativeObservation(bundle);
+      if (obs == nullptr) continue;
       ErrorProposal proposal;
       proposal.scene_name = scene.name();
       proposal.kind = ProposalKind::kMissingObservation;
       proposal.track_id = track.id();
       proposal.frame_index = bundle.frame_index;
-      proposal.box = obs.box;
+      proposal.box = obs->box;
       proposal.object_class =
           track.MajorityClass().value_or(ObjectClass::kCar);
       proposal.score = *score;
-      proposal.model_confidence = obs.confidence;
+      proposal.model_confidence = obs->confidence;
       proposal.first_frame = track.FirstFrame();
       proposal.last_frame = track.LastFrame();
       proposals.push_back(std::move(proposal));
@@ -189,18 +232,16 @@ Result<std::vector<ErrorProposal>> FindMissingObservations(
 Result<std::vector<ErrorProposal>> FindModelErrors(
     const Scene& scene, const std::vector<FeatureDistribution>& learned,
     const ApplicationOptions& options) {
+  return FindModelErrors(scene, BuildModelErrorsSpec(learned), options);
+}
+
+Result<std::vector<ErrorProposal>> FindModelErrors(
+    const Scene& scene, const LoaSpec& spec,
+    const ApplicationOptions& options) {
   // Section 8.4: no human proposals are assumed; drop them if present.
   const Scene model_scene = FilterToModelOnly(scene);
   const TrackBuilder builder(options.track_builder);
   FIXY_ASSIGN_OR_RETURN(TrackSet tracks, builder.Build(model_scene));
-
-  // "The AOF inverts the probability of each feature" so that unlikely
-  // tracks rank first. Distance and model-only are not deployed here
-  // (Section 8.4).
-  LoaSpec spec;
-  for (const FeatureDistribution& fd : learned) {
-    spec.feature_distributions.push_back(fd.WithAof(MakeInvertAof()));
-  }
 
   FIXY_ASSIGN_OR_RETURN(
       FactorGraph graph,

@@ -8,6 +8,7 @@
 #ifndef FIXY_CORE_APPLICATIONS_H_
 #define FIXY_CORE_APPLICATIONS_H_
 
+#include <optional>
 #include <vector>
 
 #include "common/result.h"
@@ -41,6 +42,27 @@ struct ApplicationOptions {
   bool normalize_scores = true;
 };
 
+/// Spec builders: each application's LoaSpec is a pure function of the
+/// learned distributions and the options, so callers ranking many scenes
+/// (the Fixy engine, the batch path) build it once and reuse it instead of
+/// re-wrapping every FeatureDistribution per scene. The specs are
+/// immutable after construction and safe to share across threads.
+///
+/// Missing tracks: learned features with identity AOFs plus the manual
+/// distance-severity, model-only, and count-filter factors of Table 2.
+LoaSpec BuildMissingTracksSpec(const std::vector<FeatureDistribution>& learned,
+                               const ApplicationOptions& options);
+
+/// Missing observations: learned features with identity AOFs plus the
+/// manual distance-severity factor.
+LoaSpec BuildMissingObservationsSpec(
+    const std::vector<FeatureDistribution>& learned,
+    const ApplicationOptions& options);
+
+/// Model errors: every learned feature wrapped in the inverting AOF so
+/// *unlikely* tracks rank first (Section 8.4).
+LoaSpec BuildModelErrorsSpec(const std::vector<FeatureDistribution>& learned);
+
 /// Finds tracks entirely missed by human proposals (Section 7, "Finding
 /// missing tracks"). `learned` are the learned feature distributions
 /// (volume, velocity, plus any user features); the manual distance,
@@ -51,11 +73,21 @@ Result<std::vector<ErrorProposal>> FindMissingTracks(
     const Scene& scene, const std::vector<FeatureDistribution>& learned,
     const ApplicationOptions& options);
 
+/// As above, against a prebuilt spec (see BuildMissingTracksSpec).
+Result<std::vector<ErrorProposal>> FindMissingTracks(
+    const Scene& scene, const LoaSpec& spec,
+    const ApplicationOptions& options);
+
 /// Finds missing human labels within tracks that otherwise have human
 /// proposals (Section 7, "Finding missing labels within tracks"): ranks
 /// model-only bundles inside human-containing tracks by plausibility.
 Result<std::vector<ErrorProposal>> FindMissingObservations(
     const Scene& scene, const std::vector<FeatureDistribution>& learned,
+    const ApplicationOptions& options);
+
+/// As above, against a prebuilt spec (see BuildMissingObservationsSpec).
+Result<std::vector<ErrorProposal>> FindMissingObservations(
+    const Scene& scene, const LoaSpec& spec,
     const ApplicationOptions& options);
 
 /// Finds erroneous ML model predictions (Section 7, "Finding erroneous ML
@@ -64,6 +96,24 @@ Result<std::vector<ErrorProposal>> FindMissingObservations(
 Result<std::vector<ErrorProposal>> FindModelErrors(
     const Scene& scene, const std::vector<FeatureDistribution>& learned,
     const ApplicationOptions& options);
+
+/// As above, against a prebuilt spec (see BuildModelErrorsSpec).
+Result<std::vector<ErrorProposal>> FindModelErrors(
+    const Scene& scene, const LoaSpec& spec,
+    const ApplicationOptions& options);
+
+namespace internal {
+
+/// Index of the non-empty bundle whose consensus position comes closest to
+/// the ego vehicle — the proposal's representative (safety-relevant) view.
+/// Empty bundles are skipped; nullopt when every bundle is empty.
+std::optional<size_t> ClosestApproachBundle(const Track& track);
+
+/// Representative observation of a bundle: the model prediction when one
+/// exists, otherwise the first member. nullptr for an empty bundle.
+const Observation* RepresentativeObservation(const ObservationBundle& bundle);
+
+}  // namespace internal
 
 }  // namespace fixy
 

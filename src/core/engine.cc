@@ -1,6 +1,10 @@
 #include "core/engine.h"
 
+#include <future>
+#include <utility>
+
 #include "common/macros.h"
+#include "common/thread_pool.h"
 #include "core/features_std.h"
 #include "core/model_io.h"
 
@@ -32,6 +36,7 @@ Status Fixy::Learn(const Dataset& training) {
   learned_with_count_ = learned_base_;
   learned_with_count_.push_back(std::move(count_fd.front()));
   learned_flag_ = true;
+  RebuildSpecs();
   return Status::Ok();
 }
 
@@ -68,7 +73,16 @@ Status Fixy::LoadModel(const std::string& path) {
         "model file is missing the learned 'count' distribution");
   }
   learned_flag_ = true;
+  RebuildSpecs();
   return Status::Ok();
+}
+
+void Fixy::RebuildSpecs() {
+  missing_tracks_spec_ =
+      BuildMissingTracksSpec(learned_base_, options_.application);
+  missing_observations_spec_ =
+      BuildMissingObservationsSpec(learned_base_, options_.application);
+  model_errors_spec_ = BuildModelErrorsSpec(learned_with_count_);
 }
 
 Status Fixy::CheckLearned() const {
@@ -82,21 +96,85 @@ Status Fixy::CheckLearned() const {
 Result<std::vector<ErrorProposal>> Fixy::FindMissingTracks(
     const Scene& scene) const {
   FIXY_RETURN_IF_ERROR(CheckLearned());
-  return fixy::FindMissingTracks(scene, learned_base_, options_.application);
+  return fixy::FindMissingTracks(scene, missing_tracks_spec_,
+                                 options_.application);
 }
 
 Result<std::vector<ErrorProposal>> Fixy::FindMissingObservations(
     const Scene& scene) const {
   FIXY_RETURN_IF_ERROR(CheckLearned());
-  return fixy::FindMissingObservations(scene, learned_base_,
+  return fixy::FindMissingObservations(scene, missing_observations_spec_,
                                        options_.application);
 }
 
 Result<std::vector<ErrorProposal>> Fixy::FindModelErrors(
     const Scene& scene) const {
   FIXY_RETURN_IF_ERROR(CheckLearned());
-  return fixy::FindModelErrors(scene, learned_with_count_,
+  return fixy::FindModelErrors(scene, model_errors_spec_,
                                options_.application);
+}
+
+Result<std::vector<ErrorProposal>> Fixy::RankScene(const Scene& scene,
+                                                   Application app) const {
+  switch (app) {
+    case Application::kMissingTracks:
+      return fixy::FindMissingTracks(scene, missing_tracks_spec_,
+                                     options_.application);
+    case Application::kMissingObservations:
+      return fixy::FindMissingObservations(scene, missing_observations_spec_,
+                                           options_.application);
+    case Application::kModelErrors:
+      return fixy::FindModelErrors(scene, model_errors_spec_,
+                                   options_.application);
+  }
+  return Status::InvalidArgument("unknown application");
+}
+
+Result<std::vector<std::vector<ErrorProposal>>> Fixy::RankDataset(
+    const Dataset& dataset, Application app, const BatchOptions& batch) const {
+  FIXY_RETURN_IF_ERROR(CheckLearned());
+
+  const size_t scene_count = dataset.scenes.size();
+  std::vector<std::vector<ErrorProposal>> results(scene_count);
+  std::vector<Status> statuses(scene_count);
+
+  // Each scene is scored independently against the shared immutable specs,
+  // so results land in pre-assigned slots and the merged output is
+  // identical for any thread count. The online phase draws no randomness;
+  // any per-scene variation comes only from the scene itself.
+  auto rank_into_slot = [this, app, &dataset, &results,
+                         &statuses](size_t i) {
+    Result<std::vector<ErrorProposal>> proposals =
+        RankScene(dataset.scenes[i], app);
+    if (proposals.ok()) {
+      results[i] = std::move(proposals).value();
+    } else {
+      statuses[i] = proposals.status();
+    }
+  };
+
+  const int threads = ThreadPool::ResolveThreadCount(batch.num_threads);
+  if (threads <= 1 || scene_count <= 1) {
+    // Serial reference path: no pool, calling thread only.
+    for (size_t i = 0; i < scene_count; ++i) rank_into_slot(i);
+  } else {
+    ThreadPool pool(threads);
+    std::vector<std::future<void>> futures;
+    futures.reserve(scene_count);
+    for (size_t i = 0; i < scene_count; ++i) {
+      futures.push_back(pool.Submit([&rank_into_slot, i] {
+        rank_into_slot(i);
+      }));
+    }
+    for (std::future<void>& future : futures) future.get();
+  }
+
+  // First failure in scene order wins, so error reporting is as
+  // deterministic as the success path.
+  for (size_t i = 0; i < scene_count; ++i) {
+    if (!statuses[i].ok()) return statuses[i];
+  }
+  return results;
 }
 
 }  // namespace fixy

@@ -31,6 +31,21 @@ struct FixyOptions {
   std::vector<FeaturePtr> extra_features;
 };
 
+/// The three error-ranking applications of Section 7, as a selector for
+/// the batch API.
+enum class Application {
+  kMissingTracks = 0,
+  kMissingObservations = 1,
+  kModelErrors = 2,
+};
+
+/// Configuration of dataset-scale batch ranking.
+struct BatchOptions {
+  /// Worker threads to fan scenes out across. 0 (the default) uses
+  /// hardware concurrency; 1 runs serially on the calling thread.
+  int num_threads = 0;
+};
+
 /// The Fixy engine.
 class Fixy {
  public:
@@ -52,6 +67,18 @@ class Fixy {
   Result<std::vector<ErrorProposal>> FindModelErrors(
       const Scene& scene) const;
 
+  /// Dataset-scale batch ranking: runs `app` over every scene of
+  /// `dataset`, fanning scenes out across a thread pool and merging the
+  /// per-scene proposals back in dataset order. Element i of the result is
+  /// the ranked proposal list for dataset.scenes[i]. The output is
+  /// identical for every thread count (scenes are scored independently
+  /// against the shared immutable spec; nothing in the online phase draws
+  /// randomness), so parallel runs are byte-for-byte reproducible. Returns
+  /// the first per-scene error, in scene order, if any scene fails.
+  Result<std::vector<std::vector<ErrorProposal>>> RankDataset(
+      const Dataset& dataset, Application app,
+      const BatchOptions& batch = {}) const;
+
   /// The learned feature distributions (volume, velocity, extras) — for
   /// inspection, tests, and the Figure 2 bench.
   const std::vector<FeatureDistribution>& learned_features() const {
@@ -72,6 +99,16 @@ class Fixy {
  private:
   Status CheckLearned() const;
 
+  /// Rebuilds the cached per-application specs from the learned state.
+  /// Called once after Learn()/LoadModel(); the Find* hot path then reuses
+  /// the immutable specs instead of re-wrapping every FeatureDistribution
+  /// (and re-allocating its shared_ptr features) per call.
+  void RebuildSpecs();
+
+  /// Runs one application over one scene against the cached specs.
+  Result<std::vector<ErrorProposal>> RankScene(const Scene& scene,
+                                               Application app) const;
+
   FixyOptions options_;
   bool learned_flag_ = false;
   /// Volume + velocity + extras, for the label-error applications.
@@ -80,6 +117,12 @@ class Fixy {
   /// (Section 8.4 adds "a track feature over the total number of
   /// observations").
   std::vector<FeatureDistribution> learned_with_count_;
+  /// Cached specs, one per application, built by RebuildSpecs(). Immutable
+  /// between Learn()/LoadModel() calls and safe to share across the batch
+  /// path's worker threads.
+  LoaSpec missing_tracks_spec_;
+  LoaSpec missing_observations_spec_;
+  LoaSpec model_errors_spec_;
 };
 
 }  // namespace fixy

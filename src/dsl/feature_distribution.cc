@@ -48,17 +48,29 @@ FeatureDistribution FeatureDistribution::WithAof(AofPtr aof) const {
   return copy;
 }
 
+const stats::Distribution* FeatureDistribution::DistributionFor(
+    std::optional<ObjectClass> cls) const {
+  if (global_distribution_ != nullptr) return global_distribution_.get();
+  if (cls.has_value()) {
+    const auto it = per_class_.find(*cls);
+    if (it != per_class_.end()) return it->second.get();
+  }
+  return nullptr;
+}
+
 std::optional<double> FeatureDistribution::RawLikelihood(
     double value, std::optional<ObjectClass> cls) const {
-  const stats::Distribution* dist = nullptr;
-  if (global_distribution_ != nullptr) {
-    dist = global_distribution_.get();
-  } else if (cls.has_value()) {
-    const auto it = per_class_.find(*cls);
-    if (it != per_class_.end()) dist = it->second.get();
-  }
+  const stats::Distribution* dist = DistributionFor(cls);
   if (dist == nullptr) return std::nullopt;
   return dist->NormalizedScore(value);
+}
+
+double FeatureDistribution::ApplyAofAndFloor(double likelihood) const {
+  double transformed = aof_->Apply(likelihood);
+  // Keep the score strictly positive so ln(.) stays finite downstream.
+  if (transformed < stats::kScoreFloor) transformed = stats::kScoreFloor;
+  if (transformed > 1.0) transformed = 1.0;
+  return transformed;
 }
 
 std::optional<double> FeatureDistribution::Transform(
@@ -66,11 +78,62 @@ std::optional<double> FeatureDistribution::Transform(
   if (!value.has_value()) return std::nullopt;
   std::optional<double> likelihood = RawLikelihood(*value, cls);
   if (!likelihood.has_value()) return std::nullopt;
-  double transformed = aof_->Apply(*likelihood);
-  // Keep the score strictly positive so ln(.) stays finite downstream.
-  if (transformed < stats::kScoreFloor) transformed = stats::kScoreFloor;
-  if (transformed > 1.0) transformed = 1.0;
-  return transformed;
+  return ApplyAofAndFloor(*likelihood);
+}
+
+void FeatureDistribution::ScoreTrackObservations(
+    const Track& track, double frame_rate_hz,
+    std::vector<std::optional<double>>* out) const {
+  FIXY_CHECK(feature_->kind() == FeatureKind::kObservation);
+  const auto* f = static_cast<const ObservationFeature*>(feature_.get());
+
+  // One density-evaluation batch per distinct distribution (the global
+  // distribution, or one per object class actually present).
+  struct Batch {
+    const stats::Distribution* dist = nullptr;
+    std::vector<size_t> out_indices;
+    std::vector<double> values;
+  };
+  std::vector<Batch> batches;
+
+  FeatureContext ctx;
+  ctx.frame_rate_hz = frame_rate_hz;
+  for (const ObservationBundle& bundle : track.bundles()) {
+    ctx.ego_position = bundle.ego_position;
+    for (const Observation& obs : bundle.observations) {
+      const std::optional<double> value = f->Compute(obs, ctx);
+      const stats::Distribution* dist =
+          value.has_value() ? DistributionFor(obs.object_class) : nullptr;
+      if (!value.has_value() || dist == nullptr) {
+        out->push_back(std::nullopt);
+        continue;
+      }
+      out->push_back(0.0);  // placeholder; filled from the batch below
+      Batch* batch = nullptr;
+      for (Batch& b : batches) {
+        if (b.dist == dist) {
+          batch = &b;
+          break;
+        }
+      }
+      if (batch == nullptr) {
+        batches.push_back(Batch{dist, {}, {}});
+        batch = &batches.back();
+      }
+      batch->out_indices.push_back(out->size() - 1);
+      batch->values.push_back(*value);
+    }
+  }
+
+  std::vector<double> densities;
+  for (const Batch& batch : batches) {
+    densities.resize(batch.values.size());
+    batch.dist->DensityBatch(batch.values, densities);
+    for (size_t i = 0; i < batch.values.size(); ++i) {
+      (*out)[batch.out_indices[i]] = ApplyAofAndFloor(
+          batch.dist->NormalizedScoreFromDensity(densities[i]));
+    }
+  }
 }
 
 std::optional<double> FeatureDistribution::ScoreObservation(

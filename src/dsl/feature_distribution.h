@@ -49,6 +49,17 @@ class FeatureDistribution {
   /// element type.
   std::optional<double> ScoreObservation(const Observation& obs,
                                          const FeatureContext& ctx) const;
+
+  /// Batch form of ScoreObservation for a kObservation feature: scores
+  /// every observation of `track` in bundle-major order (the factor-graph
+  /// compilation order), appending one entry per observation to `out`.
+  /// Produces values identical to per-observation ScoreObservation calls;
+  /// density evaluations are grouped per underlying distribution and
+  /// routed through Distribution::DensityBatch, which is the KDE's fast
+  /// path. Aborts if the feature kind is not kObservation.
+  void ScoreTrackObservations(const Track& track, double frame_rate_hz,
+                              std::vector<std::optional<double>>* out) const;
+
   std::optional<double> ScoreBundle(const ObservationBundle& bundle,
                                     const FeatureContext& ctx) const;
   std::optional<double> ScoreTransition(const ObservationBundle& from,
@@ -76,6 +87,15 @@ class FeatureDistribution {
  private:
   std::optional<double> Transform(std::optional<double> value,
                                   std::optional<ObjectClass> cls) const;
+
+  /// AOF application + the strict-positivity floor, shared by the scalar
+  /// and batch scoring paths.
+  double ApplyAofAndFloor(double likelihood) const;
+
+  /// The distribution covering `cls` (the global one, or the per-class
+  /// entry); nullptr when none applies.
+  const stats::Distribution* DistributionFor(
+      std::optional<ObjectClass> cls) const;
 
   FeaturePtr feature_;
   stats::DistributionPtr global_distribution_;

@@ -71,16 +71,19 @@ Result<FactorGraph> FactorGraph::Compile(const TrackSet& tracks,
       const Track& track = tracks.tracks[t];
       switch (fd.feature().kind()) {
         case FeatureKind::kObservation: {
+          // Batch path: all of the track's observations are scored in one
+          // call, which groups density evaluations per distribution and
+          // hits the KDE's sliding-window fast path. `scores` is
+          // bundle-major, matching the factor instantiation order below.
+          std::vector<std::optional<double>> scores;
+          fd.ScoreTrackObservations(track, frame_rate_hz, &scores);
+          size_t i = 0;
           for (size_t b = 0; b < track.bundles().size(); ++b) {
             const ObservationBundle& bundle = track.bundles()[b];
-            const FeatureContext ctx =
-                ContextForBundle(bundle, frame_rate_hz);
-            for (size_t o = 0; o < bundle.observations.size(); ++o) {
-              const std::optional<double> score =
-                  fd.ScoreObservation(bundle.observations[o], ctx);
-              if (!score.has_value()) continue;
+            for (size_t o = 0; o < bundle.observations.size(); ++o, ++i) {
+              if (!scores[i].has_value()) continue;
               add_factor(fd_index,
-                         {FeatureKind::kObservation, t, b, o}, *score,
+                         {FeatureKind::kObservation, t, b, o}, *scores[i],
                          {graph.variable_offsets_[t][b] + o});
             }
           }

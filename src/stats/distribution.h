@@ -13,6 +13,7 @@
 
 #include <cmath>
 #include <memory>
+#include <span>
 #include <string>
 
 namespace fixy::stats {
@@ -31,15 +32,32 @@ class Distribution {
   /// Probability density (or mass) at `x`. Non-negative.
   virtual double Density(double x) const = 0;
 
+  /// Evaluates the density at every element of `xs`, writing into `out`
+  /// (which must have the same extent). Semantically identical to calling
+  /// Density per element; estimators with a cheaper batch path (the KDE)
+  /// override it. Factor scoring evaluates features in batches through
+  /// this entry point.
+  virtual void DensityBatch(std::span<const double> xs,
+                            std::span<double> out) const {
+    for (size_t i = 0; i < xs.size(); ++i) out[i] = Density(xs[i]);
+  }
+
   /// Density at the distribution's mode; the normalization constant for
   /// NormalizedScore. Strictly positive for a fitted distribution.
   virtual double ModeDensity() const = 0;
 
   /// Density(x) / ModeDensity(), clamped to [kScoreFloor, 1].
   double NormalizedScore(double x) const {
+    return NormalizedScoreFromDensity(Density(x));
+  }
+
+  /// The NormalizedScore clamp applied to an already-computed density —
+  /// shared by the scalar and batch scoring paths so both produce
+  /// identical values.
+  double NormalizedScoreFromDensity(double density) const {
     const double mode = ModeDensity();
     if (mode <= 0.0) return kScoreFloor;
-    const double s = Density(x) / mode;
+    const double s = density / mode;
     if (s < kScoreFloor) return kScoreFloor;
     if (s > 1.0) return 1.0;
     return s;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/logging.h"
 #include "common/macros.h"
 #include "common/string_util.h"
 #include "stats/summary.h"
@@ -54,11 +55,18 @@ double SelectBandwidth(const std::vector<double>& sorted, BandwidthRule rule) {
 GaussianKde::GaussianKde(std::vector<double> samples, double bandwidth)
     : samples_(std::move(samples)), bandwidth_(bandwidth) {
   std::sort(samples_.begin(), samples_.end());
+  inv_bandwidth_ = 1.0 / bandwidth_;
+  norm_ = kInvSqrt2Pi /
+          (bandwidth_ * static_cast<double>(samples_.size()));
   // For a Gaussian KDE the mode is near one of the sample points; evaluating
   // the density at every sample gives an accurate normalization constant.
+  // The samples are sorted, so the batch path scans them with one sliding
+  // window instead of a binary search per sample.
+  std::vector<double> densities(samples_.size());
+  DensityBatch(samples_, densities);
   double max_density = 0.0;
-  for (double s : samples_) {
-    max_density = std::max(max_density, Density(s));
+  for (double d : densities) {
+    max_density = std::max(max_density, d);
   }
   mode_density_ = max_density;
 }
@@ -84,16 +92,54 @@ double GaussianKde::Density(double x) const {
   // Samples are sorted, so kernels further than 8 bandwidths contribute
   // less than 1e-14 of their mass and can be skipped.
   const double cutoff = 8.0 * bandwidth_;
-  const auto lo = std::lower_bound(samples_.begin(), samples_.end(),
-                                   x - cutoff);
-  const auto hi = std::upper_bound(lo, samples_.end(), x + cutoff);
+  const size_t lo = static_cast<size_t>(
+      std::lower_bound(samples_.begin(), samples_.end(), x - cutoff) -
+      samples_.begin());
+  size_t lo_cursor = lo;
+  size_t hi_cursor = lo;
+  return WindowedSum(x, &lo_cursor, &hi_cursor) * norm_;
+}
+
+void GaussianKde::DensityBatch(std::span<const double> xs,
+                               std::span<double> out) const {
+  FIXY_CHECK(xs.size() == out.size());
+  const bool ascending = std::is_sorted(xs.begin(), xs.end());
+  size_t lo = 0;
+  size_t hi = 0;
+  if (ascending) {
+    for (size_t i = 0; i < xs.size(); ++i) {
+      out[i] = WindowedSum(xs[i], &lo, &hi) * norm_;
+    }
+    return;
+  }
+  // Unsorted queries: evaluate in value order through an index permutation
+  // so the window still slides monotonically, then scatter back.
+  std::vector<size_t> order(xs.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&xs](size_t a, size_t b) { return xs[a] < xs[b]; });
+  for (size_t idx : order) {
+    out[idx] = WindowedSum(xs[idx], &lo, &hi) * norm_;
+  }
+}
+
+double GaussianKde::WindowedSum(double x, size_t* lo, size_t* hi) const {
+  // Advances [*lo, *hi) to the window of samples within the 8-bandwidth
+  // cutoff of `x` — the same bounds lower_bound/upper_bound would find —
+  // then sums the kernels in ascending sample order.
+  const double cutoff = 8.0 * bandwidth_;
+  const double lo_value = x - cutoff;
+  const double hi_value = x + cutoff;
+  const size_t n = samples_.size();
+  while (*lo < n && samples_[*lo] < lo_value) ++*lo;
+  if (*hi < *lo) *hi = *lo;
+  while (*hi < n && samples_[*hi] <= hi_value) ++*hi;
   double sum = 0.0;
-  for (auto it = lo; it != hi; ++it) {
-    const double u = (x - *it) / bandwidth_;
+  for (size_t i = *lo; i < *hi; ++i) {
+    const double u = (x - samples_[i]) * inv_bandwidth_;
     sum += std::exp(-0.5 * u * u);
   }
-  return sum * kInvSqrt2Pi /
-         (bandwidth_ * static_cast<double>(samples_.size()));
+  return sum;
 }
 
 std::string GaussianKde::ToString() const {

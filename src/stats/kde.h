@@ -4,6 +4,7 @@
 #ifndef FIXY_STATS_KDE_H_
 #define FIXY_STATS_KDE_H_
 
+#include <span>
 #include <vector>
 
 #include "common/result.h"
@@ -36,6 +37,12 @@ class GaussianKde final : public Distribution {
                                               double bandwidth);
 
   double Density(double x) const override;
+  /// Batch evaluation: identical results to calling Density per element,
+  /// but the kernel windows are found with one monotone sweep over the
+  /// sorted samples instead of a binary search per query — the path factor
+  /// scoring and the constructor's mode scan use.
+  void DensityBatch(std::span<const double> xs,
+                    std::span<double> out) const override;
   double ModeDensity() const override { return mode_density_; }
   std::string ToString() const override;
 
@@ -47,8 +54,16 @@ class GaussianKde final : public Distribution {
  private:
   GaussianKde(std::vector<double> samples, double bandwidth);
 
+  /// Kernel-window sum for queries in ascending order; `lo`/`hi` are the
+  /// sliding window bounds carried across queries.
+  double WindowedSum(double x, size_t* lo, size_t* hi) const;
+
   std::vector<double> samples_;  // sorted ascending
   double bandwidth_ = 0.0;
+  /// Hot-path constants, fixed at construction: 1/h and the shared factor
+  /// 1/(sqrt(2*pi) * h * n) applied to every kernel sum.
+  double inv_bandwidth_ = 0.0;
+  double norm_ = 0.0;
   double mode_density_ = 0.0;
 };
 

@@ -1,0 +1,218 @@
+// Tests for the dataset-scale batch ranking path: the RankDataset facade,
+// parallel-vs-serial determinism, the cached per-application specs, and
+// the ClosestApproachBundle empty-bundle regression.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/applications.h"
+#include "core/engine.h"
+#include "sim/generate.h"
+
+namespace fixy {
+namespace {
+
+// Field-exact equality: the determinism contract is byte-identical output,
+// so scores compare with ==, not a tolerance.
+void ExpectProposalsIdentical(const std::vector<ErrorProposal>& a,
+                              const std::vector<ErrorProposal>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].scene_name, b[i].scene_name) << "proposal " << i;
+    EXPECT_EQ(a[i].kind, b[i].kind) << "proposal " << i;
+    EXPECT_EQ(a[i].track_id, b[i].track_id) << "proposal " << i;
+    EXPECT_EQ(a[i].frame_index, b[i].frame_index) << "proposal " << i;
+    EXPECT_EQ(a[i].object_class, b[i].object_class) << "proposal " << i;
+    EXPECT_EQ(a[i].score, b[i].score) << "proposal " << i;
+    EXPECT_EQ(a[i].model_confidence, b[i].model_confidence)
+        << "proposal " << i;
+    EXPECT_EQ(a[i].first_frame, b[i].first_frame) << "proposal " << i;
+    EXPECT_EQ(a[i].last_frame, b[i].last_frame) << "proposal " << i;
+  }
+}
+
+class BatchRankTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    profile_ = new sim::SimProfile(sim::LyftLikeProfile());
+    dataset_ = new sim::GeneratedDataset(
+        sim::GenerateDataset(*profile_, "batch", 16, 77));
+    fixy_ = new Fixy();
+    const sim::GeneratedDataset training =
+        sim::GenerateDataset(*profile_, "batch_train", 4, 78);
+    ASSERT_TRUE(fixy_->Learn(training.dataset).ok());
+  }
+
+  static void TearDownTestSuite() {
+    delete fixy_;
+    delete dataset_;
+    delete profile_;
+    fixy_ = nullptr;
+    dataset_ = nullptr;
+    profile_ = nullptr;
+  }
+
+  static sim::SimProfile* profile_;
+  static sim::GeneratedDataset* dataset_;
+  static Fixy* fixy_;
+};
+
+sim::SimProfile* BatchRankTest::profile_ = nullptr;
+sim::GeneratedDataset* BatchRankTest::dataset_ = nullptr;
+Fixy* BatchRankTest::fixy_ = nullptr;
+
+TEST_F(BatchRankTest, RequiresLearn) {
+  const Fixy unlearned;
+  const auto result = unlearned.RankDataset(dataset_->dataset,
+                                            Application::kMissingTracks);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST_F(BatchRankTest, EmptyDatasetYieldsEmptyResult) {
+  const Dataset empty;
+  const auto result =
+      fixy_->RankDataset(empty, Application::kMissingTracks);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->empty());
+}
+
+TEST_F(BatchRankTest, ReturnsOneRankedListPerSceneInOrder) {
+  const auto result = fixy_->RankDataset(dataset_->dataset,
+                                         Application::kMissingTracks,
+                                         BatchOptions{4});
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), dataset_->dataset.scenes.size());
+  for (size_t s = 0; s < result->size(); ++s) {
+    for (const ErrorProposal& p : (*result)[s]) {
+      EXPECT_EQ(p.scene_name, dataset_->dataset.scenes[s].name());
+    }
+    // Ranked most-suspicious-first.
+    for (size_t i = 1; i < (*result)[s].size(); ++i) {
+      EXPECT_GE((*result)[s][i - 1].score, (*result)[s][i].score);
+    }
+  }
+}
+
+// The tentpole determinism contract: on a 16-scene sim dataset, 1 worker
+// and N workers must produce identical ranked proposals for every
+// application.
+TEST_F(BatchRankTest, ParallelOutputIdenticalToSerial) {
+  for (const Application app :
+       {Application::kMissingTracks, Application::kMissingObservations,
+        Application::kModelErrors}) {
+    const auto serial =
+        fixy_->RankDataset(dataset_->dataset, app, BatchOptions{1});
+    ASSERT_TRUE(serial.ok());
+    for (const int threads : {2, 8}) {
+      const auto parallel =
+          fixy_->RankDataset(dataset_->dataset, app, BatchOptions{threads});
+      ASSERT_TRUE(parallel.ok());
+      ASSERT_EQ(serial->size(), parallel->size());
+      for (size_t s = 0; s < serial->size(); ++s) {
+        ExpectProposalsIdentical((*serial)[s], (*parallel)[s]);
+      }
+    }
+  }
+}
+
+// The batch path must agree with the single-scene facade calls (which use
+// the same cached specs).
+TEST_F(BatchRankTest, BatchAgreesWithSingleSceneCalls) {
+  const auto batch = fixy_->RankDataset(dataset_->dataset,
+                                        Application::kMissingTracks,
+                                        BatchOptions{4});
+  ASSERT_TRUE(batch.ok());
+  for (size_t s = 0; s < dataset_->dataset.scenes.size(); ++s) {
+    const auto single =
+        fixy_->FindMissingTracks(dataset_->dataset.scenes[s]);
+    ASSERT_TRUE(single.ok());
+    ExpectProposalsIdentical(*single, (*batch)[s]);
+  }
+}
+
+// The cached-spec fast path must not change results relative to building
+// the spec from the learned distributions per call (the legacy entry
+// point, still used by ablation benches).
+TEST_F(BatchRankTest, CachedSpecMatchesPerCallSpecConstruction) {
+  const Scene& scene = dataset_->dataset.scenes.front();
+  const auto cached = fixy_->FindMissingTracks(scene);
+  ASSERT_TRUE(cached.ok());
+  const auto legacy = FindMissingTracks(scene, fixy_->learned_features(),
+                                        fixy_->options().application);
+  ASSERT_TRUE(legacy.ok());
+  ExpectProposalsIdentical(*cached, *legacy);
+}
+
+TEST(ClosestApproachBundleTest, SkipsEmptyLeadingBundle) {
+  // Regression: bundle 0 is empty; the old implementation returned index 0
+  // anyway, and the proposal builder then dereferenced front() of an empty
+  // observation vector.
+  Track track(7);
+  ObservationBundle empty_bundle;
+  empty_bundle.frame_index = 0;
+  track.AddBundle(empty_bundle);
+
+  ObservationBundle full_bundle;
+  full_bundle.frame_index = 1;
+  full_bundle.ego_position = {0.0, 0.0};
+  Observation obs;
+  obs.id = 1;
+  obs.source = ObservationSource::kModel;
+  obs.box.center = {5.0, 0.0, 0.0};
+  full_bundle.observations.push_back(obs);
+  track.AddBundle(full_bundle);
+
+  const std::optional<size_t> best = internal::ClosestApproachBundle(track);
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(*best, 1u);
+}
+
+TEST(ClosestApproachBundleTest, AllEmptyBundlesYieldsNullopt) {
+  Track track(8);
+  track.AddBundle(ObservationBundle{});
+  track.AddBundle(ObservationBundle{});
+  EXPECT_FALSE(internal::ClosestApproachBundle(track).has_value());
+}
+
+TEST(ClosestApproachBundleTest, PicksNearestNonEmptyBundle) {
+  Track track(9);
+  for (int i = 0; i < 3; ++i) {
+    ObservationBundle bundle;
+    bundle.frame_index = i;
+    bundle.ego_position = {0.0, 0.0};
+    Observation obs;
+    obs.id = static_cast<ObservationId>(i + 1);
+    // Distances 30, 10, 20 -> bundle 1 is nearest.
+    const double xs[] = {30.0, 10.0, 20.0};
+    obs.box.center = {xs[i], 0.0, 0.0};
+    bundle.observations.push_back(obs);
+    track.AddBundle(bundle);
+  }
+  const std::optional<size_t> best = internal::ClosestApproachBundle(track);
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(*best, 1u);
+}
+
+TEST(RepresentativeObservationTest, PrefersModelAndGuardsEmpty) {
+  ObservationBundle bundle;
+  EXPECT_EQ(internal::RepresentativeObservation(bundle), nullptr);
+
+  Observation human;
+  human.id = 1;
+  human.source = ObservationSource::kHuman;
+  bundle.observations.push_back(human);
+  const Observation* rep = internal::RepresentativeObservation(bundle);
+  ASSERT_NE(rep, nullptr);
+  EXPECT_EQ(rep->id, 1u);
+
+  Observation model;
+  model.id = 2;
+  model.source = ObservationSource::kModel;
+  bundle.observations.push_back(model);
+  rep = internal::RepresentativeObservation(bundle);
+  ASSERT_NE(rep, nullptr);
+  EXPECT_EQ(rep->id, 2u);
+}
+
+}  // namespace
+}  // namespace fixy

@@ -180,6 +180,37 @@ TEST(KdeTest, TruncatedEvaluationMatchesFullSum) {
   }
 }
 
+TEST(KdeTest, DensityBatchMatchesScalarDensity) {
+  // The batch sliding-window path must produce bit-identical densities to
+  // per-point evaluation, for sorted and unsorted query orders.
+  const auto kde = GaussianKde::Fit(NormalSample(0.0, 1.0, 500, 12));
+  ASSERT_TRUE(kde.ok());
+  const std::vector<double> sorted_queries = {-3.0, -1.0, 0.0, 0.5, 2.5};
+  const std::vector<double> unsorted_queries = {2.5, -3.0, 0.5, -1.0, 0.0};
+  for (const std::vector<double>& queries :
+       {sorted_queries, unsorted_queries}) {
+    std::vector<double> batch(queries.size());
+    kde->DensityBatch(queries, batch);
+    for (size_t i = 0; i < queries.size(); ++i) {
+      EXPECT_EQ(batch[i], kde->Density(queries[i])) << "query " << i;
+    }
+  }
+}
+
+TEST(KdeTest, DensityBatchHandlesDuplicatesAndTails) {
+  const auto kde = GaussianKde::Fit(NormalSample(5.0, 2.0, 200, 13));
+  ASSERT_TRUE(kde.ok());
+  // Duplicates, far tails (empty kernel windows), and interior points.
+  const std::vector<double> queries = {5.0, 5.0, -1e6, 1e6, 4.9, 5.0};
+  std::vector<double> batch(queries.size());
+  kde->DensityBatch(queries, batch);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(batch[i], kde->Density(queries[i])) << "query " << i;
+  }
+  EXPECT_EQ(batch[2], 0.0);
+  EXPECT_EQ(batch[3], 0.0);
+}
+
 // ------------------------------------------------------------ Histogram
 
 TEST(HistogramTest, RejectsInvalidInput) {

@@ -7,7 +7,9 @@
 //             Learn feature distributions from DIR's labels; save to FILE.
 //   rank      --data DIR --model FILE
 //             [--app missing-tracks|missing-obs|model-errors] [--top K]
-//             Rank potential errors in every scene of DIR.
+//             [--threads N]
+//             Rank potential errors in every scene of DIR, fanning scenes
+//             out across N worker threads (0 = hardware concurrency).
 //   info      --data DIR
 //             Print dataset statistics.
 //
@@ -137,27 +139,37 @@ Status CmdRank(const Flags& flags) {
   Fixy fixy;
   FIXY_RETURN_IF_ERROR(fixy.LoadModel(model_path));
 
+  Application application = Application::kMissingTracks;
+  if (app == "missing-tracks") {
+    application = Application::kMissingTracks;
+  } else if (app == "missing-obs") {
+    application = Application::kMissingObservations;
+  } else if (app == "model-errors") {
+    application = Application::kModelErrors;
+  } else {
+    return Status::InvalidArgument("unknown app: " + app +
+                                   " (expected missing-tracks|missing-obs|"
+                                   "model-errors)");
+  }
+
+  // Scenes rank in parallel across the pool (--threads, default hardware
+  // concurrency); output order matches the dataset regardless of thread
+  // count.
+  BatchOptions batch;
+  batch.num_threads = flags.GetIntOr("threads", 0);
+  FIXY_ASSIGN_OR_RETURN(std::vector<std::vector<ErrorProposal>> per_scene,
+                        fixy.RankDataset(dataset, application, batch));
+
   std::vector<ErrorProposal> all_proposals;
-  for (const Scene& scene : dataset.scenes) {
-    Result<std::vector<ErrorProposal>> proposals =
-        Status::InvalidArgument("unknown app: " + app +
-                                " (expected missing-tracks|missing-obs|"
-                                "model-errors)");
-    if (app == "missing-tracks") {
-      proposals = fixy.FindMissingTracks(scene);
-    } else if (app == "missing-obs") {
-      proposals = fixy.FindMissingObservations(scene);
-    } else if (app == "model-errors") {
-      proposals = fixy.FindModelErrors(scene);
-    }
-    FIXY_RETURN_IF_ERROR(proposals.status());
-    std::printf("%s: %zu candidates\n", scene.name().c_str(),
-                proposals->size());
+  for (size_t s = 0; s < dataset.scenes.size(); ++s) {
+    const std::vector<ErrorProposal>& proposals = per_scene[s];
+    std::printf("%s: %zu candidates\n", dataset.scenes[s].name().c_str(),
+                proposals.size());
     int rank = 1;
-    for (const ErrorProposal& p : TopK(*proposals, static_cast<size_t>(top))) {
+    for (const ErrorProposal& p : TopK(proposals, static_cast<size_t>(top))) {
       std::printf("  #%2d %s\n", rank++, p.ToString().c_str());
     }
-    const auto scene_top = TopK(*proposals, static_cast<size_t>(top));
+    const auto scene_top = TopK(proposals, static_cast<size_t>(top));
     all_proposals.insert(all_proposals.end(), scene_top.begin(),
                          scene_top.end());
   }
@@ -197,6 +209,7 @@ void PrintUsage() {
       "kde|histogram|gaussian]\n"
       "  rank     --data DIR --model FILE [--app "
       "missing-tracks|missing-obs|model-errors] [--top K] [--out FILE]\n"
+      "           [--threads N]  (0 = hardware concurrency)\n"
       "  info     --data DIR\n");
 }
 
