@@ -130,26 +130,28 @@ Result<std::vector<ErrorProposal>> Fixy::RankScene(const Scene& scene,
   return Status::InvalidArgument("unknown application");
 }
 
-Result<std::vector<std::vector<ErrorProposal>>> Fixy::RankDataset(
-    const Dataset& dataset, Application app, const BatchOptions& batch) const {
+Result<BatchReport> Fixy::RankDataset(const Dataset& dataset, Application app,
+                                      const BatchOptions& batch) const {
   FIXY_RETURN_IF_ERROR(CheckLearned());
 
   const size_t scene_count = dataset.scenes.size();
-  std::vector<std::vector<ErrorProposal>> results(scene_count);
-  std::vector<Status> statuses(scene_count);
+  BatchReport report;
+  report.outcomes.resize(scene_count);
 
   // Each scene is scored independently against the shared immutable specs,
-  // so results land in pre-assigned slots and the merged output is
+  // so outcomes land in pre-assigned slots and the merged output is
   // identical for any thread count. The online phase draws no randomness;
-  // any per-scene variation comes only from the scene itself.
-  auto rank_into_slot = [this, app, &dataset, &results,
-                         &statuses](size_t i) {
+  // any per-scene variation comes only from the scene itself. A failing
+  // scene writes only its own slot, so it cannot poison its neighbours.
+  auto rank_into_slot = [this, app, &dataset, &report](size_t i) {
+    SceneOutcome& outcome = report.outcomes[i];
+    outcome.scene_name = dataset.scenes[i].name();
     Result<std::vector<ErrorProposal>> proposals =
         RankScene(dataset.scenes[i], app);
     if (proposals.ok()) {
-      results[i] = std::move(proposals).value();
+      outcome.proposals = std::move(proposals).value();
     } else {
-      statuses[i] = proposals.status();
+      outcome.status = proposals.status();
     }
   };
 
@@ -169,12 +171,23 @@ Result<std::vector<std::vector<ErrorProposal>>> Fixy::RankDataset(
     for (std::future<void>& future : futures) future.get();
   }
 
-  // First failure in scene order wins, so error reporting is as
-  // deterministic as the success path.
-  for (size_t i = 0; i < scene_count; ++i) {
-    if (!statuses[i].ok()) return statuses[i];
+  // Summary pass, and the fail-fast contract: the first failure in scene
+  // order wins, so error reporting is as deterministic as the success path.
+  for (const SceneOutcome& outcome : report.outcomes) {
+    if (outcome.ok()) {
+      ++report.scenes_ok;
+      continue;
+    }
+    if (batch.fail_fast) {
+      // Name the scene so callers can tell which one sank the batch.
+      return Status(outcome.status.code(),
+                    "scene '" + outcome.scene_name +
+                        "': " + outcome.status.message());
+    }
+    ++report.scenes_failed;
+    ++report.scenes_quarantined;
   }
-  return results;
+  return report;
 }
 
 }  // namespace fixy

@@ -44,6 +44,42 @@ struct BatchOptions {
   /// Worker threads to fan scenes out across. 0 (the default) uses
   /// hardware concurrency; 1 runs serially on the calling thread.
   int num_threads = 0;
+
+  /// When true, RankDataset fails with the first failing scene's Status
+  /// (in dataset order, regardless of thread count). When false (the
+  /// default), failing scenes are quarantined: their outcome carries the
+  /// error, every other scene ranks normally, and the call succeeds.
+  bool fail_fast = false;
+};
+
+/// Outcome of ranking one scene within a batch.
+struct SceneOutcome {
+  std::string scene_name;
+  /// Ok when the scene ranked; otherwise why it was quarantined.
+  Status status;
+  /// Ranked most-suspicious-first; empty when the scene failed.
+  std::vector<ErrorProposal> proposals;
+
+  bool ok() const { return status.ok(); }
+};
+
+/// Per-scene outcomes of a RankDataset call, in dataset order (element i
+/// corresponds to dataset.scenes[i]). A failing scene never perturbs the
+/// other scenes' proposals: each scene is scored independently against the
+/// shared immutable spec, so outcome i is byte-identical to what an
+/// all-clean batch would produce for that scene.
+struct BatchReport {
+  std::vector<SceneOutcome> outcomes;
+
+  /// Summary counters (kept consistent with `outcomes` by RankDataset).
+  size_t scenes_ok = 0;
+  size_t scenes_failed = 0;
+  /// Failing scenes that were quarantined instead of poisoning the batch;
+  /// equal to scenes_failed when fail_fast is off, 0 when it is on (a
+  /// failure then fails the whole call instead).
+  size_t scenes_quarantined = 0;
+
+  bool all_ok() const { return scenes_failed == 0; }
 };
 
 /// The Fixy engine.
@@ -69,15 +105,19 @@ class Fixy {
 
   /// Dataset-scale batch ranking: runs `app` over every scene of
   /// `dataset`, fanning scenes out across a thread pool and merging the
-  /// per-scene proposals back in dataset order. Element i of the result is
-  /// the ranked proposal list for dataset.scenes[i]. The output is
-  /// identical for every thread count (scenes are scored independently
-  /// against the shared immutable spec; nothing in the online phase draws
-  /// randomness), so parallel runs are byte-for-byte reproducible. Returns
-  /// the first per-scene error, in scene order, if any scene fails.
-  Result<std::vector<std::vector<ErrorProposal>>> RankDataset(
-      const Dataset& dataset, Application app,
-      const BatchOptions& batch = {}) const;
+  /// per-scene outcomes back in dataset order. The output is identical for
+  /// every thread count (scenes are scored independently against the
+  /// shared immutable spec; nothing in the online phase draws randomness),
+  /// so parallel runs are byte-for-byte reproducible.
+  ///
+  /// Failure semantics: by default a failing scene is quarantined — its
+  /// outcome carries the error Status, the other scenes' proposals are
+  /// unaffected, and the call returns an ok BatchReport (possibly with
+  /// scenes_failed > 0). With BatchOptions::fail_fast the call instead
+  /// returns the first failing scene's Status, in dataset order. An empty
+  /// dataset yields an ok, empty report.
+  Result<BatchReport> RankDataset(const Dataset& dataset, Application app,
+                                  const BatchOptions& batch = {}) const;
 
   /// The learned feature distributions (volume, velocity, extras) — for
   /// inspection, tests, and the Figure 2 bench.

@@ -1,10 +1,25 @@
 #include "data/scene.h"
 
+#include <cmath>
 #include <unordered_set>
 
 #include "common/string_util.h"
 
 namespace fixy {
+
+namespace {
+
+// True if every field of the box is finite. IsValid() alone rejects NaN
+// extents (NaN > 0 is false) but lets NaN centers and yaws through, and
+// those reach feature computation (distances, velocities) during ranking.
+bool BoxIsFinite(const geom::Box3d& box) {
+  return std::isfinite(box.center.x) && std::isfinite(box.center.y) &&
+         std::isfinite(box.center.z) && std::isfinite(box.length) &&
+         std::isfinite(box.width) && std::isfinite(box.height) &&
+         std::isfinite(box.yaw);
+}
+
+}  // namespace
 
 double Scene::DurationSeconds() const {
   if (frames_.size() < 2) return 0.0;
@@ -28,6 +43,11 @@ size_t Scene::CountBySource(ObservationSource source) const {
 }
 
 Status Scene::Validate() const {
+  if (!std::isfinite(frame_rate_hz_) || frame_rate_hz_ <= 0.0) {
+    return Status::FailedPrecondition(
+        StrFormat("scene '%s': frame rate must be finite and positive",
+                  name_.c_str()));
+  }
   std::unordered_set<ObservationId> seen_ids;
   double prev_timestamp = -1.0;
   for (size_t i = 0; i < frames_.size(); ++i) {
@@ -37,9 +57,24 @@ Status Scene::Validate() const {
           StrFormat("scene '%s': frame %zu has index %d", name_.c_str(), i,
                     frame.index));
     }
-    if (frame.timestamp < prev_timestamp) {
+    // !(>=) instead of (<) so NaN timestamps are rejected rather than
+    // slipping through both orderings.
+    if (!(frame.timestamp >= prev_timestamp)) {
       return Status::FailedPrecondition(
-          StrFormat("scene '%s': frame %zu timestamp decreases",
+          StrFormat("scene '%s': frame %zu timestamp decreases or is not "
+                    "finite",
+                    name_.c_str(), i));
+    }
+    if (!std::isfinite(frame.timestamp)) {
+      return Status::FailedPrecondition(
+          StrFormat("scene '%s': frame %zu timestamp is not finite",
+                    name_.c_str(), i));
+    }
+    if (!std::isfinite(frame.ego_position.x) ||
+        !std::isfinite(frame.ego_position.y) ||
+        !std::isfinite(frame.ego_yaw)) {
+      return Status::FailedPrecondition(
+          StrFormat("scene '%s': frame %zu ego pose is not finite",
                     name_.c_str(), i));
     }
     prev_timestamp = frame.timestamp;
@@ -63,13 +98,28 @@ Status Scene::Validate() const {
                       name_.c_str(),
                       static_cast<unsigned long long>(obs.id)));
       }
-      if (!obs.box.IsValid()) {
+      if (!BoxIsFinite(obs.box)) {
         return Status::FailedPrecondition(
-            StrFormat("scene '%s': observation %llu has degenerate box",
+            StrFormat("scene '%s': observation %llu box has a non-finite "
+                      "field",
                       name_.c_str(),
                       static_cast<unsigned long long>(obs.id)));
       }
-      if (obs.confidence < 0.0 || obs.confidence > 1.0) {
+      if (!obs.box.IsValid()) {
+        return Status::FailedPrecondition(
+            StrFormat("scene '%s': observation %llu has degenerate box "
+                      "(non-positive extent)",
+                      name_.c_str(),
+                      static_cast<unsigned long long>(obs.id)));
+      }
+      if (!std::isfinite(obs.timestamp)) {
+        return Status::FailedPrecondition(
+            StrFormat("scene '%s': observation %llu timestamp is not finite",
+                      name_.c_str(),
+                      static_cast<unsigned long long>(obs.id)));
+      }
+      // Negated so NaN confidence fails the range check too.
+      if (!(obs.confidence >= 0.0 && obs.confidence <= 1.0)) {
         return Status::FailedPrecondition(
             StrFormat("scene '%s': observation %llu confidence out of range",
                       name_.c_str(),

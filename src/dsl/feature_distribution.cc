@@ -1,5 +1,7 @@
 #include "dsl/feature_distribution.h"
 
+#include <cmath>
+
 #include "common/logging.h"
 
 namespace fixy {
@@ -67,8 +69,10 @@ std::optional<double> FeatureDistribution::RawLikelihood(
 
 double FeatureDistribution::ApplyAofAndFloor(double likelihood) const {
   double transformed = aof_->Apply(likelihood);
-  // Keep the score strictly positive so ln(.) stays finite downstream.
-  if (transformed < stats::kScoreFloor) transformed = stats::kScoreFloor;
+  // Keep the score strictly positive and finite so ln(.) stays finite
+  // downstream and ranking comparisons stay well-ordered. The !(>= floor)
+  // form also maps a NaN from a misbehaving user AOF to the floor.
+  if (!(transformed >= stats::kScoreFloor)) transformed = stats::kScoreFloor;
   if (transformed > 1.0) transformed = 1.0;
   return transformed;
 }
@@ -76,6 +80,15 @@ double FeatureDistribution::ApplyAofAndFloor(double likelihood) const {
 std::optional<double> FeatureDistribution::Transform(
     std::optional<double> value, std::optional<ObjectClass> cls) const {
   if (!value.has_value()) return std::nullopt;
+  if (!std::isfinite(*value)) {
+    // Degenerate feature value (overflowed velocity, inf volume from a
+    // huge-but-validated box): maximally unlikely. Feeding likelihood 0
+    // through the AOF lets each application decide its rank — identity
+    // AOFs score it at the floor, the model-error inverting AOF ranks it
+    // first — instead of the non-finite value reaching an estimator,
+    // where NaN comparisons are undefined.
+    return ApplyAofAndFloor(0.0);
+  }
   std::optional<double> likelihood = RawLikelihood(*value, cls);
   if (!likelihood.has_value()) return std::nullopt;
   return ApplyAofAndFloor(*likelihood);
@@ -102,6 +115,12 @@ void FeatureDistribution::ScoreTrackObservations(
     ctx.ego_position = bundle.ego_position;
     for (const Observation& obs : bundle.observations) {
       const std::optional<double> value = f->Compute(obs, ctx);
+      if (value.has_value() && !std::isfinite(*value)) {
+        // Same degenerate-value contract as Transform(): maximally
+        // unlikely, routed through the AOF, never into the estimator.
+        out->push_back(ApplyAofAndFloor(0.0));
+        continue;
+      }
       const stats::Distribution* dist =
           value.has_value() ? DistributionFor(obs.object_class) : nullptr;
       if (!value.has_value() || dist == nullptr) {

@@ -149,15 +149,19 @@ Result<FactorGraph> FactorGraph::Compile(const TrackSet& tracks,
   return graph;
 }
 
-size_t FactorGraph::VariableIndex(size_t track_index, size_t bundle_index,
-                                  size_t obs_index) const {
-  FIXY_CHECK(track_index < variable_offsets_.size());
-  FIXY_CHECK(bundle_index < variable_offsets_[track_index].size());
-  const size_t base = variable_offsets_[track_index][bundle_index];
-  FIXY_CHECK(obs_index < tracks_.tracks[track_index]
-                             .bundles()[bundle_index]
-                             .observations.size());
-  return base + obs_index;
+std::optional<size_t> FactorGraph::VariableIndex(size_t track_index,
+                                                 size_t bundle_index,
+                                                 size_t obs_index) const {
+  if (track_index >= variable_offsets_.size()) return std::nullopt;
+  if (bundle_index >= variable_offsets_[track_index].size()) {
+    return std::nullopt;
+  }
+  if (obs_index >= tracks_.tracks[track_index]
+                       .bundles()[bundle_index]
+                       .observations.size()) {
+    return std::nullopt;
+  }
+  return variable_offsets_[track_index][bundle_index] + obs_index;
 }
 
 std::optional<double> FactorGraph::ScoreVariableSet(
@@ -165,7 +169,7 @@ std::optional<double> FactorGraph::ScoreVariableSet(
   std::unordered_set<size_t> seen_factors;
   double sum = 0.0;
   for (size_t v : variable_indices) {
-    FIXY_CHECK(v < variables_.size());
+    if (v >= variables_.size()) return std::nullopt;
     for (size_t f : variables_[v].factors) {
       if (!seen_factors.insert(f).second) continue;
       sum += std::log(factors_[f].score);
@@ -178,7 +182,7 @@ std::optional<double> FactorGraph::ScoreVariableSet(
 
 std::optional<double> FactorGraph::ScoreTrack(size_t track_index,
                                               bool normalize) const {
-  FIXY_CHECK(track_index < tracks_.tracks.size());
+  if (track_index >= tracks_.tracks.size()) return std::nullopt;
   std::vector<size_t> vars;
   const Track& track = tracks_.tracks[track_index];
   for (size_t b = 0; b < track.bundles().size(); ++b) {
@@ -191,9 +195,9 @@ std::optional<double> FactorGraph::ScoreTrack(size_t track_index,
 
 std::optional<double> FactorGraph::ScoreBundle(size_t track_index,
                                                size_t bundle_index) const {
-  FIXY_CHECK(track_index < tracks_.tracks.size());
+  if (track_index >= tracks_.tracks.size()) return std::nullopt;
   const Track& track = tracks_.tracks[track_index];
-  FIXY_CHECK(bundle_index < track.bundles().size());
+  if (bundle_index >= track.bundles().size()) return std::nullopt;
   std::vector<size_t> vars;
   for (size_t o = 0;
        o < track.bundles()[bundle_index].observations.size(); ++o) {
@@ -204,7 +208,6 @@ std::optional<double> FactorGraph::ScoreBundle(size_t track_index,
 
 std::optional<double> FactorGraph::ScoreObservation(
     size_t variable_index) const {
-  FIXY_CHECK(variable_index < variables_.size());
   return ScoreVariableSet({variable_index});
 }
 

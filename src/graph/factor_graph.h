@@ -69,10 +69,11 @@ class FactorGraph {
   const std::vector<VariableNode>& variables() const { return variables_; }
   const std::vector<FactorNode>& factors() const { return factors_; }
 
-  /// Variable index for the observation at (track, bundle, obs); aborts on
-  /// out-of-range indices.
-  size_t VariableIndex(size_t track_index, size_t bundle_index,
-                       size_t obs_index) const;
+  /// Variable index for the observation at (track, bundle, obs); nullopt
+  /// on out-of-range indices (queries never abort — the graph may have
+  /// been compiled from untrusted input).
+  std::optional<size_t> VariableIndex(size_t track_index, size_t bundle_index,
+                                      size_t obs_index) const;
 
   /// Sum of ln(score) over the factors adjacent to the given variables,
   /// counting each factor once, divided by the number of such factors
@@ -85,6 +86,7 @@ class FactorGraph {
       bool normalize = true) const;
 
   /// Component scores at the three granularities the applications rank.
+  /// Out-of-range indices yield nullopt, never an abort.
   std::optional<double> ScoreTrack(size_t track_index,
                                    bool normalize = true) const;
   std::optional<double> ScoreBundle(size_t track_index,

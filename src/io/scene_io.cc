@@ -227,6 +227,15 @@ Status SaveDataset(const Dataset& dataset, const std::string& directory) {
 }
 
 Result<Dataset> LoadDataset(const std::string& directory) {
+  FIXY_ASSIGN_OR_RETURN(DatasetLoadReport report,
+                        LoadDataset(directory, DatasetLoadOptions{}));
+  return std::move(report.dataset);
+}
+
+Result<DatasetLoadReport> LoadDataset(const std::string& directory,
+                                      const DatasetLoadOptions& options) {
+  // The manifest is the one file without which nothing can be loaded, so
+  // it is strict even in tolerant mode.
   FIXY_ASSIGN_OR_RETURN(std::string text,
                         ReadFile(directory + "/manifest.json"));
   FIXY_ASSIGN_OR_RETURN(json::Value manifest, json::Parse(text));
@@ -234,21 +243,29 @@ Result<Dataset> LoadDataset(const std::string& directory) {
   if (format != kManifestMarker) {
     return Status::InvalidArgument("not a fixy-dataset manifest");
   }
-  Dataset dataset;
-  FIXY_ASSIGN_OR_RETURN(dataset.name, manifest.GetString("name"));
+  DatasetLoadReport report;
+  FIXY_ASSIGN_OR_RETURN(report.dataset.name, manifest.GetString("name"));
   const json::Value* scenes = manifest.Find("scenes");
   if (scenes == nullptr || !scenes->is_array()) {
     return Status::InvalidArgument("manifest missing scenes array");
   }
   for (const json::Value& file : scenes->AsArray()) {
     if (!file.is_string()) {
-      return Status::InvalidArgument("manifest scene entry must be a string");
+      const Status bad =
+          Status::InvalidArgument("manifest scene entry must be a string");
+      if (!options.tolerant) return bad;
+      report.skipped.push_back({"<non-string manifest entry>", bad});
+      continue;
     }
-    FIXY_ASSIGN_OR_RETURN(Scene scene,
-                          LoadScene(directory + "/" + file.AsString()));
-    dataset.scenes.push_back(std::move(scene));
+    Result<Scene> scene = LoadScene(directory + "/" + file.AsString());
+    if (!scene.ok()) {
+      if (!options.tolerant) return scene.status();
+      report.skipped.push_back({file.AsString(), scene.status()});
+      continue;
+    }
+    report.dataset.scenes.push_back(std::move(scene).value());
   }
-  return dataset;
+  return report;
 }
 
 }  // namespace fixy::io

@@ -19,6 +19,7 @@
 #define FIXY_IO_SCENE_IO_H_
 
 #include <string>
+#include <vector>
 
 #include "common/result.h"
 #include "data/scene.h"
@@ -49,8 +50,38 @@ Result<Scene> LoadScene(const std::string& path);
 /// `<directory>/<scene-name>.fixy.json` plus a `manifest.json` listing them.
 Status SaveDataset(const Dataset& dataset, const std::string& directory);
 
-/// Loads a dataset previously written by SaveDataset.
+/// Loads a dataset previously written by SaveDataset. Strict: the first
+/// unreadable, unparseable, or invalid scene file fails the whole load.
 Result<Dataset> LoadDataset(const std::string& directory);
+
+/// Ingestion policy for LoadDataset.
+struct DatasetLoadOptions {
+  /// When true, scene files that cannot be read, parsed, or validated are
+  /// skipped with a per-file diagnostic instead of failing the load; the
+  /// returned dataset holds every scene that survived, in manifest order.
+  /// A missing or malformed manifest is still an error — there is nothing
+  /// to salvage without it.
+  bool tolerant = false;
+};
+
+/// One quarantined scene file from a tolerant load.
+struct SceneFileError {
+  /// The file name as listed in the manifest.
+  std::string file;
+  /// Why it was skipped (IoError or InvalidArgument/FailedPrecondition).
+  Status status;
+};
+
+/// A tolerant load's result: the surviving scenes plus per-file
+/// diagnostics for everything that was skipped (empty in strict mode).
+struct DatasetLoadReport {
+  Dataset dataset;
+  std::vector<SceneFileError> skipped;
+};
+
+/// Loads a dataset with the given ingestion policy; see DatasetLoadOptions.
+Result<DatasetLoadReport> LoadDataset(const std::string& directory,
+                                      const DatasetLoadOptions& options);
 
 }  // namespace fixy::io
 

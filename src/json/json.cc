@@ -391,6 +391,13 @@ void WriteEscaped(const std::string& s, std::string* out) {
 }
 
 void WriteNumber(double d, std::string* out) {
+  if (!std::isfinite(d)) {
+    // JSON has no NaN/Infinity literal. Emitting them would produce a
+    // document our own parser rejects; emit null instead (documented on
+    // Write() in json.h).
+    out->append("null");
+    return;
+  }
   if (d == std::floor(d) && std::abs(d) < 1e15) {
     // Integral value: emit without a decimal point.
     out->append(StrFormat("%lld", static_cast<long long>(d)));

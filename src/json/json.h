@@ -82,6 +82,11 @@ class Value {
 Result<Value> Parse(std::string_view text);
 
 /// Serializes `value`. With `pretty`, uses 2-space indentation.
+///
+/// Non-finite numbers (NaN, +/-Infinity) have no JSON representation and
+/// are written as `null` — the emitted document always re-parses, and the
+/// information loss is explicit at the reader (which sees a type mismatch
+/// rather than a silently corrupted number).
 std::string Write(const Value& value, bool pretty = false);
 
 }  // namespace fixy::json

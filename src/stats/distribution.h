@@ -58,7 +58,9 @@ class Distribution {
     const double mode = ModeDensity();
     if (mode <= 0.0) return kScoreFloor;
     const double s = density / mode;
-    if (s < kScoreFloor) return kScoreFloor;
+    // !(>=) maps a NaN density (degenerate estimator input) to the floor
+    // instead of letting it poison downstream ln(.) sums and sorts.
+    if (!(s >= kScoreFloor)) return kScoreFloor;
     if (s > 1.0) return 1.0;
     return s;
   }

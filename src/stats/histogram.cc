@@ -68,7 +68,9 @@ Result<HistogramDensity> HistogramDensity::FromParts(
 
 double HistogramDensity::Density(double x) const {
   const double offset = (x - lo_) / bin_width_;
-  if (offset < 0.0 ||
+  // Negated bounds check so a NaN offset (non-finite query) returns zero
+  // density instead of reaching the size_t cast, which is UB for NaN.
+  if (!(offset >= 0.0) ||
       offset >= static_cast<double>(counts_.size()) + 1e-12) {
     return 0.0;
   }

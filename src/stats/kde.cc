@@ -89,6 +89,9 @@ Result<GaussianKde> GaussianKde::FitWithBandwidth(std::vector<double> samples,
 }
 
 double GaussianKde::Density(double x) const {
+  // Non-finite queries have zero density by convention; letting them into
+  // lower_bound would break the comparator's ordering requirements.
+  if (!std::isfinite(x)) return 0.0;
   // Samples are sorted, so kernels further than 8 bandwidths contribute
   // less than 1e-14 of their mass and can be skipped.
   const double cutoff = 8.0 * bandwidth_;
@@ -103,6 +106,14 @@ double GaussianKde::Density(double x) const {
 void GaussianKde::DensityBatch(std::span<const double> xs,
                                std::span<double> out) const {
   FIXY_CHECK(xs.size() == out.size());
+  // NaN queries would make the sort/is_sorted comparators below violate
+  // strict weak ordering; fall back to the guarded scalar path. Finite
+  // inputs (the hot path) pay one linear scan.
+  if (std::any_of(xs.begin(), xs.end(),
+                  [](double x) { return !std::isfinite(x); })) {
+    for (size_t i = 0; i < xs.size(); ++i) out[i] = Density(xs[i]);
+    return;
+  }
   const bool ascending = std::is_sorted(xs.begin(), xs.end());
   size_t lo = 0;
   size_t hi = 0;

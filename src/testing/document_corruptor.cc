@@ -1,0 +1,275 @@
+#include "testing/document_corruptor.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstddef>
+#include <iterator>
+
+#include "common/string_util.h"
+#include "json/json.h"
+
+namespace fixy::testing {
+
+namespace {
+
+using json::Array;
+using json::Object;
+using json::Type;
+using json::Value;
+
+// Collects pointers to every value in the tree, root included, in a
+// deterministic depth-first order (object members are sorted by key).
+void CollectValues(Value* v, std::vector<Value*>* out) {
+  out->push_back(v);
+  if (v->is_array()) {
+    for (Value& element : v->AsArray()) CollectValues(&element, out);
+  } else if (v->is_object()) {
+    for (auto& [key, member] : v->AsObject()) CollectValues(&member, out);
+  }
+}
+
+void CollectObjects(Value* v, std::vector<Value*>* out) {
+  if (v->is_object() && !v->AsObject().empty()) out->push_back(v);
+  if (v->is_array()) {
+    for (Value& element : v->AsArray()) CollectObjects(&element, out);
+  } else if (v->is_object()) {
+    for (auto& [key, member] : v->AsObject()) CollectObjects(&member, out);
+  }
+}
+
+void CollectNumbers(Value* v, std::vector<Value*>* out) {
+  if (v->is_number()) out->push_back(v);
+  if (v->is_array()) {
+    for (Value& element : v->AsArray()) CollectNumbers(&element, out);
+  } else if (v->is_object()) {
+    for (auto& [key, member] : v->AsObject()) CollectNumbers(&member, out);
+  }
+}
+
+// Collects every array whose elements are objects carrying an "id" member
+// (the observation arrays of a .fixy scene).
+void CollectIdArrays(Value* v, std::vector<Array*>* out) {
+  if (v->is_array()) {
+    Array& arr = v->AsArray();
+    size_t with_id = 0;
+    for (Value& element : arr) {
+      if (element.is_object() && element.Find("id") != nullptr) ++with_id;
+    }
+    if (with_id >= 2) out->push_back(&arr);
+    for (Value& element : arr) CollectIdArrays(&element, out);
+  } else if (v->is_object()) {
+    for (auto& [key, member] : v->AsObject()) CollectIdArrays(&member, out);
+  }
+}
+
+// A replacement value guaranteed to have a different type than `v`.
+Value FlippedValue(const Value& v, Rng* rng) {
+  static const char* kStrings[] = {"corrupt", "", "NaN", "-3"};
+  switch (v.type()) {
+    case Type::kNumber:
+      return Value(kStrings[rng->UniformInt(4)]);
+    case Type::kString:
+      return rng->Bernoulli(0.5) ? Value(static_cast<double>(
+                                       rng->UniformInt(1000)) -
+                                   500.0)
+                                 : Value(nullptr);
+    case Type::kArray:
+      return rng->Bernoulli(0.5) ? Value(nullptr) : Value(-1.0);
+    case Type::kObject:
+      return rng->Bernoulli(0.5) ? Value(Array{}) : Value(false);
+    case Type::kBool:
+      return Value("true");
+    case Type::kNull:
+    default:
+      return Value(1e18);
+  }
+}
+
+std::string ApplyByteNoise(const std::string& document, Rng* rng,
+                           std::string* detail) {
+  std::string out = document;
+  if (out.empty()) {
+    *detail = "byte-noise(empty)";
+    return out;
+  }
+  const size_t count = 1 + rng->UniformInt(8);
+  for (size_t i = 0; i < count; ++i) {
+    const size_t pos = static_cast<size_t>(rng->UniformInt(out.size()));
+    // Printable ASCII, including structural characters like '}' and ','.
+    out[pos] = static_cast<char>(0x20 + rng->UniformInt(95));
+  }
+  *detail = StrFormat("byte-noise(%zu bytes)", count);
+  return out;
+}
+
+std::string ApplyTruncate(const std::string& document, Rng* rng,
+                          std::string* detail) {
+  if (document.empty()) {
+    *detail = "truncate(empty)";
+    return document;
+  }
+  const size_t keep = static_cast<size_t>(rng->UniformInt(document.size()));
+  *detail = StrFormat("truncate(%zu of %zu bytes)", keep, document.size());
+  return document.substr(0, keep);
+}
+
+// Replaces a numeric token in the raw text with a literal the JSON
+// grammar cannot represent (NaN, Infinity) or that overflows double
+// (1e999). Exercises the parser's number validation.
+std::string ApplyTextNumberInjection(const std::string& document, Rng* rng,
+                                     std::string* detail) {
+  static const char* kLiterals[] = {"NaN", "Infinity", "-Infinity",
+                                    "1e999", "-1e999"};
+  std::vector<size_t> digit_starts;
+  for (size_t i = 0; i < document.size(); ++i) {
+    const bool is_digit = document[i] >= '0' && document[i] <= '9';
+    const bool prev_numeric =
+        i > 0 && (std::isdigit(static_cast<unsigned char>(document[i - 1])) ||
+                  document[i - 1] == '-' || document[i - 1] == '.' ||
+                  document[i - 1] == 'e' || document[i - 1] == 'E');
+    if (is_digit && !prev_numeric) digit_starts.push_back(i);
+  }
+  if (digit_starts.empty()) {
+    return ApplyByteNoise(document, rng, detail);
+  }
+  const size_t start =
+      digit_starts[rng->UniformInt(digit_starts.size())];
+  size_t end = start;
+  while (end < document.size() &&
+         (std::isdigit(static_cast<unsigned char>(document[end])) ||
+          document[end] == '.' || document[end] == 'e' ||
+          document[end] == 'E' || document[end] == '-' ||
+          document[end] == '+')) {
+    ++end;
+  }
+  const char* literal = kLiterals[rng->UniformInt(5)];
+  *detail = StrFormat("text-number(%s at byte %zu)", literal, start);
+  return document.substr(0, start) + literal + document.substr(end);
+}
+
+}  // namespace
+
+const char* ToString(CorruptionKind kind) {
+  switch (kind) {
+    case CorruptionKind::kTruncate:
+      return "truncate";
+    case CorruptionKind::kByteNoise:
+      return "byte-noise";
+    case CorruptionKind::kTypeFlip:
+      return "type-flip";
+    case CorruptionKind::kFieldDrop:
+      return "field-drop";
+    case CorruptionKind::kNumberInjection:
+      return "number-injection";
+    case CorruptionKind::kDuplicateId:
+      return "duplicate-id";
+  }
+  return "unknown";
+}
+
+DocumentCorruptor::DocumentCorruptor(uint64_t seed) : rng_(seed) {}
+
+std::string DocumentCorruptor::Apply(CorruptionKind kind,
+                                     const std::string& document,
+                                     std::string* detail) {
+  // Text-level mutations never need the document to parse.
+  if (kind == CorruptionKind::kTruncate) {
+    return ApplyTruncate(document, &rng_, detail);
+  }
+  if (kind == CorruptionKind::kByteNoise) {
+    return ApplyByteNoise(document, &rng_, detail);
+  }
+  if (kind == CorruptionKind::kNumberInjection && rng_.Bernoulli(0.5)) {
+    return ApplyTextNumberInjection(document, &rng_, detail);
+  }
+
+  // Structural mutations operate on the parsed tree. If an earlier
+  // mutation already broke the syntax there is no tree to edit; degrade
+  // to byte noise so the call still mutates something.
+  Result<Value> parsed = json::Parse(document);
+  if (!parsed.ok()) {
+    return ApplyByteNoise(document, &rng_, detail);
+  }
+  Value root = std::move(*parsed);
+
+  switch (kind) {
+    case CorruptionKind::kTypeFlip: {
+      std::vector<Value*> values;
+      CollectValues(&root, &values);
+      Value* target = values[rng_.UniformInt(values.size())];
+      const Value replacement = FlippedValue(*target, &rng_);
+      *detail = StrFormat("type-flip(#%zu)", values.size());
+      *target = replacement;
+      break;
+    }
+    case CorruptionKind::kFieldDrop: {
+      std::vector<Value*> objects;
+      CollectObjects(&root, &objects);
+      if (objects.empty()) {
+        return ApplyByteNoise(document, &rng_, detail);
+      }
+      Object& obj = objects[rng_.UniformInt(objects.size())]->AsObject();
+      auto it = obj.begin();
+      std::advance(it, static_cast<long>(rng_.UniformInt(obj.size())));
+      *detail = StrFormat("field-drop(%s)", it->first.c_str());
+      obj.erase(it);
+      break;
+    }
+    case CorruptionKind::kNumberInjection: {
+      std::vector<Value*> numbers;
+      CollectNumbers(&root, &numbers);
+      if (numbers.empty()) {
+        return ApplyTextNumberInjection(document, &rng_, detail);
+      }
+      static const double kHostile[] = {1e300, -1e300, 1e15, -1e15, 0.0,
+                                        -1.0};
+      Value* target = numbers[rng_.UniformInt(numbers.size())];
+      const double injected = kHostile[rng_.UniformInt(6)];
+      *detail = StrFormat("tree-number(%g)", injected);
+      *target = Value(injected);
+      break;
+    }
+    case CorruptionKind::kDuplicateId: {
+      std::vector<Array*> arrays;
+      CollectIdArrays(&root, &arrays);
+      if (arrays.empty()) {
+        return ApplyByteNoise(document, &rng_, detail);
+      }
+      Array& arr = *arrays[rng_.UniformInt(arrays.size())];
+      const size_t from = rng_.UniformInt(arr.size());
+      size_t to = rng_.UniformInt(arr.size());
+      if (to == from) to = (to + 1) % arr.size();
+      const Value* id = arr[from].Find("id");
+      if (id == nullptr || !arr[to].is_object()) {
+        return ApplyByteNoise(document, &rng_, detail);
+      }
+      *detail = StrFormat("duplicate-id(%zu -> %zu)", from, to);
+      arr[to].AsObject()["id"] = *id;
+      break;
+    }
+    case CorruptionKind::kTruncate:
+    case CorruptionKind::kByteNoise:
+      break;  // handled above
+  }
+  return json::Write(root);
+}
+
+CorruptionResult DocumentCorruptor::Corrupt(const std::string& document) {
+  static const CorruptionKind kKinds[] = {
+      CorruptionKind::kTruncate,     CorruptionKind::kByteNoise,
+      CorruptionKind::kTypeFlip,     CorruptionKind::kFieldDrop,
+      CorruptionKind::kNumberInjection, CorruptionKind::kDuplicateId,
+  };
+  CorruptionResult result;
+  result.document = document;
+  const size_t count = 1 + rng_.UniformInt(3);
+  for (size_t i = 0; i < count; ++i) {
+    const CorruptionKind kind = kKinds[rng_.UniformInt(6)];
+    std::string detail;
+    result.document = Apply(kind, result.document, &detail);
+    result.mutations.push_back(detail.empty() ? ToString(kind) : detail);
+  }
+  return result;
+}
+
+}  // namespace fixy::testing

@@ -61,6 +61,15 @@ sim::SimProfile* BatchRankTest::profile_ = nullptr;
 sim::GeneratedDataset* BatchRankTest::dataset_ = nullptr;
 Fixy* BatchRankTest::fixy_ = nullptr;
 
+// Makes scene `index` of a copy of the fixture dataset fail validation
+// (and thus RankScene) deterministically: its first frame's index no
+// longer matches its position.
+Dataset PoisonScene(const Dataset& dataset, size_t index) {
+  Dataset poisoned = dataset;
+  poisoned.scenes[index].frames().front().index = 9999;
+  return poisoned;
+}
+
 TEST_F(BatchRankTest, RequiresLearn) {
   const Fixy unlearned;
   const auto result = unlearned.RankDataset(dataset_->dataset,
@@ -73,7 +82,51 @@ TEST_F(BatchRankTest, EmptyDatasetYieldsEmptyResult) {
   const auto result =
       fixy_->RankDataset(empty, Application::kMissingTracks);
   ASSERT_TRUE(result.ok());
-  EXPECT_TRUE(result->empty());
+  EXPECT_TRUE(result->outcomes.empty());
+  EXPECT_TRUE(result->all_ok());
+  EXPECT_EQ(result->scenes_ok, 0u);
+  EXPECT_EQ(result->scenes_failed, 0u);
+}
+
+TEST_F(BatchRankTest, EmptyDatasetOkEvenWithFailFast) {
+  const Dataset empty;
+  BatchOptions options;
+  options.fail_fast = true;
+  const auto result =
+      fixy_->RankDataset(empty, Application::kModelErrors, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->outcomes.empty());
+}
+
+// Scenes with frames but no observations (and scenes with no frames at
+// all) are valid inputs: they rank to ok outcomes with zero proposals
+// rather than failing the batch.
+TEST_F(BatchRankTest, EmptyFrameScenesRankToEmptyProposals) {
+  Dataset dataset;
+  dataset.name = "empties";
+  Scene no_frames("no_frames", 10.0);
+  dataset.scenes.push_back(no_frames);
+  Scene empty_frames("empty_frames", 10.0);
+  for (int i = 0; i < 3; ++i) {
+    Frame frame;
+    frame.index = i;
+    frame.timestamp = 0.1 * i;
+    empty_frames.AddFrame(frame);
+  }
+  dataset.scenes.push_back(empty_frames);
+  for (const Application app :
+       {Application::kMissingTracks, Application::kMissingObservations,
+        Application::kModelErrors}) {
+    const auto result = fixy_->RankDataset(dataset, app);
+    ASSERT_TRUE(result.ok());
+    ASSERT_EQ(result->outcomes.size(), 2u);
+    EXPECT_TRUE(result->all_ok());
+    EXPECT_EQ(result->scenes_ok, 2u);
+    for (const SceneOutcome& outcome : result->outcomes) {
+      EXPECT_TRUE(outcome.ok()) << outcome.status;
+      EXPECT_TRUE(outcome.proposals.empty());
+    }
+  }
 }
 
 TEST_F(BatchRankTest, ReturnsOneRankedListPerSceneInOrder) {
@@ -81,14 +134,19 @@ TEST_F(BatchRankTest, ReturnsOneRankedListPerSceneInOrder) {
                                          Application::kMissingTracks,
                                          BatchOptions{4});
   ASSERT_TRUE(result.ok());
-  ASSERT_EQ(result->size(), dataset_->dataset.scenes.size());
-  for (size_t s = 0; s < result->size(); ++s) {
-    for (const ErrorProposal& p : (*result)[s]) {
+  ASSERT_EQ(result->outcomes.size(), dataset_->dataset.scenes.size());
+  EXPECT_EQ(result->scenes_ok, dataset_->dataset.scenes.size());
+  EXPECT_TRUE(result->all_ok());
+  for (size_t s = 0; s < result->outcomes.size(); ++s) {
+    const SceneOutcome& outcome = result->outcomes[s];
+    EXPECT_TRUE(outcome.ok());
+    EXPECT_EQ(outcome.scene_name, dataset_->dataset.scenes[s].name());
+    for (const ErrorProposal& p : outcome.proposals) {
       EXPECT_EQ(p.scene_name, dataset_->dataset.scenes[s].name());
     }
     // Ranked most-suspicious-first.
-    for (size_t i = 1; i < (*result)[s].size(); ++i) {
-      EXPECT_GE((*result)[s][i - 1].score, (*result)[s][i].score);
+    for (size_t i = 1; i < outcome.proposals.size(); ++i) {
+      EXPECT_GE(outcome.proposals[i - 1].score, outcome.proposals[i].score);
     }
   }
 }
@@ -107,9 +165,10 @@ TEST_F(BatchRankTest, ParallelOutputIdenticalToSerial) {
       const auto parallel =
           fixy_->RankDataset(dataset_->dataset, app, BatchOptions{threads});
       ASSERT_TRUE(parallel.ok());
-      ASSERT_EQ(serial->size(), parallel->size());
-      for (size_t s = 0; s < serial->size(); ++s) {
-        ExpectProposalsIdentical((*serial)[s], (*parallel)[s]);
+      ASSERT_EQ(serial->outcomes.size(), parallel->outcomes.size());
+      for (size_t s = 0; s < serial->outcomes.size(); ++s) {
+        ExpectProposalsIdentical(serial->outcomes[s].proposals,
+                                 parallel->outcomes[s].proposals);
       }
     }
   }
@@ -126,8 +185,74 @@ TEST_F(BatchRankTest, BatchAgreesWithSingleSceneCalls) {
     const auto single =
         fixy_->FindMissingTracks(dataset_->dataset.scenes[s]);
     ASSERT_TRUE(single.ok());
-    ExpectProposalsIdentical(*single, (*batch)[s]);
+    ExpectProposalsIdentical(*single, batch->outcomes[s].proposals);
   }
+}
+
+// The partial-failure contract: one poisoned scene is quarantined with its
+// error, and every healthy scene's proposals are byte-identical to the
+// all-clean run — at every thread count.
+TEST_F(BatchRankTest, PoisonedSceneQuarantinedOthersUnaffected) {
+  constexpr size_t kPoisoned = 5;
+  const Dataset poisoned = PoisonScene(dataset_->dataset, kPoisoned);
+  const auto clean = fixy_->RankDataset(dataset_->dataset,
+                                        Application::kMissingTracks,
+                                        BatchOptions{1});
+  ASSERT_TRUE(clean.ok());
+  for (int threads = 1; threads <= 8; ++threads) {
+    const auto result = fixy_->RankDataset(
+        poisoned, Application::kMissingTracks, BatchOptions{threads});
+    ASSERT_TRUE(result.ok()) << "threads=" << threads;
+    ASSERT_EQ(result->outcomes.size(), dataset_->dataset.scenes.size());
+    EXPECT_EQ(result->scenes_ok, dataset_->dataset.scenes.size() - 1);
+    EXPECT_EQ(result->scenes_failed, 1u);
+    EXPECT_EQ(result->scenes_quarantined, 1u);
+    EXPECT_FALSE(result->all_ok());
+    for (size_t s = 0; s < result->outcomes.size(); ++s) {
+      if (s == kPoisoned) {
+        EXPECT_FALSE(result->outcomes[s].ok());
+        EXPECT_TRUE(result->outcomes[s].proposals.empty());
+        continue;
+      }
+      EXPECT_TRUE(result->outcomes[s].ok()) << "threads=" << threads;
+      ExpectProposalsIdentical(clean->outcomes[s].proposals,
+                               result->outcomes[s].proposals);
+    }
+  }
+}
+
+// With fail_fast the call fails with the *first* failing scene's error in
+// dataset order, no matter which worker hit its failure first.
+TEST_F(BatchRankTest, FailFastReturnsFirstFailureInDatasetOrder) {
+  Dataset poisoned = PoisonScene(dataset_->dataset, 3);
+  poisoned.scenes[10].frames().front().index = 9999;
+  BatchOptions options;
+  options.fail_fast = true;
+  for (const int threads : {1, 2, 8}) {
+    options.num_threads = threads;
+    const auto result = fixy_->RankDataset(
+        poisoned, Application::kMissingTracks, options);
+    ASSERT_FALSE(result.ok()) << "threads=" << threads;
+    EXPECT_NE(result.status().message().find(
+                  poisoned.scenes[3].name()),
+              std::string::npos)
+        << result.status();
+  }
+}
+
+// Without fail_fast the same two-failure batch succeeds with both scenes
+// quarantined.
+TEST_F(BatchRankTest, TwoPoisonedScenesBothQuarantined) {
+  Dataset poisoned = PoisonScene(dataset_->dataset, 3);
+  poisoned.scenes[10].frames().front().index = 9999;
+  const auto result = fixy_->RankDataset(
+      poisoned, Application::kMissingTracks, BatchOptions{4});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->scenes_failed, 2u);
+  EXPECT_EQ(result->scenes_quarantined, 2u);
+  EXPECT_EQ(result->scenes_ok, dataset_->dataset.scenes.size() - 2);
+  EXPECT_FALSE(result->outcomes[3].ok());
+  EXPECT_FALSE(result->outcomes[10].ok());
 }
 
 // The cached-spec fast path must not change results relative to building

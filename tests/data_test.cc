@@ -2,6 +2,8 @@
 // failure injection), bundles, and tracks.
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "data/observation.h"
 #include "data/scene.h"
 #include "data/track.h"
@@ -141,6 +143,79 @@ TEST(SceneValidateTest, RejectsDegenerateBox) {
 TEST(SceneValidateTest, RejectsOutOfRangeConfidence) {
   Scene scene = MakeValidScene();
   scene.frames()[0].observations[0].confidence = 1.5;
+  EXPECT_FALSE(scene.Validate().ok());
+}
+
+TEST(SceneValidateTest, RejectsNanConfidence) {
+  Scene scene = MakeValidScene();
+  scene.frames()[0].observations[0].confidence =
+      std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(scene.Validate().ok());
+}
+
+TEST(SceneValidateTest, RejectsNonFiniteBoxFields) {
+  const double kNan = std::numeric_limits<double>::quiet_NaN();
+  const double kInf = std::numeric_limits<double>::infinity();
+  {
+    Scene scene = MakeValidScene();
+    scene.frames()[0].observations[0].box.center.x = kNan;
+    EXPECT_FALSE(scene.Validate().ok());
+  }
+  {
+    Scene scene = MakeValidScene();
+    scene.frames()[0].observations[0].box.length = kInf;
+    EXPECT_FALSE(scene.Validate().ok());
+  }
+  {
+    Scene scene = MakeValidScene();
+    scene.frames()[0].observations[0].box.yaw = -kInf;
+    EXPECT_FALSE(scene.Validate().ok());
+  }
+}
+
+TEST(SceneValidateTest, RejectsNegativeBoxExtent) {
+  Scene scene = MakeValidScene();
+  scene.frames()[0].observations[0].box.height = -1.0;
+  EXPECT_FALSE(scene.Validate().ok());
+}
+
+TEST(SceneValidateTest, RejectsNanFrameTimestamp) {
+  Scene scene = MakeValidScene();
+  scene.frames()[1].timestamp = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(scene.Validate().ok());
+}
+
+TEST(SceneValidateTest, RejectsNonFiniteEgoPose) {
+  {
+    Scene scene = MakeValidScene();
+    scene.frames()[0].ego_position.x =
+        std::numeric_limits<double>::infinity();
+    EXPECT_FALSE(scene.Validate().ok());
+  }
+  {
+    Scene scene = MakeValidScene();
+    scene.frames()[0].ego_yaw = std::numeric_limits<double>::quiet_NaN();
+    EXPECT_FALSE(scene.Validate().ok());
+  }
+}
+
+TEST(SceneValidateTest, RejectsNonFiniteFrameRate) {
+  {
+    Scene scene = MakeValidScene();
+    scene.set_frame_rate_hz(std::numeric_limits<double>::quiet_NaN());
+    EXPECT_FALSE(scene.Validate().ok());
+  }
+  {
+    Scene scene = MakeValidScene();
+    scene.set_frame_rate_hz(0.0);
+    EXPECT_FALSE(scene.Validate().ok());
+  }
+}
+
+TEST(SceneValidateTest, RejectsNanObservationTimestamp) {
+  Scene scene = MakeValidScene();
+  scene.frames()[0].observations[0].timestamp =
+      std::numeric_limits<double>::quiet_NaN();
   EXPECT_FALSE(scene.Validate().ok());
 }
 

@@ -1,0 +1,229 @@
+// The fault-injection harness (robustness tentpole): seeded corrupted
+// .fixy documents driven through the full parse -> validate -> rank
+// pipeline. The contract under test: hostile input is either rejected
+// with a Status at the ingestion boundary or scored normally — never a
+// crash, abort, non-finite score, or poisoned neighbour in a batch.
+//
+// Run under FIXY_SANITIZE=address and =thread (tools/check.sh) to turn
+// latent UB on these paths into hard failures.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "io/scene_io.h"
+#include "sim/generate.h"
+#include "testing/document_corruptor.h"
+
+namespace fixy {
+namespace {
+
+// Joins a corruption history for failure messages.
+std::string Describe(const testing::CorruptionResult& corruption) {
+  std::string out;
+  for (const std::string& m : corruption.mutations) {
+    if (!out.empty()) out += ", ";
+    out += m;
+  }
+  return out;
+}
+
+// gtest's ASSERT_* macros only work in void functions; this keeps the
+// boolean return of DriveThroughPipeline while still failing loudly.
+#define ASSERT_OK_OR_RETURN(result, seed, description)                 \
+  do {                                                                 \
+    if (!(result).ok()) {                                              \
+      EXPECT_TRUE((result).ok())                                       \
+          << "seed=" << (seed) << " mutations=[" << (description)      \
+          << "] rank failed: " << (result).status();                   \
+      return true;                                                     \
+    }                                                                  \
+  } while (0)
+
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    // Small scenes keep 1000+ corruption rounds fast; the document still
+    // exercises every schema element (frames, ego, observations, boxes).
+    sim::SimProfile profile = sim::LyftLikeProfile();
+    profile.world.duration_seconds = 2.0;
+    profile.world.mean_object_count = 6.0;
+
+    fixy_ = new Fixy();
+    const sim::GeneratedDataset training =
+        sim::GenerateDataset(profile, "fuzz_train", 3, 911);
+    ASSERT_TRUE(fixy_->Learn(training.dataset).ok());
+
+    base_documents_ = new std::vector<std::string>();
+    for (int i = 0; i < 4; ++i) {
+      const sim::GeneratedScene generated = sim::GenerateScene(
+          profile, "fuzz_base_" + std::to_string(i), 1000 + i);
+      base_documents_->push_back(io::SceneToString(generated.scene));
+    }
+  }
+
+  static void TearDownTestSuite() {
+    delete fixy_;
+    delete base_documents_;
+    fixy_ = nullptr;
+    base_documents_ = nullptr;
+  }
+
+  // Runs one corrupted document through the pipeline; returns true if it
+  // survived to ranking. Any crash/abort fails the whole binary; this
+  // only asserts score sanity on the survivors.
+  static bool DriveThroughPipeline(const std::string& document,
+                                   uint64_t seed,
+                                   const std::string& description) {
+    Result<Scene> scene = io::SceneFromString(document);
+    if (!scene.ok()) return false;  // rejected at the ingestion boundary
+
+    const Application app = static_cast<Application>(seed % 3);
+    Dataset dataset;
+    dataset.scenes.push_back(*scene);
+    const Result<BatchReport> report =
+        fixy_->RankDataset(dataset, app, BatchOptions{1});
+    ASSERT_OK_OR_RETURN(report, seed, description);
+    for (const SceneOutcome& outcome : report->outcomes) {
+      if (!outcome.ok()) continue;  // quarantined: also acceptable
+      for (const ErrorProposal& p : outcome.proposals) {
+        EXPECT_TRUE(std::isfinite(p.score))
+            << "seed=" << seed << " mutations=[" << description
+            << "] produced non-finite score";
+      }
+    }
+    return true;
+  }
+
+  static Fixy* fixy_;
+  static std::vector<std::string>* base_documents_;
+};
+
+Fixy* FaultInjectionTest::fixy_ = nullptr;
+std::vector<std::string>* FaultInjectionTest::base_documents_ = nullptr;
+
+// The corruptor itself is deterministic: same seed, same document, same
+// mutations and output.
+TEST_F(FaultInjectionTest, CorruptorIsDeterministic) {
+  const std::string& doc = base_documents_->front();
+  for (uint64_t seed : {0u, 1u, 42u, 977u}) {
+    fixy::testing::DocumentCorruptor a(seed);
+    fixy::testing::DocumentCorruptor b(seed);
+    const auto ra = a.Corrupt(doc);
+    const auto rb = b.Corrupt(doc);
+    EXPECT_EQ(ra.document, rb.document) << "seed=" << seed;
+    EXPECT_EQ(ra.mutations, rb.mutations) << "seed=" << seed;
+  }
+}
+
+// The acceptance gate: >= 1000 seeded corrupted documents through
+// parse -> validate -> rank with zero crashes, aborts, or non-finite
+// scores. Also sanity-checks the corruptor: some documents must die at
+// the parser, some must survive all the way to ranking — otherwise the
+// corruptor is either too destructive or a no-op and the test would be
+// vacuous.
+TEST_F(FaultInjectionTest, ThousandCorruptedDocumentsNeverCrashThePipeline) {
+  constexpr uint64_t kRounds = 1200;
+  size_t rejected = 0;
+  size_t ranked = 0;
+  for (uint64_t seed = 0; seed < kRounds; ++seed) {
+    fixy::testing::DocumentCorruptor corruptor(seed);
+    const std::string& base =
+        (*base_documents_)[seed % base_documents_->size()];
+    const fixy::testing::CorruptionResult corruption =
+        corruptor.Corrupt(base);
+    if (DriveThroughPipeline(corruption.document, seed,
+                             Describe(corruption))) {
+      ++ranked;
+    } else {
+      ++rejected;
+    }
+    if (::testing::Test::HasFatalFailure()) {
+      FAIL() << "fatal failure at seed " << seed << " mutations=["
+             << Describe(corruption) << "]";
+    }
+  }
+  EXPECT_EQ(rejected + ranked, kRounds);
+  // Corruptor sanity: both outcomes must actually occur.
+  EXPECT_GT(rejected, 0u) << "no corrupted document was ever rejected";
+  EXPECT_GT(ranked, 0u) << "no corrupted document ever survived to rank";
+}
+
+// Every corruption kind individually, across many seeds — narrower than
+// the big sweep, but failures pin directly to one mutation family.
+TEST_F(FaultInjectionTest, EachCorruptionKindIsSurvivable) {
+  using fixy::testing::CorruptionKind;
+  const CorruptionKind kinds[] = {
+      CorruptionKind::kTruncate,     CorruptionKind::kByteNoise,
+      CorruptionKind::kTypeFlip,     CorruptionKind::kFieldDrop,
+      CorruptionKind::kNumberInjection, CorruptionKind::kDuplicateId,
+  };
+  for (const CorruptionKind kind : kinds) {
+    for (uint64_t seed = 0; seed < 40; ++seed) {
+      fixy::testing::DocumentCorruptor corruptor(seed);
+      std::string detail;
+      const std::string mutated = corruptor.Apply(
+          kind, base_documents_->front(), &detail);
+      DriveThroughPipeline(mutated, seed,
+                           std::string(ToString(kind)) + ": " + detail);
+    }
+  }
+}
+
+// Batch poisoning, fuzz edition: corrupted documents that survive parsing
+// share a batch with a clean scene; the clean scene's proposals must be
+// byte-identical to ranking it alone, for serial and parallel runs.
+TEST_F(FaultInjectionTest, SurvivingCorruptScenesNeverPoisonCleanScene) {
+  sim::SimProfile profile = sim::LyftLikeProfile();
+  profile.world.duration_seconds = 2.0;
+  profile.world.mean_object_count = 6.0;
+  const sim::GeneratedScene clean =
+      sim::GenerateScene(profile, "fuzz_clean", 4242);
+
+  // Reference: the clean scene ranked alone.
+  Dataset solo;
+  solo.scenes.push_back(clean.scene);
+  const auto reference =
+      fixy_->RankDataset(solo, Application::kMissingTracks, BatchOptions{1});
+  ASSERT_TRUE(reference.ok());
+
+  // Collect survivors until the batch has a few hostile neighbours.
+  Dataset mixed;
+  for (uint64_t seed = 5000; seed < 5400 && mixed.scenes.size() < 6;
+       ++seed) {
+    fixy::testing::DocumentCorruptor corruptor(seed);
+    const fixy::testing::CorruptionResult corruption = corruptor.Corrupt(
+        (*base_documents_)[seed % base_documents_->size()]);
+    Result<Scene> scene = io::SceneFromString(corruption.document);
+    if (!scene.ok()) continue;
+    scene->set_name("hostile_" + std::to_string(seed));
+    mixed.scenes.push_back(std::move(*scene));
+  }
+  ASSERT_FALSE(mixed.scenes.empty())
+      << "no corrupted document survived parsing; corruptor too destructive";
+  mixed.scenes.push_back(clean.scene);
+  const size_t clean_index = mixed.scenes.size() - 1;
+
+  for (const int threads : {1, 4}) {
+    const auto result = fixy_->RankDataset(
+        mixed, Application::kMissingTracks, BatchOptions{threads});
+    ASSERT_TRUE(result.ok()) << "threads=" << threads;
+    const SceneOutcome& outcome = result->outcomes[clean_index];
+    ASSERT_TRUE(outcome.ok());
+    ASSERT_EQ(outcome.proposals.size(),
+              reference->outcomes[0].proposals.size());
+    for (size_t i = 0; i < outcome.proposals.size(); ++i) {
+      EXPECT_EQ(outcome.proposals[i].score,
+                reference->outcomes[0].proposals[i].score);
+      EXPECT_EQ(outcome.proposals[i].track_id,
+                reference->outcomes[0].proposals[i].track_id);
+    }
+  }
+}
+
+#undef ASSERT_OK_OR_RETURN
+
+}  // namespace
+}  // namespace fixy

@@ -206,6 +206,33 @@ TEST(FactorGraphTest, VariableIndexLookup) {
   EXPECT_EQ(graph->VariableIndex(1, 2, 0), 4u);
 }
 
+// Out-of-range queries return nullopt, never abort: a graph compiled from
+// untrusted input is queried with indices the caller did not validate.
+TEST(FactorGraphTest, VariableIndexOutOfRangeYieldsNullopt) {
+  TrackSet tracks;
+  tracks.tracks.push_back(SimpleTrack(0, 2));
+  const auto graph = FactorGraph::Compile(tracks, LoaSpec{}, 10.0);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_FALSE(graph->VariableIndex(1, 0, 0).has_value());   // bad track
+  EXPECT_FALSE(graph->VariableIndex(0, 2, 0).has_value());   // bad bundle
+  EXPECT_FALSE(graph->VariableIndex(0, 0, 5).has_value());   // bad obs
+  EXPECT_FALSE(graph->VariableIndex(99, 99, 99).has_value());
+}
+
+TEST(FactorGraphScoringTest, OutOfRangeScoreQueriesYieldNullopt) {
+  TrackSet tracks;
+  tracks.tracks.push_back(SimpleTrack(0, 2));
+  LoaSpec spec;
+  spec.feature_distributions.push_back(Fd<ConstObsFeature>(0.5));
+  const auto graph = FactorGraph::Compile(tracks, spec, 10.0);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_FALSE(graph->ScoreTrack(7).has_value());
+  EXPECT_FALSE(graph->ScoreBundle(0, 9).has_value());
+  EXPECT_FALSE(graph->ScoreBundle(3, 0).has_value());
+  EXPECT_FALSE(graph->ScoreObservation(1000).has_value());
+  EXPECT_FALSE(graph->ScoreVariableSet({0, 1000}).has_value());
+}
+
 TEST(FactorGraphTest, ToStringListsNodesAndFactors) {
   TrackSet tracks;
   tracks.tracks.push_back(SimpleTrack(0, 2));

@@ -198,6 +198,89 @@ TEST(DatasetIoTest, LoadManifestReferencingMissingSceneFails) {
   std::filesystem::remove_all(dir);
 }
 
+// Writes a three-scene dataset, then corrupts scene_b's file on disk.
+std::string MakeDatasetWithCorruptScene() {
+  const std::string dir = TempDir();
+  Dataset dataset;
+  dataset.name = "partial";
+  dataset.scenes.push_back(MakeScene("scene_a"));
+  dataset.scenes.push_back(MakeScene("scene_b"));
+  dataset.scenes.push_back(MakeScene("scene_c"));
+  EXPECT_TRUE(SaveDataset(dataset, dir).ok());
+  std::ofstream(dir + "/scene_b.fixy.json") << "{definitely not a scene";
+  return dir;
+}
+
+TEST(DatasetIoTest, StrictLoadFailsOnCorruptSceneFile) {
+  const std::string dir = MakeDatasetWithCorruptScene();
+  EXPECT_FALSE(LoadDataset(dir).ok());
+  DatasetLoadOptions strict;
+  strict.tolerant = false;
+  EXPECT_FALSE(LoadDataset(dir, strict).ok());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(DatasetIoTest, TolerantLoadSkipsCorruptSceneWithDiagnostic) {
+  const std::string dir = MakeDatasetWithCorruptScene();
+  DatasetLoadOptions tolerant;
+  tolerant.tolerant = true;
+  const auto loaded = LoadDataset(dir, tolerant);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ASSERT_EQ(loaded->dataset.scenes.size(), 2u);
+  EXPECT_EQ(loaded->dataset.scenes[0].name(), "scene_a");
+  EXPECT_EQ(loaded->dataset.scenes[1].name(), "scene_c");
+  ASSERT_EQ(loaded->skipped.size(), 1u);
+  EXPECT_EQ(loaded->skipped[0].file, "scene_b.fixy.json");
+  EXPECT_FALSE(loaded->skipped[0].status.ok());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(DatasetIoTest, TolerantLoadSkipsUnreadableSceneFile) {
+  const std::string dir = TempDir();
+  Dataset dataset;
+  dataset.name = "gone";
+  dataset.scenes.push_back(MakeScene("scene_a"));
+  ASSERT_TRUE(SaveDataset(dataset, dir).ok());
+  // Manifest lists a file that does not exist on disk.
+  std::ofstream(dir + "/manifest.json")
+      << R"({"format":"fixy-dataset","version":1,"name":"gone",)"
+      << R"("scenes":["scene_a.fixy.json","vanished.fixy.json"]})";
+  DatasetLoadOptions tolerant;
+  tolerant.tolerant = true;
+  const auto loaded = LoadDataset(dir, tolerant);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ASSERT_EQ(loaded->dataset.scenes.size(), 1u);
+  ASSERT_EQ(loaded->skipped.size(), 1u);
+  EXPECT_EQ(loaded->skipped[0].file, "vanished.fixy.json");
+  EXPECT_EQ(loaded->skipped[0].status.code(), StatusCode::kIoError);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(DatasetIoTest, TolerantLoadStillRejectsBrokenManifest) {
+  const std::string dir = TempDir();
+  std::ofstream(dir + "/manifest.json") << "{broken";
+  DatasetLoadOptions tolerant;
+  tolerant.tolerant = true;
+  EXPECT_FALSE(LoadDataset(dir, tolerant).ok());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(DatasetIoTest, TolerantLoadOnCleanDatasetSkipsNothing) {
+  const std::string dir = TempDir();
+  Dataset dataset;
+  dataset.name = "clean";
+  dataset.scenes.push_back(MakeScene("scene_a"));
+  dataset.scenes.push_back(MakeScene("scene_b"));
+  ASSERT_TRUE(SaveDataset(dataset, dir).ok());
+  DatasetLoadOptions tolerant;
+  tolerant.tolerant = true;
+  const auto loaded = LoadDataset(dir, tolerant);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->dataset.scenes.size(), 2u);
+  EXPECT_TRUE(loaded->skipped.empty());
+  std::filesystem::remove_all(dir);
+}
+
 TEST(SceneIoTest, SerializationIsDeterministic) {
   const Scene scene = MakeScene();
   EXPECT_EQ(SceneToString(scene), SceneToString(scene));

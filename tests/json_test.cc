@@ -145,6 +145,35 @@ TEST(JsonWriteTest, IntegralDoublesHaveNoDecimalPoint) {
   EXPECT_EQ(Write(Value(-42.0)), "-42");
 }
 
+TEST(JsonWriteTest, NonFiniteNumbersWriteAsNull) {
+  // The documented contract: NaN/Inf have no JSON representation, so the
+  // writer emits null and the document always re-parses.
+  const double kNan = std::numeric_limits<double>::quiet_NaN();
+  const double kInf = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(Write(Value(kNan)), "null");
+  EXPECT_EQ(Write(Value(kInf)), "null");
+  EXPECT_EQ(Write(Value(-kInf)), "null");
+}
+
+TEST(JsonWriteTest, NonFiniteNumbersRoundTripAsNull) {
+  Object obj;
+  obj["ok"] = 1.5;
+  obj["bad"] = std::numeric_limits<double>::quiet_NaN();
+  const std::string text = Write(Value(obj));
+  const Value parsed = MustParse(text);
+  EXPECT_TRUE(parsed.Find("bad")->is_null());
+  EXPECT_DOUBLE_EQ(parsed.Find("ok")->AsDouble(), 1.5);
+  // A second round trip is stable.
+  EXPECT_EQ(Write(parsed), text);
+}
+
+TEST(JsonParseTest, RejectsNonFiniteLiterals) {
+  EXPECT_FALSE(Parse("NaN").ok());
+  EXPECT_FALSE(Parse("Infinity").ok());
+  EXPECT_FALSE(Parse("[1e999]").ok());
+  EXPECT_FALSE(Parse("[-1e999]").ok());
+}
+
 TEST(JsonWriteTest, EscapesSpecialCharacters) {
   EXPECT_EQ(Write(Value("a\"b")), R"("a\"b")");
   EXPECT_EQ(Write(Value("a\nb")), R"("a\nb")");

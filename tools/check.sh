@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Full verification sweep: the plain tier-1 build + test run, then the
+# same suite under AddressSanitizer and ThreadSanitizer (separate build
+# trees; the FIXY_SANITIZE CMake option instruments every target).
+#
+# Usage:
+#   tools/check.sh            # plain + asan + tsan
+#   tools/check.sh plain      # just the tier-1 build/test
+#   tools/check.sh address    # just the asan build/test
+#   tools/check.sh thread     # just the tsan build/test
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+run_suite() {
+  local name="$1" build_dir="$2"
+  shift 2
+  echo "==== ${name}: configure + build (${build_dir}) ===="
+  cmake -B "${build_dir}" -S . "$@"
+  cmake --build "${build_dir}" -j "${JOBS}"
+  echo "==== ${name}: ctest ===="
+  (cd "${build_dir}" && ctest --output-on-failure -j "${JOBS}")
+  echo "==== ${name}: OK ===="
+}
+
+mode="${1:-all}"
+case "${mode}" in
+  plain)
+    run_suite "plain" build ;;
+  address)
+    run_suite "asan" build-asan -DFIXY_SANITIZE=address ;;
+  thread)
+    run_suite "tsan" build-tsan -DFIXY_SANITIZE=thread ;;
+  all)
+    run_suite "plain" build
+    run_suite "asan" build-asan -DFIXY_SANITIZE=address
+    run_suite "tsan" build-tsan -DFIXY_SANITIZE=thread ;;
+  *)
+    echo "usage: $0 [plain|address|thread|all]" >&2
+    exit 2 ;;
+esac
+echo "all requested suites passed"

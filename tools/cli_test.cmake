@@ -30,6 +30,39 @@ if(NOT EXISTS ${WORK}/proposals.json)
   message(FATAL_ERROR "rank --out did not write the proposals file")
 endif()
 
+# ---- Partial-failure fixture: corrupt one scene file on disk. ----
+run_cli(generate --out ${WORK}/broken --profile internal --scenes 2 --seed 7)
+file(GLOB BROKEN_SCENES ${WORK}/broken/*.fixy.json)
+list(SORT BROKEN_SCENES)
+list(GET BROKEN_SCENES 0 FIRST_SCENE)
+file(WRITE ${FIRST_SCENE} "{this is not a scene")
+
+# Strict rank (the default) must fail on the corrupt file.
+execute_process(COMMAND ${CLI} rank --data ${WORK}/broken --model ${WORK}/model.json
+                RESULT_VARIABLE rc OUTPUT_QUIET ERROR_QUIET)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "strict rank should fail on a corrupt scene file")
+endif()
+
+# --keep-going must skip the corrupt file, rank the rest, and exit 0.
+run_cli(rank --data ${WORK}/broken --model ${WORK}/model.json --keep-going)
+if(NOT CLI_OUTPUT MATCHES "SKIPPED")
+  message(FATAL_ERROR "keep-going rank missing SKIPPED diagnostic: ${CLI_OUTPUT}")
+endif()
+if(NOT CLI_OUTPUT MATCHES "ranked 1/1 scenes")
+  message(FATAL_ERROR "keep-going rank missing summary line: ${CLI_OUTPUT}")
+endif()
+
+# With every scene corrupt, even --keep-going must exit non-zero.
+foreach(scene ${BROKEN_SCENES})
+  file(WRITE ${scene} "{this is not a scene")
+endforeach()
+execute_process(COMMAND ${CLI} rank --data ${WORK}/broken --model ${WORK}/model.json --keep-going
+                RESULT_VARIABLE rc OUTPUT_QUIET ERROR_QUIET)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "keep-going rank should fail when ALL scenes are corrupt")
+endif()
+
 # Bad invocations must fail.
 execute_process(COMMAND ${CLI} frobnicate RESULT_VARIABLE rc OUTPUT_QUIET ERROR_QUIET)
 if(rc EQUAL 0)

@@ -20,6 +20,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -35,20 +36,28 @@
 namespace fixy::cli {
 namespace {
 
-// Minimal --flag value parser; every flag takes exactly one value.
+// Minimal --flag value parser; every flag takes exactly one value, except
+// the boolean switches listed in kBooleanFlags, which take none.
 class Flags {
  public:
   static Result<Flags> Parse(int argc, char** argv, int first) {
+    static const std::set<std::string> kBooleanFlags = {"keep-going",
+                                                        "fail-fast"};
     Flags flags;
     for (int i = first; i < argc; ++i) {
       const std::string arg = argv[i];
       if (arg.rfind("--", 0) != 0) {
         return Status::InvalidArgument("expected a --flag, got: " + arg);
       }
+      const std::string name = arg.substr(2);
+      if (kBooleanFlags.count(name) > 0) {
+        flags.values_[name] = "true";
+        continue;
+      }
       if (i + 1 >= argc) {
         return Status::InvalidArgument("flag needs a value: " + arg);
       }
-      flags.values_[arg.substr(2)] = argv[++i];
+      flags.values_[name] = argv[++i];
     }
     return flags;
   }
@@ -70,6 +79,10 @@ class Flags {
   int GetIntOr(const std::string& name, int fallback) const {
     const auto it = values_.find(name);
     return it == values_.end() ? fallback : std::atoi(it->second.c_str());
+  }
+
+  bool Has(const std::string& name) const {
+    return values_.count(name) > 0;
   }
 
  private:
@@ -132,10 +145,23 @@ Status CmdRank(const Flags& flags) {
   FIXY_ASSIGN_OR_RETURN(std::string model_path, flags.GetRequired("model"));
   const std::string app = flags.GetOr("app", "missing-tracks");
   const int top = flags.GetIntOr("top", 10);
+  // --keep-going: tolerate corrupt scene files at load and quarantine
+  // scenes that fail to rank; exit non-zero only when nothing ranked.
+  // --fail-fast restores strict first-failure-wins semantics (the default).
+  const bool keep_going = flags.Has("keep-going") && !flags.Has("fail-fast");
 
   const std::string out_path = flags.GetOr("out", "");
 
-  FIXY_ASSIGN_OR_RETURN(Dataset dataset, io::LoadDataset(data));
+  io::DatasetLoadOptions load_options;
+  load_options.tolerant = keep_going;
+  FIXY_ASSIGN_OR_RETURN(io::DatasetLoadReport loaded,
+                        io::LoadDataset(data, load_options));
+  for (const io::SceneFileError& skipped : loaded.skipped) {
+    std::printf("SKIPPED %s: %s\n", skipped.file.c_str(),
+                skipped.status.ToString().c_str());
+  }
+  const Dataset& dataset = loaded.dataset;
+
   Fixy fixy;
   FIXY_RETURN_IF_ERROR(fixy.LoadModel(model_path));
 
@@ -157,21 +183,37 @@ Status CmdRank(const Flags& flags) {
   // count.
   BatchOptions batch;
   batch.num_threads = flags.GetIntOr("threads", 0);
-  FIXY_ASSIGN_OR_RETURN(std::vector<std::vector<ErrorProposal>> per_scene,
+  batch.fail_fast = !keep_going;
+  FIXY_ASSIGN_OR_RETURN(BatchReport report,
                         fixy.RankDataset(dataset, application, batch));
 
   std::vector<ErrorProposal> all_proposals;
-  for (size_t s = 0; s < dataset.scenes.size(); ++s) {
-    const std::vector<ErrorProposal>& proposals = per_scene[s];
-    std::printf("%s: %zu candidates\n", dataset.scenes[s].name().c_str(),
-                proposals.size());
+  for (const SceneOutcome& outcome : report.outcomes) {
+    if (!outcome.ok()) {
+      std::printf("FAILED %s: %s\n", outcome.scene_name.c_str(),
+                  outcome.status.ToString().c_str());
+      continue;
+    }
+    std::printf("%s: %zu candidates\n", outcome.scene_name.c_str(),
+                outcome.proposals.size());
     int rank = 1;
-    for (const ErrorProposal& p : TopK(proposals, static_cast<size_t>(top))) {
+    const auto scene_top = TopK(outcome.proposals, static_cast<size_t>(top));
+    for (const ErrorProposal& p : scene_top) {
       std::printf("  #%2d %s\n", rank++, p.ToString().c_str());
     }
-    const auto scene_top = TopK(proposals, static_cast<size_t>(top));
     all_proposals.insert(all_proposals.end(), scene_top.begin(),
                          scene_top.end());
+  }
+  if (keep_going) {
+    std::printf("ranked %zu/%zu scenes (%zu quarantined, %zu files "
+                "skipped)\n",
+                report.scenes_ok, report.outcomes.size(),
+                report.scenes_quarantined, loaded.skipped.size());
+    const bool nothing_loaded =
+        report.outcomes.empty() && !loaded.skipped.empty();
+    if (nothing_loaded || (report.scenes_ok == 0 && report.scenes_failed > 0)) {
+      return Status::Internal("all scenes failed to load or rank");
+    }
   }
   if (!out_path.empty()) {
     FIXY_RETURN_IF_ERROR(SaveProposals(all_proposals, out_path));
@@ -210,6 +252,9 @@ void PrintUsage() {
       "  rank     --data DIR --model FILE [--app "
       "missing-tracks|missing-obs|model-errors] [--top K] [--out FILE]\n"
       "           [--threads N]  (0 = hardware concurrency)\n"
+      "           [--keep-going] skip corrupt scene files and quarantine\n"
+      "           failing scenes (exit non-zero only when all scenes fail);\n"
+      "           [--fail-fast] stop at the first failing scene (default)\n"
       "  info     --data DIR\n");
 }
 
