@@ -4,7 +4,14 @@
 // whole datasets, not the single 15 s scene of Section 8.1).
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/macros.h"
 #include "core/engine.h"
+#include "obs/metrics.h"
+#include "obs/metrics_json.h"
 #include "workloads.h"
 
 namespace fixy::bench {
@@ -77,7 +84,63 @@ BENCHMARK(BM_RankDatasetModelErrors)
     ->MeasureProcessCPUTime()
     ->UseRealTime();
 
+// One instrumented RankDataset per application, merged into a single
+// PipelineMetrics snapshot — the same schema fixy_cli's --metrics-json
+// emits, so bench output can be diffed against CLI output directly.
+Status DumpMetrics(const std::string& path) {
+  const TrainedPipeline& pipeline = LyftPipeline();
+  const Dataset& dataset = LyftDataset();
+  obs::MetricsCollector collector;
+  const obs::MetricsScope scope(&collector);
+  BatchOptions batch;
+  batch.collect_metrics = true;
+  for (const Application app :
+       {Application::kMissingTracks, Application::kMissingObservations,
+        Application::kModelErrors}) {
+    FIXY_ASSIGN_OR_RETURN(const BatchReport report,
+                          pipeline.fixy.RankDataset(dataset, app, batch));
+    collector.Merge(report.metrics);
+  }
+  const obs::PipelineMetrics snapshot = collector.Snapshot();
+  FIXY_RETURN_IF_ERROR(obs::ValidateMetrics(snapshot));
+  FIXY_RETURN_IF_ERROR(obs::SaveMetrics(snapshot, path));
+  std::printf("wrote metrics to %s\n", path.c_str());
+  return Status::Ok();
+}
+
 }  // namespace
 }  // namespace fixy::bench
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN plus a --metrics-json flag, peeled from argv before
+// google-benchmark sees it (it rejects flags it does not know).
+int main(int argc, char** argv) {
+  std::string metrics_path;
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--metrics-json=", 15) == 0) {
+      metrics_path = arg + 15;
+      continue;
+    }
+    if (std::strcmp(arg, "--metrics-json") == 0 && i + 1 < argc) {
+      metrics_path = argv[++i];
+      continue;
+    }
+    argv[kept++] = argv[i];
+  }
+  argc = kept;
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  if (!metrics_path.empty()) {
+    const fixy::Status status = fixy::bench::DumpMetrics(metrics_path);
+    if (!status.ok()) {
+      std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -7,6 +7,7 @@
 #include "core/features_std.h"
 #include "core/ranker.h"
 #include "graph/factor_graph.h"
+#include "obs/metrics.h"
 
 namespace fixy {
 
@@ -139,11 +140,16 @@ Result<std::vector<ErrorProposal>> FindMissingTracks(
     const Scene& scene, const LoaSpec& spec,
     const ApplicationOptions& options) {
   const TrackBuilder builder(options.track_builder);
+  obs::StageTimer build_timer;
   FIXY_ASSIGN_OR_RETURN(TrackSet tracks, builder.Build(scene));
+  obs::AddTimeNs("rank.track_build", build_timer.ElapsedNs());
 
+  obs::StageTimer compile_timer;
   FIXY_ASSIGN_OR_RETURN(
       FactorGraph graph,
       FactorGraph::Compile(tracks, spec, scene.frame_rate_hz()));
+  obs::AddTimeNs("rank.compile", compile_timer.ElapsedNs());
+  obs::Count("rank.factors", graph.factors().size());
 
   std::vector<ErrorProposal> proposals;
   for (size_t t = 0; t < graph.tracks().tracks.size(); ++t) {
@@ -160,6 +166,7 @@ Result<std::vector<ErrorProposal>> FindMissingTracks(
                                           *score));
   }
   RankProposals(&proposals);
+  obs::Count("rank.proposals", proposals.size());
   return proposals;
 }
 
@@ -174,11 +181,16 @@ Result<std::vector<ErrorProposal>> FindMissingObservations(
     const Scene& scene, const LoaSpec& spec,
     const ApplicationOptions& options) {
   const TrackBuilder builder(options.track_builder);
+  obs::StageTimer build_timer;
   FIXY_ASSIGN_OR_RETURN(TrackSet tracks, builder.Build(scene));
+  obs::AddTimeNs("rank.track_build", build_timer.ElapsedNs());
 
+  obs::StageTimer compile_timer;
   FIXY_ASSIGN_OR_RETURN(
       FactorGraph graph,
       FactorGraph::Compile(tracks, spec, scene.frame_rate_hz()));
+  obs::AddTimeNs("rank.compile", compile_timer.ElapsedNs());
+  obs::Count("rank.factors", graph.factors().size());
 
   std::vector<ErrorProposal> proposals;
   for (size_t t = 0; t < graph.tracks().tracks.size(); ++t) {
@@ -226,6 +238,7 @@ Result<std::vector<ErrorProposal>> FindMissingObservations(
     }
   }
   RankProposals(&proposals);
+  obs::Count("rank.proposals", proposals.size());
   return proposals;
 }
 
@@ -241,11 +254,16 @@ Result<std::vector<ErrorProposal>> FindModelErrors(
   // Section 8.4: no human proposals are assumed; drop them if present.
   const Scene model_scene = FilterToModelOnly(scene);
   const TrackBuilder builder(options.track_builder);
+  obs::StageTimer build_timer;
   FIXY_ASSIGN_OR_RETURN(TrackSet tracks, builder.Build(model_scene));
+  obs::AddTimeNs("rank.track_build", build_timer.ElapsedNs());
 
+  obs::StageTimer compile_timer;
   FIXY_ASSIGN_OR_RETURN(
       FactorGraph graph,
       FactorGraph::Compile(tracks, spec, model_scene.frame_rate_hz()));
+  obs::AddTimeNs("rank.compile", compile_timer.ElapsedNs());
+  obs::Count("rank.factors", graph.factors().size());
 
   std::vector<ErrorProposal> proposals;
   for (size_t t = 0; t < graph.tracks().tracks.size(); ++t) {
@@ -265,6 +283,7 @@ Result<std::vector<ErrorProposal>> FindModelErrors(
                                           ProposalKind::kModelError, *score));
   }
   RankProposals(&proposals);
+  obs::Count("rank.proposals", proposals.size());
   return proposals;
 }
 

@@ -1,5 +1,7 @@
 #include "core/engine.h"
 
+#include <algorithm>
+#include <chrono>
 #include <future>
 #include <utility>
 
@@ -13,6 +15,7 @@ namespace fixy {
 Fixy::Fixy(FixyOptions options) : options_(std::move(options)) {}
 
 Status Fixy::Learn(const Dataset& training) {
+  const obs::ScopedStageTimer learn_timer("learn.total");
   // Standard learned features (Table 2): class-conditional volume and
   // velocity, plus any user-provided extras.
   std::vector<FeaturePtr> features;
@@ -78,6 +81,7 @@ Status Fixy::LoadModel(const std::string& path) {
 }
 
 void Fixy::RebuildSpecs() {
+  const obs::ScopedStageTimer timer("learn.rebuild_specs");
   missing_tracks_spec_ =
       BuildMissingTracksSpec(learned_base_, options_.application);
   missing_observations_spec_ =
@@ -138,12 +142,26 @@ Result<BatchReport> Fixy::RankDataset(const Dataset& dataset, Application app,
   BatchReport report;
   report.outcomes.resize(scene_count);
 
+  const bool collect = batch.collect_metrics;
+  const obs::StageTimer total_timer;
+  // One collector per scene, touched only by the worker that ranks the
+  // scene: counters are exact per-scene event counts, and merging the
+  // snapshots back in dataset order afterwards makes the batch totals
+  // byte-identical at every thread count. With metrics off, a null scope
+  // is installed instead so an ambient caller-installed collector sees
+  // the same (empty) contribution from the serial and parallel paths.
+  std::vector<obs::PipelineMetrics> scene_metrics(collect ? scene_count : 0);
+
   // Each scene is scored independently against the shared immutable specs,
   // so outcomes land in pre-assigned slots and the merged output is
   // identical for any thread count. The online phase draws no randomness;
   // any per-scene variation comes only from the scene itself. A failing
   // scene writes only its own slot, so it cannot poison its neighbours.
-  auto rank_into_slot = [this, app, &dataset, &report](size_t i) {
+  auto rank_into_slot = [this, app, collect, &dataset, &report,
+                         &scene_metrics](size_t i, uint64_t queue_wait_ns) {
+    obs::MetricsCollector scene_collector;
+    const obs::MetricsScope scope(collect ? &scene_collector : nullptr);
+    const obs::StageTimer scene_timer;
     SceneOutcome& outcome = report.outcomes[i];
     outcome.scene_name = dataset.scenes[i].name();
     Result<std::vector<ErrorProposal>> proposals =
@@ -153,19 +171,35 @@ Result<BatchReport> Fixy::RankDataset(const Dataset& dataset, Application app,
     } else {
       outcome.status = proposals.status();
     }
+    if (collect) {
+      const uint64_t wall_ns = scene_timer.ElapsedNs();
+      outcome.wall_ms = static_cast<double>(wall_ns) * 1e-6;
+      scene_collector.Count("span.scene.calls");
+      scene_collector.AddTimeNs("span.scene", wall_ns);
+      // Recorded even when zero (the serial path) so the snapshot schema
+      // does not depend on the thread count.
+      scene_collector.AddTimeNs("batch.queue_wait", queue_wait_ns);
+      scene_metrics[i] = scene_collector.Snapshot();
+    }
   };
 
   const int threads = ThreadPool::ResolveThreadCount(batch.num_threads);
-  if (threads <= 1 || scene_count <= 1) {
+  const bool parallel = threads > 1 && scene_count > 1;
+  if (!parallel) {
     // Serial reference path: no pool, calling thread only.
-    for (size_t i = 0; i < scene_count; ++i) rank_into_slot(i);
+    for (size_t i = 0; i < scene_count; ++i) rank_into_slot(i, 0);
   } else {
     ThreadPool pool(threads);
     std::vector<std::future<void>> futures;
     futures.reserve(scene_count);
     for (size_t i = 0; i < scene_count; ++i) {
-      futures.push_back(pool.Submit([&rank_into_slot, i] {
-        rank_into_slot(i);
+      const auto enqueued = std::chrono::steady_clock::now();
+      futures.push_back(pool.Submit([&rank_into_slot, i, enqueued] {
+        const auto waited = std::chrono::steady_clock::now() - enqueued;
+        rank_into_slot(
+            i, static_cast<uint64_t>(
+                   std::chrono::duration_cast<std::chrono::nanoseconds>(waited)
+                       .count()));
       }));
     }
     for (std::future<void>& future : futures) future.get();
@@ -186,6 +220,25 @@ Result<BatchReport> Fixy::RankDataset(const Dataset& dataset, Application app,
     }
     ++report.scenes_failed;
     ++report.scenes_quarantined;
+  }
+
+  if (collect) {
+    for (const obs::PipelineMetrics& m : scene_metrics) {
+      report.metrics.MergeFrom(m);
+    }
+    report.metrics.counters["batch.scenes"] += scene_count;
+    report.metrics.counters["batch.scenes_ok"] += report.scenes_ok;
+    report.metrics.counters["batch.scenes_failed"] += report.scenes_failed;
+    report.metrics.counters["batch.scenes_quarantined"] +=
+        report.scenes_quarantined;
+    report.metrics.timers_ms["batch.total"] = total_timer.ElapsedMs();
+    report.metrics.gauges["batch.threads"] =
+        static_cast<double>(parallel ? threads : 1);
+    double scene_ms_max = 0.0;
+    for (const SceneOutcome& outcome : report.outcomes) {
+      scene_ms_max = std::max(scene_ms_max, outcome.wall_ms);
+    }
+    report.metrics.gauges["batch.scene_ms_max"] = scene_ms_max;
   }
   return report;
 }

@@ -18,6 +18,7 @@
 #include "core/learner.h"
 #include "core/proposal.h"
 #include "data/scene.h"
+#include "obs/metrics.h"
 
 namespace fixy {
 
@@ -50,6 +51,15 @@ struct BatchOptions {
   /// default), failing scenes are quarantined: their outcome carries the
   /// error, every other scene ranks normally, and the call succeeds.
   bool fail_fast = false;
+
+  /// When true, the batch records a PipelineMetrics snapshot into
+  /// BatchReport::metrics: per-scene trace spans, stage timers
+  /// (track build, factor-graph compile), and counters (proposals, KDE
+  /// evaluations, quarantines). Counter values are deterministic — byte
+  /// identical at every thread count — because each scene records into
+  /// its own collector and the snapshots merge in dataset order. When
+  /// false (the default) the batch records nothing, at any thread count.
+  bool collect_metrics = false;
 };
 
 /// Outcome of ranking one scene within a batch.
@@ -59,6 +69,9 @@ struct SceneOutcome {
   Status status;
   /// Ranked most-suspicious-first; empty when the scene failed.
   std::vector<ErrorProposal> proposals;
+  /// Wall time spent ranking this scene, excluding queue wait. Only
+  /// populated when BatchOptions::collect_metrics is on.
+  double wall_ms = 0.0;
 
   bool ok() const { return status.ok(); }
 };
@@ -78,6 +91,11 @@ struct BatchReport {
   /// equal to scenes_failed when fail_fast is off, 0 when it is on (a
   /// failure then fails the whole call instead).
   size_t scenes_quarantined = 0;
+
+  /// Stage timers, counters, and gauges for the whole batch. Empty unless
+  /// BatchOptions::collect_metrics was set. Counter values are identical
+  /// at every thread count; timer values measure this particular run.
+  obs::PipelineMetrics metrics;
 
   bool all_ok() const { return scenes_failed == 0; }
 };

@@ -2,6 +2,7 @@
 
 #include "common/macros.h"
 #include "common/string_util.h"
+#include "obs/metrics.h"
 #include "stats/discrete.h"
 #include "stats/gaussian.h"
 #include "stats/histogram.h"
@@ -157,6 +158,7 @@ DistributionLearner::CollectValues(const Dataset& training,
 
 Result<std::vector<FeatureDistribution>> DistributionLearner::Learn(
     const Dataset& training, const std::vector<FeaturePtr>& features) const {
+  const obs::ScopedStageTimer fit_timer("learn.fit");
   std::vector<FeatureDistribution> learned;
   learned.reserve(features.size());
   for (const FeaturePtr& feature : features) {
@@ -165,6 +167,13 @@ Result<std::vector<FeatureDistribution>> DistributionLearner::Learn(
     }
     FIXY_ASSIGN_OR_RETURN(CollectedValues collected,
                           CollectValues(training, *feature));
+    if (obs::Enabled()) {
+      size_t samples = collected.global.size();
+      for (const auto& [cls, values] : collected.per_class) {
+        samples += values.size();
+      }
+      obs::Count("learn.samples." + feature->name(), samples);
+    }
     if (feature->class_conditional()) {
       std::map<ObjectClass, stats::DistributionPtr> per_class;
       for (auto& [cls, values] : collected.per_class) {

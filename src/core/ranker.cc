@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <array>
 
+#include "obs/metrics.h"
+
 namespace fixy {
 
 void RankProposals(std::vector<ErrorProposal>* proposals) {
@@ -30,7 +32,17 @@ std::vector<ErrorProposal> TopKPerClass(
   std::array<size_t, kNumObjectClasses> taken{};
   std::vector<ErrorProposal> top;
   for (const ErrorProposal& proposal : ranked) {
-    size_t& count = taken[static_cast<size_t>(proposal.object_class)];
+    // Proposals can arrive from outside the engine (a hand-edited or
+    // future-version proposals file via proposal_io), so the class is not
+    // trusted as an index: out-of-range values (including negative ones,
+    // which the cast wraps far past the array) are skipped and counted
+    // instead of indexing out of bounds.
+    const size_t cls = static_cast<size_t>(proposal.object_class);
+    if (cls >= taken.size()) {
+      obs::Count("rank.invalid_class_proposals");
+      continue;
+    }
+    size_t& count = taken[cls];
     if (count < k) {
       ++count;
       top.push_back(proposal);

@@ -6,6 +6,7 @@
 
 #include "common/macros.h"
 #include "common/string_util.h"
+#include "obs/metrics.h"
 
 namespace fixy::io {
 
@@ -198,6 +199,8 @@ Status SaveScene(const Scene& scene, const std::string& path) {
 
 Result<Scene> LoadScene(const std::string& path) {
   FIXY_ASSIGN_OR_RETURN(std::string text, ReadFile(path));
+  obs::Count("io.bytes_read", text.size());
+  const obs::ScopedStageTimer parse_timer("io.parse");
   return SceneFromString(text);
 }
 
@@ -234,10 +237,12 @@ Result<Dataset> LoadDataset(const std::string& directory) {
 
 Result<DatasetLoadReport> LoadDataset(const std::string& directory,
                                       const DatasetLoadOptions& options) {
+  const obs::ScopedStageTimer load_timer("io.load");
   // The manifest is the one file without which nothing can be loaded, so
   // it is strict even in tolerant mode.
   FIXY_ASSIGN_OR_RETURN(std::string text,
                         ReadFile(directory + "/manifest.json"));
+  obs::Count("io.bytes_read", text.size());
   FIXY_ASSIGN_OR_RETURN(json::Value manifest, json::Parse(text));
   FIXY_ASSIGN_OR_RETURN(std::string format, manifest.GetString("format"));
   if (format != kManifestMarker) {
@@ -254,15 +259,18 @@ Result<DatasetLoadReport> LoadDataset(const std::string& directory,
       const Status bad =
           Status::InvalidArgument("manifest scene entry must be a string");
       if (!options.tolerant) return bad;
+      obs::Count("io.files_skipped");
       report.skipped.push_back({"<non-string manifest entry>", bad});
       continue;
     }
     Result<Scene> scene = LoadScene(directory + "/" + file.AsString());
     if (!scene.ok()) {
       if (!options.tolerant) return scene.status();
+      obs::Count("io.files_skipped");
       report.skipped.push_back({file.AsString(), scene.status()});
       continue;
     }
+    obs::Count("io.files_read");
     report.dataset.scenes.push_back(std::move(scene).value());
   }
   return report;

@@ -1,0 +1,170 @@
+#include "obs/metrics_json.h"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace fixy::obs {
+
+namespace {
+
+constexpr const char* kFormatMarker = "fixy-metrics";
+constexpr int kFormatVersion = 1;
+
+Result<const json::Object*> RequireObjectMember(const json::Value& value,
+                                                const char* key) {
+  const json::Value* member = value.Find(key);
+  if (member == nullptr || !member->is_object()) {
+    return Status::InvalidArgument(
+        StrFormat("metrics document missing '%s' object", key));
+  }
+  return &member->AsObject();
+}
+
+}  // namespace
+
+json::Value MetricsToJson(const PipelineMetrics& metrics) {
+  json::Object counters;
+  for (const auto& [name, value] : metrics.counters) {
+    counters[name] = value;
+  }
+  json::Object timers;
+  for (const auto& [name, value] : metrics.timers_ms) {
+    timers[name] = value;
+  }
+  json::Object gauges;
+  for (const auto& [name, value] : metrics.gauges) {
+    gauges[name] = value;
+  }
+  json::Object doc;
+  doc["format"] = kFormatMarker;
+  doc["version"] = kFormatVersion;
+  doc["counters"] = std::move(counters);
+  doc["timers_ms"] = std::move(timers);
+  doc["gauges"] = std::move(gauges);
+  return doc;
+}
+
+Result<PipelineMetrics> MetricsFromJson(const json::Value& value) {
+  if (!value.is_object()) {
+    return Status::InvalidArgument("metrics document must be an object");
+  }
+  FIXY_ASSIGN_OR_RETURN(std::string format, value.GetString("format"));
+  if (format != kFormatMarker) {
+    return Status::InvalidArgument("not a fixy-metrics document: " + format);
+  }
+  FIXY_ASSIGN_OR_RETURN(int64_t version, value.GetInt64("version"));
+  if (version != kFormatVersion) {
+    return Status::InvalidArgument(
+        StrFormat("unsupported fixy-metrics version %lld",
+                  static_cast<long long>(version)));
+  }
+  PipelineMetrics metrics;
+  FIXY_ASSIGN_OR_RETURN(const json::Object* counters,
+                        RequireObjectMember(value, "counters"));
+  for (const auto& [name, entry] : *counters) {
+    if (!entry.is_number() || entry.AsDouble() < 0.0) {
+      return Status::InvalidArgument("counter '" + name +
+                                     "' must be a non-negative number");
+    }
+    metrics.counters[name] = static_cast<uint64_t>(entry.AsInt64());
+  }
+  FIXY_ASSIGN_OR_RETURN(const json::Object* timers,
+                        RequireObjectMember(value, "timers_ms"));
+  for (const auto& [name, entry] : *timers) {
+    if (!entry.is_number()) {
+      return Status::InvalidArgument("timer '" + name + "' must be a number");
+    }
+    metrics.timers_ms[name] = entry.AsDouble();
+  }
+  FIXY_ASSIGN_OR_RETURN(const json::Object* gauges,
+                        RequireObjectMember(value, "gauges"));
+  for (const auto& [name, entry] : *gauges) {
+    if (!entry.is_number()) {
+      return Status::InvalidArgument("gauge '" + name + "' must be a number");
+    }
+    metrics.gauges[name] = entry.AsDouble();
+  }
+  return metrics;
+}
+
+Status SaveMetrics(const PipelineMetrics& metrics, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IoError("cannot open for writing: " + path);
+  out << json::Write(MetricsToJson(metrics), /*pretty=*/true);
+  out << "\n";
+  out.flush();
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::Ok();
+}
+
+Result<PipelineMetrics> LoadMetrics(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open for reading: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return Status::IoError("read failed: " + path);
+  FIXY_ASSIGN_OR_RETURN(json::Value doc, json::Parse(buffer.str()));
+  return MetricsFromJson(doc);
+}
+
+Status ValidateMetrics(const PipelineMetrics& metrics) {
+  // Counters are unsigned and cannot be negative or non-finite; timers
+  // come from a monotonic clock, so a negative or non-finite value means
+  // an instrumentation bug.
+  for (const auto& [name, value] : metrics.timers_ms) {
+    if (!std::isfinite(value)) {
+      return Status::Internal("timer '" + name + "' is not finite");
+    }
+    if (value < 0.0) {
+      return Status::Internal("timer '" + name + "' is negative");
+    }
+  }
+  for (const auto& [name, value] : metrics.gauges) {
+    if (!std::isfinite(value)) {
+      return Status::Internal("gauge '" + name + "' is not finite");
+    }
+  }
+  return Status::Ok();
+}
+
+std::string FormatMetricsTable(const PipelineMetrics& metrics) {
+  size_t width = 0;
+  for (const auto& [name, value] : metrics.counters) {
+    width = std::max(width, name.size());
+  }
+  for (const auto& [name, value] : metrics.timers_ms) {
+    width = std::max(width, name.size());
+  }
+  for (const auto& [name, value] : metrics.gauges) {
+    width = std::max(width, name.size());
+  }
+  const int name_width = static_cast<int>(width);
+  std::string table;
+  if (!metrics.counters.empty()) {
+    table += "counters:\n";
+    for (const auto& [name, value] : metrics.counters) {
+      table += StrFormat("  %-*s %12llu\n", name_width, name.c_str(),
+                         static_cast<unsigned long long>(value));
+    }
+  }
+  if (!metrics.timers_ms.empty()) {
+    table += "timers (ms):\n";
+    for (const auto& [name, value] : metrics.timers_ms) {
+      table += StrFormat("  %-*s %12.3f\n", name_width, name.c_str(), value);
+    }
+  }
+  if (!metrics.gauges.empty()) {
+    table += "gauges:\n";
+    for (const auto& [name, value] : metrics.gauges) {
+      table += StrFormat("  %-*s %12.3f\n", name_width, name.c_str(), value);
+    }
+  }
+  if (table.empty()) table = "(no metrics recorded)\n";
+  return table;
+}
+
+}  // namespace fixy::obs

@@ -6,6 +6,7 @@
 #include "common/logging.h"
 #include "common/macros.h"
 #include "common/string_util.h"
+#include "obs/metrics.h"
 #include "stats/summary.h"
 
 namespace fixy::stats {
@@ -54,10 +55,20 @@ double SelectBandwidth(const std::vector<double>& sorted, BandwidthRule rule) {
 
 GaussianKde::GaussianKde(std::vector<double> samples, double bandwidth)
     : samples_(std::move(samples)), bandwidth_(bandwidth) {
+  // Both factories validate before constructing, but the invariants are
+  // load-bearing (empty samples make norm_ infinite, a non-positive or
+  // non-finite bandwidth poisons every density), so they are re-checked
+  // here where they are relied on.
+  FIXY_CHECK_MSG(!samples_.empty(), "GaussianKde constructed with no samples");
+  FIXY_CHECK_MSG(std::isfinite(bandwidth_) && bandwidth_ > 0.0,
+                 "GaussianKde constructed with invalid bandwidth %f",
+                 bandwidth_);
   std::sort(samples_.begin(), samples_.end());
   inv_bandwidth_ = 1.0 / bandwidth_;
   norm_ = kInvSqrt2Pi /
           (bandwidth_ * static_cast<double>(samples_.size()));
+  FIXY_CHECK_MSG(std::isfinite(norm_) && norm_ > 0.0,
+                 "GaussianKde normalization is not finite");
   // For a Gaussian KDE the mode is near one of the sample points; evaluating
   // the density at every sample gives an accurate normalization constant.
   // The samples are sorted, so the batch path scans them with one sliding
@@ -82,13 +93,19 @@ Result<GaussianKde> GaussianKde::Fit(std::vector<double> samples,
 Result<GaussianKde> GaussianKde::FitWithBandwidth(std::vector<double> samples,
                                                   double bandwidth) {
   FIXY_RETURN_IF_ERROR(ValidateSamples(samples));
-  if (!(bandwidth > 0.0) || !std::isfinite(bandwidth)) {
-    return Status::InvalidArgument("KDE bandwidth must be positive");
+  if (!(bandwidth >= kMinBandwidth) || !std::isfinite(bandwidth)) {
+    // The lower bound also rejects denormal bandwidths whose reciprocal
+    // (or normalization constant) would overflow to infinity — reachable
+    // from a hand-edited model file via model_io, so this must be a
+    // Status, not a CHECK.
+    return Status::InvalidArgument(StrFormat(
+        "KDE bandwidth must be a finite value >= %g", kMinBandwidth));
   }
   return GaussianKde(std::move(samples), bandwidth);
 }
 
 double GaussianKde::Density(double x) const {
+  obs::Count("stats.kde_evals");
   // Non-finite queries have zero density by convention; letting them into
   // lower_bound would break the comparator's ordering requirements.
   if (!std::isfinite(x)) return 0.0;
@@ -111,9 +128,11 @@ void GaussianKde::DensityBatch(std::span<const double> xs,
   // inputs (the hot path) pay one linear scan.
   if (std::any_of(xs.begin(), xs.end(),
                   [](double x) { return !std::isfinite(x); })) {
+    // Density() counts its own evaluations, so no batch count here.
     for (size_t i = 0; i < xs.size(); ++i) out[i] = Density(xs[i]);
     return;
   }
+  obs::Count("stats.kde_evals", xs.size());
   const bool ascending = std::is_sorted(xs.begin(), xs.end());
   size_t lo = 0;
   size_t hi = 0;

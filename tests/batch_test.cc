@@ -3,10 +3,12 @@
 // the ClosestApproachBundle empty-bundle regression.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <vector>
 
 #include "core/applications.h"
 #include "core/engine.h"
+#include "obs/metrics.h"
 #include "sim/generate.h"
 
 namespace fixy {
@@ -266,6 +268,104 @@ TEST_F(BatchRankTest, CachedSpecMatchesPerCallSpecConstruction) {
                                         fixy_->options().application);
   ASSERT_TRUE(legacy.ok());
   ExpectProposalsIdentical(*cached, *legacy);
+}
+
+// Every metric value in a snapshot must be finite, timers and gauges
+// non-negative (counters are unsigned by construction).
+void ExpectMetricsWellFormed(const obs::PipelineMetrics& metrics) {
+  for (const auto& [name, value] : metrics.timers_ms) {
+    EXPECT_TRUE(std::isfinite(value)) << name;
+    EXPECT_GE(value, 0.0) << name;
+  }
+  for (const auto& [name, value] : metrics.gauges) {
+    EXPECT_TRUE(std::isfinite(value)) << name;
+  }
+}
+
+// The observability determinism contract: counters are exact event counts,
+// so the full counter map must be *identical* — key set and values — at
+// every thread count. Timers may vary in value but never in key set.
+TEST_F(BatchRankTest, MetricsCountersIdenticalAcrossThreadCounts) {
+  BatchOptions options;
+  options.collect_metrics = true;
+  options.num_threads = 1;
+  const auto baseline = fixy_->RankDataset(
+      dataset_->dataset, Application::kMissingTracks, options);
+  ASSERT_TRUE(baseline.ok());
+  ASSERT_FALSE(baseline->metrics.counters.empty());
+  EXPECT_GT(baseline->metrics.counters.at("batch.scenes"), 0u);
+  EXPECT_GT(baseline->metrics.counters.at("stats.kde_evals"), 0u);
+  EXPECT_GT(baseline->metrics.counters.at("rank.proposals"), 0u);
+  ExpectMetricsWellFormed(baseline->metrics);
+
+  for (int threads = 2; threads <= 8; ++threads) {
+    options.num_threads = threads;
+    const auto result = fixy_->RankDataset(
+        dataset_->dataset, Application::kMissingTracks, options);
+    ASSERT_TRUE(result.ok()) << "threads=" << threads;
+    EXPECT_EQ(result->metrics.counters, baseline->metrics.counters)
+        << "threads=" << threads;
+    ExpectMetricsWellFormed(result->metrics);
+    // Same stages ran, so the same timer keys must exist (values differ).
+    ASSERT_EQ(result->metrics.timers_ms.size(),
+              baseline->metrics.timers_ms.size());
+    auto it = baseline->metrics.timers_ms.begin();
+    for (const auto& [name, value] : result->metrics.timers_ms) {
+      EXPECT_EQ(name, it->first);
+      ++it;
+    }
+  }
+}
+
+// Quarantine counters on the snapshot mirror the report's summary fields.
+TEST_F(BatchRankTest, MetricsQuarantineCountersMatchReport) {
+  const Dataset poisoned = PoisonScene(dataset_->dataset, 5);
+  BatchOptions options;
+  options.collect_metrics = true;
+  options.num_threads = 4;
+  const auto result = fixy_->RankDataset(
+      poisoned, Application::kMissingTracks, options);
+  ASSERT_TRUE(result.ok());
+  const auto& counters = result->metrics.counters;
+  EXPECT_EQ(counters.at("batch.scenes"), poisoned.scenes.size());
+  EXPECT_EQ(counters.at("batch.scenes_ok"), result->scenes_ok);
+  EXPECT_EQ(counters.at("batch.scenes_failed"), result->scenes_failed);
+  EXPECT_EQ(counters.at("batch.scenes_quarantined"),
+            result->scenes_quarantined);
+  EXPECT_EQ(counters.at("span.scene.calls"), poisoned.scenes.size());
+}
+
+// With collect_metrics off (the default) the snapshot stays empty and
+// nothing leaks to an ambient caller-side collector — at any thread count,
+// so a caller cannot observe a thread-count-dependent difference.
+TEST_F(BatchRankTest, MetricsEmptyWhenDisabled) {
+  for (const int threads : {1, 4}) {
+    obs::MetricsCollector ambient;
+    const obs::MetricsScope scope(&ambient);
+    const auto result = fixy_->RankDataset(
+        dataset_->dataset, Application::kMissingTracks, BatchOptions{threads});
+    ASSERT_TRUE(result.ok());
+    EXPECT_TRUE(result->metrics.empty());
+    EXPECT_TRUE(ambient.Snapshot().empty()) << "threads=" << threads;
+  }
+}
+
+// Learning under an ambient collector records per-feature sample counts
+// and the fit/rebuild stage timers.
+TEST_F(BatchRankTest, LearnRecordsSampleCountsAndTimers) {
+  obs::MetricsCollector ambient;
+  const obs::MetricsScope scope(&ambient);
+  Fixy fixy;
+  const sim::GeneratedDataset training =
+      sim::GenerateDataset(*profile_, "metrics_train", 2, 79);
+  ASSERT_TRUE(fixy.Learn(training.dataset).ok());
+  const obs::PipelineMetrics snapshot = ambient.Snapshot();
+  EXPECT_GT(snapshot.counters.at("learn.samples.volume"), 0u);
+  EXPECT_GT(snapshot.counters.at("learn.samples.velocity"), 0u);
+  EXPECT_EQ(snapshot.timers_ms.count("learn.fit"), 1u);
+  EXPECT_EQ(snapshot.timers_ms.count("learn.total"), 1u);
+  EXPECT_EQ(snapshot.timers_ms.count("learn.rebuild_specs"), 1u);
+  ExpectMetricsWellFormed(snapshot);
 }
 
 TEST(ClosestApproachBundleTest, SkipsEmptyLeadingBundle) {

@@ -11,6 +11,7 @@
 #include "core/features_std.h"
 #include "core/learner.h"
 #include "core/ranker.h"
+#include "obs/metrics.h"
 #include "sim/generate.h"
 
 namespace fixy {
@@ -178,6 +179,39 @@ TEST(RankerTest, TopKPerClassLimitsEachClass) {
   }
   EXPECT_EQ(cars, 2);
   EXPECT_EQ(trucks, 1);
+}
+
+// Regression: proposals loaded from a hand-edited file (via proposal_io)
+// can carry an ObjectClass outside the enum. TopKPerClass used the raw
+// cast as a vector index — out-of-bounds UB. They must now be skipped,
+// counted, and never returned.
+TEST(RankerTest, TopKPerClassSkipsOutOfRangeClasses) {
+  std::vector<ErrorProposal> proposals = {
+      Proposal(0.9, ObjectClass::kCar, 1),
+      Proposal(0.8, static_cast<ObjectClass>(99), 2),
+      Proposal(0.7, static_cast<ObjectClass>(-3), 3),
+      Proposal(0.6, ObjectClass::kTruck, 4),
+  };
+  RankProposals(&proposals);
+
+  obs::MetricsCollector collector;
+  const obs::MetricsScope scope(&collector);
+  const auto top = TopKPerClass(proposals, 2);
+  ASSERT_EQ(top.size(), 2u);
+  for (const auto& p : top) {
+    EXPECT_LT(static_cast<size_t>(p.object_class), kNumObjectClasses);
+  }
+  EXPECT_EQ(collector.Snapshot().counters.at("rank.invalid_class_proposals"),
+            2u);
+}
+
+TEST(RankerTest, TopKPerClassAllInvalidYieldsEmpty) {
+  std::vector<ErrorProposal> proposals = {
+      Proposal(0.9, static_cast<ObjectClass>(7), 1),
+      Proposal(0.8, static_cast<ObjectClass>(1000), 2),
+  };
+  RankProposals(&proposals);
+  EXPECT_TRUE(TopKPerClass(proposals, 3).empty());
 }
 
 // -------------------------------------------------------------- Learner

@@ -87,6 +87,9 @@ INSTANTIATE_TEST_SUITE_P(
         R"({"type":"warp"})",                           // unknown type
         R"({"type":"kde"})",                            // missing fields
         R"({"type":"kde","bandwidth":-1,"samples":[1]})",
+        R"({"type":"kde","bandwidth":0,"samples":[1]})",
+        R"({"type":"kde","bandwidth":1e-320,"samples":[1]})",  // denormal
+        R"({"type":"kde","bandwidth":0.5,"samples":[]})",
         R"({"type":"kde","bandwidth":0.5,"samples":["x"]})",
         R"({"type":"histogram","lo":0,"bin_width":0,"counts":[1]})",
         R"({"type":"histogram","lo":0,"bin_width":1,"counts":[]})",

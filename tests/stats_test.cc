@@ -88,6 +88,21 @@ TEST(KdeTest, RejectsBadBandwidth) {
   EXPECT_FALSE(GaussianKde::FitWithBandwidth({1, 2, 3}, -1.0).ok());
 }
 
+// Regression: bandwidths that pass a naive `> 0` check but whose
+// reciprocal or normalization overflows to inf (denormals, ~1e-320) or
+// that are not numbers at all must be rejected with a Status, not abort
+// the process — they are reachable from a hand-edited model file.
+TEST(KdeTest, RejectsNonFiniteAndDenormalBandwidth) {
+  EXPECT_FALSE(GaussianKde::FitWithBandwidth({1, 2, 3}, NAN).ok());
+  EXPECT_FALSE(GaussianKde::FitWithBandwidth({1, 2, 3}, INFINITY).ok());
+  EXPECT_FALSE(GaussianKde::FitWithBandwidth({1, 2, 3}, 1e-320).ok());
+  EXPECT_FALSE(GaussianKde::FitWithBandwidth({1, 2, 3}, 1e-300).ok());
+  // The smallest accepted bandwidth still yields a finite density.
+  const auto kde = GaussianKde::FitWithBandwidth({1, 2, 3}, 1e-6);
+  ASSERT_TRUE(kde.ok());
+  EXPECT_TRUE(std::isfinite(kde->Density(2.0)));
+}
+
 TEST(KdeTest, SingleSampleIsPeakedAtValue) {
   const auto kde = GaussianKde::Fit({5.0});
   ASSERT_TRUE(kde.ok());

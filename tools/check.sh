@@ -4,10 +4,14 @@
 # trees; the FIXY_SANITIZE CMake option instruments every target).
 #
 # Usage:
-#   tools/check.sh            # plain + asan + tsan
+#   tools/check.sh            # plain + asan + tsan + metrics
 #   tools/check.sh plain      # just the tier-1 build/test
 #   tools/check.sh address    # just the asan build/test
 #   tools/check.sh thread     # just the tsan build/test
+#   tools/check.sh metrics    # end-to-end metrics sweep: every value
+#                             # finite/non-negative, counters identical
+#                             # across thread counts, schema key set
+#                             # matches tools/metrics_schema.golden
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -24,6 +28,75 @@ run_suite() {
   echo "==== ${name}: OK ===="
 }
 
+run_metrics_sweep() {
+  echo "==== metrics: build fixy_cli ===="
+  cmake -B build -S .
+  cmake --build build -j "${JOBS}" --target fixy_cli
+  local cli="build/tools/fixy_cli"
+  [ -x "${cli}" ] || cli="$(find build -name fixy_cli -type f | head -1)"
+  local work
+  work="$(mktemp -d)"
+  trap 'rm -rf "${work}"' RETURN
+
+  echo "==== metrics: generate + learn + rank --metrics-json ===="
+  "${cli}" generate --out "${work}/ds" --profile lyft --scenes 4 --seed 11
+  "${cli}" learn --data "${work}/ds" --model "${work}/model.json"
+  "${cli}" rank --data "${work}/ds" --model "${work}/model.json" \
+      --threads 1 --metrics-json "${work}/metrics1.json" > /dev/null
+  "${cli}" rank --data "${work}/ds" --model "${work}/model.json" \
+      --threads 8 --metrics-json "${work}/metrics8.json" > /dev/null
+
+  if ! command -v python3 > /dev/null; then
+    echo "==== metrics: python3 not found, skipping validation ===="
+    return 0
+  fi
+  echo "==== metrics: validate snapshots ===="
+  python3 - "${work}/metrics1.json" "${work}/metrics8.json" \
+      tools/metrics_schema.golden <<'PYEOF'
+import json, math, sys
+
+m1_path, m8_path, golden_path = sys.argv[1:4]
+with open(m1_path) as f:
+    m1 = json.load(f)
+with open(m8_path) as f:
+    m8 = json.load(f)
+
+def fail(msg):
+    sys.exit("metrics sweep FAILED: " + msg)
+
+for path, doc in ((m1_path, m1), (m8_path, m8)):
+    if doc.get("format") != "fixy-metrics" or doc.get("version") != 1:
+        fail(f"{path}: bad format/version header")
+    for section in ("counters", "timers_ms", "gauges"):
+        for name, value in doc[section].items():
+            if not math.isfinite(value):
+                fail(f"{path}: {section}/{name} is not finite: {value}")
+            if section != "gauges" and value < 0:
+                fail(f"{path}: {section}/{name} is negative: {value}")
+
+# Counters are exact event counts: identical at any thread count.
+if m1["counters"] != m8["counters"]:
+    fail("counters differ between --threads 1 and --threads 8")
+
+# Schema drift is an explicit change: the key set must match the golden.
+keys = sorted(
+    f"{section}/{name}"
+    for section in ("counters", "timers_ms", "gauges")
+    for name in m1[section]
+)
+with open(golden_path) as f:
+    golden = [line.strip() for line in f
+              if line.strip() and not line.startswith("#")]
+if keys != golden:
+    missing = sorted(set(golden) - set(keys))
+    extra = sorted(set(keys) - set(golden))
+    fail(f"schema drift vs {golden_path}: missing={missing} extra={extra}\n"
+         "(regenerate the golden file if the change is intentional)")
+print("metrics sweep OK:", len(keys), "metrics validated")
+PYEOF
+  echo "==== metrics: OK ===="
+}
+
 mode="${1:-all}"
 case "${mode}" in
   plain)
@@ -32,12 +105,15 @@ case "${mode}" in
     run_suite "asan" build-asan -DFIXY_SANITIZE=address ;;
   thread)
     run_suite "tsan" build-tsan -DFIXY_SANITIZE=thread ;;
+  metrics)
+    run_metrics_sweep ;;
   all)
     run_suite "plain" build
     run_suite "asan" build-asan -DFIXY_SANITIZE=address
-    run_suite "tsan" build-tsan -DFIXY_SANITIZE=thread ;;
+    run_suite "tsan" build-tsan -DFIXY_SANITIZE=thread
+    run_metrics_sweep ;;
   *)
-    echo "usage: $0 [plain|address|thread|all]" >&2
+    echo "usage: $0 [plain|address|thread|metrics|all]" >&2
     exit 2 ;;
 esac
 echo "all requested suites passed"

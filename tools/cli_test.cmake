@@ -30,6 +30,54 @@ if(NOT EXISTS ${WORK}/proposals.json)
   message(FATAL_ERROR "rank --out did not write the proposals file")
 endif()
 
+# ---- Observability: --metrics-json / --verbose-metrics. ----
+run_cli(rank --data ${WORK}/ds --model ${WORK}/model.json --threads 1
+        --metrics-json ${WORK}/metrics1.json)
+if(NOT EXISTS ${WORK}/metrics1.json)
+  message(FATAL_ERROR "rank --metrics-json did not write the metrics file")
+endif()
+file(READ ${WORK}/metrics1.json METRICS1)
+if(NOT METRICS1 MATCHES "fixy-metrics")
+  message(FATAL_ERROR "metrics file missing format marker: ${METRICS1}")
+endif()
+if(NOT METRICS1 MATCHES "stats\\.kde_evals")
+  message(FATAL_ERROR "metrics file missing kde counter: ${METRICS1}")
+endif()
+
+# The determinism contract: the counters block must be byte-identical
+# between a 1-thread and an 8-thread run of the same rank.
+run_cli(rank --data ${WORK}/ds --model ${WORK}/model.json --threads 8
+        --metrics-json ${WORK}/metrics8.json)
+file(READ ${WORK}/metrics8.json METRICS8)
+string(REGEX MATCH "\"counters\": \\{[^}]*\\}" COUNTERS1 "${METRICS1}")
+string(REGEX MATCH "\"counters\": \\{[^}]*\\}" COUNTERS8 "${METRICS8}")
+if(COUNTERS1 STREQUAL "")
+  message(FATAL_ERROR "could not extract counters block: ${METRICS1}")
+endif()
+if(NOT COUNTERS1 STREQUAL COUNTERS8)
+  message(FATAL_ERROR "counters differ between --threads 1 and --threads 8:\n${COUNTERS1}\nvs\n${COUNTERS8}")
+endif()
+
+run_cli(rank --data ${WORK}/ds --model ${WORK}/model.json --verbose-metrics)
+if(NOT CLI_OUTPUT MATCHES "stats\\.kde_evals")
+  message(FATAL_ERROR "--verbose-metrics table missing kde counter: ${CLI_OUTPUT}")
+endif()
+
+# ---- Checked numeric flags: malformed values are errors, not defaults. ----
+foreach(bad_flags
+        "rank;--data;${WORK}/ds;--model;${WORK}/model.json;--threads;abc"
+        "rank;--data;${WORK}/ds;--model;${WORK}/model.json;--threads;9999999999"
+        "rank;--data;${WORK}/ds;--model;${WORK}/model.json;--threads;-2"
+        "rank;--data;${WORK}/ds;--model;${WORK}/model.json;--top;12x"
+        "generate;--out;${WORK}/bad;--scenes;abc"
+        "generate;--out;${WORK}/bad;--scenes;0")
+  execute_process(COMMAND ${CLI} ${bad_flags}
+                  RESULT_VARIABLE rc OUTPUT_QUIET ERROR_QUIET)
+  if(rc EQUAL 0)
+    message(FATAL_ERROR "expected failure for: ${bad_flags}")
+  endif()
+endforeach()
+
 # ---- Partial-failure fixture: corrupt one scene file on disk. ----
 run_cli(generate --out ${WORK}/broken --profile internal --scenes 2 --seed 7)
 file(GLOB BROKEN_SCENES ${WORK}/broken/*.fixy.json)

@@ -7,9 +7,11 @@
 //             Learn feature distributions from DIR's labels; save to FILE.
 //   rank      --data DIR --model FILE
 //             [--app missing-tracks|missing-obs|model-errors] [--top K]
-//             [--threads N]
+//             [--threads N] [--metrics-json FILE] [--verbose-metrics]
 //             Rank potential errors in every scene of DIR, fanning scenes
 //             out across N worker threads (0 = hardware concurrency).
+//             --metrics-json dumps a PipelineMetrics snapshot (stage
+//             timers + counters); --verbose-metrics prints it as a table.
 //   info      --data DIR
 //             Print dataset statistics.
 //
@@ -17,8 +19,11 @@
 //   fixy_cli generate --profile lyft --scenes 4 --out /tmp/ds
 //   fixy_cli learn    --data /tmp/ds --model /tmp/model.json
 //   fixy_cli rank     --data /tmp/ds --model /tmp/model.json --top 5
+#include <charconv>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 #include <map>
 #include <set>
 #include <string>
@@ -31,18 +36,40 @@
 #include "core/ranker.h"
 #include "eval/dataset_stats.h"
 #include "io/scene_io.h"
+#include "obs/metrics.h"
+#include "obs/metrics_json.h"
 #include "sim/generate.h"
 
 namespace fixy::cli {
 namespace {
+
+// Strict numeric flag parsing: the whole value must be a base-10 integer
+// that fits the target type. (std::atoi silently returned the fallback for
+// garbage like --threads=abc and overflowed for --threads=9999999999.)
+Result<int64_t> ParseInt64Flag(const std::string& name,
+                               const std::string& text) {
+  int64_t value = 0;
+  const char* begin = text.c_str();
+  const char* end = begin + text.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec == std::errc::result_out_of_range) {
+    return Status::InvalidArgument("--" + name + " value is out of range: " +
+                                   text);
+  }
+  if (ec != std::errc() || ptr != end || text.empty()) {
+    return Status::InvalidArgument("--" + name + " expects an integer, got: " +
+                                   text);
+  }
+  return value;
+}
 
 // Minimal --flag value parser; every flag takes exactly one value, except
 // the boolean switches listed in kBooleanFlags, which take none.
 class Flags {
  public:
   static Result<Flags> Parse(int argc, char** argv, int first) {
-    static const std::set<std::string> kBooleanFlags = {"keep-going",
-                                                        "fail-fast"};
+    static const std::set<std::string> kBooleanFlags = {
+        "keep-going", "fail-fast", "verbose-metrics"};
     Flags flags;
     for (int i = first; i < argc; ++i) {
       const std::string arg = argv[i];
@@ -76,9 +103,24 @@ class Flags {
     return it->second;
   }
 
-  int GetIntOr(const std::string& name, int fallback) const {
+  /// Checked numeric flags: a present-but-malformed or out-of-range value
+  /// is a CLI error, never silently the fallback.
+  Result<int> GetIntOr(const std::string& name, int fallback) const {
     const auto it = values_.find(name);
-    return it == values_.end() ? fallback : std::atoi(it->second.c_str());
+    if (it == values_.end()) return fallback;
+    FIXY_ASSIGN_OR_RETURN(int64_t value, ParseInt64Flag(name, it->second));
+    if (value < std::numeric_limits<int>::min() ||
+        value > std::numeric_limits<int>::max()) {
+      return Status::InvalidArgument("--" + name + " value is out of range: " +
+                                     it->second);
+    }
+    return static_cast<int>(value);
+  }
+
+  Result<int64_t> GetInt64Or(const std::string& name, int64_t fallback) const {
+    const auto it = values_.find(name);
+    if (it == values_.end()) return fallback;
+    return ParseInt64Flag(name, it->second);
   }
 
   bool Has(const std::string& name) const {
@@ -100,9 +142,12 @@ Status CmdGenerate(const Flags& flags) {
   FIXY_ASSIGN_OR_RETURN(std::string out, flags.GetRequired("out"));
   FIXY_ASSIGN_OR_RETURN(sim::SimProfile profile,
                         ProfileByName(flags.GetOr("profile", "lyft")));
-  const int scenes = flags.GetIntOr("scenes", 4);
-  const uint64_t seed =
-      static_cast<uint64_t>(flags.GetIntOr("seed", 42));
+  FIXY_ASSIGN_OR_RETURN(const int scenes, flags.GetIntOr("scenes", 4));
+  if (scenes < 1) {
+    return Status::InvalidArgument("--scenes must be >= 1");
+  }
+  FIXY_ASSIGN_OR_RETURN(const int64_t seed_value, flags.GetInt64Or("seed", 42));
+  const uint64_t seed = static_cast<uint64_t>(seed_value);
   const sim::GeneratedDataset generated =
       sim::GenerateDataset(profile, profile.name, scenes, seed);
   FIXY_RETURN_IF_ERROR(io::SaveDataset(generated.dataset, out));
@@ -144,13 +189,25 @@ Status CmdRank(const Flags& flags) {
   FIXY_ASSIGN_OR_RETURN(std::string data, flags.GetRequired("data"));
   FIXY_ASSIGN_OR_RETURN(std::string model_path, flags.GetRequired("model"));
   const std::string app = flags.GetOr("app", "missing-tracks");
-  const int top = flags.GetIntOr("top", 10);
+  FIXY_ASSIGN_OR_RETURN(const int top, flags.GetIntOr("top", 10));
+  if (top < 0) {
+    return Status::InvalidArgument("--top must be >= 0");
+  }
   // --keep-going: tolerate corrupt scene files at load and quarantine
   // scenes that fail to rank; exit non-zero only when nothing ranked.
   // --fail-fast restores strict first-failure-wins semantics (the default).
   const bool keep_going = flags.Has("keep-going") && !flags.Has("fail-fast");
 
   const std::string out_path = flags.GetOr("out", "");
+  const std::string metrics_path = flags.GetOr("metrics-json", "");
+  const bool verbose_metrics = flags.Has("verbose-metrics");
+  const bool metrics_on = verbose_metrics || !metrics_path.empty();
+
+  // The ambient collector picks up the single-threaded stages (dataset
+  // load, model load); the batch itself collects per scene and returns its
+  // deterministic totals on the report, merged in below.
+  obs::MetricsCollector collector;
+  const obs::MetricsScope metrics_scope(metrics_on ? &collector : nullptr);
 
   io::DatasetLoadOptions load_options;
   load_options.tolerant = keep_going;
@@ -182,8 +239,12 @@ Status CmdRank(const Flags& flags) {
   // concurrency); output order matches the dataset regardless of thread
   // count.
   BatchOptions batch;
-  batch.num_threads = flags.GetIntOr("threads", 0);
+  FIXY_ASSIGN_OR_RETURN(batch.num_threads, flags.GetIntOr("threads", 0));
+  if (batch.num_threads < 0) {
+    return Status::InvalidArgument("--threads must be >= 0");
+  }
   batch.fail_fast = !keep_going;
+  batch.collect_metrics = metrics_on;
   FIXY_ASSIGN_OR_RETURN(BatchReport report,
                         fixy.RankDataset(dataset, application, batch));
 
@@ -220,6 +281,18 @@ Status CmdRank(const Flags& flags) {
     std::printf("wrote %zu proposals to %s\n", all_proposals.size(),
                 out_path.c_str());
   }
+  if (metrics_on) {
+    collector.Merge(report.metrics);
+    const obs::PipelineMetrics snapshot = collector.Snapshot();
+    FIXY_RETURN_IF_ERROR(obs::ValidateMetrics(snapshot));
+    if (!metrics_path.empty()) {
+      FIXY_RETURN_IF_ERROR(obs::SaveMetrics(snapshot, metrics_path));
+      std::printf("wrote metrics to %s\n", metrics_path.c_str());
+    }
+    if (verbose_metrics) {
+      std::printf("%s", obs::FormatMetricsTable(snapshot).c_str());
+    }
+  }
   return Status::Ok();
 }
 
@@ -255,6 +328,8 @@ void PrintUsage() {
       "           [--keep-going] skip corrupt scene files and quarantine\n"
       "           failing scenes (exit non-zero only when all scenes fail);\n"
       "           [--fail-fast] stop at the first failing scene (default)\n"
+      "           [--metrics-json FILE] write stage timers/counters as JSON\n"
+      "           [--verbose-metrics] print the metrics table to stdout\n"
       "  info     --data DIR\n");
 }
 
