@@ -4,12 +4,23 @@
 // whole datasets, not the single 15 s scene of Section 8.1).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
+#include <future>
 #include <string>
+#include <vector>
 
 #include "common/macros.h"
+#include "common/string_util.h"
+#include "common/thread_pool.h"
 #include "core/engine.h"
+#include "io/fxb.h"
+#include "io/scene_io.h"
+#include "json/json.h"
 #include "obs/metrics.h"
 #include "obs/metrics_json.h"
 #include "workloads.h"
@@ -108,13 +119,167 @@ Status DumpMetrics(const std::string& path) {
   return Status::Ok();
 }
 
+// ---- Ingestion benchmark (--ingest-json) ----
+//
+// Measures decode-all throughput of the two ingestion formats over the
+// same 64-scene dataset: per-file JSON (DirectorySceneSource) vs the FXB
+// binary cache (FxbSceneSource, mmap). "cold" includes opening the source
+// (mmap + header/index parse for FXB, manifest read for JSON) plus the
+// first full decode pass; "warm" is the best of three further passes on
+// the already-open source. OS page cache is warm in both phases — the
+// numbers isolate decode cost, not disk.
+
+// Wall seconds to decode every scene of `source` across `threads`.
+Result<double> DecodeAllSeconds(const SceneSource& source, int threads) {
+  const auto start = std::chrono::steady_clock::now();
+  ThreadPool pool(threads);
+  std::vector<std::future<void>> futures;
+  futures.reserve(source.scene_count());
+  std::atomic<bool> failed{false};
+  for (size_t i = 0; i < source.scene_count(); ++i) {
+    futures.push_back(pool.Submit([&source, &failed, i] {
+      const Result<Scene> scene = source.DecodeScene(i);
+      if (!scene.ok()) failed.store(true);
+      benchmark::DoNotOptimize(scene);
+    }));
+  }
+  for (std::future<void>& future : futures) future.get();
+  if (failed.load()) return Status::Internal("a scene failed to decode");
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+  return elapsed.count();
+}
+
+struct IngestResult {
+  std::string format;  // "json" | "fxb"
+  std::string phase;   // "cold" | "warm"
+  int threads = 0;
+  double seconds = 0.0;
+  double scenes_per_sec = 0.0;
+  double mb_per_sec = 0.0;
+};
+
+Status RunIngestBench(const std::string& out_path) {
+  const Dataset& dataset = LyftDataset();
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "fixy_bench_ingest").string();
+  std::filesystem::remove_all(dir);
+  FIXY_RETURN_IF_ERROR(io::SaveDataset(dataset, dir));
+  FIXY_ASSIGN_OR_RETURN(const size_t cached, io::BuildFxbCache(dir));
+  if (cached != dataset.scenes.size()) {
+    return Status::Internal("cache scene count mismatch");
+  }
+
+  // Bytes each format reads end to end, for MB/sec.
+  uint64_t json_bytes = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    if (EndsWith(name, ".fixy.json") || name == "manifest.json") {
+      json_bytes += entry.file_size();
+    }
+  }
+  const uint64_t fxb_bytes =
+      std::filesystem::file_size(io::FxbCachePath(dir));
+
+  constexpr int kWarmPasses = 3;
+  std::vector<IngestResult> results;
+  for (const int threads : {1, 4, 8}) {
+    for (const bool use_fxb : {false, true}) {
+      IngestResult cold;
+      cold.format = use_fxb ? "fxb" : "json";
+      cold.phase = "cold";
+      cold.threads = threads;
+      double warm_best = 0.0;
+      if (use_fxb) {
+        const auto start = std::chrono::steady_clock::now();
+        FIXY_ASSIGN_OR_RETURN(io::FxbReader reader,
+                              io::FxbReader::Open(io::FxbCachePath(dir)));
+        const io::FxbSceneSource source(std::move(reader));
+        FIXY_ASSIGN_OR_RETURN(const double first,
+                              DecodeAllSeconds(source, threads));
+        benchmark::DoNotOptimize(first);
+        const std::chrono::duration<double> elapsed =
+            std::chrono::steady_clock::now() - start;
+        cold.seconds = elapsed.count();
+        for (int pass = 0; pass < kWarmPasses; ++pass) {
+          FIXY_ASSIGN_OR_RETURN(const double secs,
+                                DecodeAllSeconds(source, threads));
+          warm_best = pass == 0 ? secs : std::min(warm_best, secs);
+        }
+      } else {
+        const auto start = std::chrono::steady_clock::now();
+        FIXY_ASSIGN_OR_RETURN(io::DirectorySceneSource source,
+                              io::DirectorySceneSource::Open(dir));
+        FIXY_ASSIGN_OR_RETURN(const double first,
+                              DecodeAllSeconds(source, threads));
+        benchmark::DoNotOptimize(first);
+        const std::chrono::duration<double> elapsed =
+            std::chrono::steady_clock::now() - start;
+        cold.seconds = elapsed.count();
+        for (int pass = 0; pass < kWarmPasses; ++pass) {
+          FIXY_ASSIGN_OR_RETURN(const double secs,
+                                DecodeAllSeconds(source, threads));
+          warm_best = pass == 0 ? secs : std::min(warm_best, secs);
+        }
+      }
+      const double bytes =
+          static_cast<double>(use_fxb ? fxb_bytes : json_bytes);
+      const double scenes = static_cast<double>(dataset.scenes.size());
+      cold.scenes_per_sec = scenes / cold.seconds;
+      cold.mb_per_sec = bytes / 1e6 / cold.seconds;
+      results.push_back(cold);
+      IngestResult warm = cold;
+      warm.phase = "warm";
+      warm.seconds = warm_best;
+      warm.scenes_per_sec = scenes / warm_best;
+      warm.mb_per_sec = bytes / 1e6 / warm_best;
+      results.push_back(warm);
+    }
+  }
+
+  json::Object doc;
+  doc["bench"] = "ingest";
+  doc["scenes"] = static_cast<double>(dataset.scenes.size());
+  doc["json_bytes"] = static_cast<double>(json_bytes);
+  doc["fxb_bytes"] = static_cast<double>(fxb_bytes);
+  json::Array rows;
+  for (const IngestResult& r : results) {
+    json::Object row;
+    row["format"] = r.format;
+    row["phase"] = r.phase;
+    row["threads"] = static_cast<double>(r.threads);
+    row["seconds"] = r.seconds;
+    row["scenes_per_sec"] = r.scenes_per_sec;
+    row["mb_per_sec"] = r.mb_per_sec;
+    rows.push_back(std::move(row));
+    std::printf("ingest %-4s %-4s threads=%d  %8.1f scenes/s  %8.1f MB/s\n",
+                r.format.c_str(), r.phase.c_str(), r.threads,
+                r.scenes_per_sec, r.mb_per_sec);
+  }
+  doc["results"] = std::move(rows);
+
+  const std::string text = json::Write(doc, /*pretty=*/true);
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    return Status::IoError("cannot open for writing: " + out_path);
+  }
+  std::fwrite(text.data(), 1, text.size(), out);
+  std::fputc('\n', out);
+  std::fclose(out);
+  std::printf("wrote ingest benchmark to %s\n", out_path.c_str());
+  std::filesystem::remove_all(dir);
+  return Status::Ok();
+}
+
 }  // namespace
 }  // namespace fixy::bench
 
-// BENCHMARK_MAIN plus a --metrics-json flag, peeled from argv before
-// google-benchmark sees it (it rejects flags it does not know).
+// BENCHMARK_MAIN plus --metrics-json and --ingest-json flags, peeled from
+// argv before google-benchmark sees them (it rejects flags it does not
+// know).
 int main(int argc, char** argv) {
   std::string metrics_path;
+  std::string ingest_path;
   int kept = 1;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -124,6 +289,14 @@ int main(int argc, char** argv) {
     }
     if (std::strcmp(arg, "--metrics-json") == 0 && i + 1 < argc) {
       metrics_path = argv[++i];
+      continue;
+    }
+    if (std::strncmp(arg, "--ingest-json=", 14) == 0) {
+      ingest_path = arg + 14;
+      continue;
+    }
+    if (std::strcmp(arg, "--ingest-json") == 0 && i + 1 < argc) {
+      ingest_path = argv[++i];
       continue;
     }
     argv[kept++] = argv[i];
@@ -137,6 +310,13 @@ int main(int argc, char** argv) {
 
   if (!metrics_path.empty()) {
     const fixy::Status status = fixy::bench::DumpMetrics(metrics_path);
+    if (!status.ok()) {
+      std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+      return 1;
+    }
+  }
+  if (!ingest_path.empty()) {
+    const fixy::Status status = fixy::bench::RunIngestBench(ingest_path);
     if (!status.ok()) {
       std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
       return 1;

@@ -1,0 +1,81 @@
+// A bounded, closable MPMC blocking queue — the back-pressure channel of
+// the streaming ingestion pipeline (loader work items decode scenes and
+// Push; rank workers Pop). Bounding the queue keeps at most `capacity`
+// decoded scenes in flight, so ingestion memory stays O(capacity) instead
+// of O(dataset) no matter how far decode runs ahead of ranking.
+#ifndef FIXY_COMMON_BOUNDED_QUEUE_H_
+#define FIXY_COMMON_BOUNDED_QUEUE_H_
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace fixy {
+
+/// A fixed-capacity FIFO queue shared between producer and consumer
+/// threads. Push blocks while the queue is full; Pop blocks while it is
+/// empty. Close() wakes everyone: producers see Push fail, consumers
+/// drain the remaining items and then see Pop return nullopt.
+template <typename T>
+class BoundedQueue {
+ public:
+  /// Capacity 0 is clamped to 1 (a zero-capacity queue could never move
+  /// an item).
+  explicit BoundedQueue(size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Blocks until there is room (or the queue is closed). Returns false —
+  /// and drops `item` — iff the queue was closed.
+  bool Push(T item) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_full_.wait(lock, [this] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available (or the queue is closed and
+  /// drained, in which case returns nullopt).
+  std::optional<T> Pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;  // closed and drained
+    T item = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Marks the queue closed. Idempotent. Items already queued remain
+  /// poppable; new pushes fail.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace fixy
+
+#endif  // FIXY_COMMON_BOUNDED_QUEUE_H_

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <chrono>
 #include <future>
+#include <optional>
 #include <utility>
 
+#include "common/bounded_queue.h"
 #include "common/macros.h"
 #include "common/thread_pool.h"
 #include "core/features_std.h"
@@ -234,6 +236,153 @@ Result<BatchReport> Fixy::RankDataset(const Dataset& dataset, Application app,
     report.metrics.timers_ms["batch.total"] = total_timer.ElapsedMs();
     report.metrics.gauges["batch.threads"] =
         static_cast<double>(parallel ? threads : 1);
+    double scene_ms_max = 0.0;
+    for (const SceneOutcome& outcome : report.outcomes) {
+      scene_ms_max = std::max(scene_ms_max, outcome.wall_ms);
+    }
+    report.metrics.gauges["batch.scene_ms_max"] = scene_ms_max;
+  }
+  return report;
+}
+
+Result<BatchReport> Fixy::RankDatasetStreaming(
+    const SceneSource& source, Application app, const BatchOptions& batch,
+    const StreamOptions& stream) const {
+  FIXY_RETURN_IF_ERROR(CheckLearned());
+
+  const size_t scene_count = source.scene_count();
+  BatchReport report;
+  report.outcomes.resize(scene_count);
+
+  const bool collect = batch.collect_metrics;
+  const obs::StageTimer total_timer;
+  // Two collectors per scene — one filled by the loader that decodes it,
+  // one by the worker that ranks it — merged back in dataset order, so
+  // every counter total is byte-identical at any decode/rank thread
+  // combination (same scheme as RankDataset).
+  std::vector<obs::PipelineMetrics> decode_metrics(collect ? scene_count : 0);
+  std::vector<obs::PipelineMetrics> scene_metrics(collect ? scene_count : 0);
+
+  const int rank_threads = ThreadPool::ResolveThreadCount(batch.num_threads);
+  const int decode_threads = std::max(1, stream.decode_threads);
+  const size_t queue_capacity =
+      stream.queue_capacity != 0 ? stream.queue_capacity
+                                 : static_cast<size_t>(rank_threads) * 2;
+
+  // A decoded (or failed-to-decode) scene in flight between the loader
+  // pool and the rank workers.
+  struct WorkItem {
+    size_t index;
+    Result<Scene> scene;
+  };
+  BoundedQueue<WorkItem> queue(queue_capacity);
+
+  // Loader side: decode scene i and push it. Push blocks when the queue
+  // is full — that back-pressure is what bounds ingestion memory.
+  auto decode_one = [collect, &source, &decode_metrics, &queue](size_t i) {
+    obs::MetricsCollector decode_collector;
+    const obs::MetricsScope scope(collect ? &decode_collector : nullptr);
+    Result<Scene> scene = source.DecodeScene(i);
+    if (collect) decode_metrics[i] = decode_collector.Snapshot();
+    queue.Push(WorkItem{i, std::move(scene)});
+  };
+
+  // Rank side: long-lived workers popping until the queue is closed and
+  // drained. Outcomes land in pre-assigned slots, so arrival order —
+  // which varies with scheduling — cannot reorder the report. A decode
+  // failure flows through as that scene's outcome Status, exactly like a
+  // ranking failure.
+  auto rank_worker = [this, app, collect, &source, &report, &scene_metrics,
+                      &queue] {
+    for (;;) {
+      const obs::StageTimer wait_timer;
+      std::optional<WorkItem> item = queue.Pop();
+      if (!item.has_value()) return;  // closed and drained
+      const uint64_t wait_ns = wait_timer.ElapsedNs();
+      const size_t i = item->index;
+      obs::MetricsCollector scene_collector;
+      const obs::MetricsScope scope(collect ? &scene_collector : nullptr);
+      const obs::StageTimer scene_timer;
+      SceneOutcome& outcome = report.outcomes[i];
+      if (!item->scene.ok()) {
+        outcome.scene_name = source.scene_name(i);
+        outcome.status = item->scene.status();
+      } else {
+        const Scene& scene = item->scene.value();
+        outcome.scene_name = scene.name();
+        Result<std::vector<ErrorProposal>> proposals = RankScene(scene, app);
+        if (proposals.ok()) {
+          outcome.proposals = std::move(proposals).value();
+        } else {
+          outcome.status = proposals.status();
+        }
+      }
+      if (collect) {
+        const uint64_t wall_ns = scene_timer.ElapsedNs();
+        outcome.wall_ms = static_cast<double>(wall_ns) * 1e-6;
+        scene_collector.Count("span.scene.calls");
+        scene_collector.AddTimeNs("span.scene", wall_ns);
+        // The streaming path's wait is the pop on the decode→rank queue;
+        // batch.queue_wait is recorded at zero so the snapshot key set
+        // matches the non-streaming path.
+        scene_collector.AddTimeNs("io.fxb.queue_wait", wait_ns);
+        scene_collector.AddTimeNs("batch.queue_wait", 0);
+        scene_metrics[i] = scene_collector.Snapshot();
+      }
+    }
+  };
+
+  {
+    // Rank workers first so consumers exist before the first Push can
+    // fill the queue; the loader pool drains itself before Close().
+    ThreadPool rank_pool(rank_threads);
+    std::vector<std::future<void>> rank_futures;
+    rank_futures.reserve(static_cast<size_t>(rank_threads));
+    for (int t = 0; t < rank_threads; ++t) {
+      rank_futures.push_back(rank_pool.Submit(rank_worker));
+    }
+    {
+      ThreadPool decode_pool(decode_threads);
+      std::vector<std::future<void>> decode_futures;
+      decode_futures.reserve(scene_count);
+      for (size_t i = 0; i < scene_count; ++i) {
+        decode_futures.push_back(
+            decode_pool.Submit([&decode_one, i] { decode_one(i); }));
+      }
+      for (std::future<void>& future : decode_futures) future.get();
+    }
+    queue.Close();
+    for (std::future<void>& future : rank_futures) future.get();
+  }
+
+  // Same summary pass and fail-fast contract as RankDataset: the first
+  // failure in dataset order wins.
+  for (const SceneOutcome& outcome : report.outcomes) {
+    if (outcome.ok()) {
+      ++report.scenes_ok;
+      continue;
+    }
+    if (batch.fail_fast) {
+      return Status(outcome.status.code(),
+                    "scene '" + outcome.scene_name +
+                        "': " + outcome.status.message());
+    }
+    ++report.scenes_failed;
+    ++report.scenes_quarantined;
+  }
+
+  if (collect) {
+    for (size_t i = 0; i < scene_count; ++i) {
+      report.metrics.MergeFrom(decode_metrics[i]);
+      report.metrics.MergeFrom(scene_metrics[i]);
+    }
+    report.metrics.counters["batch.scenes"] += scene_count;
+    report.metrics.counters["batch.scenes_ok"] += report.scenes_ok;
+    report.metrics.counters["batch.scenes_failed"] += report.scenes_failed;
+    report.metrics.counters["batch.scenes_quarantined"] +=
+        report.scenes_quarantined;
+    report.metrics.timers_ms["batch.total"] = total_timer.ElapsedMs();
+    report.metrics.gauges["batch.threads"] = static_cast<double>(rank_threads);
     double scene_ms_max = 0.0;
     for (const SceneOutcome& outcome : report.outcomes) {
       scene_ms_max = std::max(scene_ms_max, outcome.wall_ms);

@@ -18,6 +18,7 @@
 #include "core/learner.h"
 #include "core/proposal.h"
 #include "data/scene.h"
+#include "data/scene_source.h"
 #include "obs/metrics.h"
 
 namespace fixy {
@@ -60,6 +61,21 @@ struct BatchOptions {
   /// its own collector and the snapshots merge in dataset order. When
   /// false (the default) the batch records nothing, at any thread count.
   bool collect_metrics = false;
+};
+
+/// Configuration of the streaming ingestion pipeline
+/// (RankDatasetStreaming).
+struct StreamOptions {
+  /// Threads decoding scenes from the SceneSource. 1 (the default) keeps
+  /// a single loader feeding the rank workers; higher values overlap
+  /// several decodes. Values < 1 are treated as 1.
+  int decode_threads = 1;
+
+  /// Capacity of the bounded decode→rank queue: at most this many decoded
+  /// scenes wait in memory, so ingestion memory stays O(capacity) however
+  /// far decode runs ahead. 0 (the default) uses 2× the rank thread
+  /// count.
+  size_t queue_capacity = 0;
 };
 
 /// Outcome of ranking one scene within a batch.
@@ -136,6 +152,21 @@ class Fixy {
   /// dataset yields an ok, empty report.
   Result<BatchReport> RankDataset(const Dataset& dataset, Application app,
                                   const BatchOptions& batch = {}) const;
+
+  /// Streaming variant of RankDataset: scenes are decoded on demand from
+  /// `source` by a loader pool and fed to the rank workers through a
+  /// bounded queue, overlapping decode with ranking and keeping at most
+  /// StreamOptions::queue_capacity decoded scenes in memory. Outcomes
+  /// land in pre-assigned dataset-order slots, so the report (outcomes,
+  /// proposals, and every metrics counter) is byte-identical to
+  /// RankDataset over the materialized dataset, at any combination of
+  /// decode and rank thread counts. A scene whose *decode* fails is
+  /// quarantined exactly like a scene whose ranking fails (or, with
+  /// fail_fast, fails the call with the first dataset-order error).
+  Result<BatchReport> RankDatasetStreaming(const SceneSource& source,
+                                           Application app,
+                                           const BatchOptions& batch = {},
+                                           const StreamOptions& stream = {}) const;
 
   /// The learned feature distributions (volume, velocity, extras) — for
   /// inspection, tests, and the Figure 2 bench.

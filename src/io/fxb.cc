@@ -1,0 +1,630 @@
+#include "io/fxb.h"
+
+#include <bit>
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "common/crc32.h"
+#include "common/macros.h"
+#include "common/string_util.h"
+#include "io/scene_io.h"
+#include "json/json.h"
+#include "obs/metrics.h"
+
+// Columns are written and read with whole-array memcpys, which is only
+// the documented little-endian layout on a little-endian host.
+static_assert(std::endian::native == std::endian::little,
+              "FXB encode/decode assumes a little-endian host");
+
+namespace fixy::io {
+
+namespace {
+
+constexpr const char* kManifestFile = "manifest.json";
+constexpr const char* kCacheFile = "dataset.fxb";
+
+// ---- Encoding primitives ----
+
+template <typename T>
+void AppendPod(std::string* out, const T& value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  out->append(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+void AppendColumn(std::string* out, const std::vector<T>& column) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  out->append(reinterpret_cast<const char*>(column.data()),
+              column.size() * sizeof(T));
+}
+
+// ---- Decoding primitives ----
+
+// A bounds-checked forward reader over one byte range. Every read is a
+// sized memcpy; running past the end is a Status, never UB.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view bytes) : bytes_(bytes) {}
+
+  size_t remaining() const { return bytes_.size() - pos_; }
+
+  template <typename T>
+  Status Read(T* out) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (remaining() < sizeof(T)) return Truncated();
+    std::memcpy(out, bytes_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return Status::Ok();
+  }
+
+  template <typename T>
+  Status ReadColumn(size_t count, std::vector<T>* out) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (count > remaining() / sizeof(T)) return Truncated();
+    out->resize(count);
+    std::memcpy(out->data(), bytes_.data() + pos_, count * sizeof(T));
+    pos_ += count * sizeof(T);
+    return Status::Ok();
+  }
+
+  Status ReadString(size_t length, std::string* out) {
+    if (length > remaining()) return Truncated();
+    out->assign(bytes_.data() + pos_, length);
+    pos_ += length;
+    return Status::Ok();
+  }
+
+ private:
+  static Status Truncated() {
+    return Status::InvalidArgument("truncated FXB scene section");
+  }
+
+  std::string_view bytes_;
+  size_t pos_ = 0;
+};
+
+// ---- Scene section encode/decode ----
+
+// Section layout: u32 name_len + name, f64 frame_rate_hz, u32 frame_count,
+// u32 obs_total, the frame columns, then the observation columns.
+Result<std::string> EncodeScene(const Scene& scene) {
+  const size_t obs_total = scene.TotalObservations();
+  if (scene.frame_count() > UINT32_MAX || obs_total > UINT32_MAX ||
+      scene.name().size() > UINT32_MAX) {
+    return Status::InvalidArgument(
+        StrFormat("scene '%s' exceeds FXB u32 limits", scene.name().c_str()));
+  }
+
+  std::string out;
+  AppendPod(&out, static_cast<uint32_t>(scene.name().size()));
+  out.append(scene.name());
+  AppendPod(&out, scene.frame_rate_hz());
+  AppendPod(&out, static_cast<uint32_t>(scene.frame_count()));
+  AppendPod(&out, static_cast<uint32_t>(obs_total));
+
+  const size_t n = scene.frame_count();
+  std::vector<int32_t> frame_index(n);
+  std::vector<double> frame_ts(n), ego_x(n), ego_y(n), ego_yaw(n);
+  std::vector<uint32_t> obs_count(n);
+  std::vector<uint64_t> obs_id;
+  std::vector<uint8_t> obs_source, obs_class;
+  std::vector<double> obs_conf, obs_cx, obs_cy, obs_cz, obs_l, obs_w, obs_h,
+      obs_yaw, obs_ts;
+  std::vector<int32_t> obs_frame;
+  obs_id.reserve(obs_total);
+  for (size_t i = 0; i < n; ++i) {
+    const Frame& frame = scene.frames()[i];
+    frame_index[i] = frame.index;
+    frame_ts[i] = frame.timestamp;
+    ego_x[i] = frame.ego_position.x;
+    ego_y[i] = frame.ego_position.y;
+    ego_yaw[i] = frame.ego_yaw;
+    obs_count[i] = static_cast<uint32_t>(frame.observations.size());
+    for (const Observation& obs : frame.observations) {
+      obs_id.push_back(obs.id);
+      obs_source.push_back(static_cast<uint8_t>(obs.source));
+      obs_class.push_back(static_cast<uint8_t>(obs.object_class));
+      obs_conf.push_back(obs.confidence);
+      obs_cx.push_back(obs.box.center.x);
+      obs_cy.push_back(obs.box.center.y);
+      obs_cz.push_back(obs.box.center.z);
+      obs_l.push_back(obs.box.length);
+      obs_w.push_back(obs.box.width);
+      obs_h.push_back(obs.box.height);
+      obs_yaw.push_back(obs.box.yaw);
+      obs_frame.push_back(obs.frame_index);
+      obs_ts.push_back(obs.timestamp);
+    }
+  }
+
+  AppendColumn(&out, frame_index);
+  AppendColumn(&out, frame_ts);
+  AppendColumn(&out, ego_x);
+  AppendColumn(&out, ego_y);
+  AppendColumn(&out, ego_yaw);
+  AppendColumn(&out, obs_count);
+  AppendColumn(&out, obs_id);
+  AppendColumn(&out, obs_source);
+  AppendColumn(&out, obs_class);
+  AppendColumn(&out, obs_conf);
+  AppendColumn(&out, obs_cx);
+  AppendColumn(&out, obs_cy);
+  AppendColumn(&out, obs_cz);
+  AppendColumn(&out, obs_l);
+  AppendColumn(&out, obs_w);
+  AppendColumn(&out, obs_h);
+  AppendColumn(&out, obs_yaw);
+  AppendColumn(&out, obs_frame);
+  AppendColumn(&out, obs_ts);
+  return out;
+}
+
+Result<Scene> DecodeSceneSection(std::string_view section) {
+  Cursor cursor(section);
+  uint32_t name_len = 0;
+  FIXY_RETURN_IF_ERROR(cursor.Read(&name_len));
+  std::string name;
+  FIXY_RETURN_IF_ERROR(cursor.ReadString(name_len, &name));
+  double frame_rate_hz = 0.0;
+  FIXY_RETURN_IF_ERROR(cursor.Read(&frame_rate_hz));
+  uint32_t frame_count = 0;
+  uint32_t obs_total = 0;
+  FIXY_RETURN_IF_ERROR(cursor.Read(&frame_count));
+  FIXY_RETURN_IF_ERROR(cursor.Read(&obs_total));
+
+  std::vector<int32_t> frame_index;
+  std::vector<double> frame_ts, ego_x, ego_y, ego_yaw;
+  std::vector<uint32_t> obs_count;
+  FIXY_RETURN_IF_ERROR(cursor.ReadColumn(frame_count, &frame_index));
+  FIXY_RETURN_IF_ERROR(cursor.ReadColumn(frame_count, &frame_ts));
+  FIXY_RETURN_IF_ERROR(cursor.ReadColumn(frame_count, &ego_x));
+  FIXY_RETURN_IF_ERROR(cursor.ReadColumn(frame_count, &ego_y));
+  FIXY_RETURN_IF_ERROR(cursor.ReadColumn(frame_count, &ego_yaw));
+  FIXY_RETURN_IF_ERROR(cursor.ReadColumn(frame_count, &obs_count));
+
+  uint64_t counted = 0;
+  for (uint32_t c : obs_count) counted += c;
+  if (counted != obs_total) {
+    return Status::InvalidArgument(
+        StrFormat("FXB scene section per-frame observation counts sum to "
+                  "%llu but header says %u",
+                  static_cast<unsigned long long>(counted), obs_total));
+  }
+
+  std::vector<uint64_t> obs_id;
+  std::vector<uint8_t> obs_source, obs_class;
+  std::vector<double> obs_conf, obs_cx, obs_cy, obs_cz, obs_l, obs_w, obs_h,
+      obs_yaw, obs_ts;
+  std::vector<int32_t> obs_frame;
+  FIXY_RETURN_IF_ERROR(cursor.ReadColumn(obs_total, &obs_id));
+  FIXY_RETURN_IF_ERROR(cursor.ReadColumn(obs_total, &obs_source));
+  FIXY_RETURN_IF_ERROR(cursor.ReadColumn(obs_total, &obs_class));
+  FIXY_RETURN_IF_ERROR(cursor.ReadColumn(obs_total, &obs_conf));
+  FIXY_RETURN_IF_ERROR(cursor.ReadColumn(obs_total, &obs_cx));
+  FIXY_RETURN_IF_ERROR(cursor.ReadColumn(obs_total, &obs_cy));
+  FIXY_RETURN_IF_ERROR(cursor.ReadColumn(obs_total, &obs_cz));
+  FIXY_RETURN_IF_ERROR(cursor.ReadColumn(obs_total, &obs_l));
+  FIXY_RETURN_IF_ERROR(cursor.ReadColumn(obs_total, &obs_w));
+  FIXY_RETURN_IF_ERROR(cursor.ReadColumn(obs_total, &obs_h));
+  FIXY_RETURN_IF_ERROR(cursor.ReadColumn(obs_total, &obs_yaw));
+  FIXY_RETURN_IF_ERROR(cursor.ReadColumn(obs_total, &obs_frame));
+  FIXY_RETURN_IF_ERROR(cursor.ReadColumn(obs_total, &obs_ts));
+  if (cursor.remaining() != 0) {
+    return Status::InvalidArgument(StrFormat(
+        "FXB scene section has %zu trailing bytes", cursor.remaining()));
+  }
+
+  Scene scene(std::move(name), frame_rate_hz);
+  size_t next_obs = 0;
+  for (uint32_t i = 0; i < frame_count; ++i) {
+    Frame frame;
+    frame.index = frame_index[i];
+    frame.timestamp = frame_ts[i];
+    frame.ego_position.x = ego_x[i];
+    frame.ego_position.y = ego_y[i];
+    frame.ego_yaw = ego_yaw[i];
+    frame.observations.reserve(obs_count[i]);
+    for (uint32_t j = 0; j < obs_count[i]; ++j, ++next_obs) {
+      if (obs_source[next_obs] >= kNumObservationSources) {
+        return Status::InvalidArgument(
+            StrFormat("FXB observation has invalid source byte %u",
+                      obs_source[next_obs]));
+      }
+      if (obs_class[next_obs] >= kNumObjectClasses) {
+        return Status::InvalidArgument(
+            StrFormat("FXB observation has invalid class byte %u",
+                      obs_class[next_obs]));
+      }
+      Observation obs;
+      obs.id = obs_id[next_obs];
+      obs.source = static_cast<ObservationSource>(obs_source[next_obs]);
+      obs.object_class = static_cast<ObjectClass>(obs_class[next_obs]);
+      obs.confidence = obs_conf[next_obs];
+      obs.box.center.x = obs_cx[next_obs];
+      obs.box.center.y = obs_cy[next_obs];
+      obs.box.center.z = obs_cz[next_obs];
+      obs.box.length = obs_l[next_obs];
+      obs.box.width = obs_w[next_obs];
+      obs.box.height = obs_h[next_obs];
+      obs.box.yaw = obs_yaw[next_obs];
+      obs.frame_index = obs_frame[next_obs];
+      obs.timestamp = obs_ts[next_obs];
+      frame.observations.push_back(obs);
+    }
+    scene.AddFrame(std::move(frame));
+  }
+  FIXY_RETURN_IF_ERROR(scene.Validate());
+  return scene;
+}
+
+// ---- Header helpers ----
+
+template <typename T>
+void StorePod(std::string* header, size_t offset, const T& value) {
+  std::memcpy(header->data() + offset, &value, sizeof(T));
+}
+
+template <typename T>
+T LoadPod(std::string_view bytes, size_t offset) {
+  T value;
+  std::memcpy(&value, bytes.data() + offset, sizeof(T));
+  return value;
+}
+
+Status WriteFileAtomic(const std::string& path, const std::string& contents) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return Status::IoError("cannot open for writing: " + tmp);
+    out.write(contents.data(),
+              static_cast<std::streamsize>(contents.size()));
+    out.flush();
+    if (!out) return Status::IoError("write failed: " + tmp);
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    return Status::IoError("cannot rename " + tmp + " to " + path + ": " +
+                           ec.message());
+  }
+  return Status::Ok();
+}
+
+// Reads the manifest and returns the scene file names it lists.
+Result<std::vector<std::string>> ReadManifestSceneFiles(
+    const std::string& directory) {
+  FIXY_ASSIGN_OR_RETURN(MappedFile manifest_file,
+                        MappedFile::Open(directory + "/" + kManifestFile));
+  FIXY_ASSIGN_OR_RETURN(json::Value manifest,
+                        json::Parse(manifest_file.data()));
+  FIXY_ASSIGN_OR_RETURN(std::string format, manifest.GetString("format"));
+  if (format != "fixy-dataset") {
+    return Status::InvalidArgument("not a fixy-dataset manifest");
+  }
+  const json::Value* scenes = manifest.Find("scenes");
+  if (scenes == nullptr || !scenes->is_array()) {
+    return Status::InvalidArgument("manifest missing scenes array");
+  }
+  std::vector<std::string> files;
+  files.reserve(scenes->AsArray().size());
+  for (const json::Value& file : scenes->AsArray()) {
+    if (!file.is_string()) {
+      return Status::InvalidArgument("manifest scene entry must be a string");
+    }
+    files.push_back(file.AsString());
+  }
+  return files;
+}
+
+}  // namespace
+
+Result<std::string> EncodeFxbDataset(const Dataset& dataset,
+                                     const FxbSourceFingerprint& fingerprint) {
+  if (dataset.scenes.size() > UINT32_MAX ||
+      dataset.name.size() > UINT32_MAX) {
+    return Status::InvalidArgument("dataset exceeds FXB u32 limits");
+  }
+
+  // Sections first: their offsets (relative to the start of the file) are
+  // needed before the header and index can be written.
+  std::string sections;
+  std::vector<std::tuple<uint64_t, uint64_t, uint32_t>> entries;
+  entries.reserve(dataset.scenes.size());
+  const uint64_t sections_base = kFxbHeaderSize + dataset.name.size();
+  for (const Scene& scene : dataset.scenes) {
+    FIXY_ASSIGN_OR_RETURN(std::string section, EncodeScene(scene));
+    entries.emplace_back(sections_base + sections.size(), section.size(),
+                         Crc32(section));
+    sections += section;
+  }
+
+  std::string index;
+  index.reserve(entries.size() * kFxbIndexEntrySize);
+  for (const auto& [offset, length, crc] : entries) {
+    AppendPod(&index, offset);
+    AppendPod(&index, length);
+    AppendPod(&index, crc);
+    AppendPod(&index, uint32_t{0});
+  }
+
+  std::string header(kFxbHeaderSize, '\0');
+  std::memcpy(header.data(), kFxbMagic, sizeof(kFxbMagic));
+  StorePod(&header, kFxbVersionOffset, kFxbVersion);
+  StorePod(&header, kFxbSceneCountOffset,
+           static_cast<uint32_t>(dataset.scenes.size()));
+  StorePod(&header, kFxbNameBytesOffset,
+           static_cast<uint32_t>(dataset.name.size()));
+  StorePod(&header, kFxbIndexOffsetOffset,
+           static_cast<uint64_t>(sections_base + sections.size()));
+  StorePod(&header, kFxbSourceFilesOffset, fingerprint.file_count);
+  StorePod(&header, kFxbSourceBytesOffset, fingerprint.total_bytes);
+  StorePod(&header, kFxbSourceMtimeOffset, fingerprint.max_mtime_ns);
+  StorePod(&header, kFxbFlagsOffset, uint32_t{0});
+  StorePod(&header, kFxbIndexCrcOffset, Crc32(index));
+  StorePod(&header, kFxbReservedOffset, uint32_t{0});
+  StorePod(&header, kFxbHeaderCrcOffset,
+           Crc32(header.data(), kFxbHeaderCrcOffset));
+
+  std::string blob;
+  blob.reserve(header.size() + dataset.name.size() + sections.size() +
+               index.size());
+  blob += header;
+  blob += dataset.name;
+  blob += sections;
+  blob += index;
+  return blob;
+}
+
+Result<FxbReader> FxbReader::Open(const std::string& path,
+                                  bool force_buffered) {
+  FxbReader reader;
+  FIXY_ASSIGN_OR_RETURN(reader.file_, MappedFile::Open(path, force_buffered));
+  if (reader.file_.is_mapped()) {
+    obs::Count("io.fxb.bytes_mapped", reader.file_.data().size());
+  }
+  return Parse(std::move(reader));
+}
+
+Result<FxbReader> FxbReader::FromBuffer(std::string blob) {
+  FxbReader reader;
+  reader.buffer_ = std::move(blob);
+  return Parse(std::move(reader));
+}
+
+Result<FxbReader> FxbReader::Parse(FxbReader reader) {
+  const std::string_view bytes = reader.data();
+  if (bytes.size() < kFxbHeaderSize) {
+    return Status::InvalidArgument(
+        StrFormat("truncated FXB header: %zu bytes, need %zu", bytes.size(),
+                  kFxbHeaderSize));
+  }
+  if (std::memcmp(bytes.data(), kFxbMagic, sizeof(kFxbMagic)) != 0) {
+    return Status::InvalidArgument("not an FXB file (bad magic)");
+  }
+  const uint32_t stored_header_crc =
+      LoadPod<uint32_t>(bytes, kFxbHeaderCrcOffset);
+  if (Crc32(bytes.data(), kFxbHeaderCrcOffset) != stored_header_crc) {
+    obs::Count("io.fxb.checksum_failures");
+    return Status::FailedPrecondition("FXB header checksum mismatch");
+  }
+  const uint32_t version = LoadPod<uint32_t>(bytes, kFxbVersionOffset);
+  if (version != kFxbVersion) {
+    return Status::InvalidArgument(
+        StrFormat("unsupported FXB version %u (expected %u)", version,
+                  kFxbVersion));
+  }
+
+  const uint32_t scene_count = LoadPod<uint32_t>(bytes, kFxbSceneCountOffset);
+  const uint32_t name_bytes = LoadPod<uint32_t>(bytes, kFxbNameBytesOffset);
+  const uint64_t index_offset =
+      LoadPod<uint64_t>(bytes, kFxbIndexOffsetOffset);
+  reader.fingerprint_.file_count =
+      LoadPod<uint64_t>(bytes, kFxbSourceFilesOffset);
+  reader.fingerprint_.total_bytes =
+      LoadPod<uint64_t>(bytes, kFxbSourceBytesOffset);
+  reader.fingerprint_.max_mtime_ns =
+      LoadPod<uint64_t>(bytes, kFxbSourceMtimeOffset);
+
+  if (name_bytes > bytes.size() - kFxbHeaderSize) {
+    return Status::InvalidArgument("FXB dataset name extends past the file");
+  }
+  reader.dataset_name_.assign(bytes.data() + kFxbHeaderSize, name_bytes);
+
+  const uint64_t index_size =
+      static_cast<uint64_t>(scene_count) * kFxbIndexEntrySize;
+  if (index_offset < kFxbHeaderSize + name_bytes ||
+      index_offset > bytes.size() ||
+      index_size > bytes.size() - index_offset) {
+    return Status::InvalidArgument(
+        StrFormat("FXB index (%u scenes at offset %llu) extends past the "
+                  "file (%zu bytes)",
+                  scene_count, static_cast<unsigned long long>(index_offset),
+                  bytes.size()));
+  }
+  const std::string_view index_bytes =
+      bytes.substr(index_offset, index_size);
+  const uint32_t stored_index_crc =
+      LoadPod<uint32_t>(bytes, kFxbIndexCrcOffset);
+  if (Crc32(index_bytes) != stored_index_crc) {
+    obs::Count("io.fxb.checksum_failures");
+    return Status::FailedPrecondition("FXB index checksum mismatch");
+  }
+
+  reader.index_.reserve(scene_count);
+  for (uint32_t i = 0; i < scene_count; ++i) {
+    const size_t base = i * kFxbIndexEntrySize;
+    IndexEntry entry;
+    entry.offset = LoadPod<uint64_t>(index_bytes, base);
+    entry.length = LoadPod<uint64_t>(index_bytes, base + sizeof(uint64_t));
+    entry.crc = LoadPod<uint32_t>(index_bytes, base + kFxbIndexEntryCrcOffset);
+    reader.index_.push_back(entry);
+  }
+  return reader;
+}
+
+Result<Scene> FxbReader::DecodeScene(size_t index) const {
+  if (index >= index_.size()) {
+    return Status::OutOfRange(StrFormat(
+        "scene index %zu out of range (%zu scenes)", index, index_.size()));
+  }
+  const IndexEntry& entry = index_[index];
+  const std::string_view bytes = data();
+  if (entry.offset > bytes.size() ||
+      entry.length > bytes.size() - entry.offset) {
+    return Status::InvalidArgument(
+        StrFormat("FXB scene %zu section (offset %llu, length %llu) extends "
+                  "past the file (%zu bytes)",
+                  index, static_cast<unsigned long long>(entry.offset),
+                  static_cast<unsigned long long>(entry.length),
+                  bytes.size()));
+  }
+  const std::string_view section = bytes.substr(entry.offset, entry.length);
+  if (Crc32(section) != entry.crc) {
+    obs::Count("io.fxb.checksum_failures");
+    return Status::FailedPrecondition(
+        StrFormat("FXB scene %zu section checksum mismatch", index));
+  }
+  FIXY_ASSIGN_OR_RETURN(Scene scene, DecodeSceneSection(section));
+  obs::Count("io.fxb.scenes_decoded");
+  return scene;
+}
+
+std::string FxbReader::SceneNameHint(size_t index) const {
+  const std::string fallback = StrFormat("scene#%zu", index);
+  if (index >= index_.size()) return fallback;
+  const IndexEntry& entry = index_[index];
+  const std::string_view bytes = data();
+  if (entry.offset > bytes.size() ||
+      entry.length > bytes.size() - entry.offset) {
+    return fallback;
+  }
+  Cursor cursor(bytes.substr(entry.offset, entry.length));
+  uint32_t name_len = 0;
+  std::string name;
+  if (!cursor.Read(&name_len).ok() ||
+      !cursor.ReadString(name_len, &name).ok() || name.empty()) {
+    return fallback;
+  }
+  return name;
+}
+
+std::string FxbCachePath(const std::string& directory) {
+  return directory + "/" + kCacheFile;
+}
+
+Result<FxbSourceFingerprint> ComputeSourceFingerprint(
+    const std::string& directory) {
+  FIXY_ASSIGN_OR_RETURN(std::vector<std::string> files,
+                        ReadManifestSceneFiles(directory));
+  files.push_back(kManifestFile);  // the manifest itself counts as a source
+
+  FxbSourceFingerprint fingerprint;
+  for (const std::string& file : files) {
+    const std::string path = directory + "/" + file;
+    std::error_code ec;
+    const uintmax_t size = std::filesystem::file_size(path, ec);
+    if (ec) {
+      return Status::IoError("cannot stat source file: " + path + ": " +
+                             ec.message());
+    }
+    const auto mtime = std::filesystem::last_write_time(path, ec);
+    if (ec) {
+      return Status::IoError("cannot read mtime of: " + path + ": " +
+                             ec.message());
+    }
+    fingerprint.file_count += 1;
+    fingerprint.total_bytes += static_cast<uint64_t>(size);
+    const uint64_t mtime_ns = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            mtime.time_since_epoch())
+            .count());
+    fingerprint.max_mtime_ns = std::max(fingerprint.max_mtime_ns, mtime_ns);
+  }
+  return fingerprint;
+}
+
+Result<size_t> BuildFxbCache(const std::string& directory) {
+  // Fingerprint before loading: a source file modified mid-build then
+  // differs from the recorded fingerprint, so the cache reads as stale
+  // rather than silently matching the new contents.
+  FIXY_ASSIGN_OR_RETURN(FxbSourceFingerprint fingerprint,
+                        ComputeSourceFingerprint(directory));
+  FIXY_ASSIGN_OR_RETURN(Dataset dataset, LoadDataset(directory));
+  FIXY_ASSIGN_OR_RETURN(std::string blob,
+                        EncodeFxbDataset(dataset, fingerprint));
+
+  // Decode-back parity check: every scene must round-trip byte-identically
+  // through the binary container before the cache is trusted.
+  FIXY_ASSIGN_OR_RETURN(FxbReader reader, FxbReader::FromBuffer(blob));
+  if (reader.scene_count() != dataset.scenes.size()) {
+    return Status::Internal(
+        StrFormat("FXB parity check failed: encoded %zu scenes, decoded %zu",
+                  dataset.scenes.size(), reader.scene_count()));
+  }
+  for (size_t i = 0; i < dataset.scenes.size(); ++i) {
+    FIXY_ASSIGN_OR_RETURN(Scene decoded, reader.DecodeScene(i));
+    if (SceneToString(decoded) != SceneToString(dataset.scenes[i])) {
+      return Status::Internal(
+          StrFormat("FXB parity check failed: scene '%s' does not round-trip "
+                    "byte-identically",
+                    dataset.scenes[i].name().c_str()));
+    }
+  }
+
+  FIXY_RETURN_IF_ERROR(WriteFileAtomic(FxbCachePath(directory), blob));
+  return dataset.scenes.size();
+}
+
+Result<FxbReader> OpenFreshCache(const std::string& directory) {
+  const std::string path = FxbCachePath(directory);
+  std::error_code ec;
+  if (!std::filesystem::exists(path, ec) || ec) {
+    return Status::NotFound("no FXB cache at " + path);
+  }
+  FIXY_ASSIGN_OR_RETURN(FxbReader reader, FxbReader::Open(path));
+  FIXY_ASSIGN_OR_RETURN(FxbSourceFingerprint current,
+                        ComputeSourceFingerprint(directory));
+  if (!(reader.fingerprint() == current)) {
+    return Status::FailedPrecondition(
+        "FXB cache is stale: source files changed since it was built (run "
+        "`fixy_cli cache` to refresh)");
+  }
+  return reader;
+}
+
+Result<DirectorySceneSource> DirectorySceneSource::Open(
+    const std::string& directory) {
+  DirectorySceneSource source;
+  source.directory_ = directory;
+  FIXY_ASSIGN_OR_RETURN(source.files_, ReadManifestSceneFiles(directory));
+  return source;
+}
+
+std::string DirectorySceneSource::scene_name(size_t index) const {
+  if (index >= files_.size()) return StrFormat("scene#%zu", index);
+  std::string name = files_[index];
+  constexpr std::string_view kSuffix = ".fixy.json";
+  if (EndsWith(name, kSuffix)) name.resize(name.size() - kSuffix.size());
+  return name;
+}
+
+Result<Scene> DirectorySceneSource::DecodeScene(size_t index) const {
+  if (index >= files_.size()) {
+    return Status::OutOfRange(StrFormat(
+        "scene index %zu out of range (%zu scenes)", index, files_.size()));
+  }
+  return LoadScene(directory_ + "/" + files_[index]);
+}
+
+void RecordFxbMetricsSchema() {
+  obs::Count("io.fxb.bytes_mapped", 0);
+  obs::Count("io.fxb.cache_hits", 0);
+  obs::Count("io.fxb.cache_misses", 0);
+  obs::Count("io.fxb.checksum_failures", 0);
+  obs::Count("io.fxb.scenes_decoded", 0);
+  obs::AddTimeNs("io.fxb.queue_wait", 0);
+}
+
+}  // namespace fixy::io

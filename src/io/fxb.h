@@ -1,0 +1,194 @@
+// FXB: the binary scene cache format, plus the dataset-directory cache
+// workflow built on it.
+//
+// FXB amortizes JSON parse cost: `fixy_cli cache` converts a dataset
+// directory's `.fixy.json` scene files into one `dataset.fxb` container,
+// and `rank` then decodes each scene with a handful of bounded memcpys
+// from a memory-mapped file instead of a JSON DOM walk.
+//
+// On-disk layout (all integers and doubles little-endian; byte-level
+// table in DESIGN.md §9):
+//
+//   header   64 bytes: magic "FXB1", format version, scene count,
+//            dataset-name length, index offset, source fingerprint
+//            (file count / total bytes / max mtime, for staleness),
+//            index CRC32, header CRC32.
+//   name     dataset name bytes, immediately after the header.
+//   scenes   one section per scene, columnar: frame columns (index,
+//            timestamp, ego x/y/yaw, per-frame observation count) then
+//            observation columns (id, source, class, confidence, box
+//            cx/cy/cz/l/w/h/yaw, frame index, timestamp), each a
+//            contiguous array decoded with one bounded memcpy.
+//   index    scene_count entries of {offset, length, crc32} locating and
+//            checksumming each scene section independently, so one
+//            corrupt section quarantines one scene, not the file.
+//
+// Every reader path returns Status on truncated / corrupt /
+// version-mismatched input — never aborts (the PR 2 failure-semantics
+// ladder). Doubles are stored bit-exact, so a cache round-trip is
+// byte-identical to the JSON load it was built from.
+#ifndef FIXY_IO_FXB_H_
+#define FIXY_IO_FXB_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "data/scene.h"
+#include "data/scene_source.h"
+#include "io/mapped_file.h"
+
+namespace fixy::io {
+
+// ---- Layout constants (exported for DESIGN.md §9, tests, and the
+// binary corruptor in src/testing). ----
+inline constexpr char kFxbMagic[4] = {'F', 'X', 'B', '1'};
+inline constexpr uint32_t kFxbVersion = 1;
+inline constexpr size_t kFxbHeaderSize = 64;
+inline constexpr size_t kFxbVersionOffset = 4;        // u32
+inline constexpr size_t kFxbSceneCountOffset = 8;     // u32
+inline constexpr size_t kFxbNameBytesOffset = 12;     // u32
+inline constexpr size_t kFxbIndexOffsetOffset = 16;   // u64
+inline constexpr size_t kFxbSourceFilesOffset = 24;   // u64
+inline constexpr size_t kFxbSourceBytesOffset = 32;   // u64
+inline constexpr size_t kFxbSourceMtimeOffset = 40;   // u64
+inline constexpr size_t kFxbFlagsOffset = 48;         // u32, reserved (0)
+inline constexpr size_t kFxbIndexCrcOffset = 52;      // u32
+inline constexpr size_t kFxbReservedOffset = 56;      // u32, reserved (0)
+inline constexpr size_t kFxbHeaderCrcOffset = 60;     // u32, CRC of [0,60)
+/// One index entry: u64 offset, u64 length, u32 crc32, u32 reserved.
+inline constexpr size_t kFxbIndexEntrySize = 24;
+inline constexpr size_t kFxbIndexEntryCrcOffset = 16;
+
+/// Fingerprint of the JSON source files a cache was built from, recorded
+/// in the header and used for the staleness check: any file added,
+/// removed, resized, or touched since the build changes it.
+struct FxbSourceFingerprint {
+  uint64_t file_count = 0;
+  uint64_t total_bytes = 0;
+  uint64_t max_mtime_ns = 0;
+
+  bool operator==(const FxbSourceFingerprint&) const = default;
+};
+
+/// Serializes `dataset` into an FXB container blob (header + name +
+/// sections + index). Errors: InvalidArgument when a scene exceeds the
+/// format's u32 frame/observation counts.
+Result<std::string> EncodeFxbDataset(const Dataset& dataset,
+                                     const FxbSourceFingerprint& fingerprint);
+
+/// An open FXB container. Opening validates the header, magic, version,
+/// header CRC, and index CRC; scene sections are bounds-checked and
+/// CRC-verified individually on decode, so a corrupt section fails only
+/// its own scene. Thread-safe for concurrent DecodeScene calls.
+class FxbReader {
+ public:
+  /// Opens `path`, memory-mapping it when possible (buffered-read
+  /// fallback otherwise; `force_buffered` skips the mmap attempt).
+  /// Records `io.fxb.bytes_mapped` when the file was actually mapped.
+  static Result<FxbReader> Open(const std::string& path,
+                                bool force_buffered = false);
+
+  /// Reads a container from an in-memory blob (tests, fault injection).
+  static Result<FxbReader> FromBuffer(std::string blob);
+
+  size_t scene_count() const { return index_.size(); }
+  const std::string& dataset_name() const { return dataset_name_; }
+  const FxbSourceFingerprint& fingerprint() const { return fingerprint_; }
+  bool is_mapped() const { return file_.is_mapped(); }
+
+  /// Decodes scene `index`: section bounds check, CRC32 verification
+  /// (`io.fxb.checksum_failures` on mismatch), column decode, and
+  /// Scene::Validate. Records `io.fxb.scenes_decoded` on success.
+  Result<Scene> DecodeScene(size_t index) const;
+
+  /// Best-effort scene name read from the section header without
+  /// checksumming the section; "scene#<i>" when unreadable.
+  std::string SceneNameHint(size_t index) const;
+
+ private:
+  struct IndexEntry {
+    uint64_t offset = 0;
+    uint64_t length = 0;
+    uint32_t crc = 0;
+  };
+
+  static Result<FxbReader> Parse(FxbReader reader);
+
+  std::string_view data() const {
+    return buffer_.empty() ? file_.data() : std::string_view(buffer_);
+  }
+
+  MappedFile file_;
+  std::string buffer_;  // FromBuffer storage
+  std::string dataset_name_;
+  FxbSourceFingerprint fingerprint_;
+  std::vector<IndexEntry> index_;
+};
+
+/// `<directory>/dataset.fxb`, the cache file `fixy_cli cache` maintains.
+std::string FxbCachePath(const std::string& directory);
+
+/// Fingerprints the JSON source files of `directory` (manifest.json plus
+/// every scene file it lists). Errors: IoError / InvalidArgument when the
+/// manifest is unreadable or malformed.
+Result<FxbSourceFingerprint> ComputeSourceFingerprint(
+    const std::string& directory);
+
+/// Builds (or refreshes) `directory`'s cache: strict JSON load, encode,
+/// decode-back parity check (every scene byte-identical to its JSON
+/// load), then an atomic write of dataset.fxb. Returns the scene count.
+Result<size_t> BuildFxbCache(const std::string& directory);
+
+/// Opens `directory`'s cache iff it exists and is fresh. Errors:
+/// NotFound (no cache), FailedPrecondition (stale: source files changed
+/// since the build), or the underlying open/parse error.
+Result<FxbReader> OpenFreshCache(const std::string& directory);
+
+/// FXB-backed SceneSource for the streaming ranking pipeline.
+class FxbSceneSource : public SceneSource {
+ public:
+  explicit FxbSceneSource(FxbReader reader)
+      : reader_(std::make_shared<FxbReader>(std::move(reader))) {}
+
+  size_t scene_count() const override { return reader_->scene_count(); }
+  std::string scene_name(size_t index) const override {
+    return reader_->SceneNameHint(index);
+  }
+  Result<Scene> DecodeScene(size_t index) const override {
+    return reader_->DecodeScene(index);
+  }
+  const FxbReader& reader() const { return *reader_; }
+
+ private:
+  std::shared_ptr<FxbReader> reader_;
+};
+
+/// JSON fallback SceneSource: decodes `<directory>/<file>.fixy.json`
+/// scene files (as listed by manifest.json) one at a time.
+class DirectorySceneSource : public SceneSource {
+ public:
+  /// Reads the manifest and records the scene file list; scene files
+  /// themselves are only touched by DecodeScene.
+  static Result<DirectorySceneSource> Open(const std::string& directory);
+
+  size_t scene_count() const override { return files_.size(); }
+  std::string scene_name(size_t index) const override;
+  Result<Scene> DecodeScene(size_t index) const override;
+
+ private:
+  std::string directory_;
+  std::vector<std::string> files_;
+};
+
+/// Records every `io.fxb.*` counter and timer at zero on the calling
+/// thread's collector, so metric snapshots carry a stable key set whether
+/// or not the cache path ran (the schema golden depends on this).
+void RecordFxbMetricsSchema();
+
+}  // namespace fixy::io
+
+#endif  // FIXY_IO_FXB_H_

@@ -1,0 +1,56 @@
+// Read-only memory-mapped file access with a graceful fallback to a
+// single buffered read when mmap is unavailable (non-POSIX platform,
+// zero-length file, or mmap failure). Either way the caller sees one
+// contiguous immutable byte range for the file's lifetime.
+#ifndef FIXY_IO_MAPPED_FILE_H_
+#define FIXY_IO_MAPPED_FILE_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace fixy::io {
+
+/// An open read-only view of a whole file. Move-only; unmaps (or frees
+/// the fallback buffer) on destruction.
+class MappedFile {
+ public:
+  MappedFile() = default;
+  ~MappedFile();
+
+  MappedFile(MappedFile&& other) noexcept;
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  /// Opens `path`. Tries mmap first; any mmap failure falls back to one
+  /// sized buffered read (never a hard error by itself). With
+  /// `force_buffered` the mmap attempt is skipped entirely — used by
+  /// tests to exercise the fallback path deliberately.
+  /// Errors: IoError when the file cannot be opened or read at all.
+  static Result<MappedFile> Open(const std::string& path,
+                                 bool force_buffered = false);
+
+  /// The file's bytes. Valid for the lifetime of this object.
+  std::string_view data() const {
+    return mapping_ != nullptr
+               ? std::string_view(static_cast<const char*>(mapping_), size_)
+               : std::string_view(buffer_);
+  }
+
+  /// True when the bytes come from an actual mmap (false on the buffered
+  /// fallback path).
+  bool is_mapped() const { return mapping_ != nullptr; }
+
+ private:
+  void Release();
+
+  void* mapping_ = nullptr;  // non-null iff mmap succeeded
+  size_t size_ = 0;
+  std::string buffer_;  // fallback storage
+};
+
+}  // namespace fixy::io
+
+#endif  // FIXY_IO_MAPPED_FILE_H_

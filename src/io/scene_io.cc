@@ -2,7 +2,6 @@
 
 #include <filesystem>
 #include <fstream>
-#include <sstream>
 
 #include "common/macros.h"
 #include "common/string_util.h"
@@ -121,12 +120,9 @@ Result<Frame> FrameFromJson(const json::Value& value) {
 }
 
 Result<std::string> ReadFile(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IoError("cannot open for reading: " + path);
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  if (in.bad()) return Status::IoError("read failed: " + path);
-  return buffer.str();
+  std::string contents;
+  FIXY_RETURN_IF_ERROR(ReadFileInto(path, &contents));
+  return contents;
 }
 
 Status WriteFile(const std::string& path, const std::string& contents) {
@@ -198,10 +194,34 @@ Status SaveScene(const Scene& scene, const std::string& path) {
 }
 
 Result<Scene> LoadScene(const std::string& path) {
-  FIXY_ASSIGN_OR_RETURN(std::string text, ReadFile(path));
-  obs::Count("io.bytes_read", text.size());
+  std::string buffer;
+  return LoadScene(path, &buffer);
+}
+
+Result<Scene> LoadScene(const std::string& path, std::string* buffer) {
+  FIXY_RETURN_IF_ERROR(ReadFileInto(path, buffer));
+  obs::Count("io.bytes_read", buffer->size());
   const obs::ScopedStageTimer parse_timer("io.parse");
-  return SceneFromString(text);
+  return SceneFromString(*buffer);
+}
+
+Status ReadFileInto(const std::string& path, std::string* out) {
+  // One stat-sized read instead of streambuf extraction: resize to the
+  // file's length and read it in a single call, reusing the caller's
+  // buffer capacity across files.
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) return Status::IoError("cannot open for reading: " + path);
+  const std::streamoff size = in.tellg();
+  if (size < 0) return Status::IoError("cannot determine size of: " + path);
+  out->resize(static_cast<size_t>(size));
+  if (size > 0) {
+    in.seekg(0);
+    in.read(out->data(), size);
+    if (!in || in.gcount() != size) {
+      return Status::IoError("read failed: " + path);
+    }
+  }
+  return Status::Ok();
 }
 
 Status SaveDataset(const Dataset& dataset, const std::string& directory) {
@@ -254,6 +274,7 @@ Result<DatasetLoadReport> LoadDataset(const std::string& directory,
   if (scenes == nullptr || !scenes->is_array()) {
     return Status::InvalidArgument("manifest missing scenes array");
   }
+  std::string read_buffer;  // reused across scene files (one allocation)
   for (const json::Value& file : scenes->AsArray()) {
     if (!file.is_string()) {
       const Status bad =
@@ -263,7 +284,8 @@ Result<DatasetLoadReport> LoadDataset(const std::string& directory,
       report.skipped.push_back({"<non-string manifest entry>", bad});
       continue;
     }
-    Result<Scene> scene = LoadScene(directory + "/" + file.AsString());
+    Result<Scene> scene =
+        LoadScene(directory + "/" + file.AsString(), &read_buffer);
     if (!scene.ok()) {
       if (!options.tolerant) return scene.status();
       obs::Count("io.files_skipped");

@@ -46,6 +46,15 @@ Status SaveScene(const Scene& scene, const std::string& path);
 /// Reads a scene from `path`.
 Result<Scene> LoadScene(const std::string& path);
 
+/// LoadScene with caller-provided scratch: the file is read with a single
+/// sized read into `*buffer` (reusing its capacity), so a loop over many
+/// scene files allocates the read buffer once instead of per file.
+Result<Scene> LoadScene(const std::string& path, std::string* buffer);
+
+/// Reads the whole file at `path` into `*out` with one sized read,
+/// reusing `out`'s existing capacity when it suffices.
+Status ReadFileInto(const std::string& path, std::string* out);
+
 /// Writes every scene of `dataset` into `directory` as
 /// `<directory>/<scene-name>.fixy.json` plus a `manifest.json` listing them.
 Status SaveDataset(const Dataset& dataset, const std::string& directory);

@@ -223,11 +223,62 @@ class Parser {
     }
   }
 
+  // Bounded first-pass scan from just after '[': counts element-separating
+  // commas (skipping strings and nested containers) up to the closing ']'
+  // or the scan window, whichever comes first. The result is a capacity
+  // hint — exact within the window, a lower bound past it — that lets
+  // ParseArray reserve once instead of growth-doubling through the large
+  // frame/observation arrays of scene files. Only used at shallow nesting
+  // so hostile deeply-nested input cannot turn the scan quadratic.
+  size_t EstimateArrayCount() const {
+    size_t depth = 0;
+    size_t commas = 0;
+    bool in_string = false;
+    bool escaped = false;
+    const size_t end = std::min(text_.size(), pos_ + kArrayScanWindow);
+    for (size_t i = pos_; i < end; ++i) {
+      const char c = text_[i];
+      if (in_string) {
+        if (escaped) {
+          escaped = false;
+        } else if (c == '\\') {
+          escaped = true;
+        } else if (c == '"') {
+          in_string = false;
+        }
+        continue;
+      }
+      switch (c) {
+        case '"':
+          in_string = true;
+          break;
+        case '[':
+        case '{':
+          ++depth;
+          break;
+        case ']':
+          if (depth == 0) return commas + 1;
+          --depth;
+          break;
+        case '}':
+          if (depth > 0) --depth;
+          break;
+        case ',':
+          if (depth == 0) ++commas;
+          break;
+        default:
+          break;
+      }
+    }
+    return commas + 1;
+  }
+
   Result<Value> ParseArray() {
     Consume('[');
     Array arr;
     SkipWhitespace();
     if (Consume(']')) return Value(std::move(arr));
+    if (depth_ <= kArrayScanMaxDepth) arr.reserve(EstimateArrayCount());
     for (;;) {
       FIXY_ASSIGN_OR_RETURN(Value value, ParseValue());
       arr.push_back(std::move(value));
@@ -241,6 +292,10 @@ class Parser {
   Result<Value> ParseString() {
     Consume('"');
     std::string out;
+    // The distance to the next quote bounds the decoded length (escapes
+    // only shrink it), so one find() sizes the string up front.
+    const size_t close = text_.find('"', pos_);
+    if (close != std::string_view::npos) out.reserve(close - pos_);
     while (!AtEnd()) {
       const char c = text_[pos_++];
       if (c == '"') return Value(std::move(out));
@@ -348,6 +403,12 @@ class Parser {
   }
 
   static constexpr int kMaxDepth = 256;
+  /// Capacity-hint scans only run this close to the document root (deep
+  /// arrays are small in practice and rescanning them would compound).
+  static constexpr int kArrayScanMaxDepth = 4;
+  /// And never look further ahead than this many bytes, which also caps
+  /// the reserve a lying prefix can provoke.
+  static constexpr size_t kArrayScanWindow = size_t{1} << 16;
 
   std::string_view text_;
   size_t pos_ = 0;

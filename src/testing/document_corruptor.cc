@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <cctype>
 #include <cstddef>
+#include <cstring>
 #include <iterator>
 
+#include "common/crc32.h"
 #include "common/string_util.h"
+#include "io/fxb.h"
 #include "json/json.h"
 
 namespace fixy::testing {
@@ -252,6 +255,176 @@ std::string DocumentCorruptor::Apply(CorruptionKind kind,
       break;  // handled above
   }
   return json::Write(root);
+}
+
+namespace {
+
+template <typename T>
+T LoadField(const std::string& blob, size_t offset) {
+  T value;
+  std::memcpy(&value, blob.data() + offset, sizeof(T));
+  return value;
+}
+
+template <typename T>
+void StoreField(std::string* blob, size_t offset, T value) {
+  std::memcpy(blob->data() + offset, &value, sizeof(T));
+}
+
+// Recomputes the header CRC over bytes [0, kFxbHeaderCrcOffset). Mutations
+// that change a *checked* header field (version, index CRC) call this so
+// the reader's targeted validation — not the checksum — rejects the blob.
+void RefreshHeaderCrc(std::string* blob) {
+  StoreField<uint32_t>(blob, io::kFxbHeaderCrcOffset,
+                       Crc32(blob->data(), io::kFxbHeaderCrcOffset));
+}
+
+std::string ApplyBinaryByteFlip(const std::string& blob, Rng* rng,
+                                std::string* detail) {
+  std::string out = blob;
+  if (out.empty()) {
+    *detail = "bin-byte-flip(empty)";
+    return out;
+  }
+  const size_t count = 1 + rng->UniformInt(8);
+  for (size_t i = 0; i < count; ++i) {
+    const size_t pos = static_cast<size_t>(rng->UniformInt(out.size()));
+    out[pos] = static_cast<char>(out[pos] ^
+                                 static_cast<char>(1 + rng->UniformInt(255)));
+  }
+  *detail = StrFormat("bin-byte-flip(%zu bytes)", count);
+  return out;
+}
+
+}  // namespace
+
+const char* ToString(BinaryCorruptionKind kind) {
+  switch (kind) {
+    case BinaryCorruptionKind::kHeaderTruncate:
+      return "header-truncate";
+    case BinaryCorruptionKind::kTruncate:
+      return "bin-truncate";
+    case BinaryCorruptionKind::kByteFlip:
+      return "bin-byte-flip";
+    case BinaryCorruptionKind::kChecksumFlip:
+      return "checksum-flip";
+    case BinaryCorruptionKind::kVersionBump:
+      return "version-bump";
+    case BinaryCorruptionKind::kSectionLengthLie:
+      return "section-length-lie";
+  }
+  return "unknown";
+}
+
+std::string DocumentCorruptor::ApplyBinary(BinaryCorruptionKind kind,
+                                           const std::string& blob,
+                                           std::string* detail) {
+  // The structure-aware kinds need at least a whole header to aim at.
+  const bool has_header = blob.size() >= io::kFxbHeaderSize;
+
+  switch (kind) {
+    case BinaryCorruptionKind::kHeaderTruncate: {
+      const size_t limit = std::min(blob.size(), io::kFxbHeaderSize);
+      const size_t keep =
+          limit == 0 ? 0 : static_cast<size_t>(rng_.UniformInt(limit));
+      *detail = StrFormat("header-truncate(%zu of %zu bytes)", keep,
+                          blob.size());
+      return blob.substr(0, keep);
+    }
+    case BinaryCorruptionKind::kTruncate: {
+      if (blob.empty()) {
+        *detail = "bin-truncate(empty)";
+        return blob;
+      }
+      const size_t keep = static_cast<size_t>(rng_.UniformInt(blob.size()));
+      *detail =
+          StrFormat("bin-truncate(%zu of %zu bytes)", keep, blob.size());
+      return blob.substr(0, keep);
+    }
+    case BinaryCorruptionKind::kByteFlip:
+      return ApplyBinaryByteFlip(blob, &rng_, detail);
+    case BinaryCorruptionKind::kChecksumFlip: {
+      if (!has_header) return ApplyBinaryByteFlip(blob, &rng_, detail);
+      // Damage one byte strictly inside the scene-sections region so the
+      // header and index still verify: exactly one scene's section CRC
+      // then fails, and the reader must quarantine it in isolation.
+      const uint32_t name_bytes =
+          LoadField<uint32_t>(blob, io::kFxbNameBytesOffset);
+      const uint64_t index_offset =
+          LoadField<uint64_t>(blob, io::kFxbIndexOffsetOffset);
+      const uint64_t sections_begin = io::kFxbHeaderSize + name_bytes;
+      if (index_offset <= sections_begin || index_offset > blob.size()) {
+        return ApplyBinaryByteFlip(blob, &rng_, detail);
+      }
+      std::string out = blob;
+      const size_t span = static_cast<size_t>(index_offset - sections_begin);
+      const size_t pos =
+          sections_begin + static_cast<size_t>(rng_.UniformInt(span));
+      out[pos] = static_cast<char>(
+          out[pos] ^ static_cast<char>(1 + rng_.UniformInt(255)));
+      *detail = StrFormat("checksum-flip(section byte %zu)", pos);
+      return out;
+    }
+    case BinaryCorruptionKind::kVersionBump: {
+      if (!has_header) return ApplyBinaryByteFlip(blob, &rng_, detail);
+      std::string out = blob;
+      const uint32_t bumped =
+          io::kFxbVersion + 1 + static_cast<uint32_t>(rng_.UniformInt(100));
+      StoreField<uint32_t>(&out, io::kFxbVersionOffset, bumped);
+      RefreshHeaderCrc(&out);
+      *detail = StrFormat("version-bump(%u)", bumped);
+      return out;
+    }
+    case BinaryCorruptionKind::kSectionLengthLie: {
+      if (!has_header) return ApplyBinaryByteFlip(blob, &rng_, detail);
+      const uint32_t scene_count =
+          LoadField<uint32_t>(blob, io::kFxbSceneCountOffset);
+      const uint64_t index_offset =
+          LoadField<uint64_t>(blob, io::kFxbIndexOffsetOffset);
+      const uint64_t index_size =
+          static_cast<uint64_t>(scene_count) * io::kFxbIndexEntrySize;
+      if (scene_count == 0 || index_offset > blob.size() ||
+          index_size > blob.size() - index_offset) {
+        return ApplyBinaryByteFlip(blob, &rng_, detail);
+      }
+      std::string out = blob;
+      const size_t entry = static_cast<size_t>(rng_.UniformInt(scene_count));
+      const size_t entry_base =
+          static_cast<size_t>(index_offset) + entry * io::kFxbIndexEntrySize;
+      const size_t length_off = entry_base + sizeof(uint64_t);
+      const uint64_t lied =
+          LoadField<uint64_t>(out, length_off) + 1 +
+          static_cast<uint64_t>(rng_.UniformInt(1u << 20));
+      StoreField<uint64_t>(&out, length_off, lied);
+      // Re-seal index and header so only the bounds/section checks can
+      // catch the lie.
+      StoreField<uint32_t>(
+          &out, io::kFxbIndexCrcOffset,
+          Crc32(out.data() + index_offset, static_cast<size_t>(index_size)));
+      RefreshHeaderCrc(&out);
+      *detail = StrFormat("section-length-lie(scene %zu -> %llu bytes)",
+                          entry, static_cast<unsigned long long>(lied));
+      return out;
+    }
+  }
+  return ApplyBinaryByteFlip(blob, &rng_, detail);
+}
+
+CorruptionResult DocumentCorruptor::CorruptBinary(const std::string& blob) {
+  static const BinaryCorruptionKind kKinds[] = {
+      BinaryCorruptionKind::kHeaderTruncate,
+      BinaryCorruptionKind::kTruncate,
+      BinaryCorruptionKind::kByteFlip,
+      BinaryCorruptionKind::kChecksumFlip,
+      BinaryCorruptionKind::kVersionBump,
+      BinaryCorruptionKind::kSectionLengthLie,
+  };
+  const BinaryCorruptionKind kind = kKinds[rng_.UniformInt(6)];
+  CorruptionResult result;
+  std::string detail;
+  result.document = ApplyBinary(kind, blob, &detail);
+  result.mutations.push_back(detail.empty() ? ToString(kind) : detail);
+  return result;
 }
 
 CorruptionResult DocumentCorruptor::Corrupt(const std::string& document) {

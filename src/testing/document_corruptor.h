@@ -44,6 +44,32 @@ enum class CorruptionKind {
 /// Human-readable name, e.g. "truncate".
 const char* ToString(CorruptionKind kind);
 
+/// One family of FXB container mutation. Unlike the JSON kinds these are
+/// layout-aware: they use the exported fxb.h offsets, and the kinds that
+/// alter a checked field (version, section length) recompute the affected
+/// CRCs so the mutation reaches that field's own validation path instead
+/// of being caught earlier by a checksum mismatch.
+enum class BinaryCorruptionKind {
+  /// Cuts the blob off inside the 64-byte header.
+  kHeaderTruncate,
+  /// Cuts the blob off at a random byte (partial write).
+  kTruncate,
+  /// XORs a few random bytes anywhere in the blob (bit rot).
+  kByteFlip,
+  /// Corrupts one byte inside a scene section, leaving header and index
+  /// intact — exactly that scene's checksum fails; its neighbours decode.
+  kChecksumFlip,
+  /// Bumps the format version with the header CRC recomputed, so the
+  /// reader's version check (not its checksum check) must reject it.
+  kVersionBump,
+  /// Rewrites one index entry's section length (CRCs recomputed), so the
+  /// reader's bounds/section checks must catch the lie.
+  kSectionLengthLie,
+};
+
+/// Human-readable name, e.g. "version-bump".
+const char* ToString(BinaryCorruptionKind kind);
+
 /// The outcome of one Corrupt() call.
 struct CorruptionResult {
   /// The mutated document text.
@@ -70,6 +96,16 @@ class DocumentCorruptor {
   /// tests; Corrupt() composes these.
   std::string Apply(CorruptionKind kind, const std::string& document,
                     std::string* detail);
+
+  /// Applies one randomly chosen binary mutation to an FXB container
+  /// blob. One mutation (not 1-3) so tests can reason about exactly which
+  /// scenes a given seed damages.
+  CorruptionResult CorruptBinary(const std::string& blob);
+
+  /// Applies exactly one binary mutation of the given kind. Blobs too
+  /// short to carry the targeted structure degrade to kByteFlip.
+  std::string ApplyBinary(BinaryCorruptionKind kind, const std::string& blob,
+                          std::string* detail);
 
  private:
   Rng rng_;

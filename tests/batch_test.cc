@@ -4,9 +4,11 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <set>
 #include <vector>
 
 #include "core/applications.h"
+#include "data/scene_source.h"
 #include "core/engine.h"
 #include "obs/metrics.h"
 #include "sim/generate.h"
@@ -366,6 +368,164 @@ TEST_F(BatchRankTest, LearnRecordsSampleCountsAndTimers) {
   EXPECT_EQ(snapshot.timers_ms.count("learn.total"), 1u);
   EXPECT_EQ(snapshot.timers_ms.count("learn.rebuild_specs"), 1u);
   ExpectMetricsWellFormed(snapshot);
+}
+
+// A SceneSource that fails decode for a chosen set of indices — the
+// streaming analogue of PoisonScene, exercising the decode-failure →
+// quarantine path without a real corrupt file.
+class FailingSource : public SceneSource {
+ public:
+  FailingSource(const Dataset& dataset, std::set<size_t> failing)
+      : inner_(dataset), failing_(std::move(failing)) {}
+
+  size_t scene_count() const override { return inner_.scene_count(); }
+  std::string scene_name(size_t index) const override {
+    return inner_.scene_name(index);
+  }
+  Result<Scene> DecodeScene(size_t index) const override {
+    if (failing_.count(index)) {
+      return Status::FailedPrecondition("injected decode failure");
+    }
+    return inner_.DecodeScene(index);
+  }
+
+ private:
+  DatasetSceneSource inner_;
+  std::set<size_t> failing_;
+};
+
+// The streaming determinism contract: RankDatasetStreaming must produce a
+// report byte-identical to RankDataset at every (rank threads, decode
+// threads, queue capacity) combination.
+TEST_F(BatchRankTest, StreamingMatchesNonStreaming) {
+  const DatasetSceneSource source(dataset_->dataset);
+  const auto reference = fixy_->RankDataset(
+      dataset_->dataset, Application::kMissingTracks, BatchOptions{1});
+  ASSERT_TRUE(reference.ok());
+  for (int threads = 1; threads <= 8; ++threads) {
+    for (const int decode_threads : {1, 2}) {
+      BatchOptions batch;
+      batch.num_threads = threads;
+      StreamOptions stream;
+      stream.decode_threads = decode_threads;
+      const auto streamed = fixy_->RankDatasetStreaming(
+          source, Application::kMissingTracks, batch, stream);
+      ASSERT_TRUE(streamed.ok())
+          << "threads=" << threads << " decode=" << decode_threads;
+      ASSERT_EQ(streamed->outcomes.size(), reference->outcomes.size());
+      EXPECT_EQ(streamed->scenes_ok, reference->scenes_ok);
+      for (size_t s = 0; s < reference->outcomes.size(); ++s) {
+        EXPECT_EQ(streamed->outcomes[s].scene_name,
+                  reference->outcomes[s].scene_name);
+        ExpectProposalsIdentical(reference->outcomes[s].proposals,
+                                 streamed->outcomes[s].proposals);
+      }
+    }
+  }
+}
+
+// A tiny queue forces back-pressure (decoders block on Push); the output
+// must not change.
+TEST_F(BatchRankTest, StreamingUnaffectedByQueueCapacity) {
+  const DatasetSceneSource source(dataset_->dataset);
+  const auto reference = fixy_->RankDataset(
+      dataset_->dataset, Application::kMissingTracks, BatchOptions{1});
+  ASSERT_TRUE(reference.ok());
+  BatchOptions batch;
+  batch.num_threads = 4;
+  StreamOptions stream;
+  stream.decode_threads = 4;
+  for (const size_t capacity : {size_t{1}, size_t{2}, size_t{64}}) {
+    stream.queue_capacity = capacity;
+    const auto streamed = fixy_->RankDatasetStreaming(
+        source, Application::kMissingTracks, batch, stream);
+    ASSERT_TRUE(streamed.ok()) << "capacity=" << capacity;
+    ASSERT_EQ(streamed->outcomes.size(), reference->outcomes.size());
+    for (size_t s = 0; s < reference->outcomes.size(); ++s) {
+      ExpectProposalsIdentical(reference->outcomes[s].proposals,
+                               streamed->outcomes[s].proposals);
+    }
+  }
+}
+
+// Streaming counters must be deterministic across thread combinations,
+// like the non-streaming path's.
+TEST_F(BatchRankTest, StreamingCountersIdenticalAcrossThreadCounts) {
+  const DatasetSceneSource source(dataset_->dataset);
+  BatchOptions batch;
+  batch.collect_metrics = true;
+  batch.num_threads = 1;
+  const auto baseline = fixy_->RankDatasetStreaming(
+      source, Application::kMissingTracks, batch);
+  ASSERT_TRUE(baseline.ok());
+  EXPECT_EQ(baseline->metrics.counters.at("batch.scenes"),
+            dataset_->dataset.scenes.size());
+  for (const int threads : {2, 4, 8}) {
+    batch.num_threads = threads;
+    StreamOptions stream;
+    stream.decode_threads = 2;
+    const auto result = fixy_->RankDatasetStreaming(
+        source, Application::kMissingTracks, batch, stream);
+    ASSERT_TRUE(result.ok()) << "threads=" << threads;
+    EXPECT_EQ(result->metrics.counters, baseline->metrics.counters)
+        << "threads=" << threads;
+    ExpectMetricsWellFormed(result->metrics);
+  }
+}
+
+// A decode failure quarantines exactly that scene; the rest match the
+// clean run byte for byte.
+TEST_F(BatchRankTest, StreamingDecodeFailureQuarantined) {
+  const FailingSource source(dataset_->dataset, {5});
+  const auto clean = fixy_->RankDataset(
+      dataset_->dataset, Application::kMissingTracks, BatchOptions{1});
+  ASSERT_TRUE(clean.ok());
+  for (const int threads : {1, 4}) {
+    const auto result = fixy_->RankDatasetStreaming(
+        source, Application::kMissingTracks, BatchOptions{threads});
+    ASSERT_TRUE(result.ok()) << "threads=" << threads;
+    ASSERT_EQ(result->outcomes.size(), dataset_->dataset.scenes.size());
+    EXPECT_EQ(result->scenes_failed, 1u);
+    EXPECT_EQ(result->scenes_quarantined, 1u);
+    EXPECT_FALSE(result->outcomes[5].ok());
+    EXPECT_EQ(result->outcomes[5].scene_name,
+              dataset_->dataset.scenes[5].name());
+    EXPECT_EQ(result->outcomes[5].status.code(),
+              StatusCode::kFailedPrecondition);
+    for (size_t s = 0; s < result->outcomes.size(); ++s) {
+      if (s == 5) continue;
+      ExpectProposalsIdentical(clean->outcomes[s].proposals,
+                               result->outcomes[s].proposals);
+    }
+  }
+}
+
+// fail_fast over a streaming source reports the first dataset-order
+// failure regardless of which worker saw its failure first.
+TEST_F(BatchRankTest, StreamingFailFastFirstInDatasetOrder) {
+  const FailingSource source(dataset_->dataset, {3, 10});
+  BatchOptions batch;
+  batch.fail_fast = true;
+  for (const int threads : {1, 8}) {
+    batch.num_threads = threads;
+    const auto result = fixy_->RankDatasetStreaming(
+        source, Application::kMissingTracks, batch);
+    ASSERT_FALSE(result.ok()) << "threads=" << threads;
+    EXPECT_NE(result.status().message().find(
+                  dataset_->dataset.scenes[3].name()),
+              std::string::npos)
+        << result.status();
+  }
+}
+
+TEST_F(BatchRankTest, StreamingEmptySource) {
+  const Dataset empty;
+  const DatasetSceneSource source(empty);
+  const auto result = fixy_->RankDatasetStreaming(
+      source, Application::kMissingTracks);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->outcomes.empty());
+  EXPECT_TRUE(result->all_ok());
 }
 
 TEST(ClosestApproachBundleTest, SkipsEmptyLeadingBundle) {

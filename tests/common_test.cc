@@ -1,9 +1,17 @@
 // Tests for src/common: Status, Result, macros, random, string utilities.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
+#include <mutex>
+#include <optional>
 #include <set>
+#include <string>
+#include <thread>
+#include <vector>
 
+#include "common/bounded_queue.h"
+#include "common/crc32.h"
 #include "common/macros.h"
 #include "common/random.h"
 #include "common/result.h"
@@ -323,6 +331,108 @@ TEST(StringUtilTest, DoubleToStringDropsTrailingZeros) {
   EXPECT_EQ(DoubleToString(3.5), "3.5");
   EXPECT_EQ(DoubleToString(2.0), "2");
   EXPECT_EQ(DoubleToString(0.125), "0.125");
+}
+
+// ----------------------------------------------------------------- Crc32
+
+TEST(Crc32Test, MatchesKnownVectors) {
+  // The IEEE 802.3 check value.
+  EXPECT_EQ(Crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(Crc32(""), 0u);
+  EXPECT_EQ(Crc32(nullptr, 0), 0u);
+  // Sensitive to every byte.
+  EXPECT_NE(Crc32("123456789"), Crc32("123456780"));
+  EXPECT_NE(Crc32("a"), Crc32("b"));
+}
+
+TEST(Crc32Test, StringViewOverloadAgreesWithPointerForm) {
+  const std::string bytes = "fxb section payload \x00\xff\x7f";
+  EXPECT_EQ(Crc32(bytes), Crc32(bytes.data(), bytes.size()));
+}
+
+// ---------------------------------------------------------- BoundedQueue
+
+TEST(BoundedQueueTest, FifoWithinCapacity) {
+  BoundedQueue<int> queue(4);
+  EXPECT_EQ(queue.capacity(), 4u);
+  EXPECT_TRUE(queue.Push(1));
+  EXPECT_TRUE(queue.Push(2));
+  EXPECT_EQ(queue.Pop(), 1);
+  EXPECT_EQ(queue.Pop(), 2);
+}
+
+TEST(BoundedQueueTest, ZeroCapacityClampsToOne) {
+  BoundedQueue<int> queue(0);
+  EXPECT_EQ(queue.capacity(), 1u);
+  EXPECT_TRUE(queue.Push(7));
+  EXPECT_EQ(queue.Pop(), 7);
+}
+
+TEST(BoundedQueueTest, CloseFailsPushesAndDrainsPops) {
+  BoundedQueue<int> queue(4);
+  EXPECT_TRUE(queue.Push(1));
+  EXPECT_TRUE(queue.Push(2));
+  queue.Close();
+  EXPECT_FALSE(queue.Push(3));
+  // Items queued before Close remain poppable, then nullopt.
+  EXPECT_EQ(queue.Pop(), 1);
+  EXPECT_EQ(queue.Pop(), 2);
+  EXPECT_EQ(queue.Pop(), std::nullopt);
+  EXPECT_EQ(queue.Pop(), std::nullopt);  // Close is sticky
+}
+
+TEST(BoundedQueueTest, FullQueueBlocksProducerUntilConsumed) {
+  BoundedQueue<int> queue(1);
+  EXPECT_TRUE(queue.Push(1));
+  std::atomic<bool> second_pushed{false};
+  std::thread producer([&] {
+    EXPECT_TRUE(queue.Push(2));  // blocks until the consumer pops
+    second_pushed.store(true);
+  });
+  // The producer cannot complete while the queue is full. (A sleep-based
+  // "still blocked" probe would be flaky; we only assert delivery order
+  // through the happens-before of Pop -> Push completion.)
+  EXPECT_EQ(queue.Pop(), 1);
+  EXPECT_EQ(queue.Pop(), 2);
+  producer.join();
+  EXPECT_TRUE(second_pushed.load());
+}
+
+TEST(BoundedQueueTest, CloseWakesBlockedConsumer) {
+  BoundedQueue<int> queue(2);
+  std::thread consumer([&] { EXPECT_EQ(queue.Pop(), std::nullopt); });
+  queue.Close();
+  consumer.join();
+}
+
+TEST(BoundedQueueTest, ManyProducersManyConsumersDeliverEverything) {
+  constexpr int kProducers = 4;
+  constexpr int kItemsPerProducer = 250;
+  BoundedQueue<int> queue(8);
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&queue, p] {
+      for (int i = 0; i < kItemsPerProducer; ++i) {
+        ASSERT_TRUE(queue.Push(p * kItemsPerProducer + i));
+      }
+    });
+  }
+  std::mutex mutex;
+  std::set<int> seen;
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < 3; ++c) {
+    consumers.emplace_back([&queue, &mutex, &seen] {
+      while (auto item = queue.Pop()) {
+        const std::lock_guard<std::mutex> lock(mutex);
+        seen.insert(*item);
+      }
+    });
+  }
+  for (std::thread& t : producers) t.join();
+  queue.Close();
+  for (std::thread& t : consumers) t.join();
+  EXPECT_EQ(seen.size(),
+            static_cast<size_t>(kProducers * kItemsPerProducer));
 }
 
 }  // namespace

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/engine.h"
+#include "io/fxb.h"
 #include "io/scene_io.h"
 #include "sim/generate.h"
 #include "testing/document_corruptor.h"
@@ -221,6 +222,159 @@ TEST_F(FaultInjectionTest, SurvivingCorruptScenesNeverPoisonCleanScene) {
                 reference->outcomes[0].proposals[i].track_id);
     }
   }
+}
+
+// ---- Binary (FXB) fault injection ----
+
+// A small multi-scene dataset encoded once; every binary corruption test
+// mutates copies of this blob.
+const std::string& BaseFxbBlob() {
+  static const std::string* blob = [] {
+    sim::SimProfile profile = sim::LyftLikeProfile();
+    profile.world.duration_seconds = 2.0;
+    profile.world.mean_object_count = 6.0;
+    Dataset dataset;
+    dataset.name = "fuzz_fxb";
+    for (int i = 0; i < 4; ++i) {
+      dataset.scenes.push_back(
+          sim::GenerateScene(profile, "fxb_base_" + std::to_string(i),
+                             2000 + i)
+              .scene);
+    }
+    auto encoded = io::EncodeFxbDataset(dataset, {4, 1 << 20, 99});
+    if (!encoded.ok()) std::abort();
+    return new std::string(std::move(*encoded));
+  }();
+  return *blob;
+}
+
+TEST_F(FaultInjectionTest, BinaryCorruptorIsDeterministic) {
+  const std::string& blob = BaseFxbBlob();
+  for (uint64_t seed : {0u, 7u, 123u, 991u}) {
+    fixy::testing::DocumentCorruptor a(seed);
+    fixy::testing::DocumentCorruptor b(seed);
+    const auto ra = a.CorruptBinary(blob);
+    const auto rb = b.CorruptBinary(blob);
+    EXPECT_EQ(ra.document, rb.document) << "seed=" << seed;
+    EXPECT_EQ(ra.mutations, rb.mutations) << "seed=" << seed;
+  }
+}
+
+// The binary acceptance gate: >= 500 seeded corrupted FXB containers
+// through open -> decode -> streaming rank with zero crashes. For every
+// container that opens, the streaming report must quarantine exactly the
+// scenes whose decode fails (counted independently beforehand) and score
+// the rest with finite scores.
+TEST_F(FaultInjectionTest, CorruptedFxbContainersNeverCrashStreamingRank) {
+  constexpr uint64_t kRounds = 600;
+  const std::string& blob = BaseFxbBlob();
+  size_t rejected_at_open = 0;
+  size_t opened = 0;
+  size_t scenes_quarantined = 0;
+  size_t scenes_ranked = 0;
+  for (uint64_t seed = 0; seed < kRounds; ++seed) {
+    fixy::testing::DocumentCorruptor corruptor(seed);
+    const fixy::testing::CorruptionResult corruption =
+        corruptor.CorruptBinary(blob);
+    auto reader = io::FxbReader::FromBuffer(corruption.document);
+    if (!reader.ok()) {
+      // Header/index-level rejection: the valid outcome for mutations
+      // that damage the container rather than one section.
+      ++rejected_at_open;
+      continue;
+    }
+    ++opened;
+    const io::FxbSceneSource source(std::move(*reader));
+    // Count decode failures independently of the engine.
+    size_t expected_failures = 0;
+    for (size_t i = 0; i < source.scene_count(); ++i) {
+      if (!source.DecodeScene(i).ok()) ++expected_failures;
+    }
+    const Application app = static_cast<Application>(seed % 3);
+    const auto report = fixy_->RankDatasetStreaming(
+        source, app, BatchOptions{static_cast<int>(seed % 4) + 1});
+    ASSERT_TRUE(report.ok())
+        << "seed=" << seed << " mutations=[" << Describe(corruption)
+        << "] streaming rank failed: " << report.status();
+    EXPECT_EQ(report->scenes_quarantined, expected_failures)
+        << "seed=" << seed << " mutations=[" << Describe(corruption) << "]";
+    scenes_quarantined += report->scenes_quarantined;
+    scenes_ranked += report->scenes_ok;
+    for (const SceneOutcome& outcome : report->outcomes) {
+      if (!outcome.ok()) continue;
+      for (const ErrorProposal& p : outcome.proposals) {
+        EXPECT_TRUE(std::isfinite(p.score))
+            << "seed=" << seed << " mutations=[" << Describe(corruption)
+            << "] produced non-finite score";
+      }
+    }
+    if (::testing::Test::HasFatalFailure()) {
+      FAIL() << "fatal failure at seed " << seed << " mutations=["
+             << Describe(corruption) << "]";
+    }
+  }
+  // Corruptor sanity: all three fates must actually occur — containers
+  // rejected at open, scenes quarantined at decode, and scenes ranked.
+  EXPECT_GT(rejected_at_open, 0u) << "no container was ever rejected";
+  EXPECT_GT(opened, 0u) << "every container was rejected at open";
+  EXPECT_GT(scenes_quarantined, 0u) << "no scene was ever quarantined";
+  EXPECT_GT(scenes_ranked, 0u) << "no scene ever survived to rank";
+}
+
+// Every binary corruption kind individually, across many seeds.
+TEST_F(FaultInjectionTest, EachBinaryCorruptionKindIsSurvivable) {
+  using fixy::testing::BinaryCorruptionKind;
+  const std::string& blob = BaseFxbBlob();
+  const BinaryCorruptionKind kinds[] = {
+      BinaryCorruptionKind::kHeaderTruncate,
+      BinaryCorruptionKind::kTruncate,
+      BinaryCorruptionKind::kByteFlip,
+      BinaryCorruptionKind::kChecksumFlip,
+      BinaryCorruptionKind::kVersionBump,
+      BinaryCorruptionKind::kSectionLengthLie,
+  };
+  for (const BinaryCorruptionKind kind : kinds) {
+    for (uint64_t seed = 0; seed < 30; ++seed) {
+      fixy::testing::DocumentCorruptor corruptor(seed);
+      std::string detail;
+      const std::string mutated = corruptor.ApplyBinary(kind, blob, &detail);
+      auto reader = io::FxbReader::FromBuffer(mutated);
+      if (!reader.ok()) continue;  // rejected at open: acceptable
+      const io::FxbSceneSource source(std::move(*reader));
+      const auto report = fixy_->RankDatasetStreaming(
+          source, Application::kMissingTracks, BatchOptions{2});
+      ASSERT_TRUE(report.ok())
+          << ToString(kind) << ": " << detail << " seed=" << seed << ": "
+          << report.status();
+    }
+  }
+}
+
+// kChecksumFlip's isolation contract: exactly one scene's checksum fails;
+// its neighbours decode and rank.
+TEST_F(FaultInjectionTest, ChecksumFlipQuarantinesExactlyOneScene) {
+  using fixy::testing::BinaryCorruptionKind;
+  const std::string& blob = BaseFxbBlob();
+  size_t observed = 0;
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    fixy::testing::DocumentCorruptor corruptor(seed);
+    std::string detail;
+    const std::string mutated =
+        corruptor.ApplyBinary(BinaryCorruptionKind::kChecksumFlip, blob,
+                              &detail);
+    auto reader = io::FxbReader::FromBuffer(mutated);
+    ASSERT_TRUE(reader.ok()) << detail << ": " << reader.status();
+    const io::FxbSceneSource source(std::move(*reader));
+    const auto report = fixy_->RankDatasetStreaming(
+        source, Application::kMissingTracks, BatchOptions{1});
+    ASSERT_TRUE(report.ok()) << detail;
+    // The flipped byte may land in a scene name or padding and keep the
+    // section decodable only if it still checksums — it cannot, so at
+    // most one scene fails, and usually exactly one.
+    EXPECT_LE(report->scenes_quarantined, 1u) << detail;
+    observed += report->scenes_quarantined;
+  }
+  EXPECT_GT(observed, 0u) << "checksum-flip never quarantined a scene";
 }
 
 #undef ASSERT_OK_OR_RETURN

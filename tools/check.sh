@@ -12,6 +12,10 @@
 #                             # finite/non-negative, counters identical
 #                             # across thread counts, schema key set
 #                             # matches tools/metrics_schema.golden
+#   tools/check.sh cache      # FXB cache sweep: JSON-vs-FXB proposal
+#                             # parity (byte-identical), cache-hit metrics
+#                             # vs the golden key set, and the streaming
+#                             # tests under asan + tsan
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -97,6 +101,80 @@ PYEOF
   echo "==== metrics: OK ===="
 }
 
+run_cache_sweep() {
+  echo "==== cache: build fixy_cli ===="
+  cmake -B build -S .
+  cmake --build build -j "${JOBS}" --target fixy_cli
+  local cli="build/tools/fixy_cli"
+  [ -x "${cli}" ] || cli="$(find build -name fixy_cli -type f | head -1)"
+  local work
+  work="$(mktemp -d)"
+  trap 'rm -rf "${work}"' RETURN
+
+  echo "==== cache: JSON-vs-FXB proposal parity ===="
+  "${cli}" generate --out "${work}/ds" --profile lyft --scenes 4 --seed 11
+  "${cli}" learn --data "${work}/ds" --model "${work}/model.json"
+  "${cli}" rank --data "${work}/ds" --model "${work}/model.json" \
+      --no-cache --out "${work}/p_json.json" > /dev/null
+  "${cli}" cache "${work}/ds" > /dev/null
+  "${cli}" rank --data "${work}/ds" --model "${work}/model.json" \
+      --out "${work}/p_fxb.json" \
+      --metrics-json "${work}/metrics_fxb.json" | tee "${work}/rank.out"
+  grep -q "using cache" "${work}/rank.out" \
+      || { echo "cache sweep FAILED: rank did not use the cache" >&2; return 1; }
+  cmp "${work}/p_json.json" "${work}/p_fxb.json" \
+      || { echo "cache sweep FAILED: FXB proposals differ from JSON" >&2; return 1; }
+
+  if command -v python3 > /dev/null; then
+    echo "==== cache: validate cache-hit metrics ===="
+    python3 - "${work}/metrics_fxb.json" tools/metrics_schema.golden <<'PYEOF'
+import json, sys
+
+metrics_path, golden_path = sys.argv[1:3]
+with open(metrics_path) as f:
+    doc = json.load(f)
+
+def fail(msg):
+    sys.exit("cache sweep FAILED: " + msg)
+
+keys = sorted(
+    f"{section}/{name}"
+    for section in ("counters", "timers_ms", "gauges")
+    for name in doc[section]
+)
+with open(golden_path) as f:
+    golden = [line.strip() for line in f
+              if line.strip() and not line.startswith("#")]
+if keys != golden:
+    missing = sorted(set(golden) - set(keys))
+    extra = sorted(set(keys) - set(golden))
+    fail(f"cache-hit schema drift: missing={missing} extra={extra}")
+
+counters = doc["counters"]
+if counters.get("io.fxb.cache_hits") != 1:
+    fail(f"expected io.fxb.cache_hits == 1, got {counters.get('io.fxb.cache_hits')}")
+if counters.get("io.fxb.scenes_decoded") != 4:
+    fail(f"expected io.fxb.scenes_decoded == 4, got {counters.get('io.fxb.scenes_decoded')}")
+if counters.get("io.fxb.checksum_failures") != 0:
+    fail(f"expected io.fxb.checksum_failures == 0, got {counters.get('io.fxb.checksum_failures')}")
+print("cache-hit metrics OK:", len(keys), "keys")
+PYEOF
+  else
+    echo "==== cache: python3 not found, skipping metrics validation ===="
+  fi
+
+  echo "==== cache: streaming tests under asan + tsan ===="
+  local san tests_re="Fxb|BoundedQueue|Crc32|Streaming|Binary|ChecksumFlip"
+  for san in address thread; do
+    local dir="build-${san:0:1}san"  # build-asan / build-tsan
+    cmake -B "${dir}" -S . -DFIXY_SANITIZE="${san}"
+    cmake --build "${dir}" -j "${JOBS}" \
+        --target fxb_test batch_test common_test fault_injection_test
+    (cd "${dir}" && ctest --output-on-failure -j "${JOBS}" -R "${tests_re}")
+  done
+  echo "==== cache: OK ===="
+}
+
 mode="${1:-all}"
 case "${mode}" in
   plain)
@@ -107,13 +185,16 @@ case "${mode}" in
     run_suite "tsan" build-tsan -DFIXY_SANITIZE=thread ;;
   metrics)
     run_metrics_sweep ;;
+  cache)
+    run_cache_sweep ;;
   all)
     run_suite "plain" build
     run_suite "asan" build-asan -DFIXY_SANITIZE=address
     run_suite "tsan" build-tsan -DFIXY_SANITIZE=thread
-    run_metrics_sweep ;;
+    run_metrics_sweep
+    run_cache_sweep ;;
   *)
-    echo "usage: $0 [plain|address|thread|metrics|all]" >&2
+    echo "usage: $0 [plain|address|thread|metrics|cache|all]" >&2
     exit 2 ;;
 esac
 echo "all requested suites passed"

@@ -121,4 +121,109 @@ execute_process(COMMAND ${CLI} learn --data ${WORK}/nonexistent --model ${WORK}/
 if(rc EQUAL 0)
   message(FATAL_ERROR "learn on missing data should fail")
 endif()
+
+# ---- FXB cache workflow: cache -> auto-detect -> stale -> rebuild. ----
+# (Placed after the metrics determinism checks above so those always run
+# against the JSON path, cache-free.)
+run_cli(cache ${WORK}/ds)
+if(NOT CLI_OUTPUT MATCHES "cached 2 scenes")
+  message(FATAL_ERROR "cache output missing scene count: ${CLI_OUTPUT}")
+endif()
+if(NOT CLI_OUTPUT MATCHES "parity verified")
+  message(FATAL_ERROR "cache output missing parity confirmation: ${CLI_OUTPUT}")
+endif()
+if(NOT EXISTS ${WORK}/ds/dataset.fxb)
+  message(FATAL_ERROR "cache did not write dataset.fxb")
+endif()
+
+# rank must auto-detect the fresh cache, and its proposals must be
+# byte-identical to a --no-cache (JSON path) run.
+run_cli(rank --data ${WORK}/ds --model ${WORK}/model.json --out ${WORK}/p_fxb.json)
+if(NOT CLI_OUTPUT MATCHES "using cache")
+  message(FATAL_ERROR "rank did not use the fresh cache: ${CLI_OUTPUT}")
+endif()
+run_cli(rank --data ${WORK}/ds --model ${WORK}/model.json --no-cache --out ${WORK}/p_json.json)
+if(CLI_OUTPUT MATCHES "using cache")
+  message(FATAL_ERROR "--no-cache still used the cache: ${CLI_OUTPUT}")
+endif()
+file(READ ${WORK}/p_fxb.json P_FXB)
+file(READ ${WORK}/p_json.json P_JSON)
+if(NOT P_FXB STREQUAL P_JSON)
+  message(FATAL_ERROR "FXB-path proposals differ from JSON-path proposals")
+endif()
+
+# The cache-hit run records io.fxb.cache_hits; decode threads are a
+# checked numeric flag like --threads.
+run_cli(rank --data ${WORK}/ds --model ${WORK}/model.json --decode-threads 2
+        --metrics-json ${WORK}/metrics_fxb.json)
+file(READ ${WORK}/metrics_fxb.json METRICS_FXB)
+if(NOT METRICS_FXB MATCHES "io\\.fxb\\.cache_hits")
+  message(FATAL_ERROR "cache-hit metrics missing io.fxb.cache_hits: ${METRICS_FXB}")
+endif()
+execute_process(COMMAND ${CLI} rank --data ${WORK}/ds --model ${WORK}/model.json --decode-threads 0
+                RESULT_VARIABLE rc OUTPUT_QUIET ERROR_QUIET)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "--decode-threads 0 should fail")
+endif()
+
+# Touching a source file makes the cache stale: rank must say so, fall
+# back to JSON, and still succeed; re-caching restores the fast path.
+file(GLOB DS_SCENES ${WORK}/ds/*.fixy.json)
+list(GET DS_SCENES 0 DS_FIRST)
+file(APPEND ${DS_FIRST} "\n")
+run_cli(rank --data ${WORK}/ds --model ${WORK}/model.json)
+if(NOT CLI_OUTPUT MATCHES "stale")
+  message(FATAL_ERROR "rank on a stale cache missing staleness notice: ${CLI_OUTPUT}")
+endif()
+if(CLI_OUTPUT MATCHES "using cache")
+  message(FATAL_ERROR "rank used a stale cache: ${CLI_OUTPUT}")
+endif()
+run_cli(cache ${WORK}/ds)
+run_cli(rank --data ${WORK}/ds --model ${WORK}/model.json)
+if(NOT CLI_OUTPUT MATCHES "using cache")
+  message(FATAL_ERROR "rank did not use the rebuilt cache: ${CLI_OUTPUT}")
+endif()
+
+# ---- Distinct, clearly-worded errors for bad dataset directories. ----
+execute_process(COMMAND ${CLI} rank --data ${WORK}/does_not_exist --model ${WORK}/model.json
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "rank on a missing directory should fail")
+endif()
+if(NOT "${out}${err}" MATCHES "does not exist")
+  message(FATAL_ERROR "missing-directory error not distinct: ${out}${err}")
+endif()
+
+file(MAKE_DIRECTORY ${WORK}/empty_dir)
+execute_process(COMMAND ${CLI} rank --data ${WORK}/empty_dir --model ${WORK}/model.json
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "rank on a non-dataset directory should fail")
+endif()
+if(NOT "${out}${err}" MATCHES "no manifest.json")
+  message(FATAL_ERROR "non-dataset-directory error not distinct: ${out}${err}")
+endif()
+
+file(MAKE_DIRECTORY ${WORK}/zero_scenes)
+file(WRITE ${WORK}/zero_scenes/manifest.json
+     "{\"format\": \"fixy-dataset\", \"version\": 1, \"name\": \"zero\", \"scenes\": []}")
+execute_process(COMMAND ${CLI} rank --data ${WORK}/zero_scenes --model ${WORK}/model.json
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "rank on a zero-scene dataset should fail")
+endif()
+if(NOT "${out}${err}" MATCHES "contains no scenes")
+  message(FATAL_ERROR "zero-scene error not distinct: ${out}${err}")
+endif()
+
+# cache itself gets the same distinct errors.
+execute_process(COMMAND ${CLI} cache ${WORK}/does_not_exist
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "cache on a missing directory should fail")
+endif()
+if(NOT "${out}${err}" MATCHES "does not exist")
+  message(FATAL_ERROR "cache missing-directory error not distinct: ${out}${err}")
+endif()
+
 file(REMOVE_RECURSE ${WORK})

@@ -10,8 +10,14 @@
 //             [--threads N] [--metrics-json FILE] [--verbose-metrics]
 //             Rank potential errors in every scene of DIR, fanning scenes
 //             out across N worker threads (0 = hardware concurrency).
+//             When DIR holds a fresh dataset.fxb cache (see `cache`),
+//             scenes stream from it — decode overlapped with ranking —
+//             instead of re-parsing JSON; --no-cache opts out.
 //             --metrics-json dumps a PipelineMetrics snapshot (stage
 //             timers + counters); --verbose-metrics prints it as a table.
+//   cache     <DIR> (or --data DIR)
+//             Build or refresh DIR's binary scene cache (dataset.fxb),
+//             verifying every scene round-trips byte-identically.
 //   info      --data DIR
 //             Print dataset statistics.
 //
@@ -23,14 +29,17 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <limits>
 #include <map>
+#include <memory>
 #include <set>
 #include <string>
 #include <vector>
 
 #include "common/macros.h"
 #include "core/engine.h"
+#include "io/fxb.h"
 #include "core/model_io.h"
 #include "core/proposal_io.h"
 #include "core/ranker.h"
@@ -69,7 +78,7 @@ class Flags {
  public:
   static Result<Flags> Parse(int argc, char** argv, int first) {
     static const std::set<std::string> kBooleanFlags = {
-        "keep-going", "fail-fast", "verbose-metrics"};
+        "keep-going", "fail-fast", "verbose-metrics", "no-cache"};
     Flags flags;
     for (int i = first; i < argc; ++i) {
       const std::string arg = argv[i];
@@ -130,6 +139,22 @@ class Flags {
  private:
   std::map<std::string, std::string> values_;
 };
+
+// Distinguishes the ways a dataset path can be wrong *before* any loader
+// runs, so `rank` on a missing or empty directory fails with a clear
+// message instead of a generic manifest-read error (or, worse, the
+// all-scenes-failed path).
+Status CheckDatasetDirectory(const std::string& directory) {
+  std::error_code ec;
+  if (!std::filesystem::is_directory(directory, ec) || ec) {
+    return Status::NotFound("dataset directory does not exist: " + directory);
+  }
+  if (!std::filesystem::exists(directory + "/manifest.json", ec) || ec) {
+    return Status::InvalidArgument(
+        "not a fixy dataset (no manifest.json in " + directory + ")");
+  }
+  return Status::Ok();
+}
 
 Result<sim::SimProfile> ProfileByName(const std::string& name) {
   if (name == "lyft") return sim::LyftLikeProfile();
@@ -209,15 +234,17 @@ Status CmdRank(const Flags& flags) {
   obs::MetricsCollector collector;
   const obs::MetricsScope metrics_scope(metrics_on ? &collector : nullptr);
 
-  io::DatasetLoadOptions load_options;
-  load_options.tolerant = keep_going;
-  FIXY_ASSIGN_OR_RETURN(io::DatasetLoadReport loaded,
-                        io::LoadDataset(data, load_options));
-  for (const io::SceneFileError& skipped : loaded.skipped) {
-    std::printf("SKIPPED %s: %s\n", skipped.file.c_str(),
-                skipped.status.ToString().c_str());
+  FIXY_RETURN_IF_ERROR(CheckDatasetDirectory(data));
+  if (metrics_on) {
+    // Zero-touch every io.* key either ingestion path can record, so the
+    // snapshot key set is identical whether scenes streamed from the FXB
+    // cache or were parsed from JSON.
+    io::RecordFxbMetricsSchema();
+    obs::Count("io.bytes_read", 0);
+    obs::Count("io.files_read", 0);
+    obs::AddTimeNs("io.load", 0);
+    obs::AddTimeNs("io.parse", 0);
   }
-  const Dataset& dataset = loaded.dataset;
 
   Fixy fixy;
   FIXY_RETURN_IF_ERROR(fixy.LoadModel(model_path));
@@ -245,8 +272,64 @@ Status CmdRank(const Flags& flags) {
   }
   batch.fail_fast = !keep_going;
   batch.collect_metrics = metrics_on;
-  FIXY_ASSIGN_OR_RETURN(BatchReport report,
-                        fixy.RankDataset(dataset, application, batch));
+  FIXY_ASSIGN_OR_RETURN(const int decode_threads,
+                        flags.GetIntOr("decode-threads", 1));
+  if (decode_threads < 1) {
+    return Status::InvalidArgument("--decode-threads must be >= 1");
+  }
+
+  // Ingestion: a fresh dataset.fxb cache streams scenes into the rank
+  // workers (decode overlapped with ranking); otherwise the JSON loader
+  // materializes the dataset first. Both paths produce byte-identical
+  // proposals — the cache is built with a round-trip parity check.
+  BatchReport report;
+  size_t files_skipped = 0;
+  bool from_cache = false;
+  if (!flags.Has("no-cache")) {
+    Result<io::FxbReader> cache = io::OpenFreshCache(data);
+    if (cache.ok()) {
+      obs::Count("io.fxb.cache_hits");
+      const io::FxbSceneSource source(std::move(cache).value());
+      if (source.scene_count() == 0) {
+        return Status::InvalidArgument(
+            "dataset '" + source.reader().dataset_name() +
+            "' contains no scenes");
+      }
+      std::printf("using cache: %s (%zu scenes)\n",
+                  io::FxbCachePath(data).c_str(), source.scene_count());
+      StreamOptions stream;
+      stream.decode_threads = decode_threads;
+      FIXY_ASSIGN_OR_RETURN(
+          report, fixy.RankDatasetStreaming(source, application, batch,
+                                            stream));
+      from_cache = true;
+    } else {
+      obs::Count("io.fxb.cache_misses");
+      if (cache.status().code() == StatusCode::kFailedPrecondition) {
+        std::printf("cache at %s is stale; loading JSON (run `fixy_cli "
+                    "cache %s` to refresh)\n",
+                    io::FxbCachePath(data).c_str(), data.c_str());
+      }
+    }
+  }
+  if (!from_cache) {
+    io::DatasetLoadOptions load_options;
+    load_options.tolerant = keep_going;
+    FIXY_ASSIGN_OR_RETURN(io::DatasetLoadReport loaded,
+                          io::LoadDataset(data, load_options));
+    for (const io::SceneFileError& skipped : loaded.skipped) {
+      std::printf("SKIPPED %s: %s\n", skipped.file.c_str(),
+                  skipped.status.ToString().c_str());
+    }
+    files_skipped = loaded.skipped.size();
+    const Dataset& dataset = loaded.dataset;
+    if (dataset.scenes.empty() && files_skipped == 0) {
+      return Status::InvalidArgument("dataset '" + dataset.name +
+                                     "' contains no scenes");
+    }
+    FIXY_ASSIGN_OR_RETURN(report,
+                          fixy.RankDataset(dataset, application, batch));
+  }
 
   std::vector<ErrorProposal> all_proposals;
   for (const SceneOutcome& outcome : report.outcomes) {
@@ -269,9 +352,9 @@ Status CmdRank(const Flags& flags) {
     std::printf("ranked %zu/%zu scenes (%zu quarantined, %zu files "
                 "skipped)\n",
                 report.scenes_ok, report.outcomes.size(),
-                report.scenes_quarantined, loaded.skipped.size());
+                report.scenes_quarantined, files_skipped);
     const bool nothing_loaded =
-        report.outcomes.empty() && !loaded.skipped.empty();
+        report.outcomes.empty() && files_skipped > 0;
     if (nothing_loaded || (report.scenes_ok == 0 && report.scenes_failed > 0)) {
       return Status::Internal("all scenes failed to load or rank");
     }
@@ -293,6 +376,18 @@ Status CmdRank(const Flags& flags) {
       std::printf("%s", obs::FormatMetricsTable(snapshot).c_str());
     }
   }
+  return Status::Ok();
+}
+
+Status CmdCache(const std::string& positional, const Flags& flags) {
+  std::string data = positional;
+  if (data.empty()) {
+    FIXY_ASSIGN_OR_RETURN(data, flags.GetRequired("data"));
+  }
+  FIXY_RETURN_IF_ERROR(CheckDatasetDirectory(data));
+  FIXY_ASSIGN_OR_RETURN(const size_t scenes, io::BuildFxbCache(data));
+  std::printf("cached %zu scenes to %s (JSON/FXB parity verified)\n", scenes,
+              io::FxbCachePath(data).c_str());
   return Status::Ok();
 }
 
@@ -330,6 +425,11 @@ void PrintUsage() {
       "           [--fail-fast] stop at the first failing scene (default)\n"
       "           [--metrics-json FILE] write stage timers/counters as JSON\n"
       "           [--verbose-metrics] print the metrics table to stdout\n"
+      "           [--no-cache] ignore dataset.fxb and parse the JSON files\n"
+      "           [--decode-threads N] loader threads for the cache's\n"
+      "           streaming path (default 1)\n"
+      "  cache    DIR | --data DIR\n"
+      "           build or refresh DIR's binary scene cache (dataset.fxb)\n"
       "  info     --data DIR\n");
 }
 
@@ -339,7 +439,15 @@ int Main(int argc, char** argv) {
     return 2;
   }
   const std::string command = argv[1];
-  const Result<Flags> flags = Flags::Parse(argc, argv, 2);
+  // `cache` accepts the dataset directory as a positional argument
+  // (`fixy_cli cache DIR`) as well as via --data.
+  std::string positional;
+  int first_flag = 2;
+  if (command == "cache" && argc >= 3 && argv[2][0] != '-') {
+    positional = argv[2];
+    first_flag = 3;
+  }
+  const Result<Flags> flags = Flags::Parse(argc, argv, first_flag);
   if (!flags.ok()) {
     std::fprintf(stderr, "error: %s\n", flags.status().ToString().c_str());
     return 2;
@@ -351,6 +459,8 @@ int Main(int argc, char** argv) {
     status = CmdLearn(*flags);
   } else if (command == "rank") {
     status = CmdRank(*flags);
+  } else if (command == "cache") {
+    status = CmdCache(positional, *flags);
   } else if (command == "info") {
     status = CmdInfo(*flags);
   } else {
