@@ -46,7 +46,9 @@ double PrecisionAt10(const std::vector<sim::GeneratedScene>& scenes,
                               generated.scene.name());
     if (claimable.empty()) continue;
     const auto proposals =
-        FindMissingTracks(generated.scene, learned, options).value();
+        FindMissingTracks(generated.scene,
+                          BuildMissingTracksSpec(learned, options), options)
+            .value();
     total += eval::PrecisionAtK(proposals, claimable, 10).precision;
     ++counted;
   }

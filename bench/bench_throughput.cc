@@ -271,15 +271,123 @@ Status RunIngestBench(const std::string& out_path) {
   return Status::Ok();
 }
 
+// ---- Multi-application benchmark (--multiapp-json) ----
+//
+// Quantifies what the shared scene pass buys: ranking all registered
+// applications in ONE RankDataset call (decode + associate each scene
+// once, every app scores the shared track views and feature-score cache)
+// vs the legacy shape — one full solo pass per application. Also records
+// the association accounting: track builds run per scene in the shared
+// pass, per scene *per app* across the legacy passes.
+
+// Wall seconds of one multi-app RankDataset over `apps`.
+Result<double> RankSeconds(const Fixy& fixy, const Dataset& dataset,
+                           const std::vector<std::string>& apps,
+                           const BatchOptions& batch) {
+  const auto start = std::chrono::steady_clock::now();
+  FIXY_ASSIGN_OR_RETURN(const MultiAppReport report,
+                        fixy.RankDataset(dataset, apps, batch));
+  benchmark::DoNotOptimize(report);
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+  return elapsed.count();
+}
+
+Status RunMultiAppBench(const std::string& out_path) {
+  const TrainedPipeline& pipeline = LyftPipeline();
+  const Dataset& dataset = LyftDataset();
+  const std::vector<std::string> apps = pipeline.fixy.applications().names();
+  const double scenes = static_cast<double>(dataset.scenes.size());
+
+  // Association accounting (counters are thread-invariant, so one serial
+  // instrumented run of each shape suffices).
+  BatchOptions counted;
+  counted.num_threads = 1;
+  counted.collect_metrics = true;
+  FIXY_ASSIGN_OR_RETURN(const MultiAppReport shared_counted,
+                        pipeline.fixy.RankDataset(dataset, apps, counted));
+  const int64_t shared_builds =
+      shared_counted.metrics.counters.at("rank.track_builds");
+  int64_t legacy_builds = 0;
+  for (const std::string& app : apps) {
+    FIXY_ASSIGN_OR_RETURN(const MultiAppReport solo,
+                          pipeline.fixy.RankDataset(dataset, {app}, counted));
+    legacy_builds += solo.metrics.counters.at("rank.track_builds");
+  }
+
+  json::Array rows;
+  for (const int threads : {1, 4, 8}) {
+    BatchOptions batch;
+    batch.num_threads = threads;
+    FIXY_ASSIGN_OR_RETURN(const double single,
+                          RankSeconds(pipeline.fixy, dataset,
+                                      {apps.front()}, batch));
+    FIXY_ASSIGN_OR_RETURN(
+        const double shared,
+        RankSeconds(pipeline.fixy, dataset, apps, batch));
+    double legacy = 0.0;
+    for (const std::string& app : apps) {
+      FIXY_ASSIGN_OR_RETURN(
+          const double solo,
+          RankSeconds(pipeline.fixy, dataset, {app}, batch));
+      legacy += solo;
+    }
+    const struct {
+      const char* mode;
+      size_t app_count;
+      double seconds;
+    } shapes[] = {{"single", 1, single},
+                  {"shared", apps.size(), shared},
+                  {"legacy", apps.size(), legacy}};
+    for (const auto& shape : shapes) {
+      json::Object row;
+      row["mode"] = shape.mode;
+      row["apps"] = static_cast<double>(shape.app_count);
+      row["threads"] = static_cast<double>(threads);
+      row["seconds"] = shape.seconds;
+      row["scenes_per_sec"] = scenes / shape.seconds;
+      rows.push_back(std::move(row));
+      std::printf(
+          "multiapp %-6s apps=%zu threads=%d  %7.2f s  %7.1f scenes/s\n",
+          shape.mode, shape.app_count, threads, shape.seconds,
+          scenes / shape.seconds);
+    }
+    std::printf("multiapp shared-vs-legacy speedup at threads=%d: %.2fx\n",
+                threads, legacy / shared);
+  }
+
+  json::Object doc;
+  doc["bench"] = "multiapp";
+  doc["scenes"] = scenes;
+  json::Array app_names;
+  for (const std::string& app : apps) app_names.push_back(app);
+  doc["apps"] = std::move(app_names);
+  doc["track_builds_shared"] = static_cast<double>(shared_builds);
+  doc["track_builds_legacy"] = static_cast<double>(legacy_builds);
+  doc["results"] = std::move(rows);
+
+  const std::string text = json::Write(doc, /*pretty=*/true);
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    return Status::IoError("cannot open for writing: " + out_path);
+  }
+  std::fwrite(text.data(), 1, text.size(), out);
+  std::fputc('\n', out);
+  std::fclose(out);
+  std::printf("wrote multiapp benchmark to %s\n", out_path.c_str());
+  return Status::Ok();
+}
+
 }  // namespace
 }  // namespace fixy::bench
 
-// BENCHMARK_MAIN plus --metrics-json and --ingest-json flags, peeled from
-// argv before google-benchmark sees them (it rejects flags it does not
-// know).
+// BENCHMARK_MAIN plus --metrics-json, --ingest-json, and --multiapp-json
+// flags, peeled from argv before google-benchmark sees them (it rejects
+// flags it does not know).
 int main(int argc, char** argv) {
   std::string metrics_path;
   std::string ingest_path;
+  std::string multiapp_path;
   int kept = 1;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -297,6 +405,14 @@ int main(int argc, char** argv) {
     }
     if (std::strcmp(arg, "--ingest-json") == 0 && i + 1 < argc) {
       ingest_path = argv[++i];
+      continue;
+    }
+    if (std::strncmp(arg, "--multiapp-json=", 16) == 0) {
+      multiapp_path = arg + 16;
+      continue;
+    }
+    if (std::strcmp(arg, "--multiapp-json") == 0 && i + 1 < argc) {
+      multiapp_path = argv[++i];
       continue;
     }
     argv[kept++] = argv[i];
@@ -317,6 +433,13 @@ int main(int argc, char** argv) {
   }
   if (!ingest_path.empty()) {
     const fixy::Status status = fixy::bench::RunIngestBench(ingest_path);
+    if (!status.ok()) {
+      std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+      return 1;
+    }
+  }
+  if (!multiapp_path.empty()) {
+    const fixy::Status status = fixy::bench::RunMultiAppBench(multiapp_path);
     if (!status.ok()) {
       std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
       return 1;

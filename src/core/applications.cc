@@ -2,12 +2,12 @@
 
 #include <cmath>
 #include <limits>
+#include <utility>
 
 #include "common/macros.h"
 #include "core/features_std.h"
-#include "core/ranker.h"
+#include "core/scene_pass.h"
 #include "graph/factor_graph.h"
-#include "obs/metrics.h"
 
 namespace fixy {
 
@@ -32,6 +32,21 @@ const Observation* RepresentativeObservation(const ObservationBundle& bundle) {
   const Observation* model = bundle.FindBySource(ObservationSource::kModel);
   if (model != nullptr) return model;
   return bundle.observations.empty() ? nullptr : &bundle.observations.front();
+}
+
+Scene FilterToModelOnly(const Scene& scene) {
+  Scene filtered(scene.name(), scene.frame_rate_hz());
+  for (const Frame& frame : scene.frames()) {
+    Frame copy = frame;
+    copy.observations.clear();
+    for (const Observation& obs : frame.observations) {
+      if (obs.source == ObservationSource::kModel) {
+        copy.observations.push_back(obs);
+      }
+    }
+    filtered.AddFrame(std::move(copy));
+  }
+  return filtered;
 }
 
 }  // namespace internal
@@ -63,19 +78,17 @@ ErrorProposal MakeTrackProposal(const Scene& scene, const Track& track,
   return proposal;
 }
 
-Scene FilterToModelOnly(const Scene& scene) {
-  Scene filtered(scene.name(), scene.frame_rate_hz());
-  for (const Frame& frame : scene.frames()) {
-    Frame copy = frame;
-    copy.observations.clear();
-    for (const Observation& obs : frame.observations) {
-      if (obs.source == ObservationSource::kModel) {
-        copy.observations.push_back(obs);
-      }
-    }
-    filtered.AddFrame(std::move(copy));
-  }
-  return filtered;
+// Standalone facade shared by the three Find* entry points: one ScenePass
+// over the scene, then the application's compile + extract stage.
+Result<std::vector<ErrorProposal>> FindWithApp(
+    const Scene& scene, const AppSpec& app, const LoaSpec& spec,
+    const ApplicationOptions& options) {
+  FIXY_ASSIGN_OR_RETURN(
+      ScenePass pass,
+      ScenePass::Run(scene, options.track_builder,
+                     /*need_full=*/app.view == SceneView::kFull,
+                     /*need_model_only=*/app.view == SceneView::kModelOnly));
+  return RunApplicationOnPass(app, spec, scene, pass, options);
 }
 
 }  // namespace
@@ -129,72 +142,30 @@ LoaSpec BuildModelErrorsSpec(const std::vector<FeatureDistribution>& learned) {
   return spec;
 }
 
-Result<std::vector<ErrorProposal>> FindMissingTracks(
-    const Scene& scene, const std::vector<FeatureDistribution>& learned,
-    const ApplicationOptions& options) {
-  return FindMissingTracks(scene, BuildMissingTracksSpec(learned, options),
-                           options);
-}
-
-Result<std::vector<ErrorProposal>> FindMissingTracks(
-    const Scene& scene, const LoaSpec& spec,
-    const ApplicationOptions& options) {
-  const TrackBuilder builder(options.track_builder);
-  obs::StageTimer build_timer;
-  FIXY_ASSIGN_OR_RETURN(TrackSet tracks, builder.Build(scene));
-  obs::AddTimeNs("rank.track_build", build_timer.ElapsedNs());
-
-  obs::StageTimer compile_timer;
-  FIXY_ASSIGN_OR_RETURN(
-      FactorGraph graph,
-      FactorGraph::Compile(tracks, spec, scene.frame_rate_hz()));
-  obs::AddTimeNs("rank.compile", compile_timer.ElapsedNs());
-  obs::Count("rank.factors", graph.factors().size());
-
+std::vector<ErrorProposal> ExtractMissingTracks(const AppContext& ctx) {
   std::vector<ErrorProposal> proposals;
-  for (size_t t = 0; t < graph.tracks().tracks.size(); ++t) {
-    const Track& track = graph.tracks().tracks[t];
+  const TrackSet& tracks = ctx.graph.tracks();
+  for (size_t t = 0; t < tracks.tracks.size(); ++t) {
+    const Track& track = tracks.tracks[t];
     // AOF zero-out: any track containing a human proposal is not a missing
     // track; the remaining tracks contain only model predictions.
     if (track.HasSource(ObservationSource::kHuman)) continue;
     if (!track.HasSource(ObservationSource::kModel)) continue;
     const std::optional<double> score =
-        graph.ScoreTrack(t, options.normalize_scores);
+        ctx.graph.ScoreTrack(t, ctx.options.normalize_scores);
     if (!score.has_value()) continue;
-    proposals.push_back(MakeTrackProposal(scene, track,
+    proposals.push_back(MakeTrackProposal(ctx.scene, track,
                                           ProposalKind::kMissingTrack,
                                           *score));
   }
-  RankProposals(&proposals);
-  obs::Count("rank.proposals", proposals.size());
   return proposals;
 }
 
-Result<std::vector<ErrorProposal>> FindMissingObservations(
-    const Scene& scene, const std::vector<FeatureDistribution>& learned,
-    const ApplicationOptions& options) {
-  return FindMissingObservations(
-      scene, BuildMissingObservationsSpec(learned, options), options);
-}
-
-Result<std::vector<ErrorProposal>> FindMissingObservations(
-    const Scene& scene, const LoaSpec& spec,
-    const ApplicationOptions& options) {
-  const TrackBuilder builder(options.track_builder);
-  obs::StageTimer build_timer;
-  FIXY_ASSIGN_OR_RETURN(TrackSet tracks, builder.Build(scene));
-  obs::AddTimeNs("rank.track_build", build_timer.ElapsedNs());
-
-  obs::StageTimer compile_timer;
-  FIXY_ASSIGN_OR_RETURN(
-      FactorGraph graph,
-      FactorGraph::Compile(tracks, spec, scene.frame_rate_hz()));
-  obs::AddTimeNs("rank.compile", compile_timer.ElapsedNs());
-  obs::Count("rank.factors", graph.factors().size());
-
+std::vector<ErrorProposal> ExtractMissingObservations(const AppContext& ctx) {
   std::vector<ErrorProposal> proposals;
-  for (size_t t = 0; t < graph.tracks().tracks.size(); ++t) {
-    const Track& track = graph.tracks().tracks[t];
+  const TrackSet& tracks = ctx.graph.tracks();
+  for (size_t t = 0; t < tracks.tracks.size(); ++t) {
+    const Track& track = tracks.tracks[t];
     // AOF zero-out (Section 8.3): tracks without any human proposal are
     // zeroed, as are bundles that already contain a human proposal. The
     // remaining candidates are model-only predictions *interior* to the
@@ -218,12 +189,12 @@ Result<std::vector<ErrorProposal>> FindMissingObservations(
           bundle.frame_index >= last_human) {
         continue;
       }
-      const std::optional<double> score = graph.ScoreBundle(t, b);
+      const std::optional<double> score = ctx.graph.ScoreBundle(t, b);
       if (!score.has_value()) continue;
       const Observation* obs = internal::RepresentativeObservation(bundle);
       if (obs == nullptr) continue;
       ErrorProposal proposal;
-      proposal.scene_name = scene.name();
+      proposal.scene_name = ctx.scene.name();
       proposal.kind = ProposalKind::kMissingObservation;
       proposal.track_id = track.id();
       proposal.frame_index = bundle.frame_index;
@@ -237,54 +208,87 @@ Result<std::vector<ErrorProposal>> FindMissingObservations(
       proposals.push_back(std::move(proposal));
     }
   }
-  RankProposals(&proposals);
-  obs::Count("rank.proposals", proposals.size());
   return proposals;
 }
 
-Result<std::vector<ErrorProposal>> FindModelErrors(
-    const Scene& scene, const std::vector<FeatureDistribution>& learned,
-    const ApplicationOptions& options) {
-  return FindModelErrors(scene, BuildModelErrorsSpec(learned), options);
-}
-
-Result<std::vector<ErrorProposal>> FindModelErrors(
-    const Scene& scene, const LoaSpec& spec,
-    const ApplicationOptions& options) {
-  // Section 8.4: no human proposals are assumed; drop them if present.
-  const Scene model_scene = FilterToModelOnly(scene);
-  const TrackBuilder builder(options.track_builder);
-  obs::StageTimer build_timer;
-  FIXY_ASSIGN_OR_RETURN(TrackSet tracks, builder.Build(model_scene));
-  obs::AddTimeNs("rank.track_build", build_timer.ElapsedNs());
-
-  obs::StageTimer compile_timer;
-  FIXY_ASSIGN_OR_RETURN(
-      FactorGraph graph,
-      FactorGraph::Compile(tracks, spec, model_scene.frame_rate_hz()));
-  obs::AddTimeNs("rank.compile", compile_timer.ElapsedNs());
-  obs::Count("rank.factors", graph.factors().size());
-
+std::vector<ErrorProposal> ExtractModelErrors(const AppContext& ctx) {
   std::vector<ErrorProposal> proposals;
-  for (size_t t = 0; t < graph.tracks().tracks.size(); ++t) {
-    const Track& track = graph.tracks().tracks[t];
+  const TrackSet& tracks = ctx.graph.tracks();
+  for (size_t t = 0; t < tracks.tracks.size(); ++t) {
+    const Track& track = tracks.tracks[t];
     if (track.bundles().empty()) continue;
     // Tracks of <= 2 observations are the appear assertion's territory
     // (Section 8.4 hunts errors that are "longer than two observations, so
     // will not trigger the appear assertion"); skipping them keeps Fixy
     // focused on the novel error class.
     if (track.TotalObservations() <=
-        static_cast<size_t>(options.min_track_observations)) {
+        static_cast<size_t>(ctx.options.min_track_observations)) {
       continue;
     }
-    const std::optional<double> score = graph.ScoreTrack(t);
+    const std::optional<double> score = ctx.graph.ScoreTrack(t);
     if (!score.has_value()) continue;
-    proposals.push_back(MakeTrackProposal(scene, track,
+    proposals.push_back(MakeTrackProposal(ctx.scene, track,
                                           ProposalKind::kModelError, *score));
   }
-  RankProposals(&proposals);
-  obs::Count("rank.proposals", proposals.size());
   return proposals;
+}
+
+AppSpec MissingTracksApp() {
+  AppSpec app;
+  app.name = "missing-tracks";
+  app.view = SceneView::kFull;
+  app.build_spec = [](const LearnedState& learned,
+                      const ApplicationOptions& options) {
+    return BuildMissingTracksSpec(learned.base, options);
+  };
+  app.extract = ExtractMissingTracks;
+  return app;
+}
+
+AppSpec MissingObservationsApp() {
+  AppSpec app;
+  app.name = "missing-obs";
+  app.view = SceneView::kFull;
+  app.build_spec = [](const LearnedState& learned,
+                      const ApplicationOptions& options) {
+    return BuildMissingObservationsSpec(learned.base, options);
+  };
+  app.extract = ExtractMissingObservations;
+  return app;
+}
+
+AppSpec ModelErrorsApp() {
+  AppSpec app;
+  app.name = "model-errors";
+  app.view = SceneView::kModelOnly;
+  app.build_spec = [](const LearnedState& learned,
+                      const ApplicationOptions& options) {
+    (void)options;
+    // Section 8.4 adds "a track feature over the total number of
+    // observations": the learned count distribution joins the spec here,
+    // where the label-error applications use the manual count filter.
+    return BuildModelErrorsSpec(learned.with_count);
+  };
+  app.extract = ExtractModelErrors;
+  return app;
+}
+
+Result<std::vector<ErrorProposal>> FindMissingTracks(
+    const Scene& scene, const LoaSpec& spec,
+    const ApplicationOptions& options) {
+  return FindWithApp(scene, MissingTracksApp(), spec, options);
+}
+
+Result<std::vector<ErrorProposal>> FindMissingObservations(
+    const Scene& scene, const LoaSpec& spec,
+    const ApplicationOptions& options) {
+  return FindWithApp(scene, MissingObservationsApp(), spec, options);
+}
+
+Result<std::vector<ErrorProposal>> FindModelErrors(
+    const Scene& scene, const LoaSpec& spec,
+    const ApplicationOptions& options) {
+  return FindWithApp(scene, ModelErrorsApp(), spec, options);
 }
 
 }  // namespace fixy

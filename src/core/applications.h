@@ -2,9 +2,14 @@
 // configuration of association, feature distributions, and AOFs over the
 // same compiled-graph scoring machinery:
 //
-//   - FindMissingTracks:        tracks the human labels missed entirely;
-//   - FindMissingObservations:  missing human boxes within labeled tracks;
-//   - FindModelErrors:          erroneous ML model predictions.
+//   - missing-tracks:  tracks the human labels missed entirely;
+//   - missing-obs:     missing human boxes within labeled tracks;
+//   - model-errors:    erroneous ML model predictions.
+//
+// Each is packaged as an AppSpec (spec builder + extraction strategy) so
+// it plugs into the ApplicationRegistry alongside user applications; the
+// Find* facades below rank one scene standalone through the same
+// ScenePass pipeline the batch engine uses.
 #ifndef FIXY_CORE_APPLICATIONS_H_
 #define FIXY_CORE_APPLICATIONS_H_
 
@@ -12,35 +17,13 @@
 #include <vector>
 
 #include "common/result.h"
+#include "core/app_spec.h"
 #include "core/proposal.h"
 #include "data/scene.h"
 #include "dsl/feature_distribution.h"
 #include "dsl/track_builder.h"
 
 namespace fixy {
-
-/// Shared application knobs.
-struct ApplicationOptions {
-  /// Association configuration (bundler, linking thresholds).
-  TrackBuilderOptions track_builder;
-
-  /// Scale of the manual distance-severity distribution (Table 2's
-  /// Distance feature).
-  double distance_scale_meters = 25.0;
-
-  /// The Count filter threshold: tracks with this many observations or
-  /// fewer are filtered (Table 2: "two or fewer").
-  int min_track_observations = 2;
-
-  /// Ablation switches for the manual factors (Table 2's Distance and
-  /// Count); on by default, matching the paper's deployment.
-  bool include_distance_severity = true;
-  bool include_count_filter = true;
-
-  /// Section 6 score normalization (sum of factor log-likelihoods divided
-  /// by factor count). Off only in the normalization ablation.
-  bool normalize_scores = true;
-};
 
 /// Spec builders: each application's LoaSpec is a pure function of the
 /// learned distributions and the options, so callers ranking many scenes
@@ -63,41 +46,41 @@ LoaSpec BuildMissingObservationsSpec(
 /// *unlikely* tracks rank first (Section 8.4).
 LoaSpec BuildModelErrorsSpec(const std::vector<FeatureDistribution>& learned);
 
-/// Finds tracks entirely missed by human proposals (Section 7, "Finding
-/// missing tracks"). `learned` are the learned feature distributions
-/// (volume, velocity, plus any user features); the manual distance,
-/// model-only, and count factors are added internally. Only tracks that
-/// contain no human proposal are ranked (the AOF zero-out), by descending
-/// plausibility: consistent model-only tracks are likely real objects.
-Result<std::vector<ErrorProposal>> FindMissingTracks(
-    const Scene& scene, const std::vector<FeatureDistribution>& learned,
-    const ApplicationOptions& options);
+/// The paper applications as registry entries. MissingTracksApp and
+/// MissingObservationsApp build their specs from the count-augmented
+/// learned set and associate over the full scene; ModelErrorsApp builds
+/// from the continuous learned set and associates model predictions only.
+AppSpec MissingTracksApp();
+AppSpec MissingObservationsApp();
+AppSpec ModelErrorsApp();
 
-/// As above, against a prebuilt spec (see BuildMissingTracksSpec).
+/// Extraction strategies (the AppSpec::extract of the factories above),
+/// exposed for reuse by custom applications that remix them.
+///
+/// Missing tracks (Section 7, "Finding missing tracks"): ranks tracks that
+/// contain no human proposal — the AOF zero-out — by descending
+/// plausibility; consistent model-only tracks are likely real objects.
+std::vector<ErrorProposal> ExtractMissingTracks(const AppContext& ctx);
+
+/// Missing observations (Section 7, "Finding missing labels within
+/// tracks"): ranks model-only bundles interior to the human-labeled span
+/// of human-containing tracks.
+std::vector<ErrorProposal> ExtractMissingObservations(const AppContext& ctx);
+
+/// Model errors (Section 7, "Finding erroneous ML model predictions"):
+/// ranks model tracks longer than the count threshold by descending
+/// implausibility (the spec's inverting AOF).
+std::vector<ErrorProposal> ExtractModelErrors(const AppContext& ctx);
+
+/// Standalone single-scene facades over the ScenePass pipeline, against a
+/// prebuilt spec (see the Build*Spec builders above). Equivalent to
+/// registering the application and ranking a one-scene dataset.
 Result<std::vector<ErrorProposal>> FindMissingTracks(
     const Scene& scene, const LoaSpec& spec,
     const ApplicationOptions& options);
-
-/// Finds missing human labels within tracks that otherwise have human
-/// proposals (Section 7, "Finding missing labels within tracks"): ranks
-/// model-only bundles inside human-containing tracks by plausibility.
-Result<std::vector<ErrorProposal>> FindMissingObservations(
-    const Scene& scene, const std::vector<FeatureDistribution>& learned,
-    const ApplicationOptions& options);
-
-/// As above, against a prebuilt spec (see BuildMissingObservationsSpec).
 Result<std::vector<ErrorProposal>> FindMissingObservations(
     const Scene& scene, const LoaSpec& spec,
     const ApplicationOptions& options);
-
-/// Finds erroneous ML model predictions (Section 7, "Finding erroneous ML
-/// model predictions"). Human proposals are ignored; every learned feature
-/// is wrapped in the inverting AOF so *unlikely* tracks rank first.
-Result<std::vector<ErrorProposal>> FindModelErrors(
-    const Scene& scene, const std::vector<FeatureDistribution>& learned,
-    const ApplicationOptions& options);
-
-/// As above, against a prebuilt spec (see BuildModelErrorsSpec).
 Result<std::vector<ErrorProposal>> FindModelErrors(
     const Scene& scene, const LoaSpec& spec,
     const ApplicationOptions& options);
@@ -112,6 +95,11 @@ std::optional<size_t> ClosestApproachBundle(const Track& track);
 /// Representative observation of a bundle: the model prediction when one
 /// exists, otherwise the first member. nullptr for an empty bundle.
 const Observation* RepresentativeObservation(const ObservationBundle& bundle);
+
+/// A copy of the scene containing only model predictions (Section 8.4's
+/// view). Exposed so tests can assert that the shared association pass's
+/// model-only view equals a from-scratch build over the filtered scene.
+Scene FilterToModelOnly(const Scene& scene);
 
 }  // namespace internal
 

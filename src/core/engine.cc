@@ -11,10 +11,30 @@
 #include "common/thread_pool.h"
 #include "core/features_std.h"
 #include "core/model_io.h"
+#include "core/scene_pass.h"
 
 namespace fixy {
 
-Fixy::Fixy(FixyOptions options) : options_(std::move(options)) {}
+const char* ApplicationName(Application app) {
+  switch (app) {
+    case Application::kMissingTracks:
+      return "missing-tracks";
+    case Application::kMissingObservations:
+      return "missing-obs";
+    case Application::kModelErrors:
+      return "model-errors";
+  }
+  return "unknown";
+}
+
+Fixy::Fixy(FixyOptions options)
+    : options_(std::move(options)),
+      registry_(ApplicationRegistry::Standard()) {
+  for (const AppSpec& app : options_.extra_applications) {
+    const Status status = registry_.Register(app);
+    if (!status.ok() && registry_status_.ok()) registry_status_ = status;
+  }
+}
 
 Status Fixy::Learn(const Dataset& training) {
   const obs::ScopedStageTimer learn_timer("learn.total");
@@ -84,11 +104,12 @@ Status Fixy::LoadModel(const std::string& path) {
 
 void Fixy::RebuildSpecs() {
   const obs::ScopedStageTimer timer("learn.rebuild_specs");
-  missing_tracks_spec_ =
-      BuildMissingTracksSpec(learned_base_, options_.application);
-  missing_observations_spec_ =
-      BuildMissingObservationsSpec(learned_base_, options_.application);
-  model_errors_spec_ = BuildModelErrorsSpec(learned_with_count_);
+  const LearnedState learned{learned_base_, learned_with_count_};
+  specs_.clear();
+  specs_.reserve(registry_.apps().size());
+  for (const AppSpec& app : registry_.apps()) {
+    specs_.push_back(app.build_spec(learned, options_.application));
+  }
 }
 
 Status Fixy::CheckLearned() const {
@@ -99,50 +120,92 @@ Status Fixy::CheckLearned() const {
   return Status::Ok();
 }
 
+Result<Fixy::RunPlan> Fixy::PlanRun(
+    const std::vector<std::string>& names) const {
+  FIXY_RETURN_IF_ERROR(CheckLearned());
+  FIXY_RETURN_IF_ERROR(registry_status_);
+  RunPlan plan;
+  FIXY_ASSIGN_OR_RETURN(plan.app_indices, registry_.Resolve(names));
+  for (const size_t idx : plan.app_indices) {
+    const SceneView view = registry_.apps()[idx].view;
+    plan.need_full = plan.need_full || view == SceneView::kFull;
+    plan.need_model = plan.need_model || view == SceneView::kModelOnly;
+  }
+  return plan;
+}
+
+Result<std::vector<ErrorProposal>> Fixy::Find(const Scene& scene,
+                                              const std::string& app) const {
+  FIXY_ASSIGN_OR_RETURN(RunPlan plan, PlanRun({app}));
+  const size_t idx = plan.app_indices.front();
+  FIXY_ASSIGN_OR_RETURN(
+      ScenePass pass,
+      ScenePass::Run(scene, options_.application.track_builder,
+                     plan.need_full, plan.need_model));
+  return RunApplicationOnPass(registry_.apps()[idx], specs_[idx], scene, pass,
+                              options_.application);
+}
+
 Result<std::vector<ErrorProposal>> Fixy::FindMissingTracks(
     const Scene& scene) const {
-  FIXY_RETURN_IF_ERROR(CheckLearned());
-  return fixy::FindMissingTracks(scene, missing_tracks_spec_,
-                                 options_.application);
+  return Find(scene, ApplicationName(Application::kMissingTracks));
 }
 
 Result<std::vector<ErrorProposal>> Fixy::FindMissingObservations(
     const Scene& scene) const {
-  FIXY_RETURN_IF_ERROR(CheckLearned());
-  return fixy::FindMissingObservations(scene, missing_observations_spec_,
-                                       options_.application);
+  return Find(scene, ApplicationName(Application::kMissingObservations));
 }
 
 Result<std::vector<ErrorProposal>> Fixy::FindModelErrors(
     const Scene& scene) const {
-  FIXY_RETURN_IF_ERROR(CheckLearned());
-  return fixy::FindModelErrors(scene, model_errors_spec_,
-                               options_.application);
+  return Find(scene, ApplicationName(Application::kModelErrors));
 }
 
-Result<std::vector<ErrorProposal>> Fixy::RankScene(const Scene& scene,
-                                                   Application app) const {
-  switch (app) {
-    case Application::kMissingTracks:
-      return fixy::FindMissingTracks(scene, missing_tracks_spec_,
-                                     options_.application);
-    case Application::kMissingObservations:
-      return fixy::FindMissingObservations(scene, missing_observations_spec_,
-                                           options_.application);
-    case Application::kModelErrors:
-      return fixy::FindModelErrors(scene, model_errors_spec_,
-                                   options_.application);
+void Fixy::RankSceneApps(const RunPlan& plan, const Scene& scene,
+                         std::vector<BatchReport>& reports,
+                         size_t slot) const {
+  // One association pass (and one lazily shared feature-score cache per
+  // view) serves every application ranking this scene. A pass failure —
+  // e.g. a scene that fails validation — fails every application's
+  // outcome with the same Status.
+  Result<ScenePass> pass =
+      ScenePass::Run(scene, options_.application.track_builder,
+                     plan.need_full, plan.need_model);
+  for (size_t a = 0; a < plan.app_indices.size(); ++a) {
+    SceneOutcome& outcome = reports[a].outcomes[slot];
+    outcome.scene_name = scene.name();
+    if (!pass.ok()) {
+      outcome.status = pass.status();
+      continue;
+    }
+    const size_t idx = plan.app_indices[a];
+    Result<std::vector<ErrorProposal>> proposals =
+        RunApplicationOnPass(registry_.apps()[idx], specs_[idx], scene,
+                             pass.value(), options_.application);
+    if (proposals.ok()) {
+      outcome.proposals = std::move(proposals).value();
+    } else {
+      outcome.status = proposals.status();
+    }
   }
-  return Status::InvalidArgument("unknown application");
 }
 
-Result<BatchReport> Fixy::RankDataset(const Dataset& dataset, Application app,
-                                      const BatchOptions& batch) const {
-  FIXY_RETURN_IF_ERROR(CheckLearned());
+Result<MultiAppReport> Fixy::RankDataset(
+    const Dataset& dataset, const std::vector<std::string>& apps,
+    const BatchOptions& batch) const {
+  FIXY_ASSIGN_OR_RETURN(RunPlan plan, PlanRun(apps));
 
   const size_t scene_count = dataset.scenes.size();
-  BatchReport report;
-  report.outcomes.resize(scene_count);
+  const size_t app_count = plan.app_indices.size();
+  MultiAppReport multi;
+  multi.apps.reserve(app_count);
+  for (const size_t idx : plan.app_indices) {
+    multi.apps.push_back(registry_.apps()[idx].name);
+  }
+  multi.reports.resize(app_count);
+  for (BatchReport& report : multi.reports) {
+    report.outcomes.resize(scene_count);
+  }
 
   const bool collect = batch.collect_metrics;
   const obs::StageTimer total_timer;
@@ -158,24 +221,21 @@ Result<BatchReport> Fixy::RankDataset(const Dataset& dataset, Application app,
   // so outcomes land in pre-assigned slots and the merged output is
   // identical for any thread count. The online phase draws no randomness;
   // any per-scene variation comes only from the scene itself. A failing
-  // scene writes only its own slot, so it cannot poison its neighbours.
-  auto rank_into_slot = [this, app, collect, &dataset, &report,
+  // scene writes only its own slots, so it cannot poison its neighbours.
+  // All of a scene's applications run on one worker, in request order, so
+  // per-app counters are deterministic too.
+  auto rank_into_slot = [this, collect, &plan, &dataset, &multi,
                          &scene_metrics](size_t i, uint64_t queue_wait_ns) {
     obs::MetricsCollector scene_collector;
     const obs::MetricsScope scope(collect ? &scene_collector : nullptr);
     const obs::StageTimer scene_timer;
-    SceneOutcome& outcome = report.outcomes[i];
-    outcome.scene_name = dataset.scenes[i].name();
-    Result<std::vector<ErrorProposal>> proposals =
-        RankScene(dataset.scenes[i], app);
-    if (proposals.ok()) {
-      outcome.proposals = std::move(proposals).value();
-    } else {
-      outcome.status = proposals.status();
-    }
+    RankSceneApps(plan, dataset.scenes[i], multi.reports, i);
     if (collect) {
       const uint64_t wall_ns = scene_timer.ElapsedNs();
-      outcome.wall_ms = static_cast<double>(wall_ns) * 1e-6;
+      const double wall_ms = static_cast<double>(wall_ns) * 1e-6;
+      for (BatchReport& report : multi.reports) {
+        report.outcomes[i].wall_ms = wall_ms;
+      }
       scene_collector.Count("span.scene.calls");
       scene_collector.AddTimeNs("span.scene", wall_ns);
       // Recorded even when zero (the serial path) so the snapshot schema
@@ -208,51 +268,83 @@ Result<BatchReport> Fixy::RankDataset(const Dataset& dataset, Application app,
   }
 
   // Summary pass, and the fail-fast contract: the first failure in scene
-  // order wins, so error reporting is as deterministic as the success path.
-  for (const SceneOutcome& outcome : report.outcomes) {
-    if (outcome.ok()) {
-      ++report.scenes_ok;
-      continue;
+  // order (then request order within a scene) wins, so error reporting is
+  // as deterministic as the success path.
+  size_t scenes_all_ok = 0;
+  size_t scenes_any_failed = 0;
+  for (size_t i = 0; i < scene_count; ++i) {
+    bool any_failed = false;
+    for (size_t a = 0; a < app_count; ++a) {
+      const SceneOutcome& outcome = multi.reports[a].outcomes[i];
+      if (outcome.ok()) {
+        ++multi.reports[a].scenes_ok;
+        continue;
+      }
+      if (batch.fail_fast) {
+        // Name the scene so callers can tell which one sank the batch.
+        return Status(outcome.status.code(),
+                      "scene '" + outcome.scene_name +
+                          "': " + outcome.status.message());
+      }
+      ++multi.reports[a].scenes_failed;
+      ++multi.reports[a].scenes_quarantined;
+      any_failed = true;
     }
-    if (batch.fail_fast) {
-      // Name the scene so callers can tell which one sank the batch.
-      return Status(outcome.status.code(),
-                    "scene '" + outcome.scene_name +
-                        "': " + outcome.status.message());
+    if (any_failed) {
+      ++scenes_any_failed;
+    } else {
+      ++scenes_all_ok;
     }
-    ++report.scenes_failed;
-    ++report.scenes_quarantined;
   }
 
   if (collect) {
     for (const obs::PipelineMetrics& m : scene_metrics) {
-      report.metrics.MergeFrom(m);
+      multi.metrics.MergeFrom(m);
     }
-    report.metrics.counters["batch.scenes"] += scene_count;
-    report.metrics.counters["batch.scenes_ok"] += report.scenes_ok;
-    report.metrics.counters["batch.scenes_failed"] += report.scenes_failed;
-    report.metrics.counters["batch.scenes_quarantined"] +=
-        report.scenes_quarantined;
-    report.metrics.timers_ms["batch.total"] = total_timer.ElapsedMs();
-    report.metrics.gauges["batch.threads"] =
+    // Scene-granularity batch counters: a scene counts as ok only when
+    // every application ranked it (equals the per-app counters for a
+    // single-application run).
+    multi.metrics.counters["batch.scenes"] += scene_count;
+    multi.metrics.counters["batch.scenes_ok"] += scenes_all_ok;
+    multi.metrics.counters["batch.scenes_failed"] += scenes_any_failed;
+    multi.metrics.counters["batch.scenes_quarantined"] += scenes_any_failed;
+    multi.metrics.timers_ms["batch.total"] = total_timer.ElapsedMs();
+    multi.metrics.gauges["batch.threads"] =
         static_cast<double>(parallel ? threads : 1);
     double scene_ms_max = 0.0;
-    for (const SceneOutcome& outcome : report.outcomes) {
+    for (const SceneOutcome& outcome : multi.reports.front().outcomes) {
       scene_ms_max = std::max(scene_ms_max, outcome.wall_ms);
     }
-    report.metrics.gauges["batch.scene_ms_max"] = scene_ms_max;
+    multi.metrics.gauges["batch.scene_ms_max"] = scene_ms_max;
   }
+  return multi;
+}
+
+Result<BatchReport> Fixy::RankDataset(const Dataset& dataset, Application app,
+                                      const BatchOptions& batch) const {
+  FIXY_ASSIGN_OR_RETURN(MultiAppReport multi,
+                        RankDataset(dataset, {ApplicationName(app)}, batch));
+  BatchReport report = std::move(multi.reports.front());
+  report.metrics = std::move(multi.metrics);
   return report;
 }
 
-Result<BatchReport> Fixy::RankDatasetStreaming(
-    const SceneSource& source, Application app, const BatchOptions& batch,
-    const StreamOptions& stream) const {
-  FIXY_RETURN_IF_ERROR(CheckLearned());
+Result<MultiAppReport> Fixy::RankDatasetStreaming(
+    const SceneSource& source, const std::vector<std::string>& apps,
+    const BatchOptions& batch, const StreamOptions& stream) const {
+  FIXY_ASSIGN_OR_RETURN(RunPlan plan, PlanRun(apps));
 
   const size_t scene_count = source.scene_count();
-  BatchReport report;
-  report.outcomes.resize(scene_count);
+  const size_t app_count = plan.app_indices.size();
+  MultiAppReport multi;
+  multi.apps.reserve(app_count);
+  for (const size_t idx : plan.app_indices) {
+    multi.apps.push_back(registry_.apps()[idx].name);
+  }
+  multi.reports.resize(app_count);
+  for (BatchReport& report : multi.reports) {
+    report.outcomes.resize(scene_count);
+  }
 
   const bool collect = batch.collect_metrics;
   const obs::StageTimer total_timer;
@@ -270,7 +362,8 @@ Result<BatchReport> Fixy::RankDatasetStreaming(
                                  : static_cast<size_t>(rank_threads) * 2;
 
   // A decoded (or failed-to-decode) scene in flight between the loader
-  // pool and the rank workers.
+  // pool and the rank workers. Each scene is decoded once however many
+  // applications rank it.
   struct WorkItem {
     size_t index;
     Result<Scene> scene;
@@ -290,9 +383,9 @@ Result<BatchReport> Fixy::RankDatasetStreaming(
   // Rank side: long-lived workers popping until the queue is closed and
   // drained. Outcomes land in pre-assigned slots, so arrival order —
   // which varies with scheduling — cannot reorder the report. A decode
-  // failure flows through as that scene's outcome Status, exactly like a
-  // ranking failure.
-  auto rank_worker = [this, app, collect, &source, &report, &scene_metrics,
+  // failure flows through as every application's outcome Status for that
+  // scene, exactly like a ranking failure.
+  auto rank_worker = [this, collect, &plan, &source, &multi, &scene_metrics,
                       &queue] {
     for (;;) {
       const obs::StageTimer wait_timer;
@@ -303,23 +396,20 @@ Result<BatchReport> Fixy::RankDatasetStreaming(
       obs::MetricsCollector scene_collector;
       const obs::MetricsScope scope(collect ? &scene_collector : nullptr);
       const obs::StageTimer scene_timer;
-      SceneOutcome& outcome = report.outcomes[i];
       if (!item->scene.ok()) {
-        outcome.scene_name = source.scene_name(i);
-        outcome.status = item->scene.status();
-      } else {
-        const Scene& scene = item->scene.value();
-        outcome.scene_name = scene.name();
-        Result<std::vector<ErrorProposal>> proposals = RankScene(scene, app);
-        if (proposals.ok()) {
-          outcome.proposals = std::move(proposals).value();
-        } else {
-          outcome.status = proposals.status();
+        for (BatchReport& report : multi.reports) {
+          report.outcomes[i].scene_name = source.scene_name(i);
+          report.outcomes[i].status = item->scene.status();
         }
+      } else {
+        RankSceneApps(plan, item->scene.value(), multi.reports, i);
       }
       if (collect) {
         const uint64_t wall_ns = scene_timer.ElapsedNs();
-        outcome.wall_ms = static_cast<double>(wall_ns) * 1e-6;
+        const double wall_ms = static_cast<double>(wall_ns) * 1e-6;
+        for (BatchReport& report : multi.reports) {
+          report.outcomes[i].wall_ms = wall_ms;
+        }
         scene_collector.Count("span.scene.calls");
         scene_collector.AddTimeNs("span.scene", wall_ns);
         // The streaming path's wait is the pop on the decode→rank queue;
@@ -356,39 +446,61 @@ Result<BatchReport> Fixy::RankDatasetStreaming(
   }
 
   // Same summary pass and fail-fast contract as RankDataset: the first
-  // failure in dataset order wins.
-  for (const SceneOutcome& outcome : report.outcomes) {
-    if (outcome.ok()) {
-      ++report.scenes_ok;
-      continue;
+  // failure in dataset order (then request order) wins.
+  size_t scenes_all_ok = 0;
+  size_t scenes_any_failed = 0;
+  for (size_t i = 0; i < scene_count; ++i) {
+    bool any_failed = false;
+    for (size_t a = 0; a < app_count; ++a) {
+      const SceneOutcome& outcome = multi.reports[a].outcomes[i];
+      if (outcome.ok()) {
+        ++multi.reports[a].scenes_ok;
+        continue;
+      }
+      if (batch.fail_fast) {
+        return Status(outcome.status.code(),
+                      "scene '" + outcome.scene_name +
+                          "': " + outcome.status.message());
+      }
+      ++multi.reports[a].scenes_failed;
+      ++multi.reports[a].scenes_quarantined;
+      any_failed = true;
     }
-    if (batch.fail_fast) {
-      return Status(outcome.status.code(),
-                    "scene '" + outcome.scene_name +
-                        "': " + outcome.status.message());
+    if (any_failed) {
+      ++scenes_any_failed;
+    } else {
+      ++scenes_all_ok;
     }
-    ++report.scenes_failed;
-    ++report.scenes_quarantined;
   }
 
   if (collect) {
     for (size_t i = 0; i < scene_count; ++i) {
-      report.metrics.MergeFrom(decode_metrics[i]);
-      report.metrics.MergeFrom(scene_metrics[i]);
+      multi.metrics.MergeFrom(decode_metrics[i]);
+      multi.metrics.MergeFrom(scene_metrics[i]);
     }
-    report.metrics.counters["batch.scenes"] += scene_count;
-    report.metrics.counters["batch.scenes_ok"] += report.scenes_ok;
-    report.metrics.counters["batch.scenes_failed"] += report.scenes_failed;
-    report.metrics.counters["batch.scenes_quarantined"] +=
-        report.scenes_quarantined;
-    report.metrics.timers_ms["batch.total"] = total_timer.ElapsedMs();
-    report.metrics.gauges["batch.threads"] = static_cast<double>(rank_threads);
+    multi.metrics.counters["batch.scenes"] += scene_count;
+    multi.metrics.counters["batch.scenes_ok"] += scenes_all_ok;
+    multi.metrics.counters["batch.scenes_failed"] += scenes_any_failed;
+    multi.metrics.counters["batch.scenes_quarantined"] += scenes_any_failed;
+    multi.metrics.timers_ms["batch.total"] = total_timer.ElapsedMs();
+    multi.metrics.gauges["batch.threads"] = static_cast<double>(rank_threads);
     double scene_ms_max = 0.0;
-    for (const SceneOutcome& outcome : report.outcomes) {
+    for (const SceneOutcome& outcome : multi.reports.front().outcomes) {
       scene_ms_max = std::max(scene_ms_max, outcome.wall_ms);
     }
-    report.metrics.gauges["batch.scene_ms_max"] = scene_ms_max;
+    multi.metrics.gauges["batch.scene_ms_max"] = scene_ms_max;
   }
+  return multi;
+}
+
+Result<BatchReport> Fixy::RankDatasetStreaming(
+    const SceneSource& source, Application app, const BatchOptions& batch,
+    const StreamOptions& stream) const {
+  FIXY_ASSIGN_OR_RETURN(
+      MultiAppReport multi,
+      RankDatasetStreaming(source, {ApplicationName(app)}, batch, stream));
+  BatchReport report = std::move(multi.reports.front());
+  report.metrics = std::move(multi.metrics);
   return report;
 }
 

@@ -8,12 +8,20 @@
 //   FIXY_RETURN_IF_ERROR(fixy.Learn(training_dataset));
 //   FIXY_ASSIGN_OR_RETURN(auto errors, fixy.FindMissingTracks(scene));
 //   for (const ErrorProposal& e : TopK(errors, 10)) { ... audit ... }
+//
+// Applications are open-ended: the engine ranks everything in its
+// ApplicationRegistry (the three paper applications plus any AppSpecs
+// registered through FixyOptions::extra_applications), and the
+// name-addressed RankDataset overloads rank several applications from one
+// pass over the dataset — one decode and one association per scene.
 #ifndef FIXY_CORE_ENGINE_H_
 #define FIXY_CORE_ENGINE_H_
 
+#include <string>
 #include <vector>
 
 #include "common/result.h"
+#include "core/app_registry.h"
 #include "core/applications.h"
 #include "core/learner.h"
 #include "core/proposal.h"
@@ -31,15 +39,27 @@ struct FixyOptions {
   /// Additional user-defined features to learn distributions for, beyond
   /// the standard volume and velocity (see examples/custom_features.cpp).
   std::vector<FeaturePtr> extra_features;
+
+  /// Additional user-defined applications, registered alongside the three
+  /// paper applications. A registered application ranks end-to-end —
+  /// engine, batch and streaming APIs, CLI `--apps`, and per-app metrics —
+  /// without modifying src/core. Registration errors (duplicate or invalid
+  /// names, missing strategies) surface from the first ranking call.
+  std::vector<AppSpec> extra_applications;
 };
 
 /// The three error-ranking applications of Section 7, as a selector for
-/// the batch API.
+/// the single-app batch API (kept for callers that predate the
+/// name-addressed registry surface).
 enum class Application {
   kMissingTracks = 0,
   kMissingObservations = 1,
   kModelErrors = 2,
 };
+
+/// The registry name of a paper application ("missing-tracks",
+/// "missing-obs", "model-errors").
+const char* ApplicationName(Application app);
 
 /// Configuration of dataset-scale batch ranking.
 struct BatchOptions {
@@ -48,18 +68,19 @@ struct BatchOptions {
   int num_threads = 0;
 
   /// When true, RankDataset fails with the first failing scene's Status
-  /// (in dataset order, regardless of thread count). When false (the
-  /// default), failing scenes are quarantined: their outcome carries the
-  /// error, every other scene ranks normally, and the call succeeds.
+  /// (in dataset order, regardless of thread count; within a scene, in
+  /// requested-application order). When false (the default), failing
+  /// scenes are quarantined: their outcome carries the error, every other
+  /// scene ranks normally, and the call succeeds.
   bool fail_fast = false;
 
-  /// When true, the batch records a PipelineMetrics snapshot into
-  /// BatchReport::metrics: per-scene trace spans, stage timers
-  /// (track build, factor-graph compile), and counters (proposals, KDE
-  /// evaluations, quarantines). Counter values are deterministic — byte
-  /// identical at every thread count — because each scene records into
-  /// its own collector and the snapshots merge in dataset order. When
-  /// false (the default) the batch records nothing, at any thread count.
+  /// When true, the batch records a PipelineMetrics snapshot: per-scene
+  /// trace spans, stage timers (track build, per-application factor-graph
+  /// compile), and counters (per-application proposals, KDE evaluations,
+  /// quarantines). Counter values are deterministic — byte identical at
+  /// every thread count — because each scene records into its own
+  /// collector and the snapshots merge in dataset order. When false (the
+  /// default) the batch records nothing, at any thread count.
   bool collect_metrics = false;
 };
 
@@ -85,8 +106,11 @@ struct SceneOutcome {
   Status status;
   /// Ranked most-suspicious-first; empty when the scene failed.
   std::vector<ErrorProposal> proposals;
-  /// Wall time spent ranking this scene, excluding queue wait. Only
-  /// populated when BatchOptions::collect_metrics is on.
+  /// Wall time spent ranking this scene, excluding queue wait. In a
+  /// multi-application run the scene is ranked once for all applications
+  /// (shared association), so every application's outcome carries the
+  /// same shared wall time. Only populated when
+  /// BatchOptions::collect_metrics is on.
   double wall_ms = 0.0;
 
   bool ok() const { return status.ok(); }
@@ -110,10 +134,36 @@ struct BatchReport {
 
   /// Stage timers, counters, and gauges for the whole batch. Empty unless
   /// BatchOptions::collect_metrics was set. Counter values are identical
-  /// at every thread count; timer values measure this particular run.
+  /// at every thread count; timer values measure this particular run. In
+  /// a MultiAppReport the run-wide snapshot lives on the MultiAppReport
+  /// instead and the per-app reports leave this empty.
   obs::PipelineMetrics metrics;
 
   bool all_ok() const { return scenes_failed == 0; }
+};
+
+/// The result of ranking several applications from one pass over a
+/// dataset: one BatchReport per requested application (in request order),
+/// each byte-identical to what a solo run of that application would have
+/// produced — same proposals, same outcome order, at any thread count.
+struct MultiAppReport {
+  /// Resolved application names, parallel to `reports`.
+  std::vector<std::string> apps;
+  std::vector<BatchReport> reports;
+
+  /// The whole run's metrics snapshot (when collected): shared stage
+  /// timers/counters (rank.track_build, rank.track_builds, batch.*) plus
+  /// each application's rank.<name>.* keys. Per-app reports carry empty
+  /// metrics — the pass is shared, so per-scene costs are not separable
+  /// per application.
+  obs::PipelineMetrics metrics;
+
+  bool all_ok() const {
+    for (const BatchReport& report : reports) {
+      if (!report.all_ok()) return false;
+    }
+    return true;
+  }
 };
 
 /// The Fixy engine.
@@ -130,6 +180,14 @@ class Fixy {
 
   /// Online phase (each requires Learn() first; FailedPrecondition
   /// otherwise). Outputs are ranked most-suspicious-first.
+  ///
+  /// Ranks one registered application (by name) over one scene.
+  /// InvalidArgument for an unknown name — the message lists the
+  /// registered names.
+  Result<std::vector<ErrorProposal>> Find(const Scene& scene,
+                                          const std::string& app) const;
+
+  /// Name-sugar facades for the paper applications.
   Result<std::vector<ErrorProposal>> FindMissingTracks(
       const Scene& scene) const;
   Result<std::vector<ErrorProposal>> FindMissingObservations(
@@ -137,36 +195,56 @@ class Fixy {
   Result<std::vector<ErrorProposal>> FindModelErrors(
       const Scene& scene) const;
 
-  /// Dataset-scale batch ranking: runs `app` over every scene of
-  /// `dataset`, fanning scenes out across a thread pool and merging the
-  /// per-scene outcomes back in dataset order. The output is identical for
-  /// every thread count (scenes are scored independently against the
-  /// shared immutable spec; nothing in the online phase draws randomness),
-  /// so parallel runs are byte-for-byte reproducible.
+  /// Dataset-scale multi-application batch ranking: runs every requested
+  /// application over every scene of `dataset` from ONE pass — scenes fan
+  /// out across a thread pool, and each worker runs association once per
+  /// scene (ScenePass) and then compiles/scores each application against
+  /// the shared track views and feature-score cache. Per-app reports are
+  /// byte-identical to solo runs of each application, at every thread
+  /// count (scenes are scored independently against shared immutable
+  /// specs; nothing in the online phase draws randomness).
   ///
-  /// Failure semantics: by default a failing scene is quarantined — its
-  /// outcome carries the error Status, the other scenes' proposals are
-  /// unaffected, and the call returns an ok BatchReport (possibly with
-  /// scenes_failed > 0). With BatchOptions::fail_fast the call instead
-  /// returns the first failing scene's Status, in dataset order. An empty
-  /// dataset yields an ok, empty report.
+  /// Failure semantics: by default a failing (scene, application) pair is
+  /// quarantined — its outcome carries the error Status, all other
+  /// outcomes are unaffected, and the call returns an ok MultiAppReport.
+  /// With BatchOptions::fail_fast the call instead returns the first
+  /// failing scene's Status, in dataset order (then request order within
+  /// the scene). An empty dataset yields an ok report with empty
+  /// per-app outcomes. Errors: InvalidArgument for an empty request, an
+  /// unknown or duplicated application name.
+  Result<MultiAppReport> RankDataset(const Dataset& dataset,
+                                     const std::vector<std::string>& apps,
+                                     const BatchOptions& batch = {}) const;
+
+  /// Single-application wrapper over the multi-app pass; the run-wide
+  /// metrics land on the returned BatchReport.
   Result<BatchReport> RankDataset(const Dataset& dataset, Application app,
                                   const BatchOptions& batch = {}) const;
 
-  /// Streaming variant of RankDataset: scenes are decoded on demand from
-  /// `source` by a loader pool and fed to the rank workers through a
-  /// bounded queue, overlapping decode with ranking and keeping at most
-  /// StreamOptions::queue_capacity decoded scenes in memory. Outcomes
-  /// land in pre-assigned dataset-order slots, so the report (outcomes,
-  /// proposals, and every metrics counter) is byte-identical to
-  /// RankDataset over the materialized dataset, at any combination of
-  /// decode and rank thread counts. A scene whose *decode* fails is
-  /// quarantined exactly like a scene whose ranking fails (or, with
-  /// fail_fast, fails the call with the first dataset-order error).
-  Result<BatchReport> RankDatasetStreaming(const SceneSource& source,
-                                           Application app,
-                                           const BatchOptions& batch = {},
-                                           const StreamOptions& stream = {}) const;
+  /// Streaming variant of the multi-application RankDataset: scenes are
+  /// decoded on demand from `source` by a loader pool and fed to the rank
+  /// workers through a bounded queue, overlapping decode with ranking and
+  /// keeping at most StreamOptions::queue_capacity decoded scenes in
+  /// memory — each scene still decoded once and associated once for all
+  /// applications. Outcomes land in pre-assigned dataset-order slots, so
+  /// the report (outcomes, proposals, and every metrics counter) is
+  /// byte-identical to RankDataset over the materialized dataset, at any
+  /// combination of decode and rank thread counts. A scene whose *decode*
+  /// fails is quarantined for every application exactly like a scene whose
+  /// ranking fails (or, with fail_fast, fails the call with the first
+  /// dataset-order error).
+  Result<MultiAppReport> RankDatasetStreaming(
+      const SceneSource& source, const std::vector<std::string>& apps,
+      const BatchOptions& batch = {}, const StreamOptions& stream = {}) const;
+
+  /// Single-application wrapper over the streaming multi-app pass.
+  Result<BatchReport> RankDatasetStreaming(
+      const SceneSource& source, Application app,
+      const BatchOptions& batch = {}, const StreamOptions& stream = {}) const;
+
+  /// The application registry this engine ranks against: the three paper
+  /// applications plus FixyOptions::extra_applications.
+  const ApplicationRegistry& applications() const { return registry_; }
 
   /// The learned feature distributions (volume, velocity, extras) — for
   /// inspection, tests, and the Figure 2 bench.
@@ -186,19 +264,39 @@ class Fixy {
   const FixyOptions& options() const { return options_; }
 
  private:
+  /// The applications and association views one ranking call runs.
+  struct RunPlan {
+    /// Indices into registry_.apps() / specs_, in request order.
+    std::vector<size_t> app_indices;
+    bool need_full = false;
+    bool need_model = false;
+  };
+
   Status CheckLearned() const;
 
+  /// Learned-state + registry checks and name resolution shared by every
+  /// ranking entry point.
+  Result<RunPlan> PlanRun(const std::vector<std::string>& names) const;
+
   /// Rebuilds the cached per-application specs from the learned state.
-  /// Called once after Learn()/LoadModel(); the Find* hot path then reuses
-  /// the immutable specs instead of re-wrapping every FeatureDistribution
-  /// (and re-allocating its shared_ptr features) per call.
+  /// Called once after Learn()/LoadModel(); the ranking hot path then
+  /// reuses the immutable specs instead of re-wrapping every
+  /// FeatureDistribution (and re-allocating its shared_ptr features) per
+  /// call.
   void RebuildSpecs();
 
-  /// Runs one application over one scene against the cached specs.
-  Result<std::vector<ErrorProposal>> RankScene(const Scene& scene,
-                                               Application app) const;
+  /// Runs one ScenePass over `scene` and every planned application against
+  /// it, writing outcome `slot` of each report (reports are parallel to
+  /// plan.app_indices). A pass failure fails every application's outcome.
+  void RankSceneApps(const RunPlan& plan, const Scene& scene,
+                     std::vector<BatchReport>& reports, size_t slot) const;
 
   FixyOptions options_;
+  /// The paper applications + options_.extra_applications.
+  ApplicationRegistry registry_;
+  /// First error from registering extra_applications (surfaced by the
+  /// first ranking call; construction itself cannot fail).
+  Status registry_status_;
   bool learned_flag_ = false;
   /// Volume + velocity + extras, for the label-error applications.
   std::vector<FeatureDistribution> learned_base_;
@@ -206,12 +304,10 @@ class Fixy {
   /// (Section 8.4 adds "a track feature over the total number of
   /// observations").
   std::vector<FeatureDistribution> learned_with_count_;
-  /// Cached specs, one per application, built by RebuildSpecs(). Immutable
-  /// between Learn()/LoadModel() calls and safe to share across the batch
-  /// path's worker threads.
-  LoaSpec missing_tracks_spec_;
-  LoaSpec missing_observations_spec_;
-  LoaSpec model_errors_spec_;
+  /// Cached specs, parallel to registry_.apps(), built by RebuildSpecs().
+  /// Immutable between Learn()/LoadModel() calls and safe to share across
+  /// the batch path's worker threads.
+  std::vector<LoaSpec> specs_;
 };
 
 }  // namespace fixy

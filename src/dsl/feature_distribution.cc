@@ -77,7 +77,7 @@ double FeatureDistribution::ApplyAofAndFloor(double likelihood) const {
   return transformed;
 }
 
-std::optional<double> FeatureDistribution::Transform(
+std::optional<double> FeatureDistribution::RawTransform(
     std::optional<double> value, std::optional<ObjectClass> cls) const {
   if (!value.has_value()) return std::nullopt;
   if (!std::isfinite(*value)) {
@@ -87,14 +87,19 @@ std::optional<double> FeatureDistribution::Transform(
     // AOFs score it at the floor, the model-error inverting AOF ranks it
     // first — instead of the non-finite value reaching an estimator,
     // where NaN comparisons are undefined.
-    return ApplyAofAndFloor(0.0);
+    return 0.0;
   }
-  std::optional<double> likelihood = RawLikelihood(*value, cls);
-  if (!likelihood.has_value()) return std::nullopt;
-  return ApplyAofAndFloor(*likelihood);
+  return RawLikelihood(*value, cls);
 }
 
-void FeatureDistribution::ScoreTrackObservations(
+std::optional<double> FeatureDistribution::Transform(
+    std::optional<double> value, std::optional<ObjectClass> cls) const {
+  const std::optional<double> raw = RawTransform(value, cls);
+  if (!raw.has_value()) return std::nullopt;
+  return ApplyAofAndFloor(*raw);
+}
+
+void FeatureDistribution::RawScoreTrackObservations(
     const Track& track, double frame_rate_hz,
     std::vector<std::optional<double>>* out) const {
   FIXY_CHECK(feature_->kind() == FeatureKind::kObservation);
@@ -116,9 +121,10 @@ void FeatureDistribution::ScoreTrackObservations(
     for (const Observation& obs : bundle.observations) {
       const std::optional<double> value = f->Compute(obs, ctx);
       if (value.has_value() && !std::isfinite(*value)) {
-        // Same degenerate-value contract as Transform(): maximally
-        // unlikely, routed through the AOF, never into the estimator.
-        out->push_back(ApplyAofAndFloor(0.0));
+        // Same degenerate-value contract as RawTransform(): maximally
+        // unlikely, routed through the AOF by the caller, never into the
+        // estimator.
+        out->push_back(0.0);
         continue;
       }
       const stats::Distribution* dist =
@@ -149,10 +155,42 @@ void FeatureDistribution::ScoreTrackObservations(
     densities.resize(batch.values.size());
     batch.dist->DensityBatch(batch.values, densities);
     for (size_t i = 0; i < batch.values.size(); ++i) {
-      (*out)[batch.out_indices[i]] = ApplyAofAndFloor(
-          batch.dist->NormalizedScoreFromDensity(densities[i]));
+      (*out)[batch.out_indices[i]] =
+          batch.dist->NormalizedScoreFromDensity(densities[i]);
     }
   }
+}
+
+void FeatureDistribution::ScoreTrackObservations(
+    const Track& track, double frame_rate_hz,
+    std::vector<std::optional<double>>* out) const {
+  const size_t start = out->size();
+  RawScoreTrackObservations(track, frame_rate_hz, out);
+  for (size_t i = start; i < out->size(); ++i) {
+    if ((*out)[i].has_value()) (*out)[i] = ApplyAofAndFloor(*(*out)[i]);
+  }
+}
+
+std::optional<double> FeatureDistribution::RawScoreBundle(
+    const ObservationBundle& bundle, const FeatureContext& ctx) const {
+  FIXY_CHECK(feature_->kind() == FeatureKind::kBundle);
+  const auto* f = static_cast<const BundleFeature*>(feature_.get());
+  return RawTransform(f->Compute(bundle, ctx), BundleClass(bundle));
+}
+
+std::optional<double> FeatureDistribution::RawScoreTransition(
+    const ObservationBundle& from, const ObservationBundle& to,
+    const FeatureContext& ctx) const {
+  FIXY_CHECK(feature_->kind() == FeatureKind::kTransition);
+  const auto* f = static_cast<const TransitionFeature*>(feature_.get());
+  return RawTransform(f->Compute(from, to, ctx), BundleClass(from));
+}
+
+std::optional<double> FeatureDistribution::RawScoreTrack(
+    const Track& track, const FeatureContext& ctx) const {
+  FIXY_CHECK(feature_->kind() == FeatureKind::kTrack);
+  const auto* f = static_cast<const TrackFeature*>(feature_.get());
+  return RawTransform(f->Compute(track, ctx), track.MajorityClass());
 }
 
 std::optional<double> FeatureDistribution::ScoreObservation(

@@ -68,6 +68,29 @@ class FeatureDistribution {
   std::optional<double> ScoreTrack(const Track& track,
                                    const FeatureContext& ctx) const;
 
+  /// Raw (pre-AOF) variants of the scoring entry points, used by the
+  /// shared feature-score cache: the returned likelihoods depend only on
+  /// the feature and its distributions, never on the AOF, so two specs
+  /// that re-target the same learned distribution with different AOFs
+  /// (WithAof) share them. Feeding a raw value through ApplyAofAndFloor
+  /// reproduces the corresponding Score* result bit for bit. A degenerate
+  /// (non-finite) feature value yields raw likelihood 0.0 — the same
+  /// maximally-unlikely contract the scoring path applies before its AOF.
+  void RawScoreTrackObservations(const Track& track, double frame_rate_hz,
+                                 std::vector<std::optional<double>>* out) const;
+  std::optional<double> RawScoreBundle(const ObservationBundle& bundle,
+                                       const FeatureContext& ctx) const;
+  std::optional<double> RawScoreTransition(const ObservationBundle& from,
+                                           const ObservationBundle& to,
+                                           const FeatureContext& ctx) const;
+  std::optional<double> RawScoreTrack(const Track& track,
+                                      const FeatureContext& ctx) const;
+
+  /// AOF application + the strict-positivity floor, shared by the scalar
+  /// and batch scoring paths (and applied per application to cached raw
+  /// likelihoods).
+  double ApplyAofAndFloor(double likelihood) const;
+
   /// The raw (pre-AOF) likelihood of a feature value for the given class.
   /// nullopt when no distribution covers the class.
   std::optional<double> RawLikelihood(double value,
@@ -88,9 +111,12 @@ class FeatureDistribution {
   std::optional<double> Transform(std::optional<double> value,
                                   std::optional<ObjectClass> cls) const;
 
-  /// AOF application + the strict-positivity floor, shared by the scalar
-  /// and batch scoring paths.
-  double ApplyAofAndFloor(double likelihood) const;
+  /// Raw half of Transform: degenerate values map to likelihood 0.0,
+  /// missing values/distributions to nullopt, everything else to the
+  /// distribution's normalized likelihood. Transform is RawTransform
+  /// followed by ApplyAofAndFloor.
+  std::optional<double> RawTransform(std::optional<double> value,
+                                     std::optional<ObjectClass> cls) const;
 
   /// The distribution covering `cls` (the global one, or the per-class
   /// entry); nullptr when none applies.

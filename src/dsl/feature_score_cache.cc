@@ -1,0 +1,71 @@
+#include "dsl/feature_score_cache.h"
+
+#include <utility>
+
+namespace fixy {
+
+namespace {
+
+FeatureContext ContextForBundle(const ObservationBundle& bundle,
+                                double frame_rate_hz) {
+  FeatureContext ctx;
+  ctx.ego_position = bundle.ego_position;
+  ctx.frame_rate_hz = frame_rate_hz;
+  return ctx;
+}
+
+}  // namespace
+
+RawTrackScores ComputeRawTrackScores(const FeatureDistribution& fd,
+                                     const Track& track,
+                                     double frame_rate_hz) {
+  RawTrackScores scores;
+  const auto& bundles = track.bundles();
+  switch (fd.feature().kind()) {
+    case FeatureKind::kObservation:
+      fd.RawScoreTrackObservations(track, frame_rate_hz, &scores.values);
+      break;
+    case FeatureKind::kBundle:
+      scores.values.reserve(bundles.size());
+      for (const ObservationBundle& b : bundles) {
+        scores.values.push_back(
+            fd.RawScoreBundle(b, ContextForBundle(b, frame_rate_hz)));
+      }
+      break;
+    case FeatureKind::kTransition:
+      for (size_t b = 0; b + 1 < bundles.size(); ++b) {
+        scores.values.push_back(fd.RawScoreTransition(
+            bundles[b], bundles[b + 1],
+            ContextForBundle(bundles[b], frame_rate_hz)));
+      }
+      break;
+    case FeatureKind::kTrack:
+      if (!bundles.empty()) {
+        scores.values.push_back(fd.RawScoreTrack(
+            track, ContextForBundle(bundles.front(), frame_rate_hz)));
+      }
+      break;
+  }
+  return scores;
+}
+
+const RawTrackScores& FeatureScoreCache::Get(const FeatureDistribution& fd,
+                                             const Track& track,
+                                             size_t track_index) {
+  const void* first_per_class = nullptr;
+  if (!fd.per_class_distributions().empty()) {
+    first_per_class = fd.per_class_distributions().begin()->second.get();
+  }
+  const Key key{&fd.feature(), fd.global_distribution().get(), first_per_class,
+                track_index};
+  auto it = cache_.find(key);
+  if (it == cache_.end()) {
+    it = cache_
+             .emplace(key,
+                      ComputeRawTrackScores(fd, track, frame_rate_hz_))
+             .first;
+  }
+  return it->second;
+}
+
+}  // namespace fixy

@@ -1,0 +1,68 @@
+// FeatureScoreCache: per-scene memoization of raw (pre-AOF) feature
+// likelihoods. Multiple applications compile factor graphs over the same
+// shared track set (ScenePass); their specs differ only in AOFs and manual
+// factors, so the expensive part of compilation — computing feature values
+// and evaluating learned KDEs — is identical across applications and is
+// computed once here.
+#ifndef FIXY_DSL_FEATURE_SCORE_CACHE_H_
+#define FIXY_DSL_FEATURE_SCORE_CACHE_H_
+
+#include <cstddef>
+#include <map>
+#include <optional>
+#include <tuple>
+#include <vector>
+
+#include "data/track.h"
+#include "dsl/feature_distribution.h"
+
+namespace fixy {
+
+/// The raw likelihoods of one FeatureDistribution over one track, in the
+/// factor-graph compilation order for the feature's kind:
+///   kObservation — bundle-major, one entry per observation;
+///   kBundle      — one entry per bundle;
+///   kTransition  — one entry per adjacent bundle pair;
+///   kTrack       — a single entry (empty when the track has no bundles).
+/// nullopt marks "no factor" (feature did not apply / no distribution for
+/// the class); an engaged value is the pre-AOF likelihood, ready for
+/// FeatureDistribution::ApplyAofAndFloor.
+struct RawTrackScores {
+  std::vector<std::optional<double>> values;
+};
+
+/// Computes `fd`'s raw likelihoods over `track` (uncached form).
+RawTrackScores ComputeRawTrackScores(const FeatureDistribution& fd,
+                                     const Track& track,
+                                     double frame_rate_hz);
+
+/// Memoizes ComputeRawTrackScores keyed on the identity of the feature and
+/// its distributions plus the caller's track index. WithAof() copies share
+/// feature and distribution pointers, so specs that re-target one learned
+/// feature with different AOFs hit the same entries.
+///
+/// Not thread-safe: intended to live inside a per-scene, per-worker
+/// ScenePass. Callers must present a stable track set — `track_index` must
+/// always denote the same track across calls.
+class FeatureScoreCache {
+ public:
+  explicit FeatureScoreCache(double frame_rate_hz)
+      : frame_rate_hz_(frame_rate_hz) {}
+
+  /// The raw scores of `fd` over `track`, computing them on first use.
+  const RawTrackScores& Get(const FeatureDistribution& fd, const Track& track,
+                            size_t track_index);
+
+ private:
+  // Feature ptr + global-distribution ptr + first per-class-distribution
+  // ptr identify the learned (feature, distributions) pair; AOFs are
+  // deliberately excluded.
+  using Key = std::tuple<const void*, const void*, const void*, size_t>;
+
+  double frame_rate_hz_;
+  std::map<Key, RawTrackScores> cache_;
+};
+
+}  // namespace fixy
+
+#endif  // FIXY_DSL_FEATURE_SCORE_CACHE_H_

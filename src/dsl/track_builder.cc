@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <numeric>
+#include <utility>
 
+#include "common/logging.h"
 #include "common/macros.h"
 #include "geometry/iou.h"
 
@@ -40,23 +42,30 @@ const geom::Box3d& RepresentativeBox(const ObservationBundle& bundle) {
   return bundle.observations.front().box;
 }
 
-// Groups one frame's observations into bundles via the bundler relation.
-std::vector<ObservationBundle> BundleFrame(const Frame& frame,
-                                           const Bundler& bundler) {
+// Groups the view's observations (`indices`, ascending frame-local
+// indices) into bundles, given the associated pairs of the frame
+// restricted to the view. Equivalent to running the bundler's relation
+// over a frame that contains only the view's observations: the relation
+// is evaluated per pair, so restricting the observation set restricts the
+// association graph to its induced subgraph.
+std::vector<ObservationBundle> BundleSubset(
+    const Frame& frame, const std::vector<size_t>& indices,
+    const std::vector<std::pair<size_t, size_t>>& pairs) {
   const auto& observations = frame.observations;
-  DisjointSet components(observations.size());
-  for (size_t i = 0; i < observations.size(); ++i) {
-    for (size_t j = i + 1; j < observations.size(); ++j) {
-      if (bundler.IsAssociated(observations[i], observations[j])) {
-        components.Union(i, j);
-      }
-    }
+  std::vector<int> local_of(observations.size(), -1);
+  for (size_t k = 0; k < indices.size(); ++k) {
+    local_of[indices[k]] = static_cast<int>(k);
+  }
+  DisjointSet components(indices.size());
+  for (const auto& [i, j] : pairs) {
+    components.Union(static_cast<size_t>(local_of[i]),
+                     static_cast<size_t>(local_of[j]));
   }
   // Collect members per component root, preserving observation order.
   std::vector<ObservationBundle> bundles;
-  std::vector<int> root_to_bundle(observations.size(), -1);
-  for (size_t i = 0; i < observations.size(); ++i) {
-    const size_t root = components.Find(i);
+  std::vector<int> root_to_bundle(indices.size(), -1);
+  for (size_t k = 0; k < indices.size(); ++k) {
+    const size_t root = components.Find(k);
     if (root_to_bundle[root] < 0) {
       root_to_bundle[root] = static_cast<int>(bundles.size());
       ObservationBundle bundle;
@@ -66,38 +75,19 @@ std::vector<ObservationBundle> BundleFrame(const Frame& frame,
       bundles.push_back(std::move(bundle));
     }
     bundles[static_cast<size_t>(root_to_bundle[root])].observations.push_back(
-        observations[i]);
+        observations[indices[k]]);
   }
   return bundles;
 }
 
-struct OpenTrack {
-  Track track;
-  int last_matched_frame = 0;
-};
+// Cross-frame linking state for one view: greedy best-IoU matching of a
+// frame's bundles against the open tracks, identical for every view.
+class TrackLinker {
+ public:
+  explicit TrackLinker(const TrackBuilderOptions& options)
+      : options_(options) {}
 
-}  // namespace
-
-TrackBuilder::TrackBuilder(TrackBuilderOptions options)
-    : options_(std::move(options)) {
-  if (options_.bundler == nullptr) {
-    options_.bundler = std::make_shared<IouBundler>(0.5);
-  }
-}
-
-Result<TrackSet> TrackBuilder::Build(const Scene& scene) const {
-  FIXY_RETURN_IF_ERROR(scene.Validate());
-
-  TrackSet result;
-  result.scene_name = scene.name();
-
-  std::vector<OpenTrack> open;
-  TrackId next_track_id = 0;
-
-  for (const Frame& frame : scene.frames()) {
-    std::vector<ObservationBundle> bundles =
-        BundleFrame(frame, *options_.bundler);
-
+  void AddFrame(const Frame& frame, std::vector<ObservationBundle> bundles) {
     // Candidate (track, bundle) pairs with IoU above the link threshold.
     struct Candidate {
       double iou;
@@ -105,8 +95,8 @@ Result<TrackSet> TrackBuilder::Build(const Scene& scene) const {
       size_t bundle_index;
     };
     std::vector<Candidate> candidates;
-    for (size_t t = 0; t < open.size(); ++t) {
-      const ObservationBundle& last = open[t].track.bundles().back();
+    for (size_t t = 0; t < open_.size(); ++t) {
+      const ObservationBundle& last = open_[t].track.bundles().back();
       for (size_t b = 0; b < bundles.size(); ++b) {
         const double iou =
             geom::BevIou(RepresentativeBox(last), RepresentativeBox(bundles[b]));
@@ -125,43 +115,169 @@ Result<TrackSet> TrackBuilder::Build(const Scene& scene) const {
                 }
                 return a.bundle_index < b.bundle_index;
               });
-    std::vector<bool> track_used(open.size(), false);
+    std::vector<bool> track_used(open_.size(), false);
     std::vector<bool> bundle_used(bundles.size(), false);
     for (const Candidate& c : candidates) {
       if (track_used[c.track_index] || bundle_used[c.bundle_index]) continue;
       track_used[c.track_index] = true;
       bundle_used[c.bundle_index] = true;
-      open[c.track_index].track.AddBundle(std::move(bundles[c.bundle_index]));
-      open[c.track_index].last_matched_frame = frame.index;
+      open_[c.track_index].track.AddBundle(std::move(bundles[c.bundle_index]));
+      open_[c.track_index].last_matched_frame = frame.index;
     }
     // Unmatched bundles start new tracks.
     for (size_t b = 0; b < bundles.size(); ++b) {
       if (bundle_used[b]) continue;
       OpenTrack fresh;
-      fresh.track.set_id(next_track_id++);
+      fresh.track.set_id(next_track_id_++);
       fresh.track.AddBundle(std::move(bundles[b]));
       fresh.last_matched_frame = frame.index;
-      open.push_back(std::move(fresh));
+      open_.push_back(std::move(fresh));
     }
     // Close tracks that have not matched within the gap allowance.
     std::vector<OpenTrack> still_open;
-    still_open.reserve(open.size());
-    for (OpenTrack& t : open) {
+    still_open.reserve(open_.size());
+    for (OpenTrack& t : open_) {
       if (frame.index - t.last_matched_frame > options_.max_gap_frames) {
-        result.tracks.push_back(std::move(t.track));
+        result_.tracks.push_back(std::move(t.track));
       } else {
         still_open.push_back(std::move(t));
       }
     }
-    open = std::move(still_open);
+    open_ = std::move(still_open);
   }
-  for (OpenTrack& t : open) {
-    result.tracks.push_back(std::move(t.track));
+
+  TrackSet Finish(const std::string& scene_name) {
+    for (OpenTrack& t : open_) {
+      result_.tracks.push_back(std::move(t.track));
+    }
+    open_.clear();
+    result_.scene_name = scene_name;
+    // Deterministic output order: by track id.
+    std::sort(result_.tracks.begin(), result_.tracks.end(),
+              [](const Track& a, const Track& b) { return a.id() < b.id(); });
+    return std::move(result_);
   }
-  // Deterministic output order: by track id.
-  std::sort(result.tracks.begin(), result.tracks.end(),
-            [](const Track& a, const Track& b) { return a.id() < b.id(); });
-  return result;
+
+ private:
+  struct OpenTrack {
+    Track track;
+    int last_matched_frame = 0;
+  };
+
+  const TrackBuilderOptions& options_;
+  std::vector<OpenTrack> open_;
+  TrackId next_track_id_ = 0;
+  TrackSet result_;
+};
+
+}  // namespace
+
+const char* SceneViewToString(SceneView view) {
+  switch (view) {
+    case SceneView::kFull:
+      return "full";
+    case SceneView::kModelOnly:
+      return "model-only";
+  }
+  return "unknown";
+}
+
+const TrackSet& AssociationViews::view(SceneView v) const {
+  const std::optional<TrackSet>& tracks =
+      v == SceneView::kFull ? full : model_only;
+  FIXY_CHECK(tracks.has_value());
+  return *tracks;
+}
+
+TrackBuilder::TrackBuilder(TrackBuilderOptions options)
+    : options_(std::move(options)) {
+  if (options_.bundler == nullptr) {
+    options_.bundler = std::make_shared<IouBundler>(0.5);
+  }
+}
+
+Result<TrackSet> TrackBuilder::Build(const Scene& scene) const {
+  FIXY_ASSIGN_OR_RETURN(AssociationViews views,
+                        BuildViews(scene, /*need_full=*/true,
+                                   /*need_model_only=*/false));
+  return std::move(*views.full);
+}
+
+Result<AssociationViews> TrackBuilder::BuildViews(const Scene& scene,
+                                                  bool need_full,
+                                                  bool need_model_only) const {
+  FIXY_CHECK(need_full || need_model_only);
+  FIXY_RETURN_IF_ERROR(scene.Validate());
+
+  const Bundler& bundler = *options_.bundler;
+  TrackLinker full_linker(options_);
+  TrackLinker model_linker(options_);
+
+  // Scratch buffers reused across frames.
+  std::vector<size_t> all_indices;
+  std::vector<size_t> model_indices;
+  std::vector<std::pair<size_t, size_t>> pairs;
+  std::vector<std::pair<size_t, size_t>> model_pairs;
+
+  for (const Frame& frame : scene.frames()) {
+    const auto& observations = frame.observations;
+    model_indices.clear();
+    for (size_t i = 0; i < observations.size(); ++i) {
+      if (observations[i].source == ObservationSource::kModel) {
+        model_indices.push_back(i);
+      }
+    }
+
+    // One pairwise sweep per frame, shared by every view. When only the
+    // model view is wanted, human-involving pairs are never evaluated.
+    pairs.clear();
+    if (need_full) {
+      for (size_t i = 0; i < observations.size(); ++i) {
+        for (size_t j = i + 1; j < observations.size(); ++j) {
+          if (bundler.IsAssociated(observations[i], observations[j])) {
+            pairs.emplace_back(i, j);
+          }
+        }
+      }
+    } else {
+      for (size_t a = 0; a < model_indices.size(); ++a) {
+        for (size_t b = a + 1; b < model_indices.size(); ++b) {
+          if (bundler.IsAssociated(observations[model_indices[a]],
+                                   observations[model_indices[b]])) {
+            pairs.emplace_back(model_indices[a], model_indices[b]);
+          }
+        }
+      }
+    }
+
+    if (need_full) {
+      all_indices.resize(observations.size());
+      std::iota(all_indices.begin(), all_indices.end(), 0);
+      full_linker.AddFrame(frame, BundleSubset(frame, all_indices, pairs));
+    }
+    if (need_model_only) {
+      const std::vector<std::pair<size_t, size_t>>* view_pairs = &pairs;
+      if (need_full) {
+        // Restrict the shared pair results to the model-model subgraph;
+        // the sweep order preserves lexicographic pair order.
+        model_pairs.clear();
+        for (const auto& [i, j] : pairs) {
+          if (observations[i].source == ObservationSource::kModel &&
+              observations[j].source == ObservationSource::kModel) {
+            model_pairs.emplace_back(i, j);
+          }
+        }
+        view_pairs = &model_pairs;
+      }
+      model_linker.AddFrame(frame,
+                            BundleSubset(frame, model_indices, *view_pairs));
+    }
+  }
+
+  AssociationViews views;
+  if (need_full) views.full = full_linker.Finish(scene.name());
+  if (need_model_only) views.model_only = model_linker.Finish(scene.name());
+  return views;
 }
 
 }  // namespace fixy

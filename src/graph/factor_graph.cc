@@ -8,21 +8,10 @@
 
 namespace fixy {
 
-namespace {
-
-FeatureContext ContextForBundle(const ObservationBundle& bundle,
-                                double frame_rate_hz) {
-  FeatureContext ctx;
-  ctx.ego_position = bundle.ego_position;
-  ctx.frame_rate_hz = frame_rate_hz;
-  return ctx;
-}
-
-}  // namespace
-
 Result<FactorGraph> FactorGraph::Compile(const TrackSet& tracks,
                                          const LoaSpec& spec,
-                                         double frame_rate_hz) {
+                                         double frame_rate_hz,
+                                         FeatureScoreCache* shared_scores) {
   FactorGraph graph;
   graph.tracks_ = tracks;
 
@@ -69,21 +58,33 @@ Result<FactorGraph> FactorGraph::Compile(const TrackSet& tracks,
     const FeatureDistribution& fd = spec.feature_distributions[fd_index];
     for (size_t t = 0; t < tracks.tracks.size(); ++t) {
       const Track& track = tracks.tracks[t];
+      // Raw (pre-AOF) likelihoods for this (feature distribution, track)
+      // pair, either shared across applications through the scene's cache
+      // or computed locally. Density evaluations are grouped per
+      // distribution inside, which hits the KDE's sliding-window fast
+      // path. Layout per kind is documented on RawTrackScores and matches
+      // the factor instantiation order below; the AOF and score floor are
+      // applied here, per factor.
+      RawTrackScores local;
+      if (shared_scores == nullptr) {
+        local = ComputeRawTrackScores(fd, track, frame_rate_hz);
+      }
+      const RawTrackScores& raw =
+          shared_scores != nullptr ? shared_scores->Get(fd, track, t) : local;
+      auto score_at = [&fd, &raw](size_t i) -> std::optional<double> {
+        if (!raw.values[i].has_value()) return std::nullopt;
+        return fd.ApplyAofAndFloor(*raw.values[i]);
+      };
       switch (fd.feature().kind()) {
         case FeatureKind::kObservation: {
-          // Batch path: all of the track's observations are scored in one
-          // call, which groups density evaluations per distribution and
-          // hits the KDE's sliding-window fast path. `scores` is
-          // bundle-major, matching the factor instantiation order below.
-          std::vector<std::optional<double>> scores;
-          fd.ScoreTrackObservations(track, frame_rate_hz, &scores);
           size_t i = 0;
           for (size_t b = 0; b < track.bundles().size(); ++b) {
             const ObservationBundle& bundle = track.bundles()[b];
             for (size_t o = 0; o < bundle.observations.size(); ++o, ++i) {
-              if (!scores[i].has_value()) continue;
+              const std::optional<double> score = score_at(i);
+              if (!score.has_value()) continue;
               add_factor(fd_index,
-                         {FeatureKind::kObservation, t, b, o}, *scores[i],
+                         {FeatureKind::kObservation, t, b, o}, *score,
                          {graph.variable_offsets_[t][b] + o});
             }
           }
@@ -92,9 +93,7 @@ Result<FactorGraph> FactorGraph::Compile(const TrackSet& tracks,
         case FeatureKind::kBundle: {
           for (size_t b = 0; b < track.bundles().size(); ++b) {
             const ObservationBundle& bundle = track.bundles()[b];
-            const FeatureContext ctx =
-                ContextForBundle(bundle, frame_rate_hz);
-            const std::optional<double> score = fd.ScoreBundle(bundle, ctx);
+            const std::optional<double> score = score_at(b);
             if (!score.has_value()) continue;
             std::vector<size_t> vars;
             vars.reserve(bundle.observations.size());
@@ -110,9 +109,7 @@ Result<FactorGraph> FactorGraph::Compile(const TrackSet& tracks,
           for (size_t b = 0; b + 1 < track.bundles().size(); ++b) {
             const ObservationBundle& from = track.bundles()[b];
             const ObservationBundle& to = track.bundles()[b + 1];
-            const FeatureContext ctx = ContextForBundle(from, frame_rate_hz);
-            const std::optional<double> score =
-                fd.ScoreTransition(from, to, ctx);
+            const std::optional<double> score = score_at(b);
             if (!score.has_value()) continue;
             std::vector<size_t> vars;
             for (size_t o = 0; o < from.observations.size(); ++o) {
@@ -127,10 +124,8 @@ Result<FactorGraph> FactorGraph::Compile(const TrackSet& tracks,
           break;
         }
         case FeatureKind::kTrack: {
-          if (track.bundles().empty()) break;
-          const FeatureContext ctx =
-              ContextForBundle(track.bundles().front(), frame_rate_hz);
-          const std::optional<double> score = fd.ScoreTrack(track, ctx);
+          if (raw.values.empty()) break;
+          const std::optional<double> score = score_at(0);
           if (!score.has_value()) break;
           std::vector<size_t> vars;
           for (size_t b = 0; b < track.bundles().size(); ++b) {

@@ -20,6 +20,7 @@
 #include "common/result.h"
 #include "data/track.h"
 #include "dsl/feature_distribution.h"
+#include "dsl/feature_score_cache.h"
 
 namespace fixy {
 
@@ -59,11 +60,16 @@ struct FactorNode {
 class FactorGraph {
  public:
   /// Compiles `tracks` against `spec`. Every applicable feature is
-  /// evaluated eagerly and stored on its factor. Errors:
-  /// InvalidArgument if a track contains an empty bundle.
+  /// evaluated eagerly and stored on its factor. When `shared_scores` is
+  /// non-null, raw (pre-AOF) likelihoods are read through it — so several
+  /// applications compiling over the same track set (ScenePass) evaluate
+  /// each learned feature once; the caller must keep the cache paired with
+  /// this exact track set. Scores are identical with or without a cache.
+  /// Errors: InvalidArgument if a track contains an empty bundle.
   static Result<FactorGraph> Compile(const TrackSet& tracks,
                                      const LoaSpec& spec,
-                                     double frame_rate_hz);
+                                     double frame_rate_hz,
+                                     FeatureScoreCache* shared_scores = nullptr);
 
   const TrackSet& tracks() const { return tracks_; }
   const std::vector<VariableNode>& variables() const { return variables_; }

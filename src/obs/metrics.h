@@ -13,11 +13,12 @@
 //
 // Conventions:
 //   counters  — exact, monotonically accumulated event counts
-//               ("io.files_read", "stats.kde_evals", "rank.proposals").
+//               ("io.files_read", "stats.kde_evals",
+//               "rank.missing-tracks.proposals").
 //               Deterministic for a given input at any thread count.
 //   timers    — accumulated wall time per stage, steady_clock (monotonic,
 //               never negative), exported in milliseconds ("io.load",
-//               "rank.compile", "batch.total").
+//               "rank.track_build", "batch.total").
 //   gauges    — point-in-time values merged with max() so aggregation
 //               order cannot change the result ("batch.threads",
 //               "batch.scene_ms_max").

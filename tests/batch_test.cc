@@ -260,16 +260,19 @@ TEST_F(BatchRankTest, TwoPoisonedScenesBothQuarantined) {
 }
 
 // The cached-spec fast path must not change results relative to building
-// the spec from the learned distributions per call (the legacy entry
-// point, still used by ablation benches).
+// the spec from the learned distributions per call (the pattern the
+// ablation benches use).
 TEST_F(BatchRankTest, CachedSpecMatchesPerCallSpecConstruction) {
   const Scene& scene = dataset_->dataset.scenes.front();
   const auto cached = fixy_->FindMissingTracks(scene);
   ASSERT_TRUE(cached.ok());
-  const auto legacy = FindMissingTracks(scene, fixy_->learned_features(),
-                                        fixy_->options().application);
-  ASSERT_TRUE(legacy.ok());
-  ExpectProposalsIdentical(*cached, *legacy);
+  const auto rebuilt = FindMissingTracks(
+      scene,
+      BuildMissingTracksSpec(fixy_->learned_features(),
+                             fixy_->options().application),
+      fixy_->options().application);
+  ASSERT_TRUE(rebuilt.ok());
+  ExpectProposalsIdentical(*cached, *rebuilt);
 }
 
 // Every metric value in a snapshot must be finite, timers and gauges
@@ -297,7 +300,8 @@ TEST_F(BatchRankTest, MetricsCountersIdenticalAcrossThreadCounts) {
   ASSERT_FALSE(baseline->metrics.counters.empty());
   EXPECT_GT(baseline->metrics.counters.at("batch.scenes"), 0u);
   EXPECT_GT(baseline->metrics.counters.at("stats.kde_evals"), 0u);
-  EXPECT_GT(baseline->metrics.counters.at("rank.proposals"), 0u);
+  EXPECT_GT(baseline->metrics.counters.at("rank.missing-tracks.proposals"),
+            0u);
   ExpectMetricsWellFormed(baseline->metrics);
 
   for (int threads = 2; threads <= 8; ++threads) {

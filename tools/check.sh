@@ -16,6 +16,11 @@
 #                             # parity (byte-identical), cache-hit metrics
 #                             # vs the golden key set, and the streaming
 #                             # tests under asan + tsan
+#   tools/check.sh multiapp   # multi-application sweep: rank --apps all
+#                             # proposals byte-identical to per-app solo
+#                             # runs, one track build per scene (not per
+#                             # app), per-app metrics keys vs the golden,
+#                             # and the multiapp tests under asan + tsan
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -175,6 +180,89 @@ PYEOF
   echo "==== cache: OK ===="
 }
 
+run_multiapp_sweep() {
+  echo "==== multiapp: build fixy_cli ===="
+  cmake -B build -S .
+  cmake --build build -j "${JOBS}" --target fixy_cli
+  local cli="build/tools/fixy_cli"
+  [ -x "${cli}" ] || cli="$(find build -name fixy_cli -type f | head -1)"
+  local work
+  work="$(mktemp -d)"
+  trap 'rm -rf "${work}"' RETURN
+
+  echo "==== multiapp: rank --apps all vs per-app solo runs ===="
+  "${cli}" generate --out "${work}/ds" --profile lyft --scenes 4 --seed 11
+  "${cli}" learn --data "${work}/ds" --model "${work}/model.json"
+  local apps="missing-tracks missing-obs model-errors suspect-tracks"
+  local app
+  for app in ${apps}; do
+    "${cli}" rank --data "${work}/ds" --model "${work}/model.json" \
+        --app "${app}" --out "${work}/solo_${app}.json" > /dev/null
+  done
+  "${cli}" rank --data "${work}/ds" --model "${work}/model.json" \
+      --apps all --out "${work}/multi.json" \
+      --metrics-json "${work}/metrics_multi.json" > /dev/null
+  for app in ${apps}; do
+    cmp "${work}/solo_${app}.json" "${work}/multi.${app}.json" \
+        || { echo "multiapp sweep FAILED: ${app} proposals differ from solo" >&2
+             return 1; }
+  done
+
+  if command -v python3 > /dev/null; then
+    echo "==== multiapp: validate shared-pass metrics ===="
+    python3 - "${work}/metrics_multi.json" tools/metrics_schema.golden <<'PYEOF'
+import json, sys
+
+metrics_path, golden_path = sys.argv[1:3]
+with open(metrics_path) as f:
+    doc = json.load(f)
+
+def fail(msg):
+    sys.exit("multiapp sweep FAILED: " + msg)
+
+keys = sorted(
+    f"{section}/{name}"
+    for section in ("counters", "timers_ms", "gauges")
+    for name in doc[section]
+)
+with open(golden_path) as f:
+    golden = [line.strip() for line in f
+              if line.strip() and not line.startswith("#")]
+if keys != golden:
+    missing = sorted(set(golden) - set(keys))
+    extra = sorted(set(keys) - set(golden))
+    fail(f"multi-app schema drift: missing={missing} extra={extra}")
+
+counters = doc["counters"]
+# The tentpole invariant: association runs once per SCENE, shared by every
+# application, so track builds equal the scene count — not scenes * apps.
+if counters.get("rank.track_builds") != 4:
+    fail(f"expected rank.track_builds == 4 (one per scene), got "
+         f"{counters.get('rank.track_builds')}")
+apps = ["missing-tracks", "missing-obs", "model-errors", "suspect-tracks"]
+for app in apps:
+    for key in (f"rank.{app}.factors", f"rank.{app}.proposals"):
+        if counters.get(key, 0) <= 0:
+            fail(f"expected {key} > 0 in an --apps all run, got "
+                 f"{counters.get(key)}")
+print("multi-app metrics OK: one track build per scene,",
+      len(apps), "apps ranked")
+PYEOF
+  else
+    echo "==== multiapp: python3 not found, skipping metrics validation ===="
+  fi
+
+  echo "==== multiapp: multiapp tests under asan + tsan ===="
+  local san tests_re="MultiApp|Registry|ScenePass"
+  for san in address thread; do
+    local dir="build-${san:0:1}san"  # build-asan / build-tsan
+    cmake -B "${dir}" -S . -DFIXY_SANITIZE="${san}"
+    cmake --build "${dir}" -j "${JOBS}" --target multiapp_test
+    (cd "${dir}" && ctest --output-on-failure -j "${JOBS}" -R "${tests_re}")
+  done
+  echo "==== multiapp: OK ===="
+}
+
 mode="${1:-all}"
 case "${mode}" in
   plain)
@@ -187,14 +275,17 @@ case "${mode}" in
     run_metrics_sweep ;;
   cache)
     run_cache_sweep ;;
+  multiapp)
+    run_multiapp_sweep ;;
   all)
     run_suite "plain" build
     run_suite "asan" build-asan -DFIXY_SANITIZE=address
     run_suite "tsan" build-tsan -DFIXY_SANITIZE=thread
     run_metrics_sweep
-    run_cache_sweep ;;
+    run_cache_sweep
+    run_multiapp_sweep ;;
   *)
-    echo "usage: $0 [plain|address|thread|metrics|cache|all]" >&2
+    echo "usage: $0 [plain|address|thread|metrics|cache|multiapp|all]" >&2
     exit 2 ;;
 esac
 echo "all requested suites passed"

@@ -30,6 +30,56 @@ if(NOT EXISTS ${WORK}/proposals.json)
   message(FATAL_ERROR "rank --out did not write the proposals file")
 endif()
 
+# ---- Multi-application ranking: --apps resolves via the registry. ----
+run_cli(rank --data ${WORK}/ds --model ${WORK}/model.json --top 3
+        --apps all --out ${WORK}/multi.json)
+foreach(app missing-tracks missing-obs model-errors suspect-tracks)
+  if(NOT CLI_OUTPUT MATCHES "== app: ${app} ==")
+    message(FATAL_ERROR "--apps all output missing ${app} section: ${CLI_OUTPUT}")
+  endif()
+  if(NOT EXISTS ${WORK}/multi.${app}.json)
+    message(FATAL_ERROR "--apps all --out did not write multi.${app}.json")
+  endif()
+endforeach()
+
+# Each app's multi-run proposals must be byte-identical to its solo run.
+run_cli(rank --data ${WORK}/ds --model ${WORK}/model.json --top 3
+        --app model-errors --out ${WORK}/solo_me.json)
+file(READ ${WORK}/solo_me.json SOLO_ME)
+file(READ ${WORK}/multi.model-errors.json MULTI_ME)
+if(NOT SOLO_ME STREQUAL MULTI_ME)
+  message(FATAL_ERROR "model-errors proposals differ between solo and --apps all")
+endif()
+
+# The single-app proposals from the multi machinery must match the
+# original rank --out file written above.
+run_cli(rank --data ${WORK}/ds --model ${WORK}/model.json --top 3
+        --apps missing-tracks --out ${WORK}/single_via_apps.json)
+file(READ ${WORK}/proposals.json P_ORIG)
+file(READ ${WORK}/single_via_apps.json P_VIA_APPS)
+if(NOT P_ORIG STREQUAL P_VIA_APPS)
+  message(FATAL_ERROR "--apps missing-tracks proposals differ from --app default run")
+endif()
+
+# Unknown app names fail with the registry's dynamic listing (which must
+# include the user-registered demo application).
+execute_process(COMMAND ${CLI} rank --data ${WORK}/ds --model ${WORK}/model.json --app frobnicate
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "rank --app frobnicate should fail")
+endif()
+if(NOT "${out}${err}" MATCHES "registered: .*suspect-tracks")
+  message(FATAL_ERROR "unknown-app error missing registry listing: ${out}${err}")
+endif()
+
+# --app and --apps are mutually exclusive.
+execute_process(COMMAND ${CLI} rank --data ${WORK}/ds --model ${WORK}/model.json
+                        --app missing-tracks --apps all
+                RESULT_VARIABLE rc OUTPUT_QUIET ERROR_QUIET)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "rank with both --app and --apps should fail")
+endif()
+
 # ---- Observability: --metrics-json / --verbose-metrics. ----
 run_cli(rank --data ${WORK}/ds --model ${WORK}/model.json --threads 1
         --metrics-json ${WORK}/metrics1.json)

@@ -6,10 +6,16 @@
 //   learn     --data DIR --model FILE [--estimator kde|histogram|gaussian]
 //             Learn feature distributions from DIR's labels; save to FILE.
 //   rank      --data DIR --model FILE
-//             [--app missing-tracks|missing-obs|model-errors] [--top K]
+//             [--app NAME | --apps a,b,c|all] [--top K]
 //             [--threads N] [--metrics-json FILE] [--verbose-metrics]
 //             Rank potential errors in every scene of DIR, fanning scenes
 //             out across N worker threads (0 = hardware concurrency).
+//             Application names resolve against the engine's registry
+//             (missing-tracks, missing-obs, model-errors, plus the demo
+//             user-registered suspect-tracks); --apps ranks several
+//             applications from ONE pass over the dataset — each scene is
+//             decoded and associated once, and every app scores the shared
+//             track set. Per-app results are byte-identical to solo runs.
 //             When DIR holds a fresh dataset.fxb cache (see `cache`),
 //             scenes stream from it — decode overlapped with ranking —
 //             instead of re-parsing JSON; --no-cache opts out.
@@ -38,7 +44,10 @@
 #include <vector>
 
 #include "common/macros.h"
+#include "core/applications.h"
 #include "core/engine.h"
+#include "dsl/aof.h"
+#include "graph/factor_graph.h"
 #include "io/fxb.h"
 #include "core/model_io.h"
 #include "core/proposal_io.h"
@@ -156,6 +165,89 @@ Status CheckDatasetDirectory(const std::string& directory) {
   return Status::Ok();
 }
 
+// Demo user-defined application, registered through
+// FixyOptions::extra_applications exactly as an out-of-tree error finder
+// would be (no src/core change): ranks human-labeled tracks by
+// *implausibility* under the learned distributions — the inverting AOF of
+// the model-error application pointed at labels instead of predictions —
+// surfacing labels whose size or motion disagrees with the fleet's priors.
+AppSpec SuspectTracksApp() {
+  AppSpec app;
+  app.name = "suspect-tracks";
+  app.view = SceneView::kFull;
+  app.build_spec = [](const LearnedState& learned,
+                      const ApplicationOptions& options) {
+    (void)options;
+    LoaSpec spec;
+    for (const FeatureDistribution& fd : learned.base) {
+      spec.feature_distributions.push_back(fd.WithAof(MakeInvertAof()));
+    }
+    return spec;
+  };
+  app.extract = [](const AppContext& ctx) {
+    std::vector<ErrorProposal> proposals;
+    const TrackSet& tracks = ctx.graph.tracks();
+    for (size_t t = 0; t < tracks.tracks.size(); ++t) {
+      const Track& track = tracks.tracks[t];
+      if (!track.HasSource(ObservationSource::kHuman)) continue;
+      if (track.TotalObservations() <=
+          static_cast<size_t>(ctx.options.min_track_observations)) {
+        continue;
+      }
+      const std::optional<double> score =
+          ctx.graph.ScoreTrack(t, ctx.options.normalize_scores);
+      if (!score.has_value()) continue;
+      ErrorProposal proposal;
+      proposal.scene_name = ctx.scene.name();
+      proposal.kind = ProposalKind::kModelError;
+      proposal.track_id = track.id();
+      proposal.object_class = track.MajorityClass().value_or(ObjectClass::kCar);
+      proposal.score = *score;
+      proposal.model_confidence = track.MeanModelConfidence().value_or(0.0);
+      proposal.first_frame = track.FirstFrame();
+      proposal.last_frame = track.LastFrame();
+      const std::optional<size_t> b = internal::ClosestApproachBundle(track);
+      if (b.has_value()) {
+        const ObservationBundle& bundle = track.bundles()[*b];
+        const Observation* obs = internal::RepresentativeObservation(bundle);
+        proposal.frame_index = bundle.frame_index;
+        if (obs != nullptr) proposal.box = obs->box;
+      }
+      proposals.push_back(std::move(proposal));
+    }
+    return proposals;
+  };
+  return app;
+}
+
+// `--apps a,b,c`: split on commas (names cannot contain commas — the
+// registry rejects them at registration).
+std::vector<std::string> SplitApps(const std::string& list) {
+  std::vector<std::string> names;
+  std::string current;
+  for (const char c : list) {
+    if (c == ',') {
+      names.push_back(current);
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  names.push_back(current);
+  return names;
+}
+
+// The per-app output path for a multi-application `--out`:
+// proposals.json -> proposals.<app>.json.
+std::string PerAppOutPath(const std::string& out_path,
+                          const std::string& app) {
+  const std::filesystem::path path(out_path);
+  std::filesystem::path renamed = path;
+  renamed.replace_filename(path.stem().string() + "." + app +
+                           path.extension().string());
+  return renamed.string();
+}
+
 Result<sim::SimProfile> ProfileByName(const std::string& name) {
   if (name == "lyft") return sim::LyftLikeProfile();
   if (name == "internal") return sim::InternalLikeProfile();
@@ -213,7 +305,6 @@ Status CmdLearn(const Flags& flags) {
 Status CmdRank(const Flags& flags) {
   FIXY_ASSIGN_OR_RETURN(std::string data, flags.GetRequired("data"));
   FIXY_ASSIGN_OR_RETURN(std::string model_path, flags.GetRequired("model"));
-  const std::string app = flags.GetOr("app", "missing-tracks");
   FIXY_ASSIGN_OR_RETURN(const int top, flags.GetIntOr("top", 10));
   if (top < 0) {
     return Status::InvalidArgument("--top must be >= 0");
@@ -246,20 +337,44 @@ Status CmdRank(const Flags& flags) {
     obs::AddTimeNs("io.parse", 0);
   }
 
-  Fixy fixy;
+  // Every application — the three standard ones plus the demo user app —
+  // lives in one registry; --app/--apps resolve against it, so the
+  // unknown-app error lists exactly what is registered.
+  FixyOptions fixy_options;
+  fixy_options.extra_applications.push_back(SuspectTracksApp());
+  Fixy fixy(std::move(fixy_options));
   FIXY_RETURN_IF_ERROR(fixy.LoadModel(model_path));
 
-  Application application = Application::kMissingTracks;
-  if (app == "missing-tracks") {
-    application = Application::kMissingTracks;
-  } else if (app == "missing-obs") {
-    application = Application::kMissingObservations;
-  } else if (app == "model-errors") {
-    application = Application::kModelErrors;
+  if (flags.Has("app") && flags.Has("apps")) {
+    return Status::InvalidArgument("pass either --app or --apps, not both");
+  }
+  std::vector<std::string> apps;
+  if (flags.Has("apps")) {
+    const std::string list = flags.GetOr("apps", "");
+    if (list == "all") {
+      apps = fixy.applications().names();
+    } else {
+      apps = SplitApps(list);
+    }
   } else {
-    return Status::InvalidArgument("unknown app: " + app +
-                                   " (expected missing-tracks|missing-obs|"
-                                   "model-errors)");
+    apps.push_back(flags.GetOr("app", "missing-tracks"));
+  }
+  // Validate the selection up front (before any dataset IO) so a typo'd
+  // app name fails immediately with the registry's listing.
+  FIXY_RETURN_IF_ERROR(fixy.applications().Resolve(apps).status());
+  const bool multi = apps.size() > 1;
+
+  if (metrics_on) {
+    // Zero-touch the shared scene-pass keys and every *registered*
+    // application's per-app keys, so the snapshot schema is one fixed set
+    // regardless of which --app/--apps selection actually ran.
+    obs::AddTimeNs("rank.track_build", 0);
+    obs::Count("rank.track_builds", 0);
+    for (const std::string& name : fixy.applications().names()) {
+      obs::AddTimeNs("rank." + name + ".compile", 0);
+      obs::Count("rank." + name + ".factors", 0);
+      obs::Count("rank." + name + ".proposals", 0);
+    }
   }
 
   // Scenes rank in parallel across the pool (--threads, default hardware
@@ -281,8 +396,11 @@ Status CmdRank(const Flags& flags) {
   // Ingestion: a fresh dataset.fxb cache streams scenes into the rank
   // workers (decode overlapped with ranking); otherwise the JSON loader
   // materializes the dataset first. Both paths produce byte-identical
-  // proposals — the cache is built with a round-trip parity check.
-  BatchReport report;
+  // proposals — the cache is built with a round-trip parity check. Either
+  // way every requested application ranks from the ONE pass: scenes are
+  // decoded and associated once, then each app compiles and scores
+  // against the shared track set.
+  MultiAppReport multi_report;
   size_t files_skipped = 0;
   bool from_cache = false;
   if (!flags.Has("no-cache")) {
@@ -300,8 +418,8 @@ Status CmdRank(const Flags& flags) {
       StreamOptions stream;
       stream.decode_threads = decode_threads;
       FIXY_ASSIGN_OR_RETURN(
-          report, fixy.RankDatasetStreaming(source, application, batch,
-                                            stream));
+          multi_report,
+          fixy.RankDatasetStreaming(source, apps, batch, stream));
       from_cache = true;
     } else {
       obs::Count("io.fxb.cache_misses");
@@ -327,45 +445,66 @@ Status CmdRank(const Flags& flags) {
       return Status::InvalidArgument("dataset '" + dataset.name +
                                      "' contains no scenes");
     }
-    FIXY_ASSIGN_OR_RETURN(report,
-                          fixy.RankDataset(dataset, application, batch));
+    FIXY_ASSIGN_OR_RETURN(multi_report, fixy.RankDataset(dataset, apps, batch));
   }
 
-  std::vector<ErrorProposal> all_proposals;
-  for (const SceneOutcome& outcome : report.outcomes) {
-    if (!outcome.ok()) {
-      std::printf("FAILED %s: %s\n", outcome.scene_name.c_str(),
-                  outcome.status.ToString().c_str());
-      continue;
+  // Per-app output sections: single-app output is byte-compatible with the
+  // historical format; with several apps each gets a `== app: NAME ==`
+  // header, its per-scene candidates, and (in keep-going mode) its own
+  // summary line.
+  size_t total_ok = 0;
+  size_t total_failed = 0;
+  std::vector<std::vector<ErrorProposal>> per_app_proposals(
+      multi_report.apps.size());
+  for (size_t a = 0; a < multi_report.apps.size(); ++a) {
+    const BatchReport& report = multi_report.reports[a];
+    if (multi) {
+      std::printf("== app: %s ==\n", multi_report.apps[a].c_str());
     }
-    std::printf("%s: %zu candidates\n", outcome.scene_name.c_str(),
-                outcome.proposals.size());
-    int rank = 1;
-    const auto scene_top = TopK(outcome.proposals, static_cast<size_t>(top));
-    for (const ErrorProposal& p : scene_top) {
-      std::printf("  #%2d %s\n", rank++, p.ToString().c_str());
+    std::vector<ErrorProposal>& all_proposals = per_app_proposals[a];
+    for (const SceneOutcome& outcome : report.outcomes) {
+      if (!outcome.ok()) {
+        std::printf("FAILED %s: %s\n", outcome.scene_name.c_str(),
+                    outcome.status.ToString().c_str());
+        continue;
+      }
+      std::printf("%s: %zu candidates\n", outcome.scene_name.c_str(),
+                  outcome.proposals.size());
+      int rank = 1;
+      const auto scene_top = TopK(outcome.proposals, static_cast<size_t>(top));
+      for (const ErrorProposal& p : scene_top) {
+        std::printf("  #%2d %s\n", rank++, p.ToString().c_str());
+      }
+      all_proposals.insert(all_proposals.end(), scene_top.begin(),
+                           scene_top.end());
     }
-    all_proposals.insert(all_proposals.end(), scene_top.begin(),
-                         scene_top.end());
+    if (keep_going) {
+      std::printf("ranked %zu/%zu scenes (%zu quarantined, %zu files "
+                  "skipped)\n",
+                  report.scenes_ok, report.outcomes.size(),
+                  report.scenes_quarantined, files_skipped);
+    }
+    total_ok += report.scenes_ok;
+    total_failed += report.scenes_failed;
   }
   if (keep_going) {
-    std::printf("ranked %zu/%zu scenes (%zu quarantined, %zu files "
-                "skipped)\n",
-                report.scenes_ok, report.outcomes.size(),
-                report.scenes_quarantined, files_skipped);
     const bool nothing_loaded =
-        report.outcomes.empty() && files_skipped > 0;
-    if (nothing_loaded || (report.scenes_ok == 0 && report.scenes_failed > 0)) {
+        multi_report.reports.front().outcomes.empty() && files_skipped > 0;
+    if (nothing_loaded || (total_ok == 0 && total_failed > 0)) {
       return Status::Internal("all scenes failed to load or rank");
     }
   }
   if (!out_path.empty()) {
-    FIXY_RETURN_IF_ERROR(SaveProposals(all_proposals, out_path));
-    std::printf("wrote %zu proposals to %s\n", all_proposals.size(),
-                out_path.c_str());
+    for (size_t a = 0; a < multi_report.apps.size(); ++a) {
+      const std::string path =
+          multi ? PerAppOutPath(out_path, multi_report.apps[a]) : out_path;
+      FIXY_RETURN_IF_ERROR(SaveProposals(per_app_proposals[a], path));
+      std::printf("wrote %zu proposals to %s\n", per_app_proposals[a].size(),
+                  path.c_str());
+    }
   }
   if (metrics_on) {
-    collector.Merge(report.metrics);
+    collector.Merge(multi_report.metrics);
     const obs::PipelineMetrics snapshot = collector.Snapshot();
     FIXY_RETURN_IF_ERROR(obs::ValidateMetrics(snapshot));
     if (!metrics_path.empty()) {
@@ -417,8 +556,11 @@ void PrintUsage() {
       "[--seed S]\n"
       "  learn    --data DIR --model FILE [--estimator "
       "kde|histogram|gaussian]\n"
-      "  rank     --data DIR --model FILE [--app "
-      "missing-tracks|missing-obs|model-errors] [--top K] [--out FILE]\n"
+      "  rank     --data DIR --model FILE [--app NAME] [--top K] "
+      "[--out FILE]\n"
+      "           [--apps a,b,c|all] rank several registered applications\n"
+      "           from one pass (scenes decoded and associated once); with\n"
+      "           --out each app writes FILE.<app>.json\n"
       "           [--threads N]  (0 = hardware concurrency)\n"
       "           [--keep-going] skip corrupt scene files and quarantine\n"
       "           failing scenes (exit non-zero only when all scenes fail);\n"
