@@ -8,6 +8,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <future>
@@ -23,6 +24,7 @@
 #include "json/json.h"
 #include "obs/metrics.h"
 #include "obs/metrics_json.h"
+#include "stats/simd.h"
 #include "workloads.h"
 
 namespace fixy::bench {
@@ -378,16 +380,189 @@ Status RunMultiAppBench(const std::string& out_path) {
   return Status::Ok();
 }
 
+// ---- Hot-path benchmark + perf gate (--hotpath-json, --hotpath-baseline) --
+//
+// Measures end-to-end rank throughput (the KDE/factor-graph hot path that
+// DESIGN.md §11 optimizes) in two shapes — "single" (one application) and
+// "shared" (all registered applications from one pass) — at 1/4/8 threads,
+// best of kHotpathReps runs. The committed BENCH_hotpath.json is the
+// reference an optimized tree must not regress from: --hotpath-baseline
+// re-measures and fails (non-zero exit) when any row's scenes/sec falls
+// below tolerance * committed, which tools/check.sh perf runs in CI
+// fashion.
+
+// Pre-optimization throughput (scenes/sec, threads=1) measured on this
+// dataset at the commit immediately before the SIMD/SoA/pruning work,
+// embedded so the before/after speedup survives in the committed JSON
+// without checking out the old revision.
+constexpr double kHotpathBeforeSingleT1 = 8.7596;
+constexpr double kHotpathBeforeSharedT1 = 5.9283;
+
+constexpr int kHotpathReps = 2;
+
+// Relative tolerance band for the gate: a fresh measurement below
+// tolerance * committed scenes/sec is a regression. Overridable via
+// FIXY_PERF_TOLERANCE for noisier machines.
+double HotpathTolerance() {
+  if (const char* env = std::getenv("FIXY_PERF_TOLERANCE")) {
+    const double parsed = std::atof(env);
+    if (parsed > 0.0 && parsed <= 1.0) return parsed;
+    std::fprintf(stderr,
+                 "warning: ignoring FIXY_PERF_TOLERANCE=%s (want (0, 1])\n",
+                 env);
+  }
+  return 0.75;
+}
+
+Result<json::Object> MeasureHotpath() {
+  const TrainedPipeline& pipeline = LyftPipeline();
+  const Dataset& dataset = LyftDataset();
+  const std::vector<std::string> apps = pipeline.fixy.applications().names();
+  const double scenes = static_cast<double>(dataset.scenes.size());
+
+  json::Array rows;
+  double single_t1 = 0.0;
+  double shared_t1 = 0.0;
+  for (const int threads : {1, 4, 8}) {
+    BatchOptions batch;
+    batch.num_threads = threads;
+    double single = 0.0;
+    double shared = 0.0;
+    for (int rep = 0; rep < kHotpathReps; ++rep) {
+      FIXY_ASSIGN_OR_RETURN(const double s,
+                            RankSeconds(pipeline.fixy, dataset,
+                                        {apps.front()}, batch));
+      single = rep == 0 ? s : std::min(single, s);
+      FIXY_ASSIGN_OR_RETURN(
+          const double a, RankSeconds(pipeline.fixy, dataset, apps, batch));
+      shared = rep == 0 ? a : std::min(shared, a);
+    }
+    const struct {
+      const char* mode;
+      double seconds;
+    } shapes[] = {{"single", single}, {"shared", shared}};
+    for (const auto& shape : shapes) {
+      json::Object row;
+      row["mode"] = shape.mode;
+      row["threads"] = static_cast<double>(threads);
+      row["seconds"] = shape.seconds;
+      row["scenes_per_sec"] = scenes / shape.seconds;
+      rows.push_back(std::move(row));
+      std::printf("hotpath %-6s threads=%d  %7.2f s  %7.1f scenes/s\n",
+                  shape.mode, threads, shape.seconds, scenes / shape.seconds);
+    }
+    if (threads == 1) {
+      single_t1 = scenes / single;
+      shared_t1 = scenes / shared;
+    }
+  }
+
+  json::Object doc;
+  doc["bench"] = "hotpath";
+  doc["scenes"] = scenes;
+  doc["kernel"] = stats::simd::KernelName(stats::simd::ActiveKernel());
+  json::Object before;
+  before["single_t1_scenes_per_sec"] = kHotpathBeforeSingleT1;
+  before["shared_t1_scenes_per_sec"] = kHotpathBeforeSharedT1;
+  doc["before"] = std::move(before);
+  doc["speedup_single_t1"] = single_t1 / kHotpathBeforeSingleT1;
+  doc["speedup_shared_t1"] = shared_t1 / kHotpathBeforeSharedT1;
+  doc["results"] = std::move(rows);
+  std::printf("hotpath speedup vs before: single %.2fx, shared %.2fx\n",
+              single_t1 / kHotpathBeforeSingleT1,
+              shared_t1 / kHotpathBeforeSharedT1);
+  return doc;
+}
+
+Status CheckHotpathBaseline(const json::Object& fresh,
+                            const std::string& baseline_path) {
+  std::string text;
+  FIXY_RETURN_IF_ERROR(io::ReadFileInto(baseline_path, &text));
+  FIXY_ASSIGN_OR_RETURN(const json::Value baseline, json::Parse(text));
+  const json::Value* rows = baseline.Find("results");
+  if (rows == nullptr || !rows->is_array()) {
+    return Status::InvalidArgument(baseline_path +
+                                   ": no results array (not a hotpath file?)");
+  }
+  const double tolerance = HotpathTolerance();
+  const json::Array& fresh_rows = fresh.at("results").AsArray();
+  size_t compared = 0;
+  for (const json::Value& row : rows->AsArray()) {
+    FIXY_ASSIGN_OR_RETURN(const std::string mode, row.GetString("mode"));
+    FIXY_ASSIGN_OR_RETURN(const double threads, row.GetDouble("threads"));
+    FIXY_ASSIGN_OR_RETURN(const double committed,
+                          row.GetDouble("scenes_per_sec"));
+    const json::Value* match = nullptr;
+    for (const json::Value& candidate : fresh_rows) {
+      if (candidate.GetString("mode").value_or("") == mode &&
+          candidate.GetDouble("threads").value_or(-1.0) == threads) {
+        match = &candidate;
+        break;
+      }
+    }
+    if (match == nullptr) {
+      return Status::Internal(StrFormat(
+          "perf gate: committed row (%s, threads=%g) missing from the "
+          "fresh measurement",
+          mode.c_str(), threads));
+    }
+    FIXY_ASSIGN_OR_RETURN(const double measured,
+                          match->GetDouble("scenes_per_sec"));
+    const double floor = tolerance * committed;
+    const bool ok = measured >= floor;
+    std::printf("perf gate %-6s threads=%g  %7.1f scenes/s vs committed "
+                "%7.1f (floor %7.1f)  %s\n",
+                mode.c_str(), threads, measured, committed, floor,
+                ok ? "OK" : "REGRESSION");
+    if (!ok) {
+      return Status::Internal(StrFormat(
+          "perf regression: %s at threads=%g ran at %.1f scenes/s, below "
+          "%.0f%% of the committed %.1f (see BENCH_hotpath.json; if the "
+          "slowdown is intentional, re-baseline with --hotpath-json)",
+          mode.c_str(), threads, measured, tolerance * 100.0, committed));
+    }
+    ++compared;
+  }
+  if (compared == 0) {
+    return Status::InvalidArgument(baseline_path + ": results array is empty");
+  }
+  std::printf("perf gate OK: %zu rows within %.0f%% of committed\n", compared,
+              tolerance * 100.0);
+  return Status::Ok();
+}
+
+Status RunHotpathBench(const std::string& out_path,
+                       const std::string& baseline_path) {
+  FIXY_ASSIGN_OR_RETURN(json::Object doc, MeasureHotpath());
+  if (!out_path.empty()) {
+    const std::string text = json::Write(doc, /*pretty=*/true);
+    std::FILE* out = std::fopen(out_path.c_str(), "w");
+    if (out == nullptr) {
+      return Status::IoError("cannot open for writing: " + out_path);
+    }
+    std::fwrite(text.data(), 1, text.size(), out);
+    std::fputc('\n', out);
+    std::fclose(out);
+    std::printf("wrote hotpath benchmark to %s\n", out_path.c_str());
+  }
+  if (!baseline_path.empty()) {
+    FIXY_RETURN_IF_ERROR(CheckHotpathBaseline(doc, baseline_path));
+  }
+  return Status::Ok();
+}
+
 }  // namespace
 }  // namespace fixy::bench
 
-// BENCHMARK_MAIN plus --metrics-json, --ingest-json, and --multiapp-json
-// flags, peeled from argv before google-benchmark sees them (it rejects
-// flags it does not know).
+// BENCHMARK_MAIN plus --metrics-json, --ingest-json, --multiapp-json,
+// --hotpath-json, and --hotpath-baseline flags, peeled from argv before
+// google-benchmark sees them (it rejects flags it does not know).
 int main(int argc, char** argv) {
   std::string metrics_path;
   std::string ingest_path;
   std::string multiapp_path;
+  std::string hotpath_path;
+  std::string hotpath_baseline;
   int kept = 1;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -415,6 +590,22 @@ int main(int argc, char** argv) {
       multiapp_path = argv[++i];
       continue;
     }
+    if (std::strncmp(arg, "--hotpath-json=", 15) == 0) {
+      hotpath_path = arg + 15;
+      continue;
+    }
+    if (std::strcmp(arg, "--hotpath-json") == 0 && i + 1 < argc) {
+      hotpath_path = argv[++i];
+      continue;
+    }
+    if (std::strncmp(arg, "--hotpath-baseline=", 19) == 0) {
+      hotpath_baseline = arg + 19;
+      continue;
+    }
+    if (std::strcmp(arg, "--hotpath-baseline") == 0 && i + 1 < argc) {
+      hotpath_baseline = argv[++i];
+      continue;
+    }
     argv[kept++] = argv[i];
   }
   argc = kept;
@@ -440,6 +631,14 @@ int main(int argc, char** argv) {
   }
   if (!multiapp_path.empty()) {
     const fixy::Status status = fixy::bench::RunMultiAppBench(multiapp_path);
+    if (!status.ok()) {
+      std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+      return 1;
+    }
+  }
+  if (!hotpath_path.empty() || !hotpath_baseline.empty()) {
+    const fixy::Status status =
+        fixy::bench::RunHotpathBench(hotpath_path, hotpath_baseline);
     if (!status.ok()) {
       std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
       return 1;

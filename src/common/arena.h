@@ -1,0 +1,109 @@
+// Arena: a bump-pointer allocator for per-scene scratch (DESIGN.md §11).
+//
+// Factor-graph compilation and scoring need short-lived arrays whose sizes
+// change every scene (CSR degree counters, permutation buffers). Allocating
+// them from the heap per scene was measurable churn; an arena hands out
+// pointers from reusable blocks and releases everything at once with
+// Reset(), which keeps the blocks for the next scene. The intended pattern
+// is one thread_local Arena per hot call site, Reset() on entry.
+#ifndef FIXY_COMMON_ARENA_H_
+#define FIXY_COMMON_ARENA_H_
+
+#include <cstddef>
+#include <cstring>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+namespace fixy {
+
+class Arena {
+ public:
+  /// `initial_capacity` sizes the first block (allocated lazily).
+  explicit Arena(size_t initial_capacity = size_t{1} << 16)
+      : initial_capacity_(initial_capacity < kMinBlock ? kMinBlock
+                                                       : initial_capacity) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// An uninitialized array of `n` T. T must be trivial — the arena never
+  /// runs constructors or destructors. Returns nullptr when n == 0.
+  /// Pointers stay valid until Reset() or destruction.
+  template <typename T>
+  T* AllocateArray(size_t n) {
+    static_assert(std::is_trivially_default_constructible_v<T> &&
+                      std::is_trivially_destructible_v<T>,
+                  "Arena only holds trivial types");
+    if (n == 0) return nullptr;
+    return static_cast<T*>(AllocateRaw(n * sizeof(T), alignof(T)));
+  }
+
+  /// AllocateArray with the bytes zeroed.
+  template <typename T>
+  T* AllocateZeroed(size_t n) {
+    T* ptr = AllocateArray<T>(n);
+    if (ptr != nullptr) std::memset(ptr, 0, n * sizeof(T));
+    return ptr;
+  }
+
+  /// Invalidates every outstanding pointer and makes the arena's blocks
+  /// reusable. Capacity is retained, so a steady-state caller stops
+  /// touching the heap entirely.
+  void Reset() {
+    for (Block& block : blocks_) block.used = 0;
+    current_ = 0;
+  }
+
+  /// Total block capacity in bytes (for tests and sizing diagnostics).
+  size_t capacity_bytes() const {
+    size_t total = 0;
+    for (const Block& block : blocks_) total += block.capacity;
+    return total;
+  }
+
+ private:
+  static constexpr size_t kMinBlock = 256;
+
+  struct Block {
+    std::unique_ptr<std::byte[]> data;
+    size_t capacity = 0;
+    size_t used = 0;
+  };
+
+  void* AllocateRaw(size_t bytes, size_t align) {
+    // Block bases come from new[], aligned to at least max_align_t; offsets
+    // rounded to `align` therefore stay aligned for every trivial T.
+    static_assert(alignof(std::max_align_t) >= 8);
+    while (current_ < blocks_.size()) {
+      Block& block = blocks_[current_];
+      const size_t aligned = (block.used + align - 1) & ~(align - 1);
+      if (aligned + bytes <= block.capacity) {
+        block.used = aligned + bytes;
+        return block.data.get() + aligned;
+      }
+      ++current_;
+    }
+    // Grow geometrically so N small allocations cost O(log N) blocks; a
+    // single oversized request gets a block of its own size.
+    size_t capacity = blocks_.empty() ? initial_capacity_
+                                      : blocks_.back().capacity * 2;
+    if (capacity < bytes + align) capacity = bytes + align;
+    Block block;
+    block.data = std::make_unique<std::byte[]>(capacity);
+    block.capacity = capacity;
+    blocks_.push_back(std::move(block));
+    current_ = blocks_.size() - 1;
+    Block& fresh = blocks_.back();
+    fresh.used = bytes;
+    return fresh.data.get();
+  }
+
+  size_t initial_capacity_;
+  std::vector<Block> blocks_;
+  size_t current_ = 0;
+};
+
+}  // namespace fixy
+
+#endif  // FIXY_COMMON_ARENA_H_

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "dsl/feature_score_cache.h"
 
 namespace fixy {
 
@@ -100,19 +101,25 @@ std::optional<double> FeatureDistribution::Transform(
 }
 
 void FeatureDistribution::RawScoreTrackObservations(
-    const Track& track, double frame_rate_hz,
-    std::vector<std::optional<double>>* out) const {
+    const Track& track, double frame_rate_hz, RawTrackScores* out) const {
   FIXY_CHECK(feature_->kind() == FeatureKind::kObservation);
   const auto* f = static_cast<const ObservationFeature*>(feature_.get());
+  out->Clear();
 
   // One density-evaluation batch per distinct distribution (the global
-  // distribution, or one per object class actually present).
+  // distribution, or one per object class actually present). The batches
+  // are flat parallel arrays reused across calls: a distinct distribution
+  // appears at most once per track, so `used` stays small and slot reuse
+  // (clearing, not destroying, the inner vectors) keeps steady-state
+  // scoring allocation-free.
   struct Batch {
     const stats::Distribution* dist = nullptr;
     std::vector<size_t> out_indices;
     std::vector<double> values;
   };
-  std::vector<Batch> batches;
+  thread_local std::vector<Batch> batches;
+  thread_local std::vector<double> densities;
+  size_t used = 0;
 
   FeatureContext ctx;
   ctx.frame_rate_hz = frame_rate_hz;
@@ -124,38 +131,41 @@ void FeatureDistribution::RawScoreTrackObservations(
         // Same degenerate-value contract as RawTransform(): maximally
         // unlikely, routed through the AOF by the caller, never into the
         // estimator.
-        out->push_back(0.0);
+        out->PushEngaged(0.0);
         continue;
       }
       const stats::Distribution* dist =
           value.has_value() ? DistributionFor(obs.object_class) : nullptr;
       if (!value.has_value() || dist == nullptr) {
-        out->push_back(std::nullopt);
+        out->PushMissing();
         continue;
       }
-      out->push_back(0.0);  // placeholder; filled from the batch below
+      out->PushEngaged(0.0);  // placeholder; filled from the batch below
       Batch* batch = nullptr;
-      for (Batch& b : batches) {
-        if (b.dist == dist) {
-          batch = &b;
+      for (size_t b = 0; b < used; ++b) {
+        if (batches[b].dist == dist) {
+          batch = &batches[b];
           break;
         }
       }
       if (batch == nullptr) {
-        batches.push_back(Batch{dist, {}, {}});
-        batch = &batches.back();
+        if (used == batches.size()) batches.emplace_back();
+        batch = &batches[used++];
+        batch->dist = dist;
+        batch->out_indices.clear();
+        batch->values.clear();
       }
       batch->out_indices.push_back(out->size() - 1);
       batch->values.push_back(*value);
     }
   }
 
-  std::vector<double> densities;
-  for (const Batch& batch : batches) {
+  for (size_t b = 0; b < used; ++b) {
+    const Batch& batch = batches[b];
     densities.resize(batch.values.size());
     batch.dist->DensityBatch(batch.values, densities);
     for (size_t i = 0; i < batch.values.size(); ++i) {
-      (*out)[batch.out_indices[i]] =
+      out->values[batch.out_indices[i]] =
           batch.dist->NormalizedScoreFromDensity(densities[i]);
     }
   }
@@ -164,10 +174,15 @@ void FeatureDistribution::RawScoreTrackObservations(
 void FeatureDistribution::ScoreTrackObservations(
     const Track& track, double frame_rate_hz,
     std::vector<std::optional<double>>* out) const {
-  const size_t start = out->size();
-  RawScoreTrackObservations(track, frame_rate_hz, out);
-  for (size_t i = start; i < out->size(); ++i) {
-    if ((*out)[i].has_value()) (*out)[i] = ApplyAofAndFloor(*(*out)[i]);
+  thread_local RawTrackScores raw;
+  RawScoreTrackObservations(track, frame_rate_hz, &raw);
+  out->reserve(out->size() + raw.size());
+  for (size_t i = 0; i < raw.size(); ++i) {
+    if (raw.engaged[i] != 0) {
+      out->push_back(ApplyAofAndFloor(raw.values[i]));
+    } else {
+      out->push_back(std::nullopt);
+    }
   }
 }
 

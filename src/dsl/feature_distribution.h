@@ -15,6 +15,8 @@
 
 namespace fixy {
 
+struct RawTrackScores;
+
 /// A feature together with the distribution(s) learned for it offline and
 /// the AOF applied at scoring time.
 ///
@@ -76,8 +78,14 @@ class FeatureDistribution {
   /// reproduces the corresponding Score* result bit for bit. A degenerate
   /// (non-finite) feature value yields raw likelihood 0.0 — the same
   /// maximally-unlikely contract the scoring path applies before its AOF.
+  ///
+  /// The batch form overwrites `*out` with one entry per observation in
+  /// bundle-major order, structure-of-arrays (see RawTrackScores): feature
+  /// values are gathered into contiguous per-distribution buffers so the
+  /// density evaluation runs the KDE's batched/SIMD path, and the scratch
+  /// is thread-local, so steady-state scoring does not allocate.
   void RawScoreTrackObservations(const Track& track, double frame_rate_hz,
-                                 std::vector<std::optional<double>>* out) const;
+                                 RawTrackScores* out) const;
   std::optional<double> RawScoreBundle(const ObservationBundle& bundle,
                                        const FeatureContext& ctx) const;
   std::optional<double> RawScoreTransition(const ObservationBundle& from,

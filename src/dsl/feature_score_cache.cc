@@ -16,37 +16,35 @@ FeatureContext ContextForBundle(const ObservationBundle& bundle,
 
 }  // namespace
 
-RawTrackScores ComputeRawTrackScores(const FeatureDistribution& fd,
-                                     const Track& track,
-                                     double frame_rate_hz) {
-  RawTrackScores scores;
+void ComputeRawTrackScores(const FeatureDistribution& fd, const Track& track,
+                           double frame_rate_hz, RawTrackScores* out) {
+  out->Clear();
   const auto& bundles = track.bundles();
   switch (fd.feature().kind()) {
     case FeatureKind::kObservation:
-      fd.RawScoreTrackObservations(track, frame_rate_hz, &scores.values);
+      fd.RawScoreTrackObservations(track, frame_rate_hz, out);
       break;
     case FeatureKind::kBundle:
-      scores.values.reserve(bundles.size());
+      out->values.reserve(bundles.size());
+      out->engaged.reserve(bundles.size());
       for (const ObservationBundle& b : bundles) {
-        scores.values.push_back(
-            fd.RawScoreBundle(b, ContextForBundle(b, frame_rate_hz)));
+        out->Push(fd.RawScoreBundle(b, ContextForBundle(b, frame_rate_hz)));
       }
       break;
     case FeatureKind::kTransition:
       for (size_t b = 0; b + 1 < bundles.size(); ++b) {
-        scores.values.push_back(fd.RawScoreTransition(
+        out->Push(fd.RawScoreTransition(
             bundles[b], bundles[b + 1],
             ContextForBundle(bundles[b], frame_rate_hz)));
       }
       break;
     case FeatureKind::kTrack:
       if (!bundles.empty()) {
-        scores.values.push_back(fd.RawScoreTrack(
+        out->Push(fd.RawScoreTrack(
             track, ContextForBundle(bundles.front(), frame_rate_hz)));
       }
       break;
   }
-  return scores;
 }
 
 const RawTrackScores& FeatureScoreCache::Get(const FeatureDistribution& fd,
@@ -60,10 +58,8 @@ const RawTrackScores& FeatureScoreCache::Get(const FeatureDistribution& fd,
                 track_index};
   auto it = cache_.find(key);
   if (it == cache_.end()) {
-    it = cache_
-             .emplace(key,
-                      ComputeRawTrackScores(fd, track, frame_rate_hz_))
-             .first;
+    it = cache_.emplace(key, RawTrackScores{}).first;
+    ComputeRawTrackScores(fd, track, frame_rate_hz_, &it->second);
   }
   return it->second;
 }

@@ -8,9 +8,9 @@
 #define FIXY_DSL_FEATURE_SCORE_CACHE_H_
 
 #include <cstddef>
-#include <map>
+#include <cstdint>
 #include <optional>
-#include <tuple>
+#include <unordered_map>
 #include <vector>
 
 #include "data/track.h"
@@ -24,17 +24,52 @@ namespace fixy {
 ///   kBundle      — one entry per bundle;
 ///   kTransition  — one entry per adjacent bundle pair;
 ///   kTrack       — a single entry (empty when the track has no bundles).
-/// nullopt marks "no factor" (feature did not apply / no distribution for
-/// the class); an engaged value is the pre-AOF likelihood, ready for
-/// FeatureDistribution::ApplyAofAndFloor.
+/// Structure-of-arrays: `values[i]` is the pre-AOF likelihood (ready for
+/// FeatureDistribution::ApplyAofAndFloor) when `engaged[i]` is nonzero;
+/// engaged[i] == 0 marks "no factor" (feature did not apply / no
+/// distribution for the class) and values[i] is 0. The split keeps the
+/// likelihoods contiguous for the batch/SIMD density path (DESIGN.md §11).
 struct RawTrackScores {
-  std::vector<std::optional<double>> values;
+  std::vector<double> values;
+  std::vector<uint8_t> engaged;
+
+  size_t size() const { return values.size(); }
+  bool empty() const { return values.empty(); }
+
+  void Clear() {
+    values.clear();
+    engaged.clear();
+  }
+
+  void PushEngaged(double value) {
+    values.push_back(value);
+    engaged.push_back(1);
+  }
+
+  void PushMissing() {
+    values.push_back(0.0);
+    engaged.push_back(0);
+  }
+
+  void Push(std::optional<double> value) {
+    if (value.has_value()) {
+      PushEngaged(*value);
+    } else {
+      PushMissing();
+    }
+  }
+
+  /// Optional view of one entry (the pre-SoA interface, kept for tests
+  /// and non-hot callers).
+  std::optional<double> at(size_t i) const {
+    if (engaged[i] == 0) return std::nullopt;
+    return values[i];
+  }
 };
 
-/// Computes `fd`'s raw likelihoods over `track` (uncached form).
-RawTrackScores ComputeRawTrackScores(const FeatureDistribution& fd,
-                                     const Track& track,
-                                     double frame_rate_hz);
+/// Computes `fd`'s raw likelihoods over `track` into `*out` (overwritten).
+void ComputeRawTrackScores(const FeatureDistribution& fd, const Track& track,
+                           double frame_rate_hz, RawTrackScores* out);
 
 /// Memoizes ComputeRawTrackScores keyed on the identity of the feature and
 /// its distributions plus the caller's track index. WithAof() copies share
@@ -57,10 +92,33 @@ class FeatureScoreCache {
   // Feature ptr + global-distribution ptr + first per-class-distribution
   // ptr identify the learned (feature, distributions) pair; AOFs are
   // deliberately excluded.
-  using Key = std::tuple<const void*, const void*, const void*, size_t>;
+  struct Key {
+    const void* feature;
+    const void* global_dist;
+    const void* first_per_class;
+    size_t track_index;
+
+    bool operator==(const Key&) const = default;
+  };
+
+  struct KeyHash {
+    size_t operator()(const Key& key) const {
+      // FNV-1a over the key words; pointer identity is all that matters.
+      uint64_t h = 1469598103934665603ull;
+      const auto mix = [&h](uint64_t word) {
+        h ^= word;
+        h *= 1099511628211ull;
+      };
+      mix(reinterpret_cast<uintptr_t>(key.feature));
+      mix(reinterpret_cast<uintptr_t>(key.global_dist));
+      mix(reinterpret_cast<uintptr_t>(key.first_per_class));
+      mix(key.track_index);
+      return static_cast<size_t>(h);
+    }
+  };
 
   double frame_rate_hz_;
-  std::map<Key, RawTrackScores> cache_;
+  std::unordered_map<Key, RawTrackScores, KeyHash> cache_;
 };
 
 }  // namespace fixy

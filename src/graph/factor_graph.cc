@@ -1,8 +1,9 @@
 #include "graph/factor_graph.h"
 
+#include <algorithm>
 #include <cmath>
-#include <unordered_set>
 
+#include "common/arena.h"
 #include "common/logging.h"
 #include "common/string_util.h"
 
@@ -11,7 +12,13 @@ namespace fixy {
 Result<FactorGraph> FactorGraph::Compile(const TrackSet& tracks,
                                          const LoaSpec& spec,
                                          double frame_rate_hz,
-                                         FeatureScoreCache* shared_scores) {
+                                         FeatureScoreCache* shared_scores,
+                                         const std::vector<uint8_t>* track_mask) {
+  FIXY_CHECK_MSG(track_mask == nullptr ||
+                     track_mask->size() == tracks.tracks.size(),
+                 "track mask size %zu != track count %zu",
+                 track_mask == nullptr ? size_t{0} : track_mask->size(),
+                 tracks.tracks.size());
   FactorGraph graph;
   graph.tracks_ = tracks;
 
@@ -33,47 +40,58 @@ Result<FactorGraph> FactorGraph::Compile(const TrackSet& tracks,
         node.track_index = t;
         node.bundle_index = b;
         node.obs_index = o;
-        graph.variables_.push_back(std::move(node));
+        graph.variables_.push_back(node);
       }
     }
   }
 
-  // Instantiate factors.
+  // The identity permutation every factor's variable span slices. Sized
+  // once here; factor spans alias it, so it must never grow afterwards.
+  graph.variable_iota_.resize(graph.variables_.size());
+  for (size_t v = 0; v < graph.variable_iota_.size(); ++v) {
+    graph.variable_iota_[v] = v;
+  }
+
+  // Instantiate factors. Variables are created bundle-major, so every
+  // element kind covers the contiguous range [first_var, first_var+count):
+  // an observation is one variable, a bundle is its observation run, a
+  // transition is two *adjacent* bundle runs, and a track is all of its
+  // bundle runs back to back.
   auto add_factor = [&graph](size_t fd_index, ElementRef element, double score,
-                             std::vector<size_t> variables) {
+                             size_t first_var, size_t var_count) {
     FactorNode factor;
     factor.fd_index = fd_index;
     factor.element = element;
     factor.score = score;
-    factor.variables = std::move(variables);
-    const size_t factor_index = graph.factors_.size();
-    for (size_t v : factor.variables) {
-      graph.variables_[v].factors.push_back(factor_index);
-    }
-    graph.factors_.push_back(std::move(factor));
+    factor.log_score = std::log(score);
+    factor.variables = std::span<const size_t>(
+        graph.variable_iota_.data() + first_var, var_count);
+    graph.factors_.push_back(factor);
   };
 
   for (size_t fd_index = 0; fd_index < spec.feature_distributions.size();
        ++fd_index) {
     const FeatureDistribution& fd = spec.feature_distributions[fd_index];
     for (size_t t = 0; t < tracks.tracks.size(); ++t) {
+      if (track_mask != nullptr && (*track_mask)[t] == 0) continue;
       const Track& track = tracks.tracks[t];
       // Raw (pre-AOF) likelihoods for this (feature distribution, track)
       // pair, either shared across applications through the scene's cache
-      // or computed locally. Density evaluations are grouped per
-      // distribution inside, which hits the KDE's sliding-window fast
+      // or computed locally (into a reused thread-local, so the uncached
+      // path does not allocate per pair either). Density evaluations are
+      // grouped per distribution inside, which hits the KDE's batched SIMD
       // path. Layout per kind is documented on RawTrackScores and matches
       // the factor instantiation order below; the AOF and score floor are
       // applied here, per factor.
-      RawTrackScores local;
+      thread_local RawTrackScores local;
       if (shared_scores == nullptr) {
-        local = ComputeRawTrackScores(fd, track, frame_rate_hz);
+        ComputeRawTrackScores(fd, track, frame_rate_hz, &local);
       }
       const RawTrackScores& raw =
           shared_scores != nullptr ? shared_scores->Get(fd, track, t) : local;
       auto score_at = [&fd, &raw](size_t i) -> std::optional<double> {
-        if (!raw.values[i].has_value()) return std::nullopt;
-        return fd.ApplyAofAndFloor(*raw.values[i]);
+        if (raw.engaged[i] == 0) return std::nullopt;
+        return fd.ApplyAofAndFloor(raw.values[i]);
       };
       switch (fd.feature().kind()) {
         case FeatureKind::kObservation: {
@@ -83,9 +101,8 @@ Result<FactorGraph> FactorGraph::Compile(const TrackSet& tracks,
             for (size_t o = 0; o < bundle.observations.size(); ++o, ++i) {
               const std::optional<double> score = score_at(i);
               if (!score.has_value()) continue;
-              add_factor(fd_index,
-                         {FeatureKind::kObservation, t, b, o}, *score,
-                         {graph.variable_offsets_[t][b] + o});
+              add_factor(fd_index, {FeatureKind::kObservation, t, b, o},
+                         *score, graph.variable_offsets_[t][b] + o, 1);
             }
           }
           break;
@@ -95,13 +112,9 @@ Result<FactorGraph> FactorGraph::Compile(const TrackSet& tracks,
             const ObservationBundle& bundle = track.bundles()[b];
             const std::optional<double> score = score_at(b);
             if (!score.has_value()) continue;
-            std::vector<size_t> vars;
-            vars.reserve(bundle.observations.size());
-            for (size_t o = 0; o < bundle.observations.size(); ++o) {
-              vars.push_back(graph.variable_offsets_[t][b] + o);
-            }
             add_factor(fd_index, {FeatureKind::kBundle, t, b, 0}, *score,
-                       std::move(vars));
+                       graph.variable_offsets_[t][b],
+                       bundle.observations.size());
           }
           break;
         }
@@ -111,35 +124,58 @@ Result<FactorGraph> FactorGraph::Compile(const TrackSet& tracks,
             const ObservationBundle& to = track.bundles()[b + 1];
             const std::optional<double> score = score_at(b);
             if (!score.has_value()) continue;
-            std::vector<size_t> vars;
-            for (size_t o = 0; o < from.observations.size(); ++o) {
-              vars.push_back(graph.variable_offsets_[t][b] + o);
-            }
-            for (size_t o = 0; o < to.observations.size(); ++o) {
-              vars.push_back(graph.variable_offsets_[t][b + 1] + o);
-            }
             add_factor(fd_index, {FeatureKind::kTransition, t, b, 0}, *score,
-                       std::move(vars));
+                       graph.variable_offsets_[t][b],
+                       from.observations.size() + to.observations.size());
           }
           break;
         }
         case FeatureKind::kTrack: {
-          if (raw.values.empty()) break;
+          if (raw.empty()) break;
           const std::optional<double> score = score_at(0);
           if (!score.has_value()) break;
-          std::vector<size_t> vars;
+          size_t var_count = 0;
           for (size_t b = 0; b < track.bundles().size(); ++b) {
-            for (size_t o = 0; o < track.bundles()[b].observations.size();
-                 ++o) {
-              vars.push_back(graph.variable_offsets_[t][b] + o);
-            }
+            var_count += track.bundles()[b].observations.size();
           }
           add_factor(fd_index, {FeatureKind::kTrack, t, 0, 0}, *score,
-                     std::move(vars));
+                     graph.variable_offsets_[t][0], var_count);
           break;
         }
       }
     }
+  }
+
+  // Build the variable -> factor CSR adjacency with a counting sort. The
+  // single scratch array lives in a per-thread arena: degree counts turn
+  // into start offsets, the fill pass advances them to end offsets, and
+  // the span pass reads starts back from the previous slot.
+  thread_local Arena arena;
+  arena.Reset();
+  const size_t num_vars = graph.variables_.size();
+  size_t* cursor = arena.AllocateZeroed<size_t>(num_vars);
+  size_t total_edges = 0;
+  for (const FactorNode& factor : graph.factors_) {
+    total_edges += factor.variables.size();
+    for (size_t v : factor.variables) ++cursor[v];
+  }
+  size_t running = 0;
+  for (size_t v = 0; v < num_vars; ++v) {
+    const size_t degree = cursor[v];
+    cursor[v] = running;
+    running += degree;
+  }
+  graph.var_factor_pool_.resize(total_edges);
+  for (size_t f = 0; f < graph.factors_.size(); ++f) {
+    for (size_t v : graph.factors_[f].variables) {
+      graph.var_factor_pool_[cursor[v]++] = f;
+    }
+  }
+  for (size_t v = 0; v < num_vars; ++v) {
+    const size_t end = cursor[v];
+    const size_t start = v == 0 ? 0 : cursor[v - 1];
+    graph.variables_[v].factors = std::span<const size_t>(
+        graph.var_factor_pool_.data() + start, end - start);
   }
   return graph;
 }
@@ -159,33 +195,56 @@ std::optional<size_t> FactorGraph::VariableIndex(size_t track_index,
   return variable_offsets_[track_index][bundle_index] + obs_index;
 }
 
-std::optional<double> FactorGraph::ScoreVariableSet(
-    const std::vector<size_t>& variable_indices, bool normalize) const {
-  std::unordered_set<size_t> seen_factors;
+std::optional<double> FactorGraph::ScoreVariableSpan(
+    std::span<const size_t> variable_indices, bool normalize) const {
+  // Distinct-factor dedup by epoch stamp: one shared per-thread stamp
+  // array, grown to the largest factor count seen, where "stamped this
+  // call" is equality with the call's epoch — no clearing between calls,
+  // no per-call allocation. On epoch wrap the array is zeroed once.
+  thread_local std::vector<uint32_t> stamps;
+  thread_local uint32_t epoch = 0;
+  if (stamps.size() < factors_.size()) stamps.resize(factors_.size(), 0);
+  if (++epoch == 0) {
+    std::fill(stamps.begin(), stamps.end(), 0);
+    epoch = 1;
+  }
   double sum = 0.0;
+  size_t distinct = 0;
   for (size_t v : variable_indices) {
     if (v >= variables_.size()) return std::nullopt;
     for (size_t f : variables_[v].factors) {
-      if (!seen_factors.insert(f).second) continue;
-      sum += std::log(factors_[f].score);
+      if (stamps[f] == epoch) continue;
+      stamps[f] = epoch;
+      sum += factors_[f].log_score;
+      ++distinct;
     }
   }
-  if (seen_factors.empty()) return std::nullopt;
+  if (distinct == 0) return std::nullopt;
   if (!normalize) return sum;
-  return sum / static_cast<double>(seen_factors.size());
+  return sum / static_cast<double>(distinct);
+}
+
+std::optional<double> FactorGraph::ScoreVariableSet(
+    const std::vector<size_t>& variable_indices, bool normalize) const {
+  return ScoreVariableSpan(
+      std::span<const size_t>(variable_indices.data(),
+                              variable_indices.size()),
+      normalize);
 }
 
 std::optional<double> FactorGraph::ScoreTrack(size_t track_index,
                                               bool normalize) const {
   if (track_index >= tracks_.tracks.size()) return std::nullopt;
-  std::vector<size_t> vars;
   const Track& track = tracks_.tracks[track_index];
+  if (track.bundles().empty()) return std::nullopt;
+  size_t var_count = 0;
   for (size_t b = 0; b < track.bundles().size(); ++b) {
-    for (size_t o = 0; o < track.bundles()[b].observations.size(); ++o) {
-      vars.push_back(variable_offsets_[track_index][b] + o);
-    }
+    var_count += track.bundles()[b].observations.size();
   }
-  return ScoreVariableSet(vars, normalize);
+  const size_t first = variable_offsets_[track_index][0];
+  return ScoreVariableSpan(
+      std::span<const size_t>(variable_iota_.data() + first, var_count),
+      normalize);
 }
 
 std::optional<double> FactorGraph::ScoreBundle(size_t track_index,
@@ -193,17 +252,18 @@ std::optional<double> FactorGraph::ScoreBundle(size_t track_index,
   if (track_index >= tracks_.tracks.size()) return std::nullopt;
   const Track& track = tracks_.tracks[track_index];
   if (bundle_index >= track.bundles().size()) return std::nullopt;
-  std::vector<size_t> vars;
-  for (size_t o = 0;
-       o < track.bundles()[bundle_index].observations.size(); ++o) {
-    vars.push_back(variable_offsets_[track_index][bundle_index] + o);
-  }
-  return ScoreVariableSet(vars);
+  const size_t first = variable_offsets_[track_index][bundle_index];
+  return ScoreVariableSpan(
+      std::span<const size_t>(
+          variable_iota_.data() + first,
+          track.bundles()[bundle_index].observations.size()),
+      /*normalize=*/true);
 }
 
 std::optional<double> FactorGraph::ScoreObservation(
     size_t variable_index) const {
-  return ScoreVariableSet({variable_index});
+  return ScoreVariableSpan(std::span<const size_t>(&variable_index, 1),
+                           /*normalize=*/true);
 }
 
 Status FactorGraph::Validate() const {

@@ -10,10 +10,19 @@
 //   - a component's score is the sum over its *distinct* adjacent factors,
 //     normalized by the number of those factors (the paper's worked
 //     example: (ln 0.37 + ln 0.39 + ln 0.21) / 3 = -1.17).
+//
+// Storage is CSR-style (DESIGN.md §11): adjacency lists are spans into two
+// graph-owned pools instead of per-node vectors, because variables are
+// created bundle-major and every element kind covers a contiguous variable
+// range — so compilation allocates a handful of pools per scene instead of
+// one vector per node. The graph is consequently move-only: copying would
+// leave the spans pointing into the source's pools.
 #ifndef FIXY_GRAPH_FACTOR_GRAPH_H_
 #define FIXY_GRAPH_FACTOR_GRAPH_H_
 
+#include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -41,8 +50,9 @@ struct VariableNode {
   size_t track_index = 0;
   size_t bundle_index = 0;
   size_t obs_index = 0;
-  /// Indices into FactorGraph::factors().
-  std::vector<size_t> factors;
+  /// Indices into FactorGraph::factors(), ascending. Points into the
+  /// graph's adjacency pool; valid exactly as long as the graph.
+  std::span<const size_t> factors;
 };
 
 /// A factor node: one feature distribution evaluated on one element.
@@ -52,11 +62,16 @@ struct FactorNode {
   ElementRef element;
   /// Post-AOF likelihood in (0, 1].
   double score = 1.0;
-  /// Indices into FactorGraph::variables().
-  std::vector<size_t> variables;
+  /// ln(score), precomputed once — scoring sums these on every walk.
+  double log_score = 0.0;
+  /// Indices into FactorGraph::variables() — a contiguous ascending range
+  /// (every element kind covers one). Points into the graph's pool; valid
+  /// exactly as long as the graph.
+  std::span<const size_t> variables;
 };
 
-/// A compiled, scored factor graph over one scene's tracks.
+/// A compiled, scored factor graph over one scene's tracks. Move-only (the
+/// node adjacency spans alias graph-owned pools).
 class FactorGraph {
  public:
   /// Compiles `tracks` against `spec`. Every applicable feature is
@@ -65,11 +80,27 @@ class FactorGraph {
   /// applications compiling over the same track set (ScenePass) evaluate
   /// each learned feature once; the caller must keep the cache paired with
   /// this exact track set. Scores are identical with or without a cache.
+  ///
+  /// When `track_mask` is non-null (one entry per track), factors are only
+  /// instantiated for tracks with a nonzero mask — masked-out tracks keep
+  /// their variable nodes but score nullopt. Top-k pruning compiles with
+  /// the mask to skip feature evaluation for tracks that provably cannot
+  /// rank (DESIGN.md §11); for every masked-in track the factors and
+  /// scores are identical to an unmasked compile, because factors never
+  /// span tracks.
+  ///
   /// Errors: InvalidArgument if a track contains an empty bundle.
   static Result<FactorGraph> Compile(const TrackSet& tracks,
                                      const LoaSpec& spec,
                                      double frame_rate_hz,
-                                     FeatureScoreCache* shared_scores = nullptr);
+                                     FeatureScoreCache* shared_scores = nullptr,
+                                     const std::vector<uint8_t>* track_mask =
+                                         nullptr);
+
+  FactorGraph(const FactorGraph&) = delete;
+  FactorGraph& operator=(const FactorGraph&) = delete;
+  FactorGraph(FactorGraph&&) = default;
+  FactorGraph& operator=(FactorGraph&&) = default;
 
   const TrackSet& tracks() const { return tracks_; }
   const std::vector<VariableNode>& variables() const { return variables_; }
@@ -110,12 +141,21 @@ class FactorGraph {
  private:
   FactorGraph() = default;
 
+  /// Shared scoring core; the public entry points adapt to it.
+  std::optional<double> ScoreVariableSpan(std::span<const size_t> variables,
+                                          bool normalize) const;
+
   TrackSet tracks_;
   std::vector<VariableNode> variables_;
   std::vector<FactorNode> factors_;
   /// variable_offsets_[t][b] = variable index of observation 0 in bundle b
   /// of track t.
   std::vector<std::vector<size_t>> variable_offsets_;
+  /// The identity permutation [0, variables_.size()): FactorNode::variables
+  /// spans slice it, since every factor covers a contiguous variable range.
+  std::vector<size_t> variable_iota_;
+  /// CSR pool behind VariableNode::factors, variable-major.
+  std::vector<size_t> var_factor_pool_;
 };
 
 }  // namespace fixy

@@ -7,6 +7,7 @@
 #include "common/macros.h"
 #include "common/string_util.h"
 #include "obs/metrics.h"
+#include "stats/simd.h"
 #include "stats/summary.h"
 
 namespace fixy::stats {
@@ -106,6 +107,10 @@ Result<GaussianKde> GaussianKde::FitWithBandwidth(std::vector<double> samples,
 
 double GaussianKde::Density(double x) const {
   obs::Count("stats.kde_evals");
+  return DensityUncounted(x);
+}
+
+double GaussianKde::DensityUncounted(double x) const {
   // Non-finite queries have zero density by convention; letting them into
   // lower_bound would break the comparator's ordering requirements.
   if (!std::isfinite(x)) return 0.0;
@@ -123,29 +128,37 @@ double GaussianKde::Density(double x) const {
 void GaussianKde::DensityBatch(std::span<const double> xs,
                                std::span<double> out) const {
   FIXY_CHECK(xs.size() == out.size());
-  // NaN queries would make the sort/is_sorted comparators below violate
-  // strict weak ordering; fall back to the guarded scalar path. Finite
-  // inputs (the hot path) pay one linear scan.
-  if (std::any_of(xs.begin(), xs.end(),
-                  [](double x) { return !std::isfinite(x); })) {
-    // Density() counts its own evaluations, so no batch count here.
-    for (size_t i = 0; i < xs.size(); ++i) out[i] = Density(xs[i]);
-    return;
-  }
+  // One batched count per query — the same total the per-query path would
+  // record (non-finite queries count too: Density() counts them).
   obs::Count("stats.kde_evals", xs.size());
-  const bool ascending = std::is_sorted(xs.begin(), xs.end());
   size_t lo = 0;
   size_t hi = 0;
-  if (ascending) {
+  // is_sorted on a NaN-bearing range would violate strict weak ordering,
+  // so the finiteness scan comes first.
+  const bool all_finite = std::all_of(
+      xs.begin(), xs.end(), [](double x) { return std::isfinite(x); });
+  if (all_finite && std::is_sorted(xs.begin(), xs.end())) {
     for (size_t i = 0; i < xs.size(); ++i) {
       out[i] = WindowedSum(xs[i], &lo, &hi) * norm_;
     }
     return;
   }
-  // Unsorted queries: evaluate in value order through an index permutation
-  // so the window still slides monotonically, then scatter back.
-  std::vector<size_t> order(xs.size());
-  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  // Otherwise evaluate the finite queries in value order through an index
+  // permutation so the window still slides monotonically, and give
+  // non-finite queries zero density directly (the Density() convention).
+  // The permutation scratch is reused across calls: feature scoring hits
+  // this path once per (distribution, track), so a fresh allocation per
+  // call was measurable heap churn.
+  thread_local std::vector<size_t> order;
+  order.clear();
+  order.reserve(xs.size());
+  for (size_t i = 0; i < xs.size(); ++i) {
+    if (std::isfinite(xs[i])) {
+      order.push_back(i);
+    } else {
+      out[i] = 0.0;
+    }
+  }
   std::sort(order.begin(), order.end(),
             [&xs](size_t a, size_t b) { return xs[a] < xs[b]; });
   for (size_t idx : order) {
@@ -156,7 +169,7 @@ void GaussianKde::DensityBatch(std::span<const double> xs,
 double GaussianKde::WindowedSum(double x, size_t* lo, size_t* hi) const {
   // Advances [*lo, *hi) to the window of samples within the 8-bandwidth
   // cutoff of `x` — the same bounds lower_bound/upper_bound would find —
-  // then sums the kernels in ascending sample order.
+  // then hands the contiguous window to the dispatched kernel.
   const double cutoff = 8.0 * bandwidth_;
   const double lo_value = x - cutoff;
   const double hi_value = x + cutoff;
@@ -164,12 +177,8 @@ double GaussianKde::WindowedSum(double x, size_t* lo, size_t* hi) const {
   while (*lo < n && samples_[*lo] < lo_value) ++*lo;
   if (*hi < *lo) *hi = *lo;
   while (*hi < n && samples_[*hi] <= hi_value) ++*hi;
-  double sum = 0.0;
-  for (size_t i = *lo; i < *hi; ++i) {
-    const double u = (x - samples_[i]) * inv_bandwidth_;
-    sum += std::exp(-0.5 * u * u);
-  }
-  return sum;
+  return simd::GaussianWindowSum(samples_.data() + *lo, *hi - *lo, x,
+                                 inv_bandwidth_);
 }
 
 std::string GaussianKde::ToString() const {

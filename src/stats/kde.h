@@ -44,6 +44,7 @@ class GaussianKde final : public Distribution {
   void DensityBatch(std::span<const double> xs,
                     std::span<double> out) const override;
   double ModeDensity() const override { return mode_density_; }
+  bool CostlyDensity() const override { return true; }
   std::string ToString() const override;
 
   double bandwidth() const { return bandwidth_; }
@@ -54,8 +55,13 @@ class GaussianKde final : public Distribution {
  private:
   GaussianKde(std::vector<double> samples, double bandwidth);
 
+  /// Density without the stats.kde_evals count — Density and DensityBatch
+  /// each record their own (batched) count exactly once per query.
+  double DensityUncounted(double x) const;
+
   /// Kernel-window sum for queries in ascending order; `lo`/`hi` are the
-  /// sliding window bounds carried across queries.
+  /// sliding window bounds carried across queries. The sum itself runs on
+  /// the dispatched SIMD kernel (stats/simd.h).
   double WindowedSum(double x, size_t* lo, size_t* hi) const;
 
   std::vector<double> samples_;  // sorted ascending

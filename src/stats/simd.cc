@@ -1,0 +1,211 @@
+#include "stats/simd.h"
+
+#include <atomic>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#define FIXY_SIMD_X86 1
+#else
+#define FIXY_SIMD_X86 0
+#endif
+
+namespace fixy::stats::simd {
+
+namespace {
+
+// exp(arg) for arg in roughly [-708, 0] — the Gaussian kernel argument is
+// -0.5*u^2 with |u| <= 8 (the KDE cutoff), so the working range is [-32, 0].
+//
+// Reduction: arg = n*ln2 + r with n = round(arg*log2(e)) captured through
+// the 1.5*2^52 shifter trick, ln2 split hi/lo (Cody-Waite) so r is exact to
+// ~2^-60; |r| <= ln2/2. Core: degree-13 Taylor series in Horner form, every
+// step a fused multiply-add. Reassembly: 2^n built directly in the exponent
+// bits (n >= -1022 always holds here). The scalar and AVX2 versions below
+// perform this exact op sequence — std::fma and vfmadd both round once, so
+// the two paths agree bit-for-bit on every input.
+constexpr double kLog2E = 1.4426950408889634074;
+constexpr double kShifter = 6755399441055744.0;  // 1.5 * 2^52
+constexpr double kLn2Hi = 6.93147180369123816490e-01;
+constexpr double kLn2Lo = 1.90821492927058770002e-10;
+
+constexpr double kC2 = 1.0 / 2.0;
+constexpr double kC3 = 1.0 / 6.0;
+constexpr double kC4 = 1.0 / 24.0;
+constexpr double kC5 = 1.0 / 120.0;
+constexpr double kC6 = 1.0 / 720.0;
+constexpr double kC7 = 1.0 / 5040.0;
+constexpr double kC8 = 1.0 / 40320.0;
+constexpr double kC9 = 1.0 / 362880.0;
+constexpr double kC10 = 1.0 / 3628800.0;
+constexpr double kC11 = 1.0 / 39916800.0;
+constexpr double kC12 = 1.0 / 479001600.0;
+constexpr double kC13 = 1.0 / 6227020800.0;
+
+inline double PolyExp(double arg) {
+  const double t = std::fma(arg, kLog2E, kShifter);
+  const double n_d = t - kShifter;
+  double r = std::fma(n_d, -kLn2Hi, arg);
+  r = std::fma(n_d, -kLn2Lo, r);
+  double p = kC13;
+  p = std::fma(p, r, kC12);
+  p = std::fma(p, r, kC11);
+  p = std::fma(p, r, kC10);
+  p = std::fma(p, r, kC9);
+  p = std::fma(p, r, kC8);
+  p = std::fma(p, r, kC7);
+  p = std::fma(p, r, kC6);
+  p = std::fma(p, r, kC5);
+  p = std::fma(p, r, kC4);
+  p = std::fma(p, r, kC3);
+  p = std::fma(p, r, kC2);
+  p = std::fma(p, r, 1.0);
+  p = std::fma(p, r, 1.0);
+  const int64_t n = static_cast<int64_t>(std::bit_cast<uint64_t>(t)) -
+                    static_cast<int64_t>(std::bit_cast<uint64_t>(kShifter));
+  const double scale =
+      std::bit_cast<double>(static_cast<uint64_t>(n + 1023) << 52);
+  return p * scale;
+}
+
+inline double KernelTerm(double x, double sample, double inv_bandwidth) {
+  const double u = (x - sample) * inv_bandwidth;
+  const double t = u * u;
+  return PolyExp(t * -0.5);
+}
+
+// Both window sums stripe the quads across four lane accumulators
+// (lane j takes elements 4i+j), reduce as (a0+a1)+(a2+a3), then fold the
+// tail in sequentially — the identical association in both paths.
+double WindowSumScalar(const double* samples, size_t n, double x,
+                       double inv_bandwidth) {
+  double acc0 = 0.0, acc1 = 0.0, acc2 = 0.0, acc3 = 0.0;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc0 += KernelTerm(x, samples[i], inv_bandwidth);
+    acc1 += KernelTerm(x, samples[i + 1], inv_bandwidth);
+    acc2 += KernelTerm(x, samples[i + 2], inv_bandwidth);
+    acc3 += KernelTerm(x, samples[i + 3], inv_bandwidth);
+  }
+  double sum = (acc0 + acc1) + (acc2 + acc3);
+  for (; i < n; ++i) {
+    sum += KernelTerm(x, samples[i], inv_bandwidth);
+  }
+  return sum;
+}
+
+#if FIXY_SIMD_X86
+
+__attribute__((target("avx2,fma"))) __m256d PolyExp4(__m256d arg) {
+  const __m256d shifter = _mm256_set1_pd(kShifter);
+  const __m256d t = _mm256_fmadd_pd(arg, _mm256_set1_pd(kLog2E), shifter);
+  const __m256d n_d = _mm256_sub_pd(t, shifter);
+  __m256d r = _mm256_fnmadd_pd(n_d, _mm256_set1_pd(kLn2Hi), arg);
+  r = _mm256_fnmadd_pd(n_d, _mm256_set1_pd(kLn2Lo), r);
+  __m256d p = _mm256_set1_pd(kC13);
+  p = _mm256_fmadd_pd(p, r, _mm256_set1_pd(kC12));
+  p = _mm256_fmadd_pd(p, r, _mm256_set1_pd(kC11));
+  p = _mm256_fmadd_pd(p, r, _mm256_set1_pd(kC10));
+  p = _mm256_fmadd_pd(p, r, _mm256_set1_pd(kC9));
+  p = _mm256_fmadd_pd(p, r, _mm256_set1_pd(kC8));
+  p = _mm256_fmadd_pd(p, r, _mm256_set1_pd(kC7));
+  p = _mm256_fmadd_pd(p, r, _mm256_set1_pd(kC6));
+  p = _mm256_fmadd_pd(p, r, _mm256_set1_pd(kC5));
+  p = _mm256_fmadd_pd(p, r, _mm256_set1_pd(kC4));
+  p = _mm256_fmadd_pd(p, r, _mm256_set1_pd(kC3));
+  p = _mm256_fmadd_pd(p, r, _mm256_set1_pd(kC2));
+  const __m256d one = _mm256_set1_pd(1.0);
+  p = _mm256_fmadd_pd(p, r, one);
+  p = _mm256_fmadd_pd(p, r, one);
+  const __m256i n = _mm256_sub_epi64(_mm256_castpd_si256(t),
+                                     _mm256_castpd_si256(shifter));
+  const __m256d scale = _mm256_castsi256_pd(
+      _mm256_slli_epi64(_mm256_add_epi64(n, _mm256_set1_epi64x(1023)), 52));
+  return _mm256_mul_pd(p, scale);
+}
+
+__attribute__((target("avx2,fma"))) double WindowSumAvx2(
+    const double* samples, size_t n, double x, double inv_bandwidth) {
+  const __m256d xv = _mm256_set1_pd(x);
+  const __m256d inv_bw = _mm256_set1_pd(inv_bandwidth);
+  const __m256d half_neg = _mm256_set1_pd(-0.5);
+  __m256d acc = _mm256_setzero_pd();
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d s = _mm256_loadu_pd(samples + i);
+    const __m256d u = _mm256_mul_pd(_mm256_sub_pd(xv, s), inv_bw);
+    const __m256d t = _mm256_mul_pd(u, u);
+    acc = _mm256_add_pd(acc, PolyExp4(_mm256_mul_pd(t, half_neg)));
+  }
+  double lanes[4];
+  _mm256_storeu_pd(lanes, acc);
+  double sum = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+  for (; i < n; ++i) {
+    sum += KernelTerm(x, samples[i], inv_bandwidth);
+  }
+  return sum;
+}
+
+#endif  // FIXY_SIMD_X86
+
+Kernel DetectKernel() {
+#if FIXY_SIMD_X86
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
+    return Kernel::kAvx2;
+  }
+#endif
+  return Kernel::kScalar;
+}
+
+// -1 = no override; otherwise the pinned Kernel value.
+std::atomic<int> g_kernel_override{-1};
+
+}  // namespace
+
+Kernel ActiveKernel() {
+  const int override_value =
+      g_kernel_override.load(std::memory_order_relaxed);
+  if (override_value >= 0) return static_cast<Kernel>(override_value);
+  static const Kernel detected = DetectKernel();
+  return detected;
+}
+
+bool KernelAvailable(Kernel kernel) {
+  if (kernel == Kernel::kScalar) return true;
+  return DetectKernel() == kernel;
+}
+
+bool SetKernelForTesting(Kernel kernel) {
+  if (!KernelAvailable(kernel)) return false;
+  g_kernel_override.store(static_cast<int>(kernel),
+                          std::memory_order_relaxed);
+  return true;
+}
+
+void ClearKernelOverrideForTesting() {
+  g_kernel_override.store(-1, std::memory_order_relaxed);
+}
+
+const char* KernelName(Kernel kernel) {
+  switch (kernel) {
+    case Kernel::kScalar:
+      return "scalar";
+    case Kernel::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+double GaussianWindowSum(const double* samples, size_t n, double x,
+                         double inv_bandwidth) {
+#if FIXY_SIMD_X86
+  if (ActiveKernel() == Kernel::kAvx2) {
+    return WindowSumAvx2(samples, n, x, inv_bandwidth);
+  }
+#endif
+  return WindowSumScalar(samples, n, x, inv_bandwidth);
+}
+
+}  // namespace fixy::stats::simd

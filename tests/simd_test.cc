@@ -1,0 +1,250 @@
+// SIMD-vs-scalar equality tests for the KDE hot-path kernel (DESIGN.md
+// §11). The dispatch contract is *bit* identity: every comparison here is
+// EXPECT_EQ on doubles, no tolerances. Randomized sweeps cover the lane
+// remainders (n mod 4) and unaligned windows; the adversarial cases pin
+// the known numerical edges — cutoff boundaries, the minimum bandwidth,
+// huge sample counts, empty windows, and non-finite queries.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <optional>
+#include <random>
+#include <vector>
+
+#include "stats/kde.h"
+#include "stats/simd.h"
+
+namespace fixy::stats {
+namespace {
+
+namespace simd = ::fixy::stats::simd;
+
+// Runs `fn` once per kernel and returns the per-kernel results, or nullopt
+// when the CPU has no second kernel to compare against.
+template <typename Fn>
+std::optional<std::pair<std::vector<double>, std::vector<double>>>
+RunUnderBothKernels(Fn&& fn) {
+  if (!simd::KernelAvailable(simd::Kernel::kAvx2)) return std::nullopt;
+  EXPECT_TRUE(simd::SetKernelForTesting(simd::Kernel::kScalar));
+  std::vector<double> scalar = fn();
+  EXPECT_TRUE(simd::SetKernelForTesting(simd::Kernel::kAvx2));
+  std::vector<double> avx2 = fn();
+  simd::ClearKernelOverrideForTesting();
+  return std::make_pair(std::move(scalar), std::move(avx2));
+}
+
+void ExpectBitIdentical(const std::vector<double>& scalar,
+                        const std::vector<double>& avx2) {
+  ASSERT_EQ(scalar.size(), avx2.size());
+  for (size_t i = 0; i < scalar.size(); ++i) {
+    EXPECT_EQ(scalar[i], avx2[i]) << "element " << i;
+  }
+}
+
+class SimdKernelTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!simd::KernelAvailable(simd::Kernel::kAvx2)) {
+      GTEST_SKIP() << "no AVX2 on this CPU; nothing to compare";
+    }
+  }
+  void TearDown() override { simd::ClearKernelOverrideForTesting(); }
+};
+
+TEST(SimdDispatchTest, OverrideRoundTrips) {
+  EXPECT_TRUE(simd::KernelAvailable(simd::Kernel::kScalar));
+  EXPECT_TRUE(simd::SetKernelForTesting(simd::Kernel::kScalar));
+  EXPECT_EQ(simd::ActiveKernel(), simd::Kernel::kScalar);
+  simd::ClearKernelOverrideForTesting();
+  if (simd::KernelAvailable(simd::Kernel::kAvx2)) {
+    EXPECT_TRUE(simd::SetKernelForTesting(simd::Kernel::kAvx2));
+    EXPECT_EQ(simd::ActiveKernel(), simd::Kernel::kAvx2);
+    simd::ClearKernelOverrideForTesting();
+  }
+  EXPECT_STREQ(simd::KernelName(simd::Kernel::kScalar), "scalar");
+  EXPECT_STREQ(simd::KernelName(simd::Kernel::kAvx2), "avx2");
+}
+
+TEST_F(SimdKernelTest, RandomizedWindowSumsAreBitIdentical) {
+  std::mt19937_64 rng(20260808);
+  std::uniform_real_distribution<double> value(-50.0, 50.0);
+  std::uniform_real_distribution<double> bw(1e-3, 10.0);
+  // Window lengths sweep every lane remainder and both the sub-lane and
+  // multi-lane regimes.
+  for (const size_t n : {size_t{0}, size_t{1}, size_t{2}, size_t{3},
+                         size_t{4}, size_t{5}, size_t{7}, size_t{8},
+                         size_t{9}, size_t{31}, size_t{64}, size_t{257}}) {
+    for (int rep = 0; rep < 8; ++rep) {
+      std::vector<double> samples(n);
+      for (double& s : samples) s = value(rng);
+      const double x = value(rng);
+      const double inv_bw = 1.0 / bw(rng);
+      const auto runs = RunUnderBothKernels([&] {
+        return std::vector<double>{
+            simd::GaussianWindowSum(samples.data(), n, x, inv_bw)};
+      });
+      ASSERT_TRUE(runs.has_value());
+      ExpectBitIdentical(runs->first, runs->second);
+    }
+  }
+}
+
+TEST_F(SimdKernelTest, RandomizedDensitiesAreBitIdentical) {
+  std::mt19937_64 rng(7);
+  std::normal_distribution<double> sample(0.0, 3.0);
+  for (const size_t n : {size_t{1}, size_t{13}, size_t{200}, size_t{1000}}) {
+    std::vector<double> samples(n);
+    for (double& s : samples) s = sample(rng);
+    std::vector<double> queries(337);
+    for (double& q : queries) q = sample(rng);
+    const auto runs = RunUnderBothKernels([&] {
+      // Fit under the pinned kernel too: the constructor's mode scan runs
+      // the kernel, so mode_density_ must also be dispatch-invariant.
+      auto kde = GaussianKde::Fit(samples);
+      EXPECT_TRUE(kde.ok());
+      std::vector<double> out(queries.size());
+      kde->DensityBatch(queries, out);
+      out.push_back(kde->ModeDensity());
+      for (double q : queries) out.push_back(kde->NormalizedScore(q));
+      return out;
+    });
+    ASSERT_TRUE(runs.has_value());
+    ExpectBitIdentical(runs->first, runs->second);
+  }
+}
+
+TEST_F(SimdKernelTest, CutoffBoundaryQueriesAreBitIdentical) {
+  // Queries sitting exactly on (and one ULP to either side of) the
+  // 8-bandwidth cutoff: the window-advance comparisons `< lo_value` /
+  // `<= hi_value` flip at these points, so both kernels must agree on
+  // windows of length 0, 1, and n.
+  const double h = 0.25;
+  const std::vector<double> samples = {-1.0, -0.5, 0.0, 0.5, 1.0};
+  auto kde = GaussianKde::FitWithBandwidth(samples, h);
+  ASSERT_TRUE(kde.ok());
+  std::vector<double> queries;
+  for (double s : samples) {
+    for (double edge : {s - 8.0 * h, s + 8.0 * h}) {
+      queries.push_back(std::nextafter(edge, -1e300));
+      queries.push_back(edge);
+      queries.push_back(std::nextafter(edge, 1e300));
+    }
+  }
+  const auto runs = RunUnderBothKernels([&] {
+    std::vector<double> out;
+    for (double q : queries) out.push_back(kde->Density(q));
+    std::vector<double> batch(queries.size());
+    kde->DensityBatch(queries, batch);
+    out.insert(out.end(), batch.begin(), batch.end());
+    return out;
+  });
+  ASSERT_TRUE(runs.has_value());
+  ExpectBitIdentical(runs->first, runs->second);
+  // Per-query and batch evaluation agree with themselves per kernel.
+  const size_t half = queries.size();
+  for (size_t i = 0; i < half; ++i) {
+    EXPECT_EQ(runs->first[i], runs->first[half + i]) << "query " << i;
+  }
+}
+
+TEST_F(SimdKernelTest, MinimumBandwidthIsBitIdentical) {
+  // The smallest bandwidth FitWithBandwidth admits (1e-6): inv_bandwidth
+  // is 1e6 and kernel arguments swing across the full [-32, 0] range
+  // within a few microns of a sample, stressing the exp approximation's
+  // reduction constants.
+  const std::vector<double> samples = {0.0, 1e-7, 2e-7, 5e-7, 1e-6, 2e-6};
+  auto kde = GaussianKde::FitWithBandwidth(samples, 1e-6);
+  ASSERT_TRUE(kde.ok());
+  std::vector<double> queries;
+  for (int i = -40; i <= 40; ++i) {
+    queries.push_back(static_cast<double>(i) * 1e-7);
+  }
+  const auto runs = RunUnderBothKernels([&] {
+    std::vector<double> out(queries.size());
+    kde->DensityBatch(queries, out);
+    return out;
+  });
+  ASSERT_TRUE(runs.has_value());
+  ExpectBitIdentical(runs->first, runs->second);
+  EXPECT_GT(runs->first[40], 0.0);  // query 0.0 sits on a sample
+}
+
+TEST_F(SimdKernelTest, HugeSampleCountIsBitIdentical) {
+  // Large windows exercise long accumulation chains where any reassociation
+  // between the kernels would compound: 20k clustered samples with a pinned
+  // bandwidth give ~2000-element windows (the fitted-bandwidth mode scan
+  // over more samples than this is too slow for a unit test in scalar).
+  std::mt19937_64 rng(99);
+  std::uniform_real_distribution<double> value(0.0, 1.0);
+  std::vector<double> samples(20000);
+  for (double& s : samples) s = value(rng);
+  std::vector<double> queries(128);
+  for (double& q : queries) q = value(rng);
+  const auto runs = RunUnderBothKernels([&] {
+    auto kde = GaussianKde::FitWithBandwidth(samples, 0.00625);
+    EXPECT_TRUE(kde.ok());
+    std::vector<double> out(queries.size());
+    kde->DensityBatch(queries, out);
+    return out;
+  });
+  ASSERT_TRUE(runs.has_value());
+  ExpectBitIdentical(runs->first, runs->second);
+  for (double d : runs->first) EXPECT_GT(d, 0.0);
+}
+
+TEST_F(SimdKernelTest, EmptyWindowsAndNonFiniteQueriesAreZero) {
+  const std::vector<double> samples = {0.0, 0.1, 0.2};
+  auto kde = GaussianKde::FitWithBandwidth(samples, 0.01);
+  ASSERT_TRUE(kde.ok());
+  const double inf = std::numeric_limits<double>::infinity();
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  // Far-away, infinite, and NaN queries all have zero density; the batch
+  // path partitions the non-finite ones out before sorting.
+  const std::vector<double> queries = {1e9, -1e9, inf, -inf, nan, 0.1};
+  const auto runs = RunUnderBothKernels([&] {
+    std::vector<double> out(queries.size());
+    kde->DensityBatch(queries, out);
+    out.push_back(simd::GaussianWindowSum(samples.data(), 0, 0.0, 1.0));
+    for (double q : queries) out.push_back(kde->Density(q));
+    return out;
+  });
+  ASSERT_TRUE(runs.has_value());
+  ExpectBitIdentical(runs->first, runs->second);
+  const std::vector<double>& out = runs->first;
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(out[i], 0.0) << "query " << i;
+    EXPECT_EQ(out[7 + i], 0.0) << "per-query " << i;  // Density() agrees
+  }
+  EXPECT_GT(out[5], 0.0);        // the one in-range query
+  EXPECT_EQ(out[6], 0.0);        // n == 0 window sums to zero
+  EXPECT_EQ(out[12], out[5]);    // batch == per-query on the finite one
+}
+
+TEST_F(SimdKernelTest, UnsortedBatchesAreBitIdentical) {
+  std::mt19937_64 rng(123);
+  std::normal_distribution<double> sample(0.0, 1.0);
+  std::vector<double> samples(500);
+  for (double& s : samples) s = sample(rng);
+  auto kde = GaussianKde::Fit(samples);
+  ASSERT_TRUE(kde.ok());
+  // Deliberately unsorted with duplicates: the permutation path must give
+  // the same windows (and therefore bits) as sorted evaluation.
+  std::vector<double> queries(211);
+  for (double& q : queries) q = sample(rng);
+  queries[10] = queries[100];
+  queries[50] = queries[0];
+  const auto runs = RunUnderBothKernels([&] {
+    std::vector<double> out(queries.size());
+    kde->DensityBatch(queries, out);
+    return out;
+  });
+  ASSERT_TRUE(runs.has_value());
+  ExpectBitIdentical(runs->first, runs->second);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(runs->first[i], kde->Density(queries[i])) << "query " << i;
+  }
+}
+
+}  // namespace
+}  // namespace fixy::stats

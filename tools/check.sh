@@ -1,13 +1,15 @@
 #!/usr/bin/env bash
 # Full verification sweep: the plain tier-1 build + test run, then the
-# same suite under AddressSanitizer and ThreadSanitizer (separate build
-# trees; the FIXY_SANITIZE CMake option instruments every target).
+# same suite under AddressSanitizer, ThreadSanitizer, and UBSan (separate
+# build trees; the FIXY_SANITIZE CMake option instruments every target).
 #
 # Usage:
-#   tools/check.sh            # plain + asan + tsan + metrics
+#   tools/check.sh            # plain + asan + tsan + ubsan + metrics
+#                             # + cache + multiapp + perf
 #   tools/check.sh plain      # just the tier-1 build/test
 #   tools/check.sh address    # just the asan build/test
 #   tools/check.sh thread     # just the tsan build/test
+#   tools/check.sh undefined  # just the ubsan build/test
 #   tools/check.sh metrics    # end-to-end metrics sweep: every value
 #                             # finite/non-negative, counters identical
 #                             # across thread counts, schema key set
@@ -21,6 +23,11 @@
 #                             # runs, one track build per scene (not per
 #                             # app), per-app metrics keys vs the golden,
 #                             # and the multiapp tests under asan + tsan
+#   tools/check.sh perf       # perf-regression gate: re-run the hot-path
+#                             # throughput bench and fail if any scenes/sec
+#                             # row drops below the tolerance band of the
+#                             # committed BENCH_hotpath.json (see
+#                             # FIXY_PERF_TOLERANCE, default 0.75)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -263,6 +270,23 @@ PYEOF
   echo "==== multiapp: OK ===="
 }
 
+run_perf_gate() {
+  echo "==== perf: build bench_throughput ===="
+  cmake -B build -S .
+  cmake --build build -j "${JOBS}" --target bench_throughput
+  local bench="build/bench/bench_throughput"
+  [ -x "${bench}" ] || bench="$(find build -name bench_throughput -type f | head -1)"
+  [ -f BENCH_hotpath.json ] \
+      || { echo "perf gate FAILED: BENCH_hotpath.json not committed" >&2
+           return 1; }
+  echo "==== perf: re-measure vs committed BENCH_hotpath.json ===="
+  # The filter matches no google-benchmark; only the hot-path measurement
+  # and the baseline diff run. A regression exits non-zero.
+  "${bench}" --benchmark_filter=NothingMatchesThis \
+      --hotpath-baseline BENCH_hotpath.json
+  echo "==== perf: OK ===="
+}
+
 mode="${1:-all}"
 case "${mode}" in
   plain)
@@ -271,21 +295,27 @@ case "${mode}" in
     run_suite "asan" build-asan -DFIXY_SANITIZE=address ;;
   thread)
     run_suite "tsan" build-tsan -DFIXY_SANITIZE=thread ;;
+  undefined)
+    run_suite "ubsan" build-ubsan -DFIXY_SANITIZE=undefined ;;
   metrics)
     run_metrics_sweep ;;
   cache)
     run_cache_sweep ;;
   multiapp)
     run_multiapp_sweep ;;
+  perf)
+    run_perf_gate ;;
   all)
     run_suite "plain" build
     run_suite "asan" build-asan -DFIXY_SANITIZE=address
     run_suite "tsan" build-tsan -DFIXY_SANITIZE=thread
+    run_suite "ubsan" build-ubsan -DFIXY_SANITIZE=undefined
     run_metrics_sweep
     run_cache_sweep
-    run_multiapp_sweep ;;
+    run_multiapp_sweep
+    run_perf_gate ;;
   *)
-    echo "usage: $0 [plain|address|thread|metrics|cache|multiapp|all]" >&2
+    echo "usage: $0 [plain|address|thread|undefined|metrics|cache|multiapp|perf|all]" >&2
     exit 2 ;;
 esac
 echo "all requested suites passed"

@@ -6,7 +6,7 @@
 //   learn     --data DIR --model FILE [--estimator kde|histogram|gaussian]
 //             Learn feature distributions from DIR's labels; save to FILE.
 //   rank      --data DIR --model FILE
-//             [--app NAME | --apps a,b,c|all] [--top K]
+//             [--app NAME | --apps a,b,c|all] [--top K] [--top-k K]
 //             [--threads N] [--metrics-json FILE] [--verbose-metrics]
 //             Rank potential errors in every scene of DIR, fanning scenes
 //             out across N worker threads (0 = hardware concurrency).
@@ -16,6 +16,10 @@
 //             applications from ONE pass over the dataset — each scene is
 //             decoded and associated once, and every app scores the shared
 //             track set. Per-app results are byte-identical to solo runs.
+//             --top-k K enables per-class top-k pruning (DESIGN.md §11):
+//             applications that opt in skip compiling tracks that provably
+//             cannot enter any scene's per-class top k; their surviving
+//             proposals match the unpruned run exactly.
 //             When DIR holds a fresh dataset.fxb cache (see `cache`),
 //             scenes stream from it — decode overlapped with ranking —
 //             instead of re-parsing JSON; --no-cache opts out.
@@ -341,6 +345,11 @@ Status CmdRank(const Flags& flags) {
   // lives in one registry; --app/--apps resolve against it, so the
   // unknown-app error lists exactly what is registered.
   FixyOptions fixy_options;
+  FIXY_ASSIGN_OR_RETURN(fixy_options.application.top_k_per_class,
+                        flags.GetIntOr("top-k", 0));
+  if (fixy_options.application.top_k_per_class < 0) {
+    return Status::InvalidArgument("--top-k must be >= 0");
+  }
   fixy_options.extra_applications.push_back(SuspectTracksApp());
   Fixy fixy(std::move(fixy_options));
   FIXY_RETURN_IF_ERROR(fixy.LoadModel(model_path));
@@ -374,6 +383,7 @@ Status CmdRank(const Flags& flags) {
       obs::AddTimeNs("rank." + name + ".compile", 0);
       obs::Count("rank." + name + ".factors", 0);
       obs::Count("rank." + name + ".proposals", 0);
+      obs::Count("rank." + name + ".pruned_tracks", 0);
     }
   }
 
@@ -561,6 +571,8 @@ void PrintUsage() {
       "           [--apps a,b,c|all] rank several registered applications\n"
       "           from one pass (scenes decoded and associated once); with\n"
       "           --out each app writes FILE.<app>.json\n"
+      "           [--top-k K]    per-class top-k pruning (0 = off); pruned\n"
+      "           apps skip tracks that cannot enter any scene's top k\n"
       "           [--threads N]  (0 = hardware concurrency)\n"
       "           [--keep-going] skip corrupt scene files and quarantine\n"
       "           failing scenes (exit non-zero only when all scenes fail);\n"
