@@ -24,6 +24,8 @@
 #include "json/json.h"
 #include "obs/metrics.h"
 #include "obs/metrics_json.h"
+#include "shard/checkpoint.h"
+#include "shard/coordinator.h"
 #include "stats/simd.h"
 #include "workloads.h"
 
@@ -551,18 +553,206 @@ Status RunHotpathBench(const std::string& out_path,
   return Status::Ok();
 }
 
+// ---- Sharded ranking benchmark + perf gate (--shard-json, --shard-baseline) --
+//
+// Measures the multi-process sharded rank pipeline (DESIGN.md §12) over
+// the same 64-scene dataset: wall seconds of RankDatasetSharded at 1/2/4
+// workers, "cold" (empty checkpoint directory — every shard forked,
+// ranked, checkpointed) vs "resumed" (--resume over a complete checkpoint
+// directory — every shard reused, no worker forked). The cold rows
+// quantify process-orchestration overhead vs the in-process hotpath
+// numbers; the resumed rows bound the fixed cost of a no-op resume. The
+// gate (--shard-baseline) compares cold rows only — resumed runs are
+// mostly constant-time checkpoint decode and too small to band reliably.
+// The worker binary defaults to the build-time fixy_cli path; override
+// with --shard-cli when benching an installed binary.
+
+constexpr int kShardWorkerCounts[] = {1, 2, 4};
+
+Result<json::Object> MeasureShard(const std::string& cli_path) {
+  const TrainedPipeline& pipeline = LyftPipeline();
+  const Dataset& dataset = LyftDataset();
+  const double scenes = static_cast<double>(dataset.scenes.size());
+  const std::vector<std::string> apps = {"missing-tracks", "missing-obs",
+                                         "model-errors"};
+
+  const std::string work =
+      (std::filesystem::temp_directory_path() / "fixy_bench_shard").string();
+  std::filesystem::remove_all(work);
+  const std::string data_dir = work + "/ds";
+  const std::string model_path = work + "/model.fxm";
+  FIXY_RETURN_IF_ERROR(io::SaveDataset(dataset, data_dir));
+  FIXY_ASSIGN_OR_RETURN(const size_t cached, io::BuildFxbCache(data_dir));
+  if (cached != dataset.scenes.size()) {
+    return Status::Internal("cache scene count mismatch");
+  }
+  FIXY_RETURN_IF_ERROR(pipeline.fixy.SaveModel(model_path));
+
+  json::Array rows;
+  std::string reference_bytes;
+  for (const int workers : kShardWorkerCounts) {
+    shard::ShardOptions options;
+    options.workers = workers;
+    options.worker_binary = cli_path;
+    options.checkpoint_dir = work + "/ckpt_w" + std::to_string(workers);
+
+    struct {
+      const char* phase;
+      bool resume;
+    } phases[] = {{"cold", false}, {"resumed", true}};
+    for (const auto& phase : phases) {
+      options.resume = phase.resume;
+      const auto start = std::chrono::steady_clock::now();
+      FIXY_ASSIGN_OR_RETURN(
+          const shard::ShardRunReport run,
+          shard::RankDatasetSharded(data_dir, model_path, apps, options));
+      const std::chrono::duration<double> elapsed =
+          std::chrono::steady_clock::now() - start;
+      if (run.shards_quarantined != 0) {
+        return Status::Internal(
+            StrFormat("shard bench: %zu shards quarantined at workers=%d",
+                      run.shards_quarantined, workers));
+      }
+      // Determinism backstop: every run — any worker count, cold or
+      // resumed — must merge to the same canonical report bytes.
+      const std::string bytes = shard::EncodeMultiAppReport(run.merged);
+      if (reference_bytes.empty()) {
+        reference_bytes = bytes;
+      } else if (bytes != reference_bytes) {
+        return Status::Internal(StrFormat(
+            "shard bench: merged report at workers=%d (%s) differs from "
+            "the first run — determinism broken",
+            workers, phase.phase));
+      }
+      json::Object row;
+      row["phase"] = phase.phase;
+      row["workers"] = static_cast<double>(workers);
+      row["seconds"] = elapsed.count();
+      row["scenes_per_sec"] = scenes / elapsed.count();
+      row["checkpoints_reused"] = static_cast<double>(run.checkpoints_reused);
+      rows.push_back(std::move(row));
+      std::printf("shard %-7s workers=%d  %7.2f s  %7.1f scenes/s  "
+                  "(%zu checkpoints reused)\n",
+                  phase.phase, workers, elapsed.count(),
+                  scenes / elapsed.count(), run.checkpoints_reused);
+    }
+  }
+
+  json::Object doc;
+  doc["bench"] = "shard";
+  doc["scenes"] = scenes;
+  json::Array app_names;
+  for (const std::string& app : apps) app_names.push_back(app);
+  doc["apps"] = std::move(app_names);
+  doc["results"] = std::move(rows);
+  std::filesystem::remove_all(work);
+  return doc;
+}
+
+Status CheckShardBaseline(const json::Object& fresh,
+                          const std::string& baseline_path) {
+  std::string text;
+  FIXY_RETURN_IF_ERROR(io::ReadFileInto(baseline_path, &text));
+  FIXY_ASSIGN_OR_RETURN(const json::Value baseline, json::Parse(text));
+  const json::Value* rows = baseline.Find("results");
+  if (rows == nullptr || !rows->is_array()) {
+    return Status::InvalidArgument(baseline_path +
+                                   ": no results array (not a shard file?)");
+  }
+  const double tolerance = HotpathTolerance();
+  const json::Array& fresh_rows = fresh.at("results").AsArray();
+  size_t compared = 0;
+  for (const json::Value& row : rows->AsArray()) {
+    FIXY_ASSIGN_OR_RETURN(const std::string phase, row.GetString("phase"));
+    if (phase != "cold") continue;  // resumed rows are too small to band
+    FIXY_ASSIGN_OR_RETURN(const double workers, row.GetDouble("workers"));
+    FIXY_ASSIGN_OR_RETURN(const double committed,
+                          row.GetDouble("scenes_per_sec"));
+    const json::Value* match = nullptr;
+    for (const json::Value& candidate : fresh_rows) {
+      if (candidate.GetString("phase").value_or("") == phase &&
+          candidate.GetDouble("workers").value_or(-1.0) == workers) {
+        match = &candidate;
+        break;
+      }
+    }
+    if (match == nullptr) {
+      return Status::Internal(StrFormat(
+          "shard perf gate: committed row (cold, workers=%g) missing from "
+          "the fresh measurement",
+          workers));
+    }
+    FIXY_ASSIGN_OR_RETURN(const double measured,
+                          match->GetDouble("scenes_per_sec"));
+    const double floor = tolerance * committed;
+    const bool ok = measured >= floor;
+    std::printf("shard gate cold workers=%g  %7.1f scenes/s vs committed "
+                "%7.1f (floor %7.1f)  %s\n",
+                workers, measured, committed, floor, ok ? "OK" : "REGRESSION");
+    if (!ok) {
+      return Status::Internal(StrFormat(
+          "shard perf regression: cold workers=%g ran at %.1f scenes/s, "
+          "below %.0f%% of the committed %.1f (see BENCH_shard.json; if the "
+          "slowdown is intentional, re-baseline with --shard-json)",
+          workers, measured, tolerance * 100.0, committed));
+    }
+    ++compared;
+  }
+  if (compared == 0) {
+    return Status::InvalidArgument(baseline_path + ": no cold rows");
+  }
+  std::printf("shard perf gate OK: %zu cold rows within %.0f%% of "
+              "committed\n",
+              compared, tolerance * 100.0);
+  return Status::Ok();
+}
+
+Status RunShardBench(const std::string& out_path,
+                     const std::string& baseline_path,
+                     const std::string& cli_override) {
+  std::string cli = cli_override;
+#ifdef FIXY_CLI_PATH
+  if (cli.empty()) cli = FIXY_CLI_PATH;
+#endif
+  if (cli.empty()) {
+    return Status::InvalidArgument(
+        "--shard-json/--shard-baseline need a worker binary: pass "
+        "--shard-cli <path-to-fixy_cli>");
+  }
+  FIXY_ASSIGN_OR_RETURN(json::Object doc, MeasureShard(cli));
+  if (!out_path.empty()) {
+    const std::string text = json::Write(doc, /*pretty=*/true);
+    std::FILE* out = std::fopen(out_path.c_str(), "w");
+    if (out == nullptr) {
+      return Status::IoError("cannot open for writing: " + out_path);
+    }
+    std::fwrite(text.data(), 1, text.size(), out);
+    std::fputc('\n', out);
+    std::fclose(out);
+    std::printf("wrote shard benchmark to %s\n", out_path.c_str());
+  }
+  if (!baseline_path.empty()) {
+    FIXY_RETURN_IF_ERROR(CheckShardBaseline(doc, baseline_path));
+  }
+  return Status::Ok();
+}
+
 }  // namespace
 }  // namespace fixy::bench
 
 // BENCHMARK_MAIN plus --metrics-json, --ingest-json, --multiapp-json,
-// --hotpath-json, and --hotpath-baseline flags, peeled from argv before
-// google-benchmark sees them (it rejects flags it does not know).
+// --hotpath-json/--hotpath-baseline, and --shard-json/--shard-baseline/
+// --shard-cli flags, peeled from argv before google-benchmark sees them
+// (it rejects flags it does not know).
 int main(int argc, char** argv) {
   std::string metrics_path;
   std::string ingest_path;
   std::string multiapp_path;
   std::string hotpath_path;
   std::string hotpath_baseline;
+  std::string shard_path;
+  std::string shard_baseline;
+  std::string shard_cli;
   int kept = 1;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -606,6 +796,30 @@ int main(int argc, char** argv) {
       hotpath_baseline = argv[++i];
       continue;
     }
+    if (std::strncmp(arg, "--shard-json=", 13) == 0) {
+      shard_path = arg + 13;
+      continue;
+    }
+    if (std::strcmp(arg, "--shard-json") == 0 && i + 1 < argc) {
+      shard_path = argv[++i];
+      continue;
+    }
+    if (std::strncmp(arg, "--shard-baseline=", 17) == 0) {
+      shard_baseline = arg + 17;
+      continue;
+    }
+    if (std::strcmp(arg, "--shard-baseline") == 0 && i + 1 < argc) {
+      shard_baseline = argv[++i];
+      continue;
+    }
+    if (std::strncmp(arg, "--shard-cli=", 12) == 0) {
+      shard_cli = arg + 12;
+      continue;
+    }
+    if (std::strcmp(arg, "--shard-cli") == 0 && i + 1 < argc) {
+      shard_cli = argv[++i];
+      continue;
+    }
     argv[kept++] = argv[i];
   }
   argc = kept;
@@ -639,6 +853,14 @@ int main(int argc, char** argv) {
   if (!hotpath_path.empty() || !hotpath_baseline.empty()) {
     const fixy::Status status =
         fixy::bench::RunHotpathBench(hotpath_path, hotpath_baseline);
+    if (!status.ok()) {
+      std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+      return 1;
+    }
+  }
+  if (!shard_path.empty() || !shard_baseline.empty()) {
+    const fixy::Status status =
+        fixy::bench::RunShardBench(shard_path, shard_baseline, shard_cli);
     if (!status.ok()) {
       std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
       return 1;

@@ -6,6 +6,7 @@
 #ifndef FIXY_COMMON_BOUNDED_QUEUE_H_
 #define FIXY_COMMON_BOUNDED_QUEUE_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <mutex>
@@ -52,6 +53,33 @@ class BoundedQueue {
     lock.unlock();
     not_full_.notify_one();
     return item;
+  }
+
+  /// What PopWithTimeout observed.
+  enum class PopStatus {
+    kItem,     ///< `item` was filled.
+    kClosed,   ///< closed and drained — no item will ever arrive.
+    kTimeout,  ///< still open but nothing arrived within the deadline.
+  };
+
+  /// Pop with a deadline: blocks at most `timeout_ms` for an item, filled
+  /// into `*item` (an optional, so T need not be default-constructible).
+  /// The tri-state result distinguishes a drained-and-closed queue
+  /// (normal end of stream) from a live queue whose producers have gone
+  /// silent — the caller can surface the latter as an error instead of
+  /// hanging forever on a wedged producer thread.
+  PopStatus PopWithTimeout(int timeout_ms, std::optional<T>* item) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    const bool ready = not_empty_.wait_for(
+        lock, std::chrono::milliseconds(timeout_ms),
+        [this] { return closed_ || !items_.empty(); });
+    if (!ready) return PopStatus::kTimeout;
+    if (items_.empty()) return PopStatus::kClosed;  // closed and drained
+    item->emplace(std::move(items_.front()));
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return PopStatus::kItem;
   }
 
   /// Marks the queue closed. Idempotent. Items already queued remain

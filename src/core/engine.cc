@@ -1,8 +1,11 @@
 #include "core/engine.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <future>
+#include <iterator>
+#include <memory>
 #include <optional>
 #include <utility>
 
@@ -25,6 +28,43 @@ const char* ApplicationName(Application app) {
       return "model-errors";
   }
   return "unknown";
+}
+
+Status AppendShardReport(MultiAppReport& into, MultiAppReport&& part) {
+  if (into.apps.empty() && into.reports.empty()) {
+    into.apps = std::move(part.apps);
+    into.reports.resize(into.apps.size());
+  } else if (into.apps != part.apps) {
+    return Status::InvalidArgument(
+        "cannot merge shard reports ranked with different applications");
+  }
+  if (part.reports.size() != into.reports.size()) {
+    return Status::InvalidArgument(
+        "shard report has a different per-app report count");
+  }
+  for (size_t a = 0; a < into.reports.size(); ++a) {
+    std::vector<SceneOutcome>& dst = into.reports[a].outcomes;
+    std::vector<SceneOutcome>& src = part.reports[a].outcomes;
+    dst.insert(dst.end(), std::make_move_iterator(src.begin()),
+               std::make_move_iterator(src.end()));
+  }
+  return Status::Ok();
+}
+
+void RecomputeReportSummary(MultiAppReport& report) {
+  for (BatchReport& batch : report.reports) {
+    batch.scenes_ok = 0;
+    batch.scenes_failed = 0;
+    batch.scenes_quarantined = 0;
+    for (const SceneOutcome& outcome : batch.outcomes) {
+      if (outcome.ok()) {
+        ++batch.scenes_ok;
+      } else {
+        ++batch.scenes_failed;
+        ++batch.scenes_quarantined;
+      }
+    }
+  }
 }
 
 Fixy::Fixy(FixyOptions options)
@@ -352,7 +392,6 @@ Result<MultiAppReport> Fixy::RankDatasetStreaming(
   // one by the worker that ranks it — merged back in dataset order, so
   // every counter total is byte-identical at any decode/rank thread
   // combination (same scheme as RankDataset).
-  std::vector<obs::PipelineMetrics> decode_metrics(collect ? scene_count : 0);
   std::vector<obs::PipelineMetrics> scene_metrics(collect ? scene_count : 0);
 
   const int rank_threads = ThreadPool::ResolveThreadCount(batch.num_threads);
@@ -368,16 +407,53 @@ Result<MultiAppReport> Fixy::RankDatasetStreaming(
     size_t index;
     Result<Scene> scene;
   };
-  BoundedQueue<WorkItem> queue(queue_capacity);
+  const int stall_ms = stream.stall_timeout_ms;
+  // Everything a decode task touches after a stall abort must live on the
+  // heap, shared with the task: if the run is declared stalled, the
+  // decode pool is abandoned un-joined and its threads may still run.
+  // (`source` is the one caller-owned exception — see StreamOptions.)
+  struct StreamContext {
+    explicit StreamContext(size_t capacity, size_t metric_slots)
+        : queue(capacity), decode_metrics(metric_slots) {}
+    BoundedQueue<WorkItem> queue;
+    std::vector<obs::PipelineMetrics> decode_metrics;
+    std::atomic<bool> cancelled{false};
+    std::atomic<bool> stalled{false};
+  };
+  auto ctx = std::make_shared<StreamContext>(queue_capacity,
+                                             collect ? scene_count : 0);
+  BoundedQueue<WorkItem>& queue = ctx->queue;
 
   // Loader side: decode scene i and push it. Push blocks when the queue
   // is full — that back-pressure is what bounds ingestion memory.
-  auto decode_one = [collect, &source, &decode_metrics, &queue](size_t i) {
+  // Captures ctx by value so abandoned tasks stay memory-safe.
+  auto decode_one = [collect, &source, ctx](size_t i) {
+    if (ctx->cancelled.load(std::memory_order_relaxed)) return;
     obs::MetricsCollector decode_collector;
     const obs::MetricsScope scope(collect ? &decode_collector : nullptr);
     Result<Scene> scene = source.DecodeScene(i);
-    if (collect) decode_metrics[i] = decode_collector.Snapshot();
-    queue.Push(WorkItem{i, std::move(scene)});
+    if (collect) ctx->decode_metrics[i] = decode_collector.Snapshot();
+    ctx->queue.Push(WorkItem{i, std::move(scene)});
+  };
+
+  // The pop the rank workers use: plain blocking Pop without a stall
+  // deadline; with one, a queue empty for stall_ms flags the run as
+  // stalled and the worker bows out (the flag, not the worker, fails the
+  // run — items never sit unclaimed, because a timeout can only fire on
+  // an empty queue).
+  auto pop_item = [ctx, stall_ms]() -> std::optional<WorkItem> {
+    if (stall_ms <= 0) return ctx->queue.Pop();
+    std::optional<WorkItem> item;
+    switch (ctx->queue.PopWithTimeout(stall_ms, &item)) {
+      case BoundedQueue<WorkItem>::PopStatus::kItem:
+        return item;
+      case BoundedQueue<WorkItem>::PopStatus::kClosed:
+        return std::nullopt;
+      case BoundedQueue<WorkItem>::PopStatus::kTimeout:
+        break;
+    }
+    ctx->stalled.store(true, std::memory_order_relaxed);
+    return std::nullopt;
   };
 
   // Rank side: long-lived workers popping until the queue is closed and
@@ -386,11 +462,11 @@ Result<MultiAppReport> Fixy::RankDatasetStreaming(
   // failure flows through as every application's outcome Status for that
   // scene, exactly like a ranking failure.
   auto rank_worker = [this, collect, &plan, &source, &multi, &scene_metrics,
-                      &queue] {
+                      &pop_item] {
     for (;;) {
       const obs::StageTimer wait_timer;
-      std::optional<WorkItem> item = queue.Pop();
-      if (!item.has_value()) return;  // closed and drained
+      std::optional<WorkItem> item = pop_item();
+      if (!item.has_value()) return;  // closed and drained, or stalled
       const uint64_t wait_ns = wait_timer.ElapsedNs();
       const size_t i = item->index;
       obs::MetricsCollector scene_collector;
@@ -431,16 +507,46 @@ Result<MultiAppReport> Fixy::RankDatasetStreaming(
     for (int t = 0; t < rank_threads; ++t) {
       rank_futures.push_back(rank_pool.Submit(rank_worker));
     }
-    {
-      ThreadPool decode_pool(decode_threads);
-      std::vector<std::future<void>> decode_futures;
-      decode_futures.reserve(scene_count);
-      for (size_t i = 0; i < scene_count; ++i) {
-        decode_futures.push_back(
-            decode_pool.Submit([&decode_one, i] { decode_one(i); }));
-      }
-      for (std::future<void>& future : decode_futures) future.get();
+    // The decode pool is abandoned (not destroyed) when the run stalls:
+    // its destructor would join the wedged thread and hang forever.
+    auto decode_pool = std::make_unique<ThreadPool>(decode_threads);
+    std::vector<std::future<void>> decode_futures;
+    decode_futures.reserve(scene_count);
+    for (size_t i = 0; i < scene_count; ++i) {
+      // decode_one copied by value: the task owns its ctx reference.
+      decode_futures.push_back(
+          decode_pool->Submit([decode_one, i] { decode_one(i); }));
     }
+    bool stalled = false;
+    if (stall_ms <= 0) {
+      for (std::future<void>& future : decode_futures) future.get();
+    } else {
+      for (std::future<void>& future : decode_futures) {
+        while (future.wait_for(std::chrono::milliseconds(50)) ==
+               std::future_status::timeout) {
+          if (ctx->stalled.load(std::memory_order_relaxed)) {
+            stalled = true;
+            break;
+          }
+        }
+        if (stalled) break;
+      }
+    }
+    if (stalled) {
+      // Tell queued decode tasks to skip, unblock decoders mid-Push and
+      // rank workers mid-Pop, then abandon the pool: every thread but the
+      // wedged one winds down promptly, and the wedged one parks on the
+      // leaked pool holding only ctx (and the caller's source) alive.
+      ctx->cancelled.store(true, std::memory_order_relaxed);
+      queue.Close();
+      (void)decode_pool.release();
+      for (std::future<void>& future : rank_futures) future.get();
+      return Status::Internal(
+          "streaming rank stalled: no scene reached a rank worker for over " +
+          std::to_string(stall_ms) +
+          " ms with decodes outstanding (wedged decode worker?)");
+    }
+    decode_pool.reset();  // drains and joins normally
     queue.Close();
     for (std::future<void>& future : rank_futures) future.get();
   }
@@ -475,7 +581,7 @@ Result<MultiAppReport> Fixy::RankDatasetStreaming(
 
   if (collect) {
     for (size_t i = 0; i < scene_count; ++i) {
-      multi.metrics.MergeFrom(decode_metrics[i]);
+      multi.metrics.MergeFrom(ctx->decode_metrics[i]);
       multi.metrics.MergeFrom(scene_metrics[i]);
     }
     multi.metrics.counters["batch.scenes"] += scene_count;

@@ -97,6 +97,19 @@ struct StreamOptions {
   /// far decode runs ahead. 0 (the default) uses 2× the rank thread
   /// count.
   size_t queue_capacity = 0;
+
+  /// Stall detection. 0 (the default) waits forever, matching the old
+  /// behavior. When > 0: if no scene reaches a rank worker for this many
+  /// milliseconds while decodes are still outstanding, the run is
+  /// declared stalled and fails with a Status instead of hanging on a
+  /// wedged decode worker. The wedged decode thread cannot be joined —
+  /// it is abandoned, parked on its leaked pool for the remainder of the
+  /// process, still holding a reference to `source` (so a caller that
+  /// sees the stall error should not destroy the source if it can avoid
+  /// it). Pick a value comfortably above the worst-case gap between two
+  /// scene decodes; a too-small value turns a slow decode into a
+  /// spurious stall error.
+  int stall_timeout_ms = 0;
 };
 
 /// Outcome of ranking one scene within a batch.
@@ -165,6 +178,22 @@ struct MultiAppReport {
     return true;
   }
 };
+
+/// Appends the outcomes of `part` — a report over the next contiguous
+/// slice of the dataset, ranked with the same applications — onto `into`,
+/// preserving scene order. An empty `into` (no apps yet) adopts `part`'s
+/// app list; afterwards the lists must match exactly. Summary counters
+/// are NOT updated — call RecomputeReportSummary once after the last
+/// append. Used by the shard coordinator to merge per-shard reports in
+/// shard order; because shard ranges partition the dataset and scenes are
+/// scored independently, the concatenation is byte-identical to a
+/// single-process run. Errors: InvalidArgument on an app-list mismatch.
+Status AppendShardReport(MultiAppReport& into, MultiAppReport&& part);
+
+/// Recomputes every per-app report's scenes_ok / scenes_failed /
+/// scenes_quarantined from its outcomes (failed == quarantined, the
+/// keep-going convention).
+void RecomputeReportSummary(MultiAppReport& report);
 
 /// The Fixy engine.
 class Fixy {

@@ -15,6 +15,8 @@
 
 namespace fixy::io {
 
+void (*MappedFile::pre_map_hook_for_test)(const std::string& path) = nullptr;
+
 MappedFile::~MappedFile() { Release(); }
 
 MappedFile::MappedFile(MappedFile&& other) noexcept
@@ -58,9 +60,21 @@ Result<MappedFile> MappedFile::Open(const std::string& path,
     // mmap of an empty file is invalid; the empty buffer fallback is
     // already correct for it.
     if (st.st_size > 0) {
+      if (pre_map_hook_for_test != nullptr) pre_map_hook_for_test(path);
       void* mapping = ::mmap(nullptr, static_cast<size_t>(st.st_size),
                              PROT_READ, MAP_PRIVATE, fd, 0);
       if (mapping != MAP_FAILED) {
+        // Re-check the size through the still-open fd: a concurrent
+        // truncation between the stat and the mmap leaves the tail of
+        // the mapping past EOF, where the first page touch is SIGBUS,
+        // not a readable zero. Growth is harmless — the first st_size
+        // bytes still exist.
+        struct stat st2;
+        if (::fstat(fd, &st2) != 0 || st2.st_size < st.st_size) {
+          ::munmap(mapping, static_cast<size_t>(st.st_size));
+          ::close(fd);
+          return Status::IoError("file truncated while mapping: " + path);
+        }
         ::close(fd);
         file.mapping_ = mapping;
         file.size_ = static_cast<size_t>(st.st_size);

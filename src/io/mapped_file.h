@@ -28,9 +28,23 @@ class MappedFile {
   /// sized buffered read (never a hard error by itself). With
   /// `force_buffered` the mmap attempt is skipped entirely — used by
   /// tests to exercise the fallback path deliberately.
-  /// Errors: IoError when the file cannot be opened or read at all.
+  ///
+  /// The file's size is re-checked after the mapping is established: if
+  /// another process truncated the file between the initial stat and the
+  /// mmap, the mapping would extend past EOF and the first touch of a
+  /// missing page would raise SIGBUS. That race is converted into an
+  /// IoError here instead. (A truncation *after* Open returns is still
+  /// the caller's lookout — that window is inherent to mmap.)
+  /// Errors: IoError when the file cannot be opened or read at all, or
+  /// when it shrank while being mapped.
   static Result<MappedFile> Open(const std::string& path,
                                  bool force_buffered = false);
+
+  /// Test-only: when non-null, invoked with the path between the initial
+  /// stat and the mmap — exactly the window where a concurrent truncation
+  /// would otherwise turn into SIGBUS. Lets tests shrink the file at the
+  /// racy moment.
+  static void (*pre_map_hook_for_test)(const std::string& path);
 
   /// The file's bytes. Valid for the lifetime of this object.
   std::string_view data() const {

@@ -1,0 +1,109 @@
+// Shard checkpoints: the durable unit of progress for the sharded,
+// multi-process ranking pipeline.
+//
+// A worker that finishes its shard serializes the shard's MultiAppReport
+// slice and writes it — atomically, via a tmp file + rename — to
+// `<checkpoint-dir>/shard-NNNN.fxc`. A resumed run reuses a checkpoint
+// only when every validation gate passes: magic, version, header CRC,
+// payload CRC, payload decode, and the run fingerprint + scene range
+// match. Anything else (truncation, bit rot, a checkpoint from different
+// inputs) means the shard is re-ranked — a corrupt checkpoint is never
+// trusted.
+//
+// On-disk layout (all integers and doubles little-endian; byte table in
+// DESIGN.md §12):
+//
+//   offset size field
+//   0      4    magic "FXC1"
+//   4      4    u32 format version (1)
+//   8      4    u32 shard index
+//   12     4    u32 scene range begin
+//   16     4    u32 scene range end (exclusive)
+//   20     4    u32 reserved (0)
+//   24     8    u64 run fingerprint (shard_plan.h)
+//   32     8    u64 payload length
+//   40     4    u32 payload CRC32
+//   44     4    u32 header CRC32 over bytes [0, 44)
+//   48     ..   payload: EncodeMultiAppReport bytes
+//
+// The payload is the canonical byte serialization of a MultiAppReport's
+// outcome data (apps, per-scene outcomes with status and proposals,
+// doubles bit-exact). It deliberately excludes the metrics snapshot and
+// the summary counters — the former measures one particular run, the
+// latter are recomputed from the outcomes — so "byte-identical payloads"
+// is exactly the determinism guarantee the shard tests assert.
+#ifndef FIXY_SHARD_CHECKPOINT_H_
+#define FIXY_SHARD_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "core/engine.h"
+#include "shard/shard_plan.h"
+
+namespace fixy::shard {
+
+// ---- Layout constants (exported for DESIGN.md §12, tests, and the
+// checkpoint corruptor in src/testing). ----
+inline constexpr char kCheckpointMagic[4] = {'F', 'X', 'C', '1'};
+inline constexpr uint32_t kCheckpointVersion = 1;
+inline constexpr size_t kCheckpointHeaderSize = 48;
+inline constexpr size_t kCheckpointVersionOffset = 4;       // u32
+inline constexpr size_t kCheckpointShardOffset = 8;         // u32
+inline constexpr size_t kCheckpointBeginOffset = 12;        // u32
+inline constexpr size_t kCheckpointEndOffset = 16;          // u32
+inline constexpr size_t kCheckpointReservedOffset = 20;     // u32, 0
+inline constexpr size_t kCheckpointFingerprintOffset = 24;  // u64
+inline constexpr size_t kCheckpointPayloadLenOffset = 32;   // u64
+inline constexpr size_t kCheckpointPayloadCrcOffset = 40;   // u32
+inline constexpr size_t kCheckpointHeaderCrcOffset = 44;    // u32 of [0,44)
+
+/// One shard's durable result.
+struct ShardCheckpoint {
+  uint32_t shard_index = 0;
+  ShardRange range;
+  uint64_t fingerprint = 0;
+  /// The shard's slice of the run: outcomes for scenes [range.begin,
+  /// range.end), one BatchReport per app. Metrics are always empty.
+  MultiAppReport report;
+};
+
+/// Canonical byte serialization of a MultiAppReport's outcome data. Two
+/// reports serialize identically iff they carry the same apps and, per
+/// scene, the same name, status, wall time, and bit-exact proposals —
+/// this is the comparator the byte-identical-merge tests use.
+std::string EncodeMultiAppReport(const MultiAppReport& report);
+
+/// Inverse of EncodeMultiAppReport; bounds-checked throughout. The
+/// decoded report's summary counters are recomputed from the outcomes.
+/// Errors: InvalidArgument on any malformed payload.
+Result<MultiAppReport> DecodeMultiAppReport(std::string_view payload);
+
+/// Serializes a whole checkpoint (header + payload, CRCs computed).
+std::string EncodeShardCheckpoint(const ShardCheckpoint& checkpoint);
+
+/// Parses and validates a checkpoint blob: magic, version, header CRC,
+/// payload length vs blob size, payload CRC, payload decode. Fingerprint
+/// and range agreement with the *current* run are the caller's check
+/// (the coordinator's reuse gate). Errors: InvalidArgument.
+Result<ShardCheckpoint> DecodeShardCheckpoint(std::string_view blob);
+
+/// `<dir>/shard-NNNN.fxc`.
+std::string ShardCheckpointPath(const std::string& checkpoint_dir,
+                                size_t shard_index);
+
+/// Atomically writes `checkpoint` to its path under `checkpoint_dir`
+/// (tmp file + rename, so a kill mid-write leaves either the previous
+/// file or none — never a torn one). Creates the directory if needed.
+Status WriteShardCheckpoint(const std::string& checkpoint_dir,
+                            const ShardCheckpoint& checkpoint);
+
+/// Reads + DecodeShardCheckpoint. Errors: IoError when the file cannot
+/// be read, InvalidArgument when it fails validation.
+Result<ShardCheckpoint> LoadShardCheckpoint(const std::string& path);
+
+}  // namespace fixy::shard
+
+#endif  // FIXY_SHARD_CHECKPOINT_H_

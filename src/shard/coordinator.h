@@ -1,0 +1,120 @@
+// The shard coordinator: the parent-process half of the sharded ranking
+// pipeline behind `fixy_cli rank --workers N`.
+//
+// The coordinator plans shards over the dataset, spawns up to N worker
+// processes (fork/exec of `<worker_binary> rank-shard ...`), supervises
+// them through the stdout frame channel (wire.h) with a heartbeat
+// timeout, retries a failed shard on a fresh worker with capped
+// exponential backoff, and quarantines it after K attempts while healthy
+// shards keep flowing — PR 2's per-scene quarantine ladder promoted one
+// level, to shards and processes.
+//
+// Durability: a completed shard exists as a CRC-protected checkpoint
+// file *before* its worker reports success, so a killed or OOM'd run
+// (coordinator included) resumes from the last completed shard with
+// --resume. Reuse is gated on the full validation ladder in
+// checkpoint.h plus a run-fingerprint + range match; anything less
+// re-ranks the shard. Quarantine is deliberately NOT durable — a
+// resumed run retries previously quarantined shards from scratch.
+//
+// Determinism: shard ranges partition [0, scene_count) in order, each
+// worker's slice is byte-identical to the corresponding slice of a
+// single-process keep-going run (scenes are scored independently; the
+// streaming pipeline already proves slot-level determinism), and the
+// merge concatenates slices in shard order. Hence the merged report is
+// byte-identical to the uninterrupted single-process run at any worker
+// count, any kill point, and any resume boundary — the property
+// tests/shard_test.cc asserts with EncodeMultiAppReport.
+#ifndef FIXY_SHARD_COORDINATOR_H_
+#define FIXY_SHARD_COORDINATOR_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/engine.h"
+#include "shard/shard_plan.h"
+
+namespace fixy::shard {
+
+/// Supervision and durability knobs for one sharded run.
+struct ShardOptions {
+  /// Concurrent worker processes.
+  int workers = 1;
+  /// Scenes per shard; 0 = auto (ResolveScenesPerShard).
+  int scenes_per_shard = 0;
+  /// K: a shard failing this many attempts is quarantined.
+  int max_attempts = 3;
+  /// Retry backoff: base * 2^(attempt-1) ms, capped.
+  int backoff_base_ms = 100;
+  int backoff_cap_ms = 5000;
+  /// A worker silent (no frame of any kind) for this long is killed.
+  int heartbeat_timeout_ms = 30000;
+  /// Reuse valid checkpoints from a previous run instead of re-ranking.
+  bool resume = false;
+  /// Where checkpoints live; "" = <data_dir>/.fixy-shards.
+  std::string checkpoint_dir;
+  /// The worker executable (a fixy_cli binary); "" = /proc/self/exe.
+  std::string worker_binary;
+  /// Rank threads per worker (0 = hardware concurrency).
+  int worker_threads = 1;
+  /// Forwarded to workers: ApplicationOptions::top_k_per_class.
+  int top_k_per_class = 0;
+  /// Forwarded to workers: ignore dataset.fxb.
+  bool no_cache = false;
+  /// Worker heartbeat send interval.
+  int heartbeat_interval_ms = 100;
+  /// Test hook: abort the run (Status::Internal) once this many shards
+  /// completed, simulating a killed coordinator. 0 = disabled.
+  size_t stop_after_shards = 0;
+};
+
+/// What happened to one shard.
+struct ShardOutcome {
+  ShardRange range;
+  /// Worker processes spawned for this shard (0 when its checkpoint was
+  /// reused).
+  int attempts = 0;
+  bool reused_checkpoint = false;
+  bool quarantined = false;
+  /// Ok for a completed shard; the last failure for a quarantined one.
+  Status status;
+};
+
+/// The result of a sharded run.
+struct ShardRunReport {
+  /// Per-shard reports merged in shard order. Scenes of quarantined
+  /// shards carry error outcomes (like quarantined scenes in a
+  /// keep-going batch); all other scenes are byte-identical to a
+  /// single-process run.
+  MultiAppReport merged;
+  std::vector<ShardOutcome> shards;
+  size_t shards_completed = 0;
+  size_t shards_quarantined = 0;
+  size_t checkpoints_reused = 0;
+
+  bool all_failed() const {
+    return !shards.empty() && shards_quarantined == shards.size();
+  }
+};
+
+/// Runs the sharded pipeline over `data_dir` with the model at
+/// `model_path` and the given *resolved* application names. Shard-level
+/// failures are quarantined, never fatal: the call fails only for setup
+/// errors (bad directory, unspawnable worker binary, invalid options) or
+/// the stop_after_shards test hook. Records shard.* metrics on the
+/// ambient collector.
+Result<ShardRunReport> RankDatasetSharded(const std::string& data_dir,
+                                          const std::string& model_path,
+                                          const std::vector<std::string>& apps,
+                                          const ShardOptions& options);
+
+/// Records every shard.* counter, timer, and gauge at zero on the calling
+/// thread's collector, so metric snapshots carry a stable key set whether
+/// or not a run was sharded (the schema golden depends on this).
+void RecordShardMetricsSchema();
+
+}  // namespace fixy::shard
+
+#endif  // FIXY_SHARD_COORDINATOR_H_

@@ -1,0 +1,102 @@
+#include "shard/shard_plan.h"
+
+#include <utility>
+
+#include "common/macros.h"
+
+namespace fixy::shard {
+namespace {
+
+constexpr uint64_t kFnvOffset = 14695981039346656037ull;
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+// Bumped whenever the fingerprint's input set or the checkpoint payload
+// encoding changes, so stale-format checkpoints can never be reused.
+constexpr uint64_t kFingerprintFormatVersion = 1;
+
+void MixBytes(uint64_t& hash, const void* data, size_t size) {
+  const unsigned char* bytes = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < size; ++i) {
+    hash ^= bytes[i];
+    hash *= kFnvPrime;
+  }
+}
+
+void MixU64(uint64_t& hash, uint64_t value) {
+  // Mix the value byte-by-byte in a fixed (little-endian) order so the
+  // hash is host-endianness independent.
+  for (int i = 0; i < 8; ++i) {
+    hash ^= static_cast<unsigned char>(value >> (8 * i));
+    hash *= kFnvPrime;
+  }
+}
+
+void MixString(uint64_t& hash, const std::string& text) {
+  MixU64(hash, text.size());
+  MixBytes(hash, text.data(), text.size());
+}
+
+}  // namespace
+
+int ResolveScenesPerShard(size_t scene_count, int requested) {
+  if (requested > 0) return requested;
+  if (scene_count == 0) return 1;
+  const size_t per_shard =
+      (scene_count + kDefaultShardCount - 1) / kDefaultShardCount;
+  return static_cast<int>(per_shard < 1 ? 1 : per_shard);
+}
+
+std::vector<ShardRange> PlanShards(size_t scene_count, int scenes_per_shard) {
+  std::vector<ShardRange> shards;
+  if (scene_count == 0 || scenes_per_shard < 1) return shards;
+  const size_t step = static_cast<size_t>(scenes_per_shard);
+  for (size_t begin = 0; begin < scene_count; begin += step) {
+    const size_t end = begin + step < scene_count ? begin + step : scene_count;
+    shards.push_back(ShardRange{begin, end});
+  }
+  return shards;
+}
+
+Result<ShardSource> OpenShardSource(const std::string& directory,
+                                    bool no_cache) {
+  ShardSource out;
+  if (!no_cache) {
+    Result<io::FxbReader> cache = io::OpenFreshCache(directory);
+    if (cache.ok()) {
+      out.source =
+          std::make_unique<io::FxbSceneSource>(std::move(cache).value());
+      out.from_cache = true;
+      return out;
+    }
+    // NotFound / FailedPrecondition (stale) fall back to JSON, the same
+    // ladder CmdRank uses; a present-but-corrupt cache surfaces here.
+    const StatusCode code = cache.status().code();
+    if (code != StatusCode::kNotFound &&
+        code != StatusCode::kFailedPrecondition) {
+      return cache.status();
+    }
+  }
+  FIXY_ASSIGN_OR_RETURN(io::DirectorySceneSource dir_source,
+                        io::DirectorySceneSource::Open(directory));
+  out.source =
+      std::make_unique<io::DirectorySceneSource>(std::move(dir_source));
+  return out;
+}
+
+uint64_t ComputeRunFingerprint(const RunFingerprintInputs& inputs) {
+  uint64_t hash = kFnvOffset;
+  MixU64(hash, kFingerprintFormatVersion);
+  MixU64(hash, inputs.source.file_count);
+  MixU64(hash, inputs.source.total_bytes);
+  MixU64(hash, inputs.source.max_mtime_ns);
+  MixU64(hash, inputs.model_crc);
+  MixU64(hash, inputs.model_bytes);
+  MixU64(hash, inputs.apps.size());
+  for (const std::string& app : inputs.apps) MixString(hash, app);
+  MixU64(hash, static_cast<uint64_t>(inputs.top_k_per_class));
+  MixU64(hash, inputs.scene_count);
+  MixU64(hash, static_cast<uint64_t>(inputs.scenes_per_shard));
+  return hash;
+}
+
+}  // namespace fixy::shard

@@ -1,0 +1,89 @@
+// The coordinator↔worker pipe protocol: length-prefixed, CRC-checked
+// frames over the worker's stdout, in the spirit of the FXB container's
+// framing (every structure bounds-checked and checksummed, every parse
+// error a Status, never a crash).
+//
+// Frame layout (little-endian):
+//
+//   offset size field
+//   0      1    u8 frame type (FrameType)
+//   1      4    u32 payload length
+//   5      ..   payload bytes
+//   5+n    4    u32 CRC32 over (type byte + payload)
+//
+// The worker is the only writer; the coordinator parses incrementally
+// with FrameParser (reads from a non-blocking pipe arrive in arbitrary
+// chunks). Any framing violation — unknown type, oversized payload, CRC
+// mismatch — marks the stream corrupt, and the coordinator treats the
+// worker as failed; it does not try to resynchronize.
+//
+// The protocol carries *liveness and status only*. Shard results travel
+// through the checkpoint file, never the pipe, so a worker whose pipe
+// dies after the checkpoint rename has still durably completed.
+#ifndef FIXY_SHARD_WIRE_H_
+#define FIXY_SHARD_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace fixy::shard {
+
+enum class FrameType : uint8_t {
+  /// First frame a worker sends: payload u32 shard index.
+  kHello = 1,
+  /// Periodic liveness signal while ranking; empty payload.
+  kHeartbeat = 2,
+  /// Progress note: payload u32 scenes completed so far.
+  kProgress = 3,
+  /// The shard completed and its checkpoint is durably renamed into
+  /// place; empty payload.
+  kDone = 4,
+  /// The worker failed: payload u32 StatusCode + message bytes.
+  kError = 5,
+};
+
+/// type(1) + length(4) + crc(4).
+inline constexpr size_t kFrameOverhead = 9;
+/// Frames carry status, not scene data; anything bigger is corruption.
+inline constexpr size_t kMaxFramePayload = 1 << 20;
+
+/// One decoded frame.
+struct Frame {
+  FrameType type = FrameType::kHeartbeat;
+  std::string payload;
+};
+
+/// Serializes one frame.
+std::string EncodeFrame(FrameType type, std::string_view payload);
+
+/// Convenience payload codecs.
+std::string EncodeU32Payload(uint32_t value);
+Result<uint32_t> DecodeU32Payload(std::string_view payload);
+std::string EncodeErrorPayload(const Status& status);
+/// Malformed payloads decode to an Internal status (never fail) so an
+/// error report garbled in transit still reads as an error.
+Status DecodeErrorPayload(std::string_view payload);
+
+/// Incremental frame parser for the coordinator's non-blocking reads.
+class FrameParser {
+ public:
+  /// Appends `bytes` to the internal buffer and returns every frame they
+  /// complete. Once the stream is corrupt, returns nothing further.
+  std::vector<Frame> Consume(std::string_view bytes);
+
+  /// True when a framing violation was seen (CRC mismatch, unknown type,
+  /// oversized payload).
+  bool corrupt() const { return corrupt_; }
+
+ private:
+  std::string buffer_;
+  bool corrupt_ = false;
+};
+
+}  // namespace fixy::shard
+
+#endif  // FIXY_SHARD_WIRE_H_

@@ -1,0 +1,282 @@
+#include "shard/worker.h"
+
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <csignal>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+#include "common/crc32.h"
+#include "common/macros.h"
+#include "common/string_util.h"
+#include "io/scene_io.h"
+#include "shard/checkpoint.h"
+#include "shard/wire.h"
+
+namespace fixy::shard {
+namespace {
+
+// Serializes frame writes to the pipe. Write errors are deliberately
+// swallowed: a dead coordinator (EPIPE) must not stop a worker that can
+// still finish its shard and rename its checkpoint into place — the
+// checkpoint, not the pipe, is the durable channel.
+class FrameWriter {
+ public:
+  explicit FrameWriter(int fd) : fd_(fd) {}
+
+  void Send(FrameType type, std::string_view payload) {
+#if defined(__unix__) || defined(__APPLE__)
+    if (fd_ < 0) return;
+    const std::string frame = EncodeFrame(type, payload);
+    std::lock_guard<std::mutex> lock(mutex_);
+    size_t written = 0;
+    while (written < frame.size()) {
+      const ssize_t n =
+          ::write(fd_, frame.data() + written, frame.size() - written);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return;  // best effort
+      }
+      written += static_cast<size_t>(n);
+    }
+#else
+    (void)type;
+    (void)payload;
+#endif
+  }
+
+ private:
+  int fd_;
+  std::mutex mutex_;
+};
+
+// Sends kHeartbeat every `interval_ms` on a side thread until destroyed,
+// so the coordinator sees liveness even while every worker thread is
+// deep inside a long scene rank.
+class HeartbeatPump {
+ public:
+  HeartbeatPump(FrameWriter& writer, int interval_ms)
+      : writer_(writer),
+        interval_(std::chrono::milliseconds(interval_ms < 1 ? 1 : interval_ms)),
+        thread_([this] { Run(); }) {}
+
+  ~HeartbeatPump() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+  }
+
+ private:
+  void Run() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+      if (cv_.wait_for(lock, interval_, [this] { return stop_; })) return;
+      lock.unlock();
+      writer_.Send(FrameType::kHeartbeat, {});
+      lock.lock();
+    }
+  }
+
+  FrameWriter& writer_;
+  const std::chrono::milliseconds interval_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+// One parsed FIXY_SHARD_KILL / FIXY_SHARD_HANG spec.
+struct Injection {
+  bool armed = false;
+  bool all_shards = false;
+  size_t shard = 0;
+  std::string point;     // kill only: pre-rank | mid-shard | post-checkpoint
+  std::string sentinel;  // empty = fire every attempt
+};
+
+Injection ParseInjection(const char* spec, bool has_point) {
+  Injection inj;
+  if (spec == nullptr || *spec == '\0') return inj;
+  const std::string text(spec);
+  const size_t first = text.find(':');
+  const std::string shard_part = text.substr(0, first);
+  if (shard_part == "*") {
+    inj.all_shards = true;
+  } else {
+    char* end = nullptr;
+    inj.shard = std::strtoul(shard_part.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0') return inj;  // malformed: disarmed
+  }
+  std::string rest = first == std::string::npos ? "" : text.substr(first + 1);
+  if (has_point) {
+    const size_t second = rest.find(':');
+    inj.point = rest.substr(0, second);
+    rest = second == std::string::npos ? "" : rest.substr(second + 1);
+    if (inj.point != "pre-rank" && inj.point != "mid-shard" &&
+        inj.point != "post-checkpoint") {
+      return inj;  // malformed point: disarmed
+    }
+  }
+  inj.sentinel = rest;
+  inj.armed = true;
+  return inj;
+}
+
+bool ShouldFire(const Injection& inj, size_t shard_index,
+                const std::string& point) {
+  if (!inj.armed) return false;
+  if (!inj.all_shards && inj.shard != shard_index) return false;
+  if (!point.empty() && inj.point != point) return false;
+  if (!inj.sentinel.empty() && std::filesystem::exists(inj.sentinel)) {
+    return false;  // already fired once
+  }
+  return true;
+}
+
+// Marks a sentinel'd injection as spent so the next attempt proceeds.
+void MarkFired(const Injection& inj) {
+  if (inj.sentinel.empty()) return;
+  std::ofstream touch(inj.sentinel, std::ios::trunc);
+}
+
+[[noreturn]] void InjectedKill() {
+#if defined(__unix__) || defined(__APPLE__)
+  ::_exit(kInjectedKillExitCode);
+#else
+  std::abort();
+#endif
+}
+
+Status RunShardWorkerImpl(const ShardWorkerConfig& config, FixyOptions options,
+                          FrameWriter& writer) {
+  const Injection kill =
+      ParseInjection(std::getenv("FIXY_SHARD_KILL"), /*has_point=*/true);
+  const Injection hang =
+      ParseInjection(std::getenv("FIXY_SHARD_HANG"), /*has_point=*/false);
+  if (config.scenes_per_shard < 1) {
+    return Status::InvalidArgument("--shard-scenes must be >= 1");
+  }
+
+  writer.Send(FrameType::kHello,
+              EncodeU32Payload(static_cast<uint32_t>(config.shard_index)));
+
+  // Hang injection: wedge *before* the heartbeat pump exists, so the
+  // coordinator's heartbeat timeout — not a worker-side deadline — is
+  // what ends this process.
+  if (ShouldFire(hang, config.shard_index, "")) {
+    MarkFired(hang);
+    for (;;) std::this_thread::sleep_for(std::chrono::seconds(3600));
+  }
+
+  const HeartbeatPump pump(writer, config.heartbeat_interval_ms);
+
+  if (ShouldFire(kill, config.shard_index, "pre-rank")) {
+    MarkFired(kill);
+    InjectedKill();
+  }
+
+  FIXY_ASSIGN_OR_RETURN(ShardSource shard_source,
+                        OpenShardSource(config.data_dir, config.no_cache));
+  const size_t scene_count = shard_source.source->scene_count();
+  const std::vector<ShardRange> plan =
+      PlanShards(scene_count, config.scenes_per_shard);
+  if (config.shard_index >= plan.size()) {
+    return Status::OutOfRange(StrFormat(
+        "shard %zu out of range: %zu scenes make %zu shards of %d",
+        config.shard_index, scene_count, plan.size(),
+        config.scenes_per_shard));
+  }
+  const ShardRange range = plan[config.shard_index];
+
+  RunFingerprintInputs fp_inputs;
+  FIXY_ASSIGN_OR_RETURN(fp_inputs.source,
+                        io::ComputeSourceFingerprint(config.data_dir));
+  std::string model_bytes;
+  FIXY_RETURN_IF_ERROR(io::ReadFileInto(config.model_path, &model_bytes));
+  fp_inputs.model_crc = Crc32(model_bytes);
+  fp_inputs.model_bytes = model_bytes.size();
+  fp_inputs.apps = config.apps;
+  fp_inputs.top_k_per_class = config.top_k_per_class;
+  fp_inputs.scene_count = scene_count;
+  fp_inputs.scenes_per_shard = config.scenes_per_shard;
+  const uint64_t fingerprint = ComputeRunFingerprint(fp_inputs);
+
+  options.application.top_k_per_class = config.top_k_per_class;
+  Fixy fixy(std::move(options));
+  FIXY_RETURN_IF_ERROR(fixy.LoadModel(config.model_path));
+
+  // fail_fast off: a failing scene quarantines that scene inside the
+  // shard (matching the coordinator's single-process keep-going
+  // reference); only a shard-level failure (this function returning an
+  // error, or the process dying) escalates to the retry/quarantine
+  // ladder. Metrics stay off so checkpoint bytes are run-independent.
+  BatchOptions batch;
+  batch.num_threads = config.threads;
+  batch.fail_fast = false;
+  batch.collect_metrics = false;
+
+  if (ShouldFire(kill, config.shard_index, "mid-shard")) {
+    // Rank half the shard for real, then die without a checkpoint —
+    // the partial work must be invisible to the resumed run.
+    MarkFired(kill);
+    const ShardRange half{range.begin, range.begin + range.size() / 2};
+    const ShardSceneView half_view(*shard_source.source, half);
+    (void)fixy.RankDatasetStreaming(half_view, config.apps, batch);
+    InjectedKill();
+  }
+
+  const ShardSceneView view(*shard_source.source, range);
+  FIXY_ASSIGN_OR_RETURN(MultiAppReport report,
+                        fixy.RankDatasetStreaming(view, config.apps, batch));
+  report.metrics = obs::PipelineMetrics{};
+
+  ShardCheckpoint checkpoint;
+  checkpoint.shard_index = static_cast<uint32_t>(config.shard_index);
+  checkpoint.range = range;
+  checkpoint.fingerprint = fingerprint;
+  checkpoint.report = std::move(report);
+  FIXY_RETURN_IF_ERROR(
+      WriteShardCheckpoint(config.checkpoint_dir, checkpoint));
+
+  if (ShouldFire(kill, config.shard_index, "post-checkpoint")) {
+    // The checkpoint is durably renamed into place; dying here must cost
+    // the run nothing but a retry that rediscovers it (or re-ranks).
+    MarkFired(kill);
+    InjectedKill();
+  }
+
+  writer.Send(FrameType::kProgress,
+              EncodeU32Payload(static_cast<uint32_t>(range.size())));
+  writer.Send(FrameType::kDone, {});
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status RunShardWorker(const ShardWorkerConfig& config, FixyOptions options) {
+#if defined(__unix__) || defined(__APPLE__)
+  // A coordinator that died mid-run closes the pipe; the worker must keep
+  // going to its checkpoint, not die of SIGPIPE.
+  std::signal(SIGPIPE, SIG_IGN);
+#endif
+  FrameWriter writer(config.out_fd);
+  const Status status = RunShardWorkerImpl(config, std::move(options), writer);
+  if (!status.ok()) {
+    writer.Send(FrameType::kError, EncodeErrorPayload(status));
+  }
+  return status;
+}
+
+}  // namespace fixy::shard

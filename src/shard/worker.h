@@ -1,0 +1,69 @@
+// The shard worker: the child-process half of the sharded ranking
+// pipeline, invoked as `fixy_cli rank-shard` by the coordinator.
+//
+// A worker ranks exactly one shard's scene range with the existing
+// streaming pipeline (fail_fast off, so per-scene failures quarantine
+// scenes instead of the shard), writes the shard's MultiAppReport slice
+// as a CRC-protected checkpoint (atomic rename), and only then reports
+// kDone on its stdout frame channel. Heartbeat frames flow on a side
+// thread the whole time, so the coordinator can tell "slow" from "dead".
+//
+// Kill/hang injection (tests and tools/check.sh only) is armed through
+// environment variables, which fork/exec inherits for free:
+//
+//   FIXY_SHARD_KILL=<shard|*>:<pre-rank|mid-shard|post-checkpoint>[:<sentinel>]
+//   FIXY_SHARD_HANG=<shard|*>[:<sentinel>]
+//
+// When a sentinel path is given the injection fires once — the worker
+// creates the sentinel file just before acting, so the next attempt sees
+// it and proceeds normally. Without a sentinel it fires on every attempt
+// (the permanent-failure / quarantine scenario). A killed worker calls
+// _exit, exactly like an OOM kill: no checkpoint, no error frame, just a
+// dead pipe.
+#ifndef FIXY_SHARD_WORKER_H_
+#define FIXY_SHARD_WORKER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/engine.h"
+
+namespace fixy::shard {
+
+/// The exit code an injected kill uses (distinguishable from a real
+/// worker error, which exits 1 after sending an error frame).
+inline constexpr int kInjectedKillExitCode = 42;
+
+struct ShardWorkerConfig {
+  std::string data_dir;
+  std::string model_path;
+  std::string checkpoint_dir;
+  /// Resolved application names, in request order (the coordinator
+  /// resolves them once; workers must agree exactly for the run
+  /// fingerprint to match).
+  std::vector<std::string> apps;
+  size_t shard_index = 0;
+  /// Resolved scenes-per-shard (> 0); must equal the coordinator's.
+  int scenes_per_shard = 1;
+  int top_k_per_class = 0;
+  /// Rank threads inside this worker (0 = hardware concurrency).
+  int threads = 1;
+  bool no_cache = false;
+  int heartbeat_interval_ms = 100;
+  /// File descriptor for the frame channel; -1 disables frames (used by
+  /// in-process tests that only want the checkpoint side effect).
+  int out_fd = -1;
+};
+
+/// Runs one shard end-to-end: open source, plan shards, validate the
+/// shard index, load the model, rank the range, write the checkpoint,
+/// report kDone. On failure an error frame is sent (best effort) and the
+/// Status returned. `options` supplies extra applications/features the
+/// embedding CLI registers (the demo suspect-tracks app);
+/// top_k_per_class is overridden from the config.
+Status RunShardWorker(const ShardWorkerConfig& config, FixyOptions options);
+
+}  // namespace fixy::shard
+
+#endif  // FIXY_SHARD_WORKER_H_

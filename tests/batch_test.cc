@@ -3,8 +3,15 @@
 // the ClosestApproachBundle empty-bundle regression.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <cmath>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
 #include <set>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "core/applications.h"
@@ -426,6 +433,79 @@ TEST_F(BatchRankTest, StreamingMatchesNonStreaming) {
       }
     }
   }
+}
+
+// A SceneSource whose decode of one scene hangs until the test opens a
+// gate — a stand-in for a wedged loader (dead NFS mount, kernel bug,
+// deadlocked decoder).
+class HangingSource : public SceneSource {
+ public:
+  struct Gate {
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool open = false;
+    std::atomic<bool> exited{false};
+
+    void Open() {
+      {
+        const std::lock_guard<std::mutex> lock(mutex);
+        open = true;
+      }
+      cv.notify_all();
+    }
+  };
+
+  HangingSource(const Dataset& dataset, size_t hang_index,
+                std::shared_ptr<Gate> gate)
+      : inner_(dataset), hang_index_(hang_index), gate_(std::move(gate)) {}
+
+  size_t scene_count() const override { return inner_.scene_count(); }
+  std::string scene_name(size_t index) const override {
+    return inner_.scene_name(index);
+  }
+  Result<Scene> DecodeScene(size_t index) const override {
+    if (index == hang_index_) {
+      const std::shared_ptr<Gate> gate = gate_;  // keep alive past `this`
+      std::unique_lock<std::mutex> lock(gate->mutex);
+      gate->cv.wait(lock, [&] { return gate->open; });
+      lock.unlock();
+      gate->exited.store(true);
+      return Status::IoError("woke from injected hang");
+    }
+    return inner_.DecodeScene(index);
+  }
+
+ private:
+  DatasetSceneSource inner_;
+  size_t hang_index_;
+  std::shared_ptr<Gate> gate_;
+};
+
+// A wedged decode worker must surface as a Status after the stall
+// deadline instead of hanging the call forever. (Without
+// stall_timeout_ms this test would deadlock.)
+TEST_F(BatchRankTest, StreamingStallSurfacesAsStatus) {
+  auto gate = std::make_shared<HangingSource::Gate>();
+  const HangingSource source(dataset_->dataset, 0, gate);
+  BatchOptions batch;
+  batch.num_threads = 2;
+  StreamOptions stream;
+  stream.decode_threads = 1;  // the hung scene blocks the whole stream
+  stream.stall_timeout_ms = 100;
+  const auto result = fixy_->RankDatasetStreaming(
+      source, Application::kMissingTracks, batch, stream);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInternal);
+  EXPECT_NE(result.status().message().find("stalled"), std::string::npos);
+
+  // Unwedge the abandoned decode thread and wait for it to leave the
+  // source before the source goes out of scope; its pool thread stays
+  // parked (intentionally leaked), holding only heap state.
+  gate->Open();
+  while (!gate->exited.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
 }
 
 // A tiny queue forces back-pressure (decoders block on Push); the output

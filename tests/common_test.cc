@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <mutex>
 #include <optional>
@@ -403,6 +404,46 @@ TEST(BoundedQueueTest, CloseWakesBlockedConsumer) {
   std::thread consumer([&] { EXPECT_EQ(queue.Pop(), std::nullopt); });
   queue.Close();
   consumer.join();
+}
+
+TEST(BoundedQueueTest, PopWithTimeoutTriState) {
+  using PopStatus = BoundedQueue<int>::PopStatus;
+  BoundedQueue<int> queue(4);
+  std::optional<int> item;
+
+  // Item available: returned immediately.
+  EXPECT_TRUE(queue.Push(7));
+  EXPECT_EQ(queue.PopWithTimeout(1000, &item), PopStatus::kItem);
+  EXPECT_EQ(item, 7);
+
+  // Empty but open: timeout, not closed — the caller can tell a silent
+  // producer from a finished stream.
+  item.reset();
+  EXPECT_EQ(queue.PopWithTimeout(5, &item), PopStatus::kTimeout);
+  EXPECT_FALSE(item.has_value());
+
+  // Closed with items left: still drains them before reporting closed.
+  EXPECT_TRUE(queue.Push(8));
+  queue.Close();
+  EXPECT_EQ(queue.PopWithTimeout(5, &item), PopStatus::kItem);
+  EXPECT_EQ(item, 8);
+  EXPECT_EQ(queue.PopWithTimeout(5, &item), PopStatus::kClosed);
+  EXPECT_EQ(queue.PopWithTimeout(5, &item), PopStatus::kClosed);  // sticky
+}
+
+TEST(BoundedQueueTest, PopWithTimeoutWokenByLatePush) {
+  BoundedQueue<int> queue(2);
+  std::thread producer([&queue] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    ASSERT_TRUE(queue.Push(42));
+  });
+  // A generous deadline: the late push must wake the waiter well before
+  // the timeout fires.
+  std::optional<int> item;
+  EXPECT_EQ(queue.PopWithTimeout(10000, &item),
+            BoundedQueue<int>::PopStatus::kItem);
+  EXPECT_EQ(item, 42);
+  producer.join();
 }
 
 TEST(BoundedQueueTest, ManyProducersManyConsumersDeliverEverything) {

@@ -10,6 +10,7 @@
 
 #include "common/crc32.h"
 #include "io/fxb.h"
+#include "io/mapped_file.h"
 #include "io/scene_io.h"
 #include "obs/metrics.h"
 
@@ -214,6 +215,52 @@ TEST(FxbFormatTest, MappedAndBufferedReadsAgree) {
     ASSERT_TRUE(a.ok() && b.ok());
     EXPECT_EQ(SceneToString(*a), SceneToString(*b));
   }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(MappedFileTest, TruncatedWhileMappingIsIoErrorNotSigbus) {
+  const Dataset dataset = MakeDataset(2);
+  const std::string dir = TempDir();
+  const std::string path = dir + "/truncated.fxb";
+  const std::string blob = Encode(dataset);
+  const auto write_blob = [&] {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+  };
+
+  // Shrink the file inside the stat→mmap window, as a concurrent cache
+  // rebuild would. Without the post-map size re-check the mapping would
+  // extend past EOF and the first read of the tail would SIGBUS.
+  write_blob();
+  MappedFile::pre_map_hook_for_test = [](const std::string& p) {
+    std::filesystem::resize_file(p, 16);
+  };
+  const auto mapped = MappedFile::Open(path);
+  MappedFile::pre_map_hook_for_test = nullptr;
+  ASSERT_FALSE(mapped.ok());
+  EXPECT_EQ(mapped.status().code(), StatusCode::kIoError);
+
+  // The same race through FxbReader::Open surfaces as a Status too.
+  write_blob();
+  MappedFile::pre_map_hook_for_test = [](const std::string& p) {
+    std::filesystem::resize_file(p, 16);
+  };
+  const auto reader = FxbReader::Open(path);
+  MappedFile::pre_map_hook_for_test = nullptr;
+  EXPECT_FALSE(reader.ok());
+
+  // Growth in the same window is harmless: the first st_size bytes are
+  // still all there, so the open succeeds and decodes normally.
+  write_blob();
+  MappedFile::pre_map_hook_for_test = [](const std::string& p) {
+    std::ofstream app(p, std::ios::binary | std::ios::app);
+    app.write("junk", 4);
+  };
+  const auto grown = FxbReader::Open(path);
+  MappedFile::pre_map_hook_for_test = nullptr;
+  ASSERT_TRUE(grown.ok()) << grown.status();
+  EXPECT_TRUE(grown->DecodeScene(0).ok());
+
   std::filesystem::remove_all(dir);
 }
 

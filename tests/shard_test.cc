@@ -1,0 +1,528 @@
+// Tests for the sharded multi-process ranking pipeline (src/shard): shard
+// planning, the checkpoint format, the wire protocol, and — the heart of
+// the suite — kill/resume determinism: a run killed at any seeded
+// injection point (pre-rank, mid-shard, post-checkpoint-write, a wedged
+// worker, a dead coordinator) must resume to a merged report
+// byte-identical to the uninterrupted single-process run, at 1..4
+// workers and across worker counts at the resume boundary.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#define FIXY_SHARD_TEST_HAVE_FORK 1
+#endif
+
+#include "core/engine.h"
+#include "io/fxb.h"
+#include "io/scene_io.h"
+#include "shard/checkpoint.h"
+#include "shard/coordinator.h"
+#include "shard/shard_plan.h"
+#include "shard/wire.h"
+#include "sim/generate.h"
+
+namespace fixy::shard {
+namespace {
+
+// ------------------------------------------------------------- planning
+
+TEST(ShardPlanTest, ResolveScenesPerShard) {
+  // Explicit request wins.
+  EXPECT_EQ(ResolveScenesPerShard(100, 7), 7);
+  // Auto: ceil(count / 16), minimum 1.
+  EXPECT_EQ(ResolveScenesPerShard(160, 0), 10);
+  EXPECT_EQ(ResolveScenesPerShard(161, 0), 11);
+  EXPECT_EQ(ResolveScenesPerShard(3, 0), 1);
+  EXPECT_EQ(ResolveScenesPerShard(0, 0), 1);
+}
+
+TEST(ShardPlanTest, PlanShardsPartitionsTheSceneRange) {
+  for (const size_t count : {0u, 1u, 5u, 16u, 17u, 100u}) {
+    for (const int per : {1, 2, 7, 100}) {
+      const std::vector<ShardRange> shards = PlanShards(count, per);
+      size_t covered = 0;
+      size_t next = 0;
+      for (const ShardRange& shard : shards) {
+        EXPECT_EQ(shard.begin, next) << "count=" << count << " per=" << per;
+        EXPECT_GT(shard.end, shard.begin);
+        EXPECT_LE(shard.size(), static_cast<size_t>(per));
+        covered += shard.size();
+        next = shard.end;
+      }
+      EXPECT_EQ(covered, count) << "count=" << count << " per=" << per;
+    }
+  }
+}
+
+TEST(ShardPlanTest, LayoutIgnoresWorkerCount) {
+  // The shard layout is a function of (scene_count, scenes_per_shard)
+  // only — there is no worker-count input to vary, by construction; this
+  // pins the ranges so a change to the planner shows up as a test diff.
+  const std::vector<ShardRange> shards = PlanShards(7, 3);
+  ASSERT_EQ(shards.size(), 3u);
+  EXPECT_EQ(shards[0], (ShardRange{0, 3}));
+  EXPECT_EQ(shards[1], (ShardRange{3, 6}));
+  EXPECT_EQ(shards[2], (ShardRange{6, 7}));
+}
+
+TEST(ShardPlanTest, FingerprintSensitiveToEveryInput) {
+  RunFingerprintInputs base;
+  base.source = {12, 3456, 789};
+  base.model_crc = 0xdeadbeef;
+  base.model_bytes = 1024;
+  base.apps = {"model-errors", "missing-obs"};
+  base.top_k_per_class = 5;
+  base.scene_count = 40;
+  base.scenes_per_shard = 3;
+  const uint64_t reference = ComputeRunFingerprint(base);
+  EXPECT_EQ(ComputeRunFingerprint(base), reference);  // deterministic
+
+  auto mutated = [&](auto&& mutate) {
+    RunFingerprintInputs inputs = base;
+    mutate(inputs);
+    return ComputeRunFingerprint(inputs);
+  };
+  EXPECT_NE(mutated([](auto& in) { in.source.file_count++; }), reference);
+  EXPECT_NE(mutated([](auto& in) { in.source.total_bytes++; }), reference);
+  EXPECT_NE(mutated([](auto& in) { in.source.max_mtime_ns++; }), reference);
+  EXPECT_NE(mutated([](auto& in) { in.model_crc++; }), reference);
+  EXPECT_NE(mutated([](auto& in) { in.model_bytes++; }), reference);
+  EXPECT_NE(mutated([](auto& in) { in.apps.pop_back(); }), reference);
+  EXPECT_NE(mutated([](auto& in) { std::swap(in.apps[0], in.apps[1]); }),
+            reference);
+  EXPECT_NE(mutated([](auto& in) { in.top_k_per_class++; }), reference);
+  EXPECT_NE(mutated([](auto& in) { in.scene_count++; }), reference);
+  EXPECT_NE(mutated([](auto& in) { in.scenes_per_shard++; }), reference);
+}
+
+// ---------------------------------------------------------- checkpoints
+
+MultiAppReport MakeReport() {
+  MultiAppReport report;
+  report.apps = {"model-errors", "missing-obs"};
+  report.reports.resize(2);
+  for (BatchReport& batch : report.reports) {
+    batch.outcomes.resize(2);
+    batch.outcomes[0].scene_name = "scene_a";
+    batch.outcomes[1].scene_name = "scene_b";
+    batch.outcomes[1].status = Status::IoError("decode blew up");
+  }
+  ErrorProposal proposal;
+  proposal.scene_name = "scene_a";
+  proposal.kind = ProposalKind::kMissingTrack;
+  proposal.track_id = 77;
+  proposal.frame_index = 3;
+  proposal.box = geom::Box3d({1.5, -2.25, 0.875}, 4.5, 1.875, 1.5, 0.25);
+  proposal.object_class = ObjectClass::kCar;
+  proposal.score = -1.25;
+  proposal.model_confidence = 0.625;
+  proposal.first_frame = 1;
+  proposal.last_frame = 9;
+  report.reports[0].outcomes[0].proposals.push_back(proposal);
+  return report;
+}
+
+TEST(CheckpointTest, ReportRoundTripsByteExact) {
+  const MultiAppReport report = MakeReport();
+  const std::string payload = EncodeMultiAppReport(report);
+  const auto decoded = DecodeMultiAppReport(payload);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  // The canonical bytes are the equality relation the determinism tests
+  // use — a round trip must be a fixed point.
+  EXPECT_EQ(EncodeMultiAppReport(*decoded), payload);
+  // Summary counters are recomputed on decode.
+  EXPECT_EQ(decoded->reports[0].scenes_ok, 1u);
+  EXPECT_EQ(decoded->reports[0].scenes_quarantined, 1u);
+  ASSERT_EQ(decoded->reports[0].outcomes[0].proposals.size(), 1u);
+  const ErrorProposal& proposal = decoded->reports[0].outcomes[0].proposals[0];
+  EXPECT_EQ(proposal.track_id, 77u);
+  EXPECT_EQ(proposal.score, -1.25);  // bit-exact, not approximate
+  EXPECT_EQ(proposal.box.length, 4.5);
+}
+
+TEST(CheckpointTest, CheckpointRoundTripAndValidationLadder) {
+  ShardCheckpoint checkpoint;
+  checkpoint.shard_index = 3;
+  checkpoint.range = {6, 8};
+  checkpoint.fingerprint = 0xabcdef0123456789ull;
+  checkpoint.report = MakeReport();
+  const std::string blob = EncodeShardCheckpoint(checkpoint);
+  ASSERT_GE(blob.size(), kCheckpointHeaderSize);
+
+  const auto decoded = DecodeShardCheckpoint(blob);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->shard_index, 3u);
+  EXPECT_EQ(decoded->range, (ShardRange{6, 8}));
+  EXPECT_EQ(decoded->fingerprint, checkpoint.fingerprint);
+  EXPECT_EQ(EncodeMultiAppReport(decoded->report),
+            EncodeMultiAppReport(checkpoint.report));
+
+  // Each validation gate rejects its own lie.
+  std::string bad = blob;
+  bad[0] = 'G';  // magic
+  EXPECT_FALSE(DecodeShardCheckpoint(bad).ok());
+  bad = blob.substr(0, kCheckpointHeaderSize - 1);  // short
+  EXPECT_FALSE(DecodeShardCheckpoint(bad).ok());
+  bad = blob;
+  bad[kCheckpointVersionOffset] = 9;  // version (header CRC now stale)
+  EXPECT_FALSE(DecodeShardCheckpoint(bad).ok());
+  bad = blob;
+  bad[kCheckpointHeaderSize] ^= 0x40;  // payload byte vs payload CRC
+  EXPECT_FALSE(DecodeShardCheckpoint(bad).ok());
+  bad = blob + "trailing";  // length lie
+  EXPECT_FALSE(DecodeShardCheckpoint(bad).ok());
+}
+
+TEST(CheckpointTest, WriteLoadRoundTripsThroughDisk) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() /
+       ("fixy_ckpt_rt_" + std::to_string(::getpid())))
+          .string();
+  ShardCheckpoint checkpoint;
+  checkpoint.shard_index = 1;
+  checkpoint.range = {2, 4};
+  checkpoint.fingerprint = 42;
+  checkpoint.report = MakeReport();
+  ASSERT_TRUE(WriteShardCheckpoint(dir, checkpoint).ok());
+  const auto loaded = LoadShardCheckpoint(ShardCheckpointPath(dir, 1));
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(EncodeMultiAppReport(loaded->report),
+            EncodeMultiAppReport(checkpoint.report));
+  EXPECT_FALSE(LoadShardCheckpoint(ShardCheckpointPath(dir, 2)).ok());
+  std::filesystem::remove_all(dir);
+}
+
+// ----------------------------------------------------------------- wire
+
+TEST(WireTest, FramesRoundTripThroughArbitraryChunking) {
+  std::string stream;
+  stream += EncodeFrame(FrameType::kHello, EncodeU32Payload(5));
+  stream += EncodeFrame(FrameType::kHeartbeat, "");
+  stream += EncodeFrame(FrameType::kProgress, EncodeU32Payload(3));
+  stream += EncodeFrame(FrameType::kError,
+                        EncodeErrorPayload(Status::IoError("disk gone")));
+  stream += EncodeFrame(FrameType::kDone, "");
+
+  // Feed the stream one byte at a time — the harshest chunking a
+  // non-blocking pipe can produce.
+  FrameParser parser;
+  std::vector<Frame> frames;
+  for (const char byte : stream) {
+    for (Frame& frame : parser.Consume(std::string_view(&byte, 1))) {
+      frames.push_back(std::move(frame));
+    }
+  }
+  EXPECT_FALSE(parser.corrupt());
+  ASSERT_EQ(frames.size(), 5u);
+  EXPECT_EQ(frames[0].type, FrameType::kHello);
+  EXPECT_EQ(DecodeU32Payload(frames[0].payload).value(), 5u);
+  EXPECT_EQ(frames[2].type, FrameType::kProgress);
+  EXPECT_EQ(DecodeU32Payload(frames[2].payload).value(), 3u);
+  const Status error = DecodeErrorPayload(frames[3].payload);
+  EXPECT_EQ(error.code(), StatusCode::kIoError);
+  EXPECT_EQ(error.message(), "disk gone");
+  EXPECT_EQ(frames[4].type, FrameType::kDone);
+}
+
+TEST(WireTest, CorruptionPoisonsTheStream) {
+  std::string frame = EncodeFrame(FrameType::kProgress, EncodeU32Payload(9));
+  frame[frame.size() - 1] ^= 0x01;  // break the CRC
+  FrameParser parser;
+  EXPECT_TRUE(parser.Consume(frame).empty());
+  EXPECT_TRUE(parser.corrupt());
+  // Nothing after the violation is ever surfaced.
+  EXPECT_TRUE(parser.Consume(EncodeFrame(FrameType::kDone, "")).empty());
+}
+
+// ----------------------------------------- kill / resume determinism
+
+#if defined(FIXY_CLI_PATH) && defined(FIXY_SHARD_TEST_HAVE_FORK)
+
+// Scoped environment variable for injection specs (fork/exec inherits
+// the test's environment).
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const std::string& value) : name_(name) {
+    ::setenv(name, value.c_str(), 1);
+  }
+  ~ScopedEnv() { ::unsetenv(name_); }
+
+ private:
+  const char* name_;
+};
+
+class ShardKillResumeTest : public ::testing::Test {
+ protected:
+  static constexpr size_t kScenes = 6;
+
+  static void SetUpTestSuite() {
+    namespace fs = std::filesystem;
+    base_dir_ = new std::string(
+        (fs::temp_directory_path() /
+         ("fixy_shard_test_" + std::to_string(::getpid())))
+            .string());
+    fs::remove_all(*base_dir_);
+    fs::create_directories(*base_dir_);
+    data_dir_ = new std::string(*base_dir_ + "/data");
+    model_path_ = new std::string(*base_dir_ + "/model.fxm");
+
+    // Small scenes: the suite spawns dozens of worker processes and each
+    // ranks at most one scene.
+    sim::SimProfile profile = sim::LyftLikeProfile();
+    profile.world.duration_seconds = 2.0;
+    profile.world.mean_object_count = 6.0;
+    Fixy trainer;
+    const sim::GeneratedDataset training =
+        sim::GenerateDataset(profile, "shard_train", 3, 271);
+    ASSERT_TRUE(trainer.Learn(training.dataset).ok());
+    ASSERT_TRUE(trainer.SaveModel(*model_path_).ok());
+    const sim::GeneratedDataset ranking =
+        sim::GenerateDataset(profile, "shard_rank", kScenes, 828);
+    ASSERT_TRUE(io::SaveDataset(ranking.dataset, *data_dir_).ok());
+
+    // The single-process reference: the same model and streaming
+    // pipeline the workers run, over the whole dataset in one process.
+    Fixy ranker;
+    ASSERT_TRUE(ranker.LoadModel(*model_path_).ok());
+    auto source = io::DirectorySceneSource::Open(*data_dir_);
+    ASSERT_TRUE(source.ok()) << source.status();
+    BatchOptions batch;
+    batch.num_threads = 1;
+    const auto reference =
+        ranker.RankDatasetStreaming(*source, {"model-errors"}, batch);
+    ASSERT_TRUE(reference.ok()) << reference.status();
+    reference_bytes_ = new std::string(EncodeMultiAppReport(*reference));
+  }
+
+  static void TearDownTestSuite() {
+    std::filesystem::remove_all(*base_dir_);
+    delete base_dir_;
+    delete data_dir_;
+    delete model_path_;
+    delete reference_bytes_;
+    base_dir_ = data_dir_ = model_path_ = reference_bytes_ = nullptr;
+  }
+
+  // A fresh checkpoint directory per scenario, so runs cannot see each
+  // other's checkpoints.
+  std::string FreshCheckpointDir(const std::string& tag) {
+    const std::string dir = *base_dir_ + "/ckpt_" + tag;
+    std::filesystem::remove_all(dir);
+    return dir;
+  }
+
+  static ShardOptions BaseOptions(int workers,
+                                  const std::string& checkpoint_dir) {
+    ShardOptions options;
+    options.workers = workers;
+    options.scenes_per_shard = 1;  // kScenes shards
+    options.worker_binary = FIXY_CLI_PATH;
+    options.checkpoint_dir = checkpoint_dir;
+    options.backoff_base_ms = 1;  // keep retries fast in tests
+    options.backoff_cap_ms = 10;
+    return options;
+  }
+
+  static Result<ShardRunReport> Run(const ShardOptions& options) {
+    return RankDatasetSharded(*data_dir_, *model_path_, {"model-errors"},
+                              options);
+  }
+
+  static std::string* base_dir_;
+  static std::string* data_dir_;
+  static std::string* model_path_;
+  static std::string* reference_bytes_;
+};
+
+std::string* ShardKillResumeTest::base_dir_ = nullptr;
+std::string* ShardKillResumeTest::data_dir_ = nullptr;
+std::string* ShardKillResumeTest::model_path_ = nullptr;
+std::string* ShardKillResumeTest::reference_bytes_ = nullptr;
+
+// Baseline: an uninterrupted sharded run merges byte-identical to the
+// single-process run at every worker count.
+TEST_F(ShardKillResumeTest, MergedReportMatchesSingleProcessAtAnyWorkerCount) {
+  for (int workers = 1; workers <= 4; ++workers) {
+    const auto run = Run(BaseOptions(
+        workers, FreshCheckpointDir("clean_w" + std::to_string(workers))));
+    ASSERT_TRUE(run.ok()) << "workers=" << workers << ": " << run.status();
+    EXPECT_EQ(run->shards_quarantined, 0u);
+    EXPECT_EQ(run->shards_completed, kScenes);
+    EXPECT_EQ(EncodeMultiAppReport(run->merged), *reference_bytes_)
+        << "workers=" << workers;
+  }
+}
+
+// A worker killed once at each seeded injection point is retried on a
+// fresh worker within the same run; the merged report stays
+// byte-identical at 1..4 workers.
+TEST_F(ShardKillResumeTest, InRunRetryAfterKillIsByteIdentical) {
+  for (const char* point : {"pre-rank", "mid-shard", "post-checkpoint"}) {
+    for (int workers = 1; workers <= 4; ++workers) {
+      const std::string tag =
+          std::string(point) + "_w" + std::to_string(workers);
+      const std::string sentinel = *base_dir_ + "/sent_" + tag;
+      const ScopedEnv kill("FIXY_SHARD_KILL",
+                           "2:" + std::string(point) + ":" + sentinel);
+      const auto run = Run(BaseOptions(workers, FreshCheckpointDir(tag)));
+      ASSERT_TRUE(run.ok()) << tag << ": " << run.status();
+      EXPECT_TRUE(std::filesystem::exists(sentinel))
+          << tag << ": injection never fired";
+      EXPECT_EQ(run->shards_quarantined, 0u) << tag;
+      EXPECT_GE(run->shards[2].attempts, 2) << tag;
+      EXPECT_EQ(EncodeMultiAppReport(run->merged), *reference_bytes_) << tag;
+    }
+  }
+}
+
+// A run whose *coordinator* dies mid-way (stop_after_shards) resumes
+// from the completed checkpoints — including across a worker-count
+// change at the resume boundary — and merges byte-identical.
+TEST_F(ShardKillResumeTest, CoordinatorDeathResumesByteIdentical) {
+  for (const int cold_workers : {1, 3}) {
+    for (const int resume_workers : {1, 2, 4}) {
+      const std::string tag = "resume_c" + std::to_string(cold_workers) +
+                              "_r" + std::to_string(resume_workers);
+      const std::string checkpoint_dir = FreshCheckpointDir(tag);
+      ShardOptions cold = BaseOptions(cold_workers, checkpoint_dir);
+      cold.stop_after_shards = 2;  // die after two durable shards
+      const auto killed = Run(cold);
+      ASSERT_FALSE(killed.ok()) << tag << ": test hook did not fire";
+
+      ShardOptions resume = BaseOptions(resume_workers, checkpoint_dir);
+      resume.resume = true;
+      const auto resumed = Run(resume);
+      ASSERT_TRUE(resumed.ok()) << tag << ": " << resumed.status();
+      EXPECT_EQ(resumed->shards_quarantined, 0u) << tag;
+      EXPECT_GE(resumed->checkpoints_reused, 2u) << tag;
+      EXPECT_EQ(EncodeMultiAppReport(resumed->merged), *reference_bytes_)
+          << tag;
+    }
+  }
+}
+
+// A worker killed at a seeded point *and* the coordinator dying leaves a
+// partial checkpoint directory; a fresh --resume run at a different
+// worker count completes it byte-identically.
+TEST_F(ShardKillResumeTest, WorkerKillPlusResumeIsByteIdentical) {
+  for (const char* point : {"pre-rank", "mid-shard", "post-checkpoint"}) {
+    const std::string tag = std::string("killresume_") + point;
+    const std::string checkpoint_dir = FreshCheckpointDir(tag);
+    {
+      // Kill shard 1 permanently (no sentinel) with one allowed attempt:
+      // the cold run quarantines it and completes the rest.
+      const ScopedEnv kill("FIXY_SHARD_KILL", "1:" + std::string(point));
+      ShardOptions cold = BaseOptions(2, checkpoint_dir);
+      cold.max_attempts = 1;
+      const auto killed = Run(cold);
+      ASSERT_TRUE(killed.ok()) << tag << ": " << killed.status();
+      ASSERT_EQ(killed->shards_quarantined, 1u) << tag;
+      EXPECT_TRUE(killed->shards[1].quarantined) << tag;
+      // The quarantined shard's scenes carry error outcomes; the merged
+      // report therefore must NOT match the reference yet.
+      EXPECT_NE(EncodeMultiAppReport(killed->merged), *reference_bytes_);
+    }
+    // Resume with the injection disarmed: quarantine is not durable, so
+    // the shard is re-ranked and the report completes.
+    ShardOptions resume = BaseOptions(4, checkpoint_dir);
+    resume.resume = true;
+    const auto resumed = Run(resume);
+    ASSERT_TRUE(resumed.ok()) << tag << ": " << resumed.status();
+    EXPECT_EQ(resumed->shards_quarantined, 0u) << tag;
+    // post-checkpoint kills after the checkpoint rename, so that shard's
+    // work IS durable and reused; the earlier points leave no checkpoint.
+    const size_t expected_reused =
+        std::string(point) == "post-checkpoint" ? kScenes : kScenes - 1;
+    EXPECT_EQ(resumed->checkpoints_reused, expected_reused) << tag;
+    EXPECT_EQ(EncodeMultiAppReport(resumed->merged), *reference_bytes_)
+        << tag;
+  }
+}
+
+// post-checkpoint kill is the subtle one: the shard IS durably complete
+// when the worker dies, and a resumed run must reuse — not re-rank — it.
+TEST_F(ShardKillResumeTest, PostCheckpointKillLeavesReusableCheckpoint) {
+  const std::string checkpoint_dir = FreshCheckpointDir("postdur");
+  {
+    const ScopedEnv kill("FIXY_SHARD_KILL", "0:post-checkpoint");
+    ShardOptions cold = BaseOptions(1, checkpoint_dir);
+    cold.max_attempts = 1;
+    const auto killed = Run(cold);
+    ASSERT_TRUE(killed.ok()) << killed.status();
+    // The worker died after the rename, so the coordinator counts the
+    // shard failed — but its checkpoint is valid on disk.
+    ASSERT_EQ(killed->shards_quarantined, 1u);
+  }
+  ShardOptions resume = BaseOptions(1, checkpoint_dir);
+  resume.resume = true;
+  const auto resumed = Run(resume);
+  ASSERT_TRUE(resumed.ok()) << resumed.status();
+  // All kScenes checkpoints reused: the killed shard's durable work
+  // included.
+  EXPECT_EQ(resumed->checkpoints_reused, kScenes);
+  EXPECT_EQ(EncodeMultiAppReport(resumed->merged), *reference_bytes_);
+}
+
+// A permanently failing shard is quarantined after K attempts with
+// backoff while every healthy shard completes; only all-shards-failing
+// makes the run useless (all_failed).
+TEST_F(ShardKillResumeTest, PermanentFailureQuarantinesAfterKAttempts) {
+  const ScopedEnv kill("FIXY_SHARD_KILL", "3:pre-rank");  // every attempt
+  ShardOptions options = BaseOptions(2, FreshCheckpointDir("quarantine"));
+  options.max_attempts = 3;
+  const auto run = Run(options);
+  ASSERT_TRUE(run.ok()) << run.status();
+  EXPECT_EQ(run->shards_quarantined, 1u);
+  EXPECT_EQ(run->shards_completed, kScenes - 1);
+  EXPECT_TRUE(run->shards[3].quarantined);
+  EXPECT_EQ(run->shards[3].attempts, 3);
+  EXPECT_FALSE(run->shards[3].status.ok());
+  EXPECT_FALSE(run->all_failed());
+  // The quarantined shard's scene carries an error outcome naming the
+  // shard, like a quarantined scene in a keep-going batch.
+  const SceneOutcome& outcome = run->merged.reports[0].outcomes[3];
+  EXPECT_FALSE(outcome.status.ok());
+  EXPECT_NE(outcome.scene_name, "");
+}
+
+// A wedged worker (hangs forever, heartbeats never start) is detected by
+// the heartbeat timeout, killed, and retried/quarantined — the run never
+// hangs.
+TEST_F(ShardKillResumeTest, WedgedWorkerIsKilledByHeartbeatTimeout) {
+  const ScopedEnv hang("FIXY_SHARD_HANG", "4");  // every attempt
+  ShardOptions options = BaseOptions(2, FreshCheckpointDir("wedge"));
+  options.max_attempts = 2;
+  options.heartbeat_timeout_ms = 300;
+  const auto run = Run(options);
+  ASSERT_TRUE(run.ok()) << run.status();
+  EXPECT_EQ(run->shards_quarantined, 1u);
+  EXPECT_TRUE(run->shards[4].quarantined);
+  EXPECT_EQ(run->shards[4].attempts, 2);
+  EXPECT_EQ(run->shards_completed, kScenes - 1);
+}
+
+// Every shard failing — the worker binary is a lie — yields all_failed
+// (the CLI maps this to a non-zero exit) but still a structured report.
+TEST_F(ShardKillResumeTest, AllShardsFailingIsAllFailed) {
+  ShardOptions options = BaseOptions(2, FreshCheckpointDir("allfail"));
+  options.worker_binary = "/nonexistent/fixy/worker";
+  options.max_attempts = 2;
+  const auto run = Run(options);
+  ASSERT_TRUE(run.ok()) << run.status();
+  EXPECT_EQ(run->shards_quarantined, kScenes);
+  EXPECT_TRUE(run->all_failed());
+  for (const ShardOutcome& shard : run->shards) {
+    EXPECT_FALSE(shard.status.ok());
+  }
+}
+
+#endif  // FIXY_CLI_PATH && FIXY_SHARD_TEST_HAVE_FORK
+
+}  // namespace
+}  // namespace fixy::shard

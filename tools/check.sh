@@ -5,7 +5,7 @@
 #
 # Usage:
 #   tools/check.sh            # plain + asan + tsan + ubsan + metrics
-#                             # + cache + multiapp + perf
+#                             # + cache + multiapp + shard + perf
 #   tools/check.sh plain      # just the tier-1 build/test
 #   tools/check.sh address    # just the asan build/test
 #   tools/check.sh thread     # just the tsan build/test
@@ -23,10 +23,16 @@
 #                             # runs, one track build per scene (not per
 #                             # app), per-app metrics keys vs the golden,
 #                             # and the multiapp tests under asan + tsan
+#   tools/check.sh shard      # sharded-ranking sweep: single-process vs
+#                             # --workers N proposal parity (byte-identical),
+#                             # kill-injected run + --resume parity, and the
+#                             # kill/resume + checkpoint-corruption suites
+#                             # under plain + asan builds
 #   tools/check.sh perf       # perf-regression gate: re-run the hot-path
 #                             # throughput bench and fail if any scenes/sec
 #                             # row drops below the tolerance band of the
-#                             # committed BENCH_hotpath.json (see
+#                             # committed BENCH_hotpath.json, then the same
+#                             # for the cold rows of BENCH_shard.json (see
 #                             # FIXY_PERF_TOLERANCE, default 0.75)
 set -euo pipefail
 
@@ -270,6 +276,62 @@ PYEOF
   echo "==== multiapp: OK ===="
 }
 
+run_shard_sweep() {
+  echo "==== shard: build fixy_cli ===="
+  cmake -B build -S .
+  cmake --build build -j "${JOBS}" --target fixy_cli
+  local cli="build/tools/fixy_cli"
+  [ -x "${cli}" ] || cli="$(find build -name fixy_cli -type f | head -1)"
+  local work
+  work="$(mktemp -d)"
+  trap 'rm -rf "${work}"' RETURN
+
+  echo "==== shard: single-process vs --workers N parity ===="
+  "${cli}" generate --out "${work}/ds" --profile lyft --scenes 8 --seed 11
+  "${cli}" learn --data "${work}/ds" --model "${work}/model.json"
+  "${cli}" rank --data "${work}/ds" --model "${work}/model.json" \
+      --out "${work}/p_single.json" > /dev/null
+  local workers
+  for workers in 1 2 4; do
+    "${cli}" rank --data "${work}/ds" --model "${work}/model.json" \
+        --workers "${workers}" \
+        --checkpoint-dir "${work}/ckpt_w${workers}" \
+        --out "${work}/p_w${workers}.json" > /dev/null
+    cmp "${work}/p_single.json" "${work}/p_w${workers}.json" \
+        || { echo "shard sweep FAILED: --workers ${workers} proposals" \
+                  "differ from single-process" >&2; return 1; }
+  done
+
+  echo "==== shard: kill-injected run + --resume parity ===="
+  # Shard 2 dies permanently at mid-shard with one attempt: the cold run
+  # quarantines it (still exit 0 — other shards rank). The resume run with
+  # the injection disarmed must complete byte-identical to single-process.
+  FIXY_SHARD_KILL="2:mid-shard" \
+      "${cli}" rank --data "${work}/ds" --model "${work}/model.json" \
+      --workers 2 --max-attempts 1 --backoff-ms 1 \
+      --checkpoint-dir "${work}/ckpt_kill" \
+      --out "${work}/p_killed.json" > /dev/null
+  cmp -s "${work}/p_single.json" "${work}/p_killed.json" \
+      && { echo "shard sweep FAILED: quarantined run matched the full" \
+                "report (injection never fired?)" >&2; return 1; }
+  "${cli}" rank --data "${work}/ds" --model "${work}/model.json" \
+      --workers 4 --resume \
+      --checkpoint-dir "${work}/ckpt_kill" \
+      --out "${work}/p_resumed.json" > /dev/null
+  cmp "${work}/p_single.json" "${work}/p_resumed.json" \
+      || { echo "shard sweep FAILED: resumed proposals differ from" \
+                "single-process" >&2; return 1; }
+
+  echo "==== shard: kill/resume + corruption suites (plain + asan) ===="
+  local tests_re="Shard|Checkpoint|Wire"
+  (cd build && ctest --output-on-failure -j "${JOBS}" -R "${tests_re}")
+  cmake -B build-asan -S . -DFIXY_SANITIZE=address
+  cmake --build build-asan -j "${JOBS}" \
+      --target shard_test fault_injection_test fixy_cli
+  (cd build-asan && ctest --output-on-failure -j "${JOBS}" -R "${tests_re}")
+  echo "==== shard: OK ===="
+}
+
 run_perf_gate() {
   echo "==== perf: build bench_throughput ===="
   cmake -B build -S .
@@ -279,11 +341,17 @@ run_perf_gate() {
   [ -f BENCH_hotpath.json ] \
       || { echo "perf gate FAILED: BENCH_hotpath.json not committed" >&2
            return 1; }
+  [ -f BENCH_shard.json ] \
+      || { echo "perf gate FAILED: BENCH_shard.json not committed" >&2
+           return 1; }
   echo "==== perf: re-measure vs committed BENCH_hotpath.json ===="
   # The filter matches no google-benchmark; only the hot-path measurement
   # and the baseline diff run. A regression exits non-zero.
   "${bench}" --benchmark_filter=NothingMatchesThis \
       --hotpath-baseline BENCH_hotpath.json
+  echo "==== perf: re-measure vs committed BENCH_shard.json ===="
+  "${bench}" --benchmark_filter=NothingMatchesThis \
+      --shard-baseline BENCH_shard.json
   echo "==== perf: OK ===="
 }
 
@@ -303,6 +371,8 @@ case "${mode}" in
     run_cache_sweep ;;
   multiapp)
     run_multiapp_sweep ;;
+  shard)
+    run_shard_sweep ;;
   perf)
     run_perf_gate ;;
   all)
@@ -313,9 +383,10 @@ case "${mode}" in
     run_metrics_sweep
     run_cache_sweep
     run_multiapp_sweep
+    run_shard_sweep
     run_perf_gate ;;
   *)
-    echo "usage: $0 [plain|address|thread|undefined|metrics|cache|multiapp|perf|all]" >&2
+    echo "usage: $0 [plain|address|thread|undefined|metrics|cache|multiapp|shard|perf|all]" >&2
     exit 2 ;;
 esac
 echo "all requested suites passed"

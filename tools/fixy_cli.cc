@@ -60,6 +60,8 @@
 #include "io/scene_io.h"
 #include "obs/metrics.h"
 #include "obs/metrics_json.h"
+#include "shard/coordinator.h"
+#include "shard/worker.h"
 #include "sim/generate.h"
 
 namespace fixy::cli {
@@ -91,7 +93,7 @@ class Flags {
  public:
   static Result<Flags> Parse(int argc, char** argv, int first) {
     static const std::set<std::string> kBooleanFlags = {
-        "keep-going", "fail-fast", "verbose-metrics", "no-cache"};
+        "keep-going", "fail-fast", "verbose-metrics", "no-cache", "resume"};
     Flags flags;
     for (int i = first; i < argc; ++i) {
       const std::string arg = argv[i];
@@ -313,10 +315,31 @@ Status CmdRank(const Flags& flags) {
   if (top < 0) {
     return Status::InvalidArgument("--top must be >= 0");
   }
+  // --workers N > 0 switches to the sharded multi-process pipeline: the
+  // dataset splits into scene-range shards, each ranked by a fresh
+  // `fixy_cli rank-shard` child under supervision (heartbeats, capped
+  // exponential backoff retries, quarantine after K attempts), with a
+  // CRC-protected checkpoint per completed shard so --resume continues a
+  // killed run from the last completed shard.
+  FIXY_ASSIGN_OR_RETURN(const int workers, flags.GetIntOr("workers", 0));
+  if (workers < 0) {
+    return Status::InvalidArgument("--workers must be >= 0");
+  }
+  const bool sharded = workers > 0;
+  if (flags.Has("resume") && !sharded) {
+    return Status::InvalidArgument("--resume requires --workers N");
+  }
+  if (sharded && flags.Has("fail-fast")) {
+    return Status::InvalidArgument(
+        "--fail-fast is not supported with --workers: shard runs always "
+        "quarantine failures (per scene and per shard)");
+  }
   // --keep-going: tolerate corrupt scene files at load and quarantine
   // scenes that fail to rank; exit non-zero only when nothing ranked.
   // --fail-fast restores strict first-failure-wins semantics (the default).
-  const bool keep_going = flags.Has("keep-going") && !flags.Has("fail-fast");
+  // Sharded runs are keep-going by construction.
+  const bool keep_going =
+      (flags.Has("keep-going") || sharded) && !flags.Has("fail-fast");
 
   const std::string out_path = flags.GetOr("out", "");
   const std::string metrics_path = flags.GetOr("metrics-json", "");
@@ -335,6 +358,7 @@ Status CmdRank(const Flags& flags) {
     // snapshot key set is identical whether scenes streamed from the FXB
     // cache or were parsed from JSON.
     io::RecordFxbMetricsSchema();
+    shard::RecordShardMetricsSchema();
     obs::Count("io.bytes_read", 0);
     obs::Count("io.files_read", 0);
     obs::AddTimeNs("io.load", 0);
@@ -350,6 +374,7 @@ Status CmdRank(const Flags& flags) {
   if (fixy_options.application.top_k_per_class < 0) {
     return Status::InvalidArgument("--top-k must be >= 0");
   }
+  const int top_k = fixy_options.application.top_k_per_class;
   fixy_options.extra_applications.push_back(SuspectTracksApp());
   Fixy fixy(std::move(fixy_options));
   FIXY_RETURN_IF_ERROR(fixy.LoadModel(model_path));
@@ -413,7 +438,46 @@ Status CmdRank(const Flags& flags) {
   MultiAppReport multi_report;
   size_t files_skipped = 0;
   bool from_cache = false;
-  if (!flags.Has("no-cache")) {
+  if (sharded) {
+    shard::ShardOptions shard_options;
+    shard_options.workers = workers;
+    FIXY_ASSIGN_OR_RETURN(shard_options.scenes_per_shard,
+                          flags.GetIntOr("shard-scenes", 0));
+    FIXY_ASSIGN_OR_RETURN(shard_options.max_attempts,
+                          flags.GetIntOr("max-attempts", 3));
+    FIXY_ASSIGN_OR_RETURN(shard_options.backoff_base_ms,
+                          flags.GetIntOr("backoff-ms", 100));
+    FIXY_ASSIGN_OR_RETURN(shard_options.backoff_cap_ms,
+                          flags.GetIntOr("backoff-cap-ms", 5000));
+    FIXY_ASSIGN_OR_RETURN(shard_options.heartbeat_timeout_ms,
+                          flags.GetIntOr("heartbeat-timeout-ms", 30000));
+    shard_options.resume = flags.Has("resume");
+    shard_options.checkpoint_dir = flags.GetOr("checkpoint-dir", "");
+    shard_options.worker_threads = batch.num_threads;
+    shard_options.top_k_per_class = top_k;
+    shard_options.no_cache = flags.Has("no-cache");
+    FIXY_ASSIGN_OR_RETURN(
+        shard::ShardRunReport shard_run,
+        shard::RankDatasetSharded(data, model_path, apps, shard_options));
+    for (size_t s = 0; s < shard_run.shards.size(); ++s) {
+      const shard::ShardOutcome& outcome = shard_run.shards[s];
+      if (outcome.quarantined) {
+        std::printf("QUARANTINED shard %zu (scenes [%zu,%zu)): %s\n", s,
+                    outcome.range.begin, outcome.range.end,
+                    outcome.status.ToString().c_str());
+      }
+    }
+    std::printf("sharded run: %zu shards, %zu completed (%zu checkpoints "
+                "reused), %zu quarantined, %d workers\n",
+                shard_run.shards.size(), shard_run.shards_completed,
+                shard_run.checkpoints_reused, shard_run.shards_quarantined,
+                workers);
+    // Exit non-zero only when *every* shard failed — the existing
+    // all-scenes-failed rule below implements exactly that, because a
+    // quarantined shard fails all of its scenes.
+    multi_report = std::move(shard_run.merged);
+  }
+  if (!sharded && !flags.Has("no-cache")) {
     Result<io::FxbReader> cache = io::OpenFreshCache(data);
     if (cache.ok()) {
       obs::Count("io.fxb.cache_hits");
@@ -440,7 +504,7 @@ Status CmdRank(const Flags& flags) {
       }
     }
   }
-  if (!from_cache) {
+  if (!sharded && !from_cache) {
     io::DatasetLoadOptions load_options;
     load_options.tolerant = keep_going;
     FIXY_ASSIGN_OR_RETURN(io::DatasetLoadReport loaded,
@@ -528,6 +592,49 @@ Status CmdRank(const Flags& flags) {
   return Status::Ok();
 }
 
+// The worker half of `rank --workers N`: ranks one shard and writes its
+// checkpoint. Spawned by the coordinator, not meant for direct use —
+// stdout is the binary frame channel, so this command prints nothing.
+Status CmdRankShard(const Flags& flags) {
+  shard::ShardWorkerConfig config;
+  FIXY_ASSIGN_OR_RETURN(config.data_dir, flags.GetRequired("data"));
+  FIXY_ASSIGN_OR_RETURN(config.model_path, flags.GetRequired("model"));
+  FIXY_ASSIGN_OR_RETURN(const std::string apps_list,
+                        flags.GetRequired("apps"));
+  config.apps = SplitApps(apps_list);
+  FIXY_ASSIGN_OR_RETURN(const int shard_index, flags.GetIntOr("shard", -1));
+  if (shard_index < 0) {
+    return Status::InvalidArgument("--shard must be >= 0");
+  }
+  config.shard_index = static_cast<size_t>(shard_index);
+  FIXY_ASSIGN_OR_RETURN(config.scenes_per_shard,
+                        flags.GetIntOr("shard-scenes", 0));
+  if (config.scenes_per_shard < 1) {
+    return Status::InvalidArgument("--shard-scenes must be >= 1");
+  }
+  FIXY_ASSIGN_OR_RETURN(config.checkpoint_dir,
+                        flags.GetRequired("checkpoint-dir"));
+  FIXY_ASSIGN_OR_RETURN(config.top_k_per_class, flags.GetIntOr("top-k", 0));
+  if (config.top_k_per_class < 0) {
+    return Status::InvalidArgument("--top-k must be >= 0");
+  }
+  FIXY_ASSIGN_OR_RETURN(config.threads, flags.GetIntOr("threads", 1));
+  if (config.threads < 0) {
+    return Status::InvalidArgument("--threads must be >= 0");
+  }
+  FIXY_ASSIGN_OR_RETURN(config.heartbeat_interval_ms,
+                        flags.GetIntOr("heartbeat-ms", 100));
+  config.no_cache = flags.Has("no-cache");
+  config.out_fd = 1;  // stdout is the coordinator's frame pipe
+  FIXY_RETURN_IF_ERROR(CheckDatasetDirectory(config.data_dir));
+
+  // Same engine configuration as CmdRank, so per-scene results are
+  // byte-identical to the single-process run.
+  FixyOptions options;
+  options.extra_applications.push_back(SuspectTracksApp());
+  return shard::RunShardWorker(config, std::move(options));
+}
+
 Status CmdCache(const std::string& positional, const Flags& flags) {
   std::string data = positional;
   if (data.empty()) {
@@ -582,6 +689,19 @@ void PrintUsage() {
       "           [--no-cache] ignore dataset.fxb and parse the JSON files\n"
       "           [--decode-threads N] loader threads for the cache's\n"
       "           streaming path (default 1)\n"
+      "           [--workers N]  rank in N worker processes over scene-range\n"
+      "           shards; each completed shard writes a CRC'd checkpoint,\n"
+      "           failed shards retry with capped backoff and quarantine\n"
+      "           after --max-attempts (exit non-zero only when every shard\n"
+      "           fails)\n"
+      "           [--resume] reuse valid checkpoints from a previous killed\n"
+      "           run (requires --workers)\n"
+      "           [--shard-scenes N] scenes per shard (default: auto)\n"
+      "           [--max-attempts K] worker attempts per shard (default 3)\n"
+      "           [--backoff-ms B] [--backoff-cap-ms C] retry backoff\n"
+      "           [--heartbeat-timeout-ms T] kill workers silent for T ms\n"
+      "           [--checkpoint-dir DIR] (default DIR/.fixy-shards)\n"
+      "  rank-shard (internal) worker process behind rank --workers\n"
       "  cache    DIR | --data DIR\n"
       "           build or refresh DIR's binary scene cache (dataset.fxb)\n"
       "  info     --data DIR\n");
@@ -613,6 +733,8 @@ int Main(int argc, char** argv) {
     status = CmdLearn(*flags);
   } else if (command == "rank") {
     status = CmdRank(*flags);
+  } else if (command == "rank-shard") {
+    status = CmdRankShard(*flags);
   } else if (command == "cache") {
     status = CmdCache(positional, *flags);
   } else if (command == "info") {
