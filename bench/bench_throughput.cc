@@ -19,6 +19,9 @@
 #include "common/string_util.h"
 #include "common/thread_pool.h"
 #include "core/engine.h"
+#include "daemon/client.h"
+#include "daemon/protocol.h"
+#include "daemon/server.h"
 #include "io/fxb.h"
 #include "io/scene_io.h"
 #include "json/json.h"
@@ -737,13 +740,269 @@ Status RunShardBench(const std::string& out_path,
   return Status::Ok();
 }
 
+// ---- Daemon benchmark + perf gate (--daemon-json, --daemon-baseline) --
+//
+// Measures what fixyd exists for: the latency of one single-scene rank
+// request, cold (a fresh fixy_cli process per request — model load,
+// registry build, cache open, rank, exit) vs resident (one FixydServer
+// holding all of that across requests, queried over its unix socket).
+// Resident latency is swept over 1/4/8 concurrent clients, each issuing
+// sequential requests; p50/p99 are computed over the pooled per-request
+// latencies. The headline number is speedup_p50: cold p50 over resident
+// p50 at one client — the acceptance floor for the daemon is 10x. The
+// gate (--daemon-baseline) bands resident p50 latency per client count
+// (lower is better, so the comparison is inverted relative to the
+// throughput gates).
+
+constexpr int kDaemonClientCounts[] = {1, 4, 8};
+constexpr int kDaemonRequestsPerClient = 25;
+constexpr int kDaemonColdRuns = 5;
+
+double Percentile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] + frac * (values[hi] - values[lo]);
+}
+
+Result<json::Object> MeasureDaemon(const std::string& cli_path) {
+  const TrainedPipeline& pipeline = LyftPipeline();
+
+  const std::string work =
+      (std::filesystem::temp_directory_path() / "fixy_bench_daemon").string();
+  std::filesystem::remove_all(work);
+  const std::string data_dir = work + "/ds";
+  const std::string model_path = work + "/model.fxm";
+  // A one-scene dataset, kept small: cold and resident runs rank the
+  // exact same work, so with the rank itself cheap the latency gap
+  // isolates what the daemon amortizes — process start, model load,
+  // registry build, and cache open.
+  sim::SimProfile profile = sim::LyftLikeProfile();
+  profile.world.duration_seconds = 2.0;
+  profile.world.mean_object_count = 6.0;
+  const sim::GeneratedDataset generated =
+      sim::GenerateDataset(profile, "daemon_bench", 1, kValidationSeed);
+  FIXY_RETURN_IF_ERROR(io::SaveDataset(generated.dataset, data_dir));
+  FIXY_ASSIGN_OR_RETURN(const size_t cached, io::BuildFxbCache(data_dir));
+  if (cached != 1) return Status::Internal("cache scene count mismatch");
+  FIXY_RETURN_IF_ERROR(pipeline.fixy.SaveModel(model_path));
+
+  // Cold: one full CLI process per request.
+  const std::string cold_command =
+      cli_path + " rank --data " + data_dir + " --model " + model_path +
+      " --app model-errors --top 10 --threads 1 > /dev/null 2>&1";
+  std::vector<double> cold_ms;
+  for (int run = 0; run < kDaemonColdRuns; ++run) {
+    const auto start = std::chrono::steady_clock::now();
+    if (std::system(cold_command.c_str()) != 0) {
+      return Status::Internal("daemon bench: cold CLI rank failed: " +
+                              cold_command);
+    }
+    const std::chrono::duration<double, std::milli> elapsed =
+        std::chrono::steady_clock::now() - start;
+    cold_ms.push_back(elapsed.count());
+  }
+  const double cold_p50 = Percentile(cold_ms, 0.5);
+  std::printf("daemon cold CLI      %8.2f ms p50 (%d runs)\n", cold_p50,
+              kDaemonColdRuns);
+
+  // Resident: one daemon, swept client counts.
+  daemon::ServerOptions options;
+  options.socket_path = work + "/fixyd.sock";
+  options.model_path = model_path;
+  options.worker_threads = 8;
+  options.rank_threads = 1;
+  FIXY_ASSIGN_OR_RETURN(std::unique_ptr<daemon::FixydServer> server,
+                        daemon::FixydServer::Create(std::move(options)));
+  std::thread serve_thread([&server] { (void)server->Serve(); });
+
+  json::Array rows;
+  double resident_single_p50 = 0.0;
+  Status worker_error;
+  std::mutex worker_mu;
+  for (const int clients : kDaemonClientCounts) {
+    std::vector<double> latencies_ms;
+    std::vector<std::thread> threads;
+    threads.reserve(clients);
+    const auto wall_start = std::chrono::steady_clock::now();
+    for (int c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        Result<daemon::FixydClient> client =
+            daemon::FixydClient::Connect(server->socket_path());
+        if (!client.ok()) {
+          const std::lock_guard<std::mutex> lock(worker_mu);
+          worker_error = client.status();
+          return;
+        }
+        std::vector<double> mine;
+        mine.reserve(kDaemonRequestsPerClient);
+        for (int r = 0; r < kDaemonRequestsPerClient; ++r) {
+          daemon::Request request;
+          request.kind = daemon::RequestKind::kRank;
+          request.data_dir = data_dir;
+          request.scene_index = 0;
+          request.apps = {"model-errors"};
+          request.top = 10;
+          const auto start = std::chrono::steady_clock::now();
+          const Result<daemon::Response> response = client->Call(request);
+          const std::chrono::duration<double, std::milli> elapsed =
+              std::chrono::steady_clock::now() - start;
+          const std::lock_guard<std::mutex> lock(worker_mu);
+          if (!response.ok()) {
+            worker_error = response.status();
+            return;
+          }
+          if (!response->status.ok()) {
+            worker_error = response->status;
+            return;
+          }
+          mine.push_back(elapsed.count());
+        }
+        const std::lock_guard<std::mutex> lock(worker_mu);
+        latencies_ms.insert(latencies_ms.end(), mine.begin(), mine.end());
+      });
+    }
+    for (std::thread& thread : threads) thread.join();
+    const std::chrono::duration<double> wall =
+        std::chrono::steady_clock::now() - wall_start;
+    if (!worker_error.ok()) {
+      server->RequestStop();
+      serve_thread.join();
+      return worker_error;
+    }
+    const double p50 = Percentile(latencies_ms, 0.5);
+    const double p99 = Percentile(latencies_ms, 0.99);
+    if (clients == 1) resident_single_p50 = p50;
+    json::Object row;
+    row["clients"] = static_cast<double>(clients);
+    row["requests"] = static_cast<double>(latencies_ms.size());
+    row["p50_ms"] = p50;
+    row["p99_ms"] = p99;
+    row["requests_per_sec"] =
+        static_cast<double>(latencies_ms.size()) / wall.count();
+    rows.push_back(std::move(row));
+    std::printf("daemon resident c=%d  %8.2f ms p50  %8.2f ms p99  "
+                "%7.1f req/s\n",
+                clients, p50, p99,
+                static_cast<double>(latencies_ms.size()) / wall.count());
+  }
+  server->RequestStop();
+  serve_thread.join();
+
+  const double speedup =
+      resident_single_p50 > 0.0 ? cold_p50 / resident_single_p50 : 0.0;
+  std::printf("daemon speedup_p50   %8.1fx (cold %.2f ms / resident "
+              "%.2f ms)\n",
+              speedup, cold_p50, resident_single_p50);
+
+  json::Object doc;
+  doc["bench"] = "daemon";
+  json::Object cold;
+  cold["runs"] = static_cast<double>(kDaemonColdRuns);
+  cold["p50_ms"] = cold_p50;
+  doc["cold_cli"] = std::move(cold);
+  doc["results"] = std::move(rows);
+  doc["speedup_p50"] = speedup;
+  std::filesystem::remove_all(work);
+  return doc;
+}
+
+Status CheckDaemonBaseline(const json::Object& fresh,
+                           const std::string& baseline_path) {
+  std::string text;
+  FIXY_RETURN_IF_ERROR(io::ReadFileInto(baseline_path, &text));
+  FIXY_ASSIGN_OR_RETURN(const json::Value baseline, json::Parse(text));
+  const json::Value* rows = baseline.Find("results");
+  if (rows == nullptr || !rows->is_array()) {
+    return Status::InvalidArgument(baseline_path +
+                                   ": no results array (not a daemon file?)");
+  }
+  const double tolerance = HotpathTolerance();
+  const json::Array& fresh_rows = fresh.at("results").AsArray();
+  size_t compared = 0;
+  for (const json::Value& row : rows->AsArray()) {
+    FIXY_ASSIGN_OR_RETURN(const double clients, row.GetDouble("clients"));
+    FIXY_ASSIGN_OR_RETURN(const double committed, row.GetDouble("p50_ms"));
+    const json::Value* match = nullptr;
+    for (const json::Value& candidate : fresh_rows) {
+      if (candidate.GetDouble("clients").value_or(-1.0) == clients) {
+        match = &candidate;
+        break;
+      }
+    }
+    if (match == nullptr) {
+      return Status::Internal(StrFormat(
+          "daemon perf gate: committed row (clients=%g) missing from the "
+          "fresh measurement",
+          clients));
+    }
+    FIXY_ASSIGN_OR_RETURN(const double measured, match->GetDouble("p50_ms"));
+    // Latency: lower is better, so the band inverts — measured may be at
+    // most committed / tolerance.
+    const double ceiling = committed / tolerance;
+    const bool ok = measured <= ceiling;
+    std::printf("daemon gate clients=%g  %8.2f ms p50 vs committed %8.2f "
+                "(ceiling %8.2f)  %s\n",
+                clients, measured, committed, ceiling,
+                ok ? "OK" : "REGRESSION");
+    if (!ok) {
+      return Status::Internal(StrFormat(
+          "daemon perf regression: p50 at clients=%g is %.2f ms, above "
+          "1/%.0f%% of the committed %.2f ms (see BENCH_daemon.json; if "
+          "the slowdown is intentional, re-baseline with --daemon-json)",
+          clients, measured, tolerance * 100.0, committed));
+    }
+    ++compared;
+  }
+  if (compared == 0) {
+    return Status::InvalidArgument(baseline_path + ": no result rows");
+  }
+  std::printf("daemon perf gate OK: %zu rows within band of committed\n",
+              compared);
+  return Status::Ok();
+}
+
+Status RunDaemonBench(const std::string& out_path,
+                      const std::string& baseline_path,
+                      const std::string& cli_override) {
+  std::string cli = cli_override;
+#ifdef FIXY_CLI_PATH
+  if (cli.empty()) cli = FIXY_CLI_PATH;
+#endif
+  if (cli.empty()) {
+    return Status::InvalidArgument(
+        "--daemon-json/--daemon-baseline need the CLI binary for the cold "
+        "runs: pass --shard-cli <path-to-fixy_cli>");
+  }
+  FIXY_ASSIGN_OR_RETURN(json::Object doc, MeasureDaemon(cli));
+  if (!out_path.empty()) {
+    const std::string text = json::Write(doc, /*pretty=*/true);
+    std::FILE* out = std::fopen(out_path.c_str(), "w");
+    if (out == nullptr) {
+      return Status::IoError("cannot open for writing: " + out_path);
+    }
+    std::fwrite(text.data(), 1, text.size(), out);
+    std::fputc('\n', out);
+    std::fclose(out);
+    std::printf("wrote daemon benchmark to %s\n", out_path.c_str());
+  }
+  if (!baseline_path.empty()) {
+    FIXY_RETURN_IF_ERROR(CheckDaemonBaseline(doc, baseline_path));
+  }
+  return Status::Ok();
+}
+
 }  // namespace
 }  // namespace fixy::bench
 
 // BENCHMARK_MAIN plus --metrics-json, --ingest-json, --multiapp-json,
-// --hotpath-json/--hotpath-baseline, and --shard-json/--shard-baseline/
-// --shard-cli flags, peeled from argv before google-benchmark sees them
-// (it rejects flags it does not know).
+// --hotpath-json/--hotpath-baseline, --shard-json/--shard-baseline/
+// --shard-cli, and --daemon-json/--daemon-baseline flags, peeled from
+// argv before google-benchmark sees them (it rejects flags it does not
+// know).
 int main(int argc, char** argv) {
   std::string metrics_path;
   std::string ingest_path;
@@ -753,6 +1012,8 @@ int main(int argc, char** argv) {
   std::string shard_path;
   std::string shard_baseline;
   std::string shard_cli;
+  std::string daemon_path;
+  std::string daemon_baseline;
   int kept = 1;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -820,6 +1081,22 @@ int main(int argc, char** argv) {
       shard_cli = argv[++i];
       continue;
     }
+    if (std::strncmp(arg, "--daemon-json=", 14) == 0) {
+      daemon_path = arg + 14;
+      continue;
+    }
+    if (std::strcmp(arg, "--daemon-json") == 0 && i + 1 < argc) {
+      daemon_path = argv[++i];
+      continue;
+    }
+    if (std::strncmp(arg, "--daemon-baseline=", 18) == 0) {
+      daemon_baseline = arg + 18;
+      continue;
+    }
+    if (std::strcmp(arg, "--daemon-baseline") == 0 && i + 1 < argc) {
+      daemon_baseline = argv[++i];
+      continue;
+    }
     argv[kept++] = argv[i];
   }
   argc = kept;
@@ -861,6 +1138,14 @@ int main(int argc, char** argv) {
   if (!shard_path.empty() || !shard_baseline.empty()) {
     const fixy::Status status =
         fixy::bench::RunShardBench(shard_path, shard_baseline, shard_cli);
+    if (!status.ok()) {
+      std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+      return 1;
+    }
+  }
+  if (!daemon_path.empty() || !daemon_baseline.empty()) {
+    const fixy::Status status =
+        fixy::bench::RunDaemonBench(daemon_path, daemon_baseline, shard_cli);
     if (!status.ok()) {
       std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
       return 1;

@@ -1,0 +1,42 @@
+#include "common/process.h"
+
+#include <cerrno>
+#include <cstring>
+#include <mutex>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <csignal>
+#include <unistd.h>
+#endif
+
+namespace fixy {
+
+void IgnoreSigpipe() {
+#if defined(__unix__) || defined(__APPLE__)
+  static std::once_flag once;
+  std::call_once(once, [] { std::signal(SIGPIPE, SIG_IGN); });
+#endif
+}
+
+Status WriteAllFd(int fd, std::string_view bytes) {
+#if defined(__unix__) || defined(__APPLE__)
+  size_t written = 0;
+  while (written < bytes.size()) {
+    const ssize_t n =
+        ::write(fd, bytes.data() + written, bytes.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError("write to fd failed: " +
+                             std::string(std::strerror(errno)));
+    }
+    written += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+#else
+  (void)fd;
+  (void)bytes;
+  return Status::Unimplemented("WriteAllFd requires a POSIX platform");
+#endif
+}
+
+}  // namespace fixy

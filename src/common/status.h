@@ -21,6 +21,7 @@ enum class StatusCode {
   kIoError = 6,
   kInternal = 7,
   kUnimplemented = 8,
+  kUnavailable = 9,
 };
 
 /// Returns a human-readable name for `code`, e.g. "InvalidArgument".
@@ -69,6 +70,9 @@ class Status {
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -230,6 +230,29 @@ void Fixy::RankSceneApps(const RunPlan& plan, const Scene& scene,
   }
 }
 
+Result<MultiAppReport> Fixy::RankScene(
+    const Scene& scene, const std::vector<std::string>& apps) const {
+  FIXY_ASSIGN_OR_RETURN(RunPlan plan, PlanRun(apps));
+  const size_t app_count = plan.app_indices.size();
+  MultiAppReport multi;
+  multi.apps.reserve(app_count);
+  for (const size_t idx : plan.app_indices) {
+    multi.apps.push_back(registry_.apps()[idx].name);
+  }
+  multi.reports.resize(app_count);
+  for (BatchReport& report : multi.reports) report.outcomes.resize(1);
+  RankSceneApps(plan, scene, multi.reports, 0);
+  for (BatchReport& report : multi.reports) {
+    if (report.outcomes.front().ok()) {
+      report.scenes_ok = 1;
+    } else {
+      report.scenes_failed = 1;
+      report.scenes_quarantined = 1;
+    }
+  }
+  return multi;
+}
+
 Result<MultiAppReport> Fixy::RankDataset(
     const Dataset& dataset, const std::vector<std::string>& apps,
     const BatchOptions& batch) const {

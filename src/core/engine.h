@@ -224,6 +224,19 @@ class Fixy {
   Result<std::vector<ErrorProposal>> FindModelErrors(
       const Scene& scene) const;
 
+  /// Ranks every requested application over ONE scene from a single
+  /// association pass (the same shared ScenePass the batch path uses), on
+  /// the calling thread. The returned per-app reports each hold exactly
+  /// one outcome and are byte-identical to a one-scene RankDataset — this
+  /// is the daemon's single-scene request path, where the pool fans out
+  /// across requests rather than within one. Same failure semantics as
+  /// the quarantining batch default: a failing scene yields an ok report
+  /// whose outcomes carry the error. Errors: InvalidArgument for an empty
+  /// request or unknown/duplicated application name; FailedPrecondition
+  /// before Learn().
+  Result<MultiAppReport> RankScene(const Scene& scene,
+                                   const std::vector<std::string>& apps) const;
+
   /// Dataset-scale multi-application batch ranking: runs every requested
   /// application over every scene of `dataset` from ONE pass — scenes fan
   /// out across a thread pool, and each worker runs association once per

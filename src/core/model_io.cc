@@ -1,5 +1,7 @@
 #include "core/model_io.h"
 
+#include <cerrno>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
@@ -162,11 +164,22 @@ Result<stats::DistributionPtr> DistributionFromJson(
       if (!p.is_number()) {
         return Status::InvalidArgument("categorical mass must be a number");
       }
+      // An empty key would satisfy the end-pointer check below (strtol
+      // consumes zero characters and end == begin == begin + size), so it
+      // must be rejected explicitly; and strtol signals overflow only via
+      // errno, silently clamping to LONG_MAX/LONG_MIN otherwise.
+      if (key.empty()) {
+        return Status::InvalidArgument("categorical key must not be empty");
+      }
       char* end = nullptr;
+      errno = 0;
       const long v = std::strtol(key.c_str(), &end, 10);
       if (end != key.c_str() + key.size()) {
         return Status::InvalidArgument("categorical key must be an integer: " +
                                        key);
+      }
+      if (errno == ERANGE) {
+        return Status::InvalidArgument("categorical key out of range: " + key);
       }
       pm[v] = p.AsDouble();
     }

@@ -1,0 +1,171 @@
+#include "daemon/client.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#endif
+
+#include "common/macros.h"
+#include "common/process.h"
+#include "json/json.h"
+
+namespace fixy::daemon {
+
+#if defined(__unix__) || defined(__APPLE__)
+
+Result<FixydClient> FixydClient::Connect(const std::string& socket_path) {
+  struct sockaddr_un address = {};
+  if (socket_path.size() >= sizeof(address.sun_path)) {
+    return Status::InvalidArgument("socket path too long for a unix socket: " +
+                                   socket_path);
+  }
+  IgnoreSigpipe();
+  address.sun_family = AF_UNIX;
+  std::memcpy(address.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IoError("socket() failed: " +
+                           std::string(std::strerror(errno)));
+  }
+  if (::connect(fd, reinterpret_cast<const struct sockaddr*>(&address),
+                sizeof(address)) != 0) {
+    const int saved_errno = errno;
+    ::close(fd);
+    return Status::IoError(
+        "cannot connect to fixyd at " + socket_path + ": " +
+        std::strerror(saved_errno) +
+        " (is the daemon running? start one with `fixy_cli serve --socket " +
+        socket_path + "`)");
+  }
+  return FixydClient(fd);
+}
+
+FixydClient::FixydClient(FixydClient&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      next_id_(other.next_id_),
+      parser_(std::move(other.parser_)),
+      buffered_(std::move(other.buffered_)) {}
+
+FixydClient& FixydClient::operator=(FixydClient&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = std::exchange(other.fd_, -1);
+    next_id_ = other.next_id_;
+    parser_ = std::move(other.parser_);
+    buffered_ = std::move(other.buffered_);
+  }
+  return *this;
+}
+
+FixydClient::~FixydClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status FixydClient::SendRaw(std::string_view bytes) {
+  if (fd_ < 0) return Status::FailedPrecondition("client is not connected");
+  return WriteAllFd(fd_, bytes);
+}
+
+Result<shard::Frame> FixydClient::ReadFrame(int timeout_ms) {
+  if (fd_ < 0) return Status::FailedPrecondition("client is not connected");
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    if (!buffered_.empty()) {
+      shard::Frame frame = std::move(buffered_.front());
+      buffered_.erase(buffered_.begin());
+      return frame;
+    }
+    const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - std::chrono::steady_clock::now());
+    if (remaining.count() <= 0) {
+      return Status::Unavailable("timed out waiting for a daemon response");
+    }
+    struct pollfd pfd = {fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, static_cast<int>(remaining.count()));
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError("poll failed: " +
+                             std::string(std::strerror(errno)));
+    }
+    if (ready == 0) {
+      return Status::Unavailable("timed out waiting for a daemon response");
+    }
+    char buffer[4096];
+    const ssize_t n = ::read(fd_, buffer, sizeof(buffer));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError("read failed: " +
+                             std::string(std::strerror(errno)));
+    }
+    if (n == 0) {
+      return Status::IoError("daemon closed the connection");
+    }
+    std::vector<shard::Frame> frames =
+        parser_.Consume(std::string_view(buffer, static_cast<size_t>(n)));
+    for (shard::Frame& frame : frames) buffered_.push_back(std::move(frame));
+    if (parser_.corrupt()) {
+      return Status::IoError("corrupt frame stream from the daemon");
+    }
+  }
+}
+
+Result<Response> FixydClient::Call(const Request& request, int timeout_ms) {
+  Request to_send = request;
+  if (to_send.id == 0) to_send.id = next_id_++;
+  FIXY_RETURN_IF_ERROR(SendRaw(EncodeRequestFrame(to_send)));
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - std::chrono::steady_clock::now());
+    if (remaining.count() <= 0) {
+      return Status::Unavailable("timed out waiting for a daemon response");
+    }
+    FIXY_ASSIGN_OR_RETURN(const shard::Frame frame,
+                          ReadFrame(static_cast<int>(remaining.count())));
+    if (frame.type == shard::FrameType::kError) {
+      return shard::DecodeErrorPayload(frame.payload);
+    }
+    if (frame.type != shard::FrameType::kResponse) {
+      continue;  // not part of the client protocol; ignore
+    }
+    FIXY_ASSIGN_OR_RETURN(const json::Value body, json::Parse(frame.payload));
+    FIXY_ASSIGN_OR_RETURN(Response response, ResponseFromJson(body));
+    if (response.id != to_send.id) continue;  // someone else's (stale) reply
+    return response;
+  }
+}
+
+#else  // !(__unix__ || __APPLE__)
+
+Result<FixydClient> FixydClient::Connect(const std::string&) {
+  return Status::Unimplemented("fixyd requires a POSIX platform");
+}
+FixydClient::FixydClient(FixydClient&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)) {}
+FixydClient& FixydClient::operator=(FixydClient&& other) noexcept {
+  fd_ = std::exchange(other.fd_, -1);
+  return *this;
+}
+FixydClient::~FixydClient() = default;
+Status FixydClient::SendRaw(std::string_view) {
+  return Status::Unimplemented("fixyd requires a POSIX platform");
+}
+Result<shard::Frame> FixydClient::ReadFrame(int) {
+  return Status::Unimplemented("fixyd requires a POSIX platform");
+}
+Result<Response> FixydClient::Call(const Request&, int) {
+  return Status::Unimplemented("fixyd requires a POSIX platform");
+}
+
+#endif
+
+}  // namespace fixy::daemon

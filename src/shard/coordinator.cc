@@ -19,6 +19,7 @@
 
 #include "common/crc32.h"
 #include "common/macros.h"
+#include "common/process.h"
 #include "common/string_util.h"
 #include "io/scene_io.h"
 #include "obs/metrics.h"
@@ -303,6 +304,8 @@ void Coordinator::ReadWorker(RunningWorker& worker) {
           case FrameType::kHello:
           case FrameType::kHeartbeat:
           case FrameType::kProgress:
+          case FrameType::kRequest:   // daemon-only types; a worker sending
+          case FrameType::kResponse:  // them is at least alive
             break;  // liveness only
         }
       }
@@ -592,6 +595,9 @@ Result<ShardRunReport> RankDatasetSharded(const std::string& data_dir,
                                           const std::vector<std::string>& apps,
                                           const ShardOptions& options) {
   const obs::StageTimer total_timer;
+  // A worker that dies between poll() and our next pipe write would
+  // otherwise kill the coordinator with SIGPIPE instead of an IoError.
+  IgnoreSigpipe();
   Coordinator coordinator(data_dir, model_path, apps, options);
   FIXY_ASSIGN_OR_RETURN(ShardRunReport report, coordinator.Run());
   obs::AddTimeNs("shard.total", total_timer.ElapsedNs());

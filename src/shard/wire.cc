@@ -9,7 +9,7 @@ namespace {
 
 bool KnownFrameType(uint8_t type) {
   return type >= static_cast<uint8_t>(FrameType::kHello) &&
-         type <= static_cast<uint8_t>(FrameType::kError);
+         type <= static_cast<uint8_t>(FrameType::kResponse);
 }
 
 }  // namespace
@@ -58,7 +58,7 @@ Status DecodeErrorPayload(std::string_view payload) {
   }
   uint32_t code;
   std::memcpy(&code, payload.data(), sizeof(code));
-  if (code == 0 || code > static_cast<uint32_t>(StatusCode::kUnimplemented)) {
+  if (code == 0 || code > static_cast<uint32_t>(StatusCode::kUnavailable)) {
     return Status::Internal("worker sent an error frame with a bad code");
   }
   return Status(static_cast<StatusCode>(code),

@@ -44,6 +44,11 @@ enum class FrameType : uint8_t {
   kDone = 4,
   /// The worker failed: payload u32 StatusCode + message bytes.
   kError = 5,
+  /// Daemon request: payload is a JSON-encoded daemon::Request. Sent by
+  /// fixyd clients; never appears on the coordinator↔worker pipe.
+  kRequest = 6,
+  /// Daemon response: payload is a JSON-encoded daemon::Response.
+  kResponse = 7,
 };
 
 /// type(1) + length(4) + crc(4).

@@ -3,7 +3,6 @@
 #include <cerrno>
 #include <chrono>
 #include <condition_variable>
-#include <csignal>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -17,6 +16,7 @@
 
 #include "common/crc32.h"
 #include "common/macros.h"
+#include "common/process.h"
 #include "common/string_util.h"
 #include "io/scene_io.h"
 #include "shard/checkpoint.h"
@@ -266,11 +266,9 @@ Status RunShardWorkerImpl(const ShardWorkerConfig& config, FixyOptions options,
 }  // namespace
 
 Status RunShardWorker(const ShardWorkerConfig& config, FixyOptions options) {
-#if defined(__unix__) || defined(__APPLE__)
   // A coordinator that died mid-run closes the pipe; the worker must keep
   // going to its checkpoint, not die of SIGPIPE.
-  std::signal(SIGPIPE, SIG_IGN);
-#endif
+  IgnoreSigpipe();
   FrameWriter writer(config.out_fd);
   const Status status = RunShardWorkerImpl(config, std::move(options), writer);
   if (!status.ok()) {

@@ -11,9 +11,15 @@
 #include <thread>
 #include <vector>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
 #include "common/bounded_queue.h"
 #include "common/crc32.h"
 #include "common/macros.h"
+#include "common/process.h"
 #include "common/random.h"
 #include "common/result.h"
 #include "common/status.h"
@@ -41,6 +47,8 @@ TEST(StatusTest, FactoryFunctionsSetCodeAndMessage) {
   EXPECT_EQ(Status::IoError("x").code(), StatusCode::kIoError);
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
   EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::Unavailable("x").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(Status::Unavailable("x").ToString(), "Unavailable: x");
   EXPECT_EQ(Status::InvalidArgument("boom").message(), "boom");
 }
 
@@ -475,6 +483,46 @@ TEST(BoundedQueueTest, ManyProducersManyConsumersDeliverEverything) {
   EXPECT_EQ(seen.size(),
             static_cast<size_t>(kProducers * kItemsPerProducer));
 }
+
+// --------------------------------------------------------------- process
+
+#if defined(__unix__) || defined(__APPLE__)
+
+// Writing to a peer that already hung up must surface as an IoError, not
+// a SIGPIPE that kills the process. This is the regression the shard
+// worker, coordinator, and fixyd all depend on through IgnoreSigpipe():
+// before the fix only the worker ignored SIGPIPE, so a coordinator (or
+// daemon) writing to a dead peer died with the default signal action.
+TEST(ProcessTest, WriteToDeadPeerFailsInsteadOfKillingTheProcess) {
+  IgnoreSigpipe();
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  ::close(fds[1]);  // peer hangs up
+
+  // Large enough that the kernel cannot buffer it all even if the
+  // first write squeaks through before the EPIPE materializes.
+  const std::string payload(1 << 20, 'x');
+  Status status = WriteAllFd(fds[0], payload);
+  if (status.ok()) {
+    // A second write after the hang-up is guaranteed to hit EPIPE.
+    status = WriteAllFd(fds[0], payload);
+  }
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kIoError) << status;
+  ::close(fds[0]);
+}
+
+TEST(ProcessTest, IgnoreSigpipeIsIdempotent) {
+  IgnoreSigpipe();
+  IgnoreSigpipe();  // second call must be a harmless no-op
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  ::close(fds[0]);
+  EXPECT_FALSE(WriteAllFd(fds[1], "boom").ok());
+  ::close(fds[1]);
+}
+
+#endif  // defined(__unix__) || defined(__APPLE__)
 
 }  // namespace
 }  // namespace fixy

@@ -99,7 +99,24 @@ INSTANTIATE_TEST_SUITE_P(
         R"({"type":"categorical","mass":{}})",
         R"({"type":"categorical","mass":{"a":1.0}})",
         R"({"type":"categorical","mass":{"1":0.4}})",   // does not sum to 1
+        R"({"type":"categorical","mass":{"":1.0}})",    // empty key
+        R"({"type":"categorical","mass":{"12x":1.0}})",  // trailing garbage
+        R"({"type":"categorical","mass":{"1.5":1.0}})",  // not an integer
+        // Out of range for long: must be rejected, not clamped to
+        // LONG_MAX/LONG_MIN (which would silently merge distinct keys).
+        R"({"type":"categorical","mass":{"99999999999999999999999999":1.0}})",
+        R"({"type":"categorical","mass":{"-99999999999999999999999999":1.0}})",
         "[1,2,3]"));
+
+TEST(DistributionIoTest, CategoricalAcceptsSignedIntegerKeys) {
+  const auto doc = json::Parse(
+      R"({"type":"categorical","mass":{"-2":0.5,"7":0.5}})");
+  ASSERT_TRUE(doc.ok());
+  const auto dist = DistributionFromJson(*doc);
+  ASSERT_TRUE(dist.ok()) << dist.status();
+  EXPECT_GT((*dist)->Density(-2.0), 0.0);
+  EXPECT_GT((*dist)->Density(7.0), 0.0);
+}
 
 // ---------------------------------------------------------------- Registry
 

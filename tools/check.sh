@@ -5,7 +5,7 @@
 #
 # Usage:
 #   tools/check.sh            # plain + asan + tsan + ubsan + metrics
-#                             # + cache + multiapp + shard + perf
+#                             # + cache + multiapp + shard + daemon + perf
 #   tools/check.sh plain      # just the tier-1 build/test
 #   tools/check.sh address    # just the asan build/test
 #   tools/check.sh thread     # just the tsan build/test
@@ -28,12 +28,19 @@
 #                             # kill-injected run + --resume parity, and the
 #                             # kill/resume + checkpoint-corruption suites
 #                             # under plain + asan builds
+#   tools/check.sh daemon     # fixyd sweep: start a resident daemon, check
+#                             # CLI-vs-daemon proposal parity (byte-identical),
+#                             # hammer it with 8 concurrent query clients,
+#                             # verify graceful shutdown unlinks the socket,
+#                             # then the daemon concurrency/corruption suites
+#                             # under plain + asan builds
 #   tools/check.sh perf       # perf-regression gate: re-run the hot-path
 #                             # throughput bench and fail if any scenes/sec
 #                             # row drops below the tolerance band of the
 #                             # committed BENCH_hotpath.json, then the same
-#                             # for the cold rows of BENCH_shard.json (see
-#                             # FIXY_PERF_TOLERANCE, default 0.75)
+#                             # for the cold rows of BENCH_shard.json and the
+#                             # resident p50 latencies of BENCH_daemon.json
+#                             # (see FIXY_PERF_TOLERANCE, default 0.75)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -332,6 +339,89 @@ run_shard_sweep() {
   echo "==== shard: OK ===="
 }
 
+run_daemon_sweep() {
+  echo "==== daemon: build fixy_cli ===="
+  cmake -B build -S .
+  cmake --build build -j "${JOBS}" --target fixy_cli
+  local cli="build/tools/fixy_cli"
+  [ -x "${cli}" ] || cli="$(find build -name fixy_cli -type f | head -1)"
+  local work
+  work="$(mktemp -d)"
+  # The daemon must not outlive the sweep even on failure.
+  trap 'kill "${serve_pid:-}" 2>/dev/null; rm -rf "${work}"' RETURN
+
+  echo "==== daemon: generate + learn + start fixyd ===="
+  "${cli}" generate --out "${work}/ds" --profile lyft --scenes 4 --seed 11
+  "${cli}" learn --data "${work}/ds" --model "${work}/model.json"
+  local socket="${work}/fixyd.sock"
+  "${cli}" serve --socket "${socket}" --model "${work}/model.json" \
+      --threads 4 > "${work}/serve.log" 2>&1 &
+  local serve_pid=$!
+  local i
+  for i in $(seq 1 100); do
+    grep -q "fixyd serving" "${work}/serve.log" 2>/dev/null && break
+    kill -0 "${serve_pid}" 2>/dev/null \
+        || { echo "daemon sweep FAILED: fixyd died at startup" >&2
+             cat "${work}/serve.log" >&2; return 1; }
+    sleep 0.1
+  done
+
+  echo "==== daemon: CLI-vs-daemon proposal parity ===="
+  local apps="missing-tracks missing-obs model-errors suspect-tracks"
+  "${cli}" rank --data "${work}/ds" --model "${work}/model.json" \
+      --apps all --out "${work}/cli.json" > /dev/null
+  "${cli}" query --socket "${socket}" --cmd rank-dataset \
+      --data "${work}/ds" --apps all --out "${work}/dq.json" > /dev/null
+  local app
+  for app in ${apps}; do
+    cmp "${work}/cli.${app}.json" "${work}/dq.${app}.json" \
+        || { echo "daemon sweep FAILED: ${app} proposals differ between" \
+                  "one-shot CLI and resident daemon" >&2; return 1; }
+  done
+
+  echo "==== daemon: 8 concurrent query clients ===="
+  local pids=() c
+  for c in $(seq 1 8); do
+    if [ $((c % 2)) -eq 0 ]; then
+      "${cli}" query --socket "${socket}" --cmd rank-dataset \
+          --data "${work}/ds" --app model-errors \
+          --out "${work}/conc_${c}.json" > /dev/null &
+    else
+      "${cli}" query --socket "${socket}" --cmd status > /dev/null &
+    fi
+    pids+=($!)
+  done
+  local pid failed=0
+  for pid in "${pids[@]}"; do
+    wait "${pid}" || failed=1
+  done
+  [ "${failed}" -eq 0 ] \
+      || { echo "daemon sweep FAILED: a concurrent client failed" >&2
+           return 1; }
+  for c in 2 4 6 8; do
+    cmp "${work}/cli.model-errors.json" "${work}/conc_${c}.json" \
+        || { echo "daemon sweep FAILED: concurrent client ${c} proposals" \
+                  "differ" >&2; return 1; }
+  done
+
+  echo "==== daemon: graceful shutdown ===="
+  "${cli}" query --socket "${socket}" --cmd shutdown > /dev/null
+  wait "${serve_pid}" \
+      || { echo "daemon sweep FAILED: fixyd exited non-zero" >&2; return 1; }
+  serve_pid=""
+  [ ! -e "${socket}" ] \
+      || { echo "daemon sweep FAILED: socket not unlinked on shutdown" >&2
+           return 1; }
+
+  echo "==== daemon: concurrency + corruption suites (plain + asan) ===="
+  local tests_re="Daemon|Process"
+  (cd build && ctest --output-on-failure -j "${JOBS}" -R "${tests_re}")
+  cmake -B build-asan -S . -DFIXY_SANITIZE=address
+  cmake --build build-asan -j "${JOBS}" --target daemon_test common_test
+  (cd build-asan && ctest --output-on-failure -j "${JOBS}" -R "${tests_re}")
+  echo "==== daemon: OK ===="
+}
+
 run_perf_gate() {
   echo "==== perf: build bench_throughput ===="
   cmake -B build -S .
@@ -352,6 +442,12 @@ run_perf_gate() {
   echo "==== perf: re-measure vs committed BENCH_shard.json ===="
   "${bench}" --benchmark_filter=NothingMatchesThis \
       --shard-baseline BENCH_shard.json
+  [ -f BENCH_daemon.json ] \
+      || { echo "perf gate FAILED: BENCH_daemon.json not committed" >&2
+           return 1; }
+  echo "==== perf: re-measure vs committed BENCH_daemon.json ===="
+  "${bench}" --benchmark_filter=NothingMatchesThis \
+      --daemon-baseline BENCH_daemon.json
   echo "==== perf: OK ===="
 }
 
@@ -373,6 +469,8 @@ case "${mode}" in
     run_multiapp_sweep ;;
   shard)
     run_shard_sweep ;;
+  daemon)
+    run_daemon_sweep ;;
   perf)
     run_perf_gate ;;
   all)
@@ -384,9 +482,10 @@ case "${mode}" in
     run_cache_sweep
     run_multiapp_sweep
     run_shard_sweep
+    run_daemon_sweep
     run_perf_gate ;;
   *)
-    echo "usage: $0 [plain|address|thread|undefined|metrics|cache|multiapp|shard|perf|all]" >&2
+    echo "usage: $0 [plain|address|thread|undefined|metrics|cache|multiapp|shard|daemon|perf|all]" >&2
     exit 2 ;;
 esac
 echo "all requested suites passed"

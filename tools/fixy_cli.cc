@@ -40,6 +40,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
 #include <limits>
 #include <map>
 #include <memory>
@@ -47,9 +48,16 @@
 #include <string>
 #include <vector>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
 #include "common/macros.h"
 #include "core/applications.h"
 #include "core/engine.h"
+#include "daemon/client.h"
+#include "daemon/protocol.h"
+#include "daemon/server.h"
 #include "dsl/aof.h"
 #include "graph/factor_graph.h"
 #include "io/fxb.h"
@@ -404,6 +412,7 @@ Status CmdRank(const Flags& flags) {
     // regardless of which --app/--apps selection actually ran.
     obs::AddTimeNs("rank.track_build", 0);
     obs::Count("rank.track_builds", 0);
+    daemon::RecordDaemonMetricsSchema(fixy.applications().names());
     for (const std::string& name : fixy.applications().names()) {
       obs::AddTimeNs("rank." + name + ".compile", 0);
       obs::Count("rank." + name + ".factors", 0);
@@ -635,6 +644,147 @@ Status CmdRankShard(const Flags& flags) {
   return shard::RunShardWorker(config, std::move(options));
 }
 
+// fixyd: keep the model, registry, and FXB readers resident and serve
+// rank/learn/status/shutdown requests over a unix socket (DESIGN.md §13).
+// The engine is configured exactly like CmdRank's so daemon rank
+// responses are byte-identical to one-shot CLI runs.
+Status CmdServe(const Flags& flags) {
+  daemon::ServerOptions options;
+  FIXY_ASSIGN_OR_RETURN(options.socket_path, flags.GetRequired("socket"));
+  options.model_path = flags.GetOr("model", "");
+  FIXY_ASSIGN_OR_RETURN(options.worker_threads, flags.GetIntOr("threads", 4));
+  if (options.worker_threads < 1) {
+    return Status::InvalidArgument("--threads must be >= 1");
+  }
+  FIXY_ASSIGN_OR_RETURN(options.rank_threads,
+                        flags.GetIntOr("rank-threads", 0));
+  if (options.rank_threads < 0) {
+    return Status::InvalidArgument("--rank-threads must be >= 0");
+  }
+  FIXY_ASSIGN_OR_RETURN(options.max_queue_depth,
+                        flags.GetIntOr("queue-depth", 64));
+  if (options.max_queue_depth < 1) {
+    return Status::InvalidArgument("--queue-depth must be >= 1");
+  }
+  FIXY_ASSIGN_OR_RETURN(options.engine.application.top_k_per_class,
+                        flags.GetIntOr("top-k", 0));
+  if (options.engine.application.top_k_per_class < 0) {
+    return Status::InvalidArgument("--top-k must be >= 0");
+  }
+  const std::string estimator = flags.GetOr("estimator", "kde");
+  if (estimator == "kde") {
+    options.engine.learner.estimator = EstimatorKind::kKde;
+  } else if (estimator == "histogram") {
+    options.engine.learner.estimator = EstimatorKind::kHistogram;
+  } else if (estimator == "gaussian") {
+    options.engine.learner.estimator = EstimatorKind::kGaussian;
+  } else {
+    return Status::InvalidArgument("unknown estimator: " + estimator);
+  }
+  options.engine.extra_applications.push_back(SuspectTracksApp());
+  FIXY_ASSIGN_OR_RETURN(std::unique_ptr<daemon::FixydServer> server,
+                        daemon::FixydServer::Create(std::move(options)));
+  std::printf("fixyd serving on %s (pid %d, %s)\n",
+              server->socket_path().c_str(), static_cast<int>(::getpid()),
+              flags.Has("model") ? "model loaded" : "no model yet");
+  std::fflush(stdout);  // scripts wait for this line before querying
+  FIXY_RETURN_IF_ERROR(server->Serve());
+  std::printf("fixyd stopped\n");
+  return Status::Ok();
+}
+
+// The thin client: one request per invocation, against a running fixyd.
+Status CmdQuery(const Flags& flags) {
+  FIXY_ASSIGN_OR_RETURN(const std::string socket, flags.GetRequired("socket"));
+  FIXY_ASSIGN_OR_RETURN(daemon::RequestKind kind,
+                        daemon::RequestKindFromString(
+                            flags.GetOr("cmd", "status")));
+  daemon::Request request;
+  request.kind = kind;
+  request.data_dir = flags.GetOr("data", "");
+  request.scene = flags.GetOr("scene", "");
+  FIXY_ASSIGN_OR_RETURN(request.scene_index,
+                        flags.GetInt64Or("scene-index", -1));
+  if (flags.Has("app") && flags.Has("apps")) {
+    return Status::InvalidArgument("pass either --app or --apps, not both");
+  }
+  if (flags.Has("apps")) {
+    const std::string list = flags.GetOr("apps", "");
+    // "all" -> empty selection -> the daemon ranks every registered app.
+    if (list != "all") request.apps = SplitApps(list);
+  } else if (flags.Has("app")) {
+    request.apps.push_back(flags.GetOr("app", ""));
+  }
+  FIXY_ASSIGN_OR_RETURN(request.top, flags.GetIntOr("top", 10));
+  if (request.top < 0) {
+    return Status::InvalidArgument("--top must be >= 0");
+  }
+  FIXY_ASSIGN_OR_RETURN(request.deadline_ms,
+                        flags.GetInt64Or("deadline-ms", 0));
+  request.model_out = flags.GetOr("model", "");
+  FIXY_ASSIGN_OR_RETURN(const int timeout_ms,
+                        flags.GetIntOr("timeout-ms", 120000));
+  const std::string out_path = flags.GetOr("out", "");
+
+  FIXY_ASSIGN_OR_RETURN(daemon::FixydClient client,
+                        daemon::FixydClient::Connect(socket));
+  FIXY_ASSIGN_OR_RETURN(const daemon::Response response,
+                        client.Call(request, timeout_ms));
+  if (!response.status.ok()) return response.status;
+
+  switch (kind) {
+    case daemon::RequestKind::kRank:
+    case daemon::RequestKind::kRankDataset: {
+      const json::Value& result = response.result;
+      const json::Value* apps = result.Find("apps");
+      const json::Value* proposals = result.Find("proposals");
+      const json::Value* counts = result.Find("counts");
+      if (apps == nullptr || !apps->is_array() || proposals == nullptr ||
+          counts == nullptr) {
+        return Status::Internal("daemon sent a malformed rank result");
+      }
+      const bool multi = apps->AsArray().size() > 1;
+      for (const json::Value& app_value : apps->AsArray()) {
+        const std::string& app = app_value.AsString();
+        const json::Value* count = counts->Find(app);
+        std::printf("%s: %s proposals\n", app.c_str(),
+                    count != nullptr && count->is_number()
+                        ? std::to_string(static_cast<long long>(
+                              count->AsDouble())).c_str()
+                        : "?");
+        if (out_path.empty()) continue;
+        const json::Value* text = proposals->Find(app);
+        if (text == nullptr || !text->is_string()) {
+          return Status::Internal("daemon sent no proposals for " + app);
+        }
+        // The daemon serialized with SaveProposals' exact format; write
+        // the bytes verbatim so the file is cmp-identical to a one-shot
+        // `fixy_cli rank --out` run.
+        const std::string path = multi ? PerAppOutPath(out_path, app)
+                                       : out_path;
+        std::ofstream out(path, std::ios::binary);
+        if (!out) return Status::IoError("cannot open " + path);
+        out << text->AsString();
+        if (!out.good()) return Status::IoError("failed writing " + path);
+        out.close();
+        std::printf("wrote proposals to %s\n", path.c_str());
+      }
+      return Status::Ok();
+    }
+    case daemon::RequestKind::kLearn:
+      std::printf("daemon re-learned: %s\n",
+                  json::Write(response.result).c_str());
+      return Status::Ok();
+    case daemon::RequestKind::kStatus:
+      std::printf("%s\n", json::Write(response.result, /*pretty=*/true).c_str());
+      return Status::Ok();
+    case daemon::RequestKind::kShutdown:
+      std::printf("daemon is draining and will exit\n");
+      return Status::Ok();
+  }
+  return Status::Ok();
+}
+
 Status CmdCache(const std::string& positional, const Flags& flags) {
   std::string data = positional;
   if (data.empty()) {
@@ -702,6 +852,18 @@ void PrintUsage() {
       "           [--heartbeat-timeout-ms T] kill workers silent for T ms\n"
       "           [--checkpoint-dir DIR] (default DIR/.fixy-shards)\n"
       "  rank-shard (internal) worker process behind rank --workers\n"
+      "  serve    --socket PATH [--model FILE] [--threads N]\n"
+      "           [--rank-threads N] [--queue-depth N] [--top-k K]\n"
+      "           [--estimator kde|histogram|gaussian]\n"
+      "           run fixyd: keep the model and FXB readers resident and\n"
+      "           serve rank/learn/status/shutdown requests over PATH;\n"
+      "           SIGTERM/SIGINT drain in-flight requests, then exit\n"
+      "  query    --socket PATH --cmd rank|rank-dataset|learn|status|\n"
+      "           shutdown [--data DIR] [--scene NAME|--scene-index I]\n"
+      "           [--app NAME|--apps a,b,c|all] [--top K] [--out FILE]\n"
+      "           [--deadline-ms D] [--model FILE] [--timeout-ms T]\n"
+      "           one request against a running fixyd; rank-dataset\n"
+      "           --out writes files byte-identical to `rank --out`\n"
       "  cache    DIR | --data DIR\n"
       "           build or refresh DIR's binary scene cache (dataset.fxb)\n"
       "  info     --data DIR\n");
@@ -735,6 +897,10 @@ int Main(int argc, char** argv) {
     status = CmdRank(*flags);
   } else if (command == "rank-shard") {
     status = CmdRankShard(*flags);
+  } else if (command == "serve") {
+    status = CmdServe(*flags);
+  } else if (command == "query") {
+    status = CmdQuery(*flags);
   } else if (command == "cache") {
     status = CmdCache(positional, *flags);
   } else if (command == "info") {
