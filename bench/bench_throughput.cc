@@ -995,14 +995,183 @@ Status RunDaemonBench(const std::string& out_path,
   return Status::Ok();
 }
 
+// ---- Incremental ingestion benchmark + perf gate ----
+// (--incremental-json, --incremental-baseline)
+//
+// The tentpole contract: after one scene of a kIncrementalScenes-scene
+// dataset changes, UpdateFxbCache must cost roughly one scene (not a full
+// re-encode) and LearnIncremental must fold the delta without refitting
+// the whole training set. Measured as best-of-kIncrementalReps speedups:
+//   update_speedup = full BuildFxbCache time / 1-scene UpdateFxbCache time
+//   fold_speedup   = full Learn time         / 1-scene LearnIncremental time
+// The gate enforces both the committed baseline (scaled by
+// FIXY_PERF_TOLERANCE) and the absolute floors from the acceptance
+// criteria: update >= 10x, fold >= 5x.
+constexpr int kIncrementalScenes = 500;
+constexpr int kIncrementalReps = 3;
+constexpr double kUpdateSpeedupFloor = 10.0;
+constexpr double kFoldSpeedupFloor = 5.0;
+
+Result<json::Object> MeasureIncremental() {
+  const std::string work =
+      (std::filesystem::temp_directory_path() /
+       ("fixy_bench_incremental_" + std::to_string(::getpid())))
+          .string();
+  std::filesystem::create_directories(work);
+  const sim::GeneratedDataset generated =
+      sim::GenerateDataset(sim::LyftLikeProfile(), "inc_bench",
+                           kIncrementalScenes, kValidationSeed);
+  const Dataset& dataset = generated.dataset;
+  FIXY_RETURN_IF_ERROR(io::SaveDataset(dataset, work));
+
+  // Two interchangeable versions of scene 0: alternating between them
+  // makes the cache stale by exactly one scene before every update rep.
+  Scene edited = sim::GenerateDataset(sim::LyftLikeProfile(), "inc_bench",
+                                      1, kValidationSeed + 1)
+                     .dataset.scenes.front();
+  edited.set_name(dataset.scenes.front().name());
+  const std::string scene0_path =
+      work + "/" + dataset.scenes.front().name() + ".fixy.json";
+
+  const auto seconds_of = [](const auto& fn) -> Result<double> {
+    const auto start = std::chrono::steady_clock::now();
+    FIXY_RETURN_IF_ERROR(fn());
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    return elapsed.count();
+  };
+
+  double build_s = 0.0;
+  double update_s = 0.0;
+  for (int rep = 0; rep < kIncrementalReps; ++rep) {
+    std::filesystem::remove(io::FxbCachePath(work));
+    FIXY_ASSIGN_OR_RETURN(const double full, seconds_of([&] {
+                            return io::BuildFxbCache(work).status();
+                          }));
+    build_s = rep == 0 ? full : std::min(build_s, full);
+    // One scene changes; the update must re-encode only that scene.
+    const Scene& next = rep % 2 == 0 ? edited : dataset.scenes.front();
+    FIXY_RETURN_IF_ERROR(io::SaveScene(next, scene0_path));
+    FIXY_ASSIGN_OR_RETURN(const double incremental, seconds_of([&] {
+                            return io::UpdateFxbCache(work).status();
+                          }));
+    update_s = rep == 0 ? incremental : std::min(update_s, incremental);
+  }
+
+  // Learning: full refit vs folding a one-scene delta into learned state.
+  Dataset delta;
+  delta.name = dataset.name;
+  delta.scenes.push_back(edited);
+  double refit_s = 0.0;
+  double fold_s = 0.0;
+  for (int rep = 0; rep < kIncrementalReps; ++rep) {
+    Fixy engine;
+    FIXY_ASSIGN_OR_RETURN(const double full, seconds_of([&] {
+                            return engine.Learn(dataset);
+                          }));
+    refit_s = rep == 0 ? full : std::min(refit_s, full);
+    FIXY_ASSIGN_OR_RETURN(const double incremental, seconds_of([&] {
+                            return engine.LearnIncremental(delta);
+                          }));
+    fold_s = rep == 0 ? incremental : std::min(fold_s, incremental);
+  }
+  std::filesystem::remove_all(work);
+
+  const double update_speedup = update_s > 0.0 ? build_s / update_s : 0.0;
+  const double fold_speedup = fold_s > 0.0 ? refit_s / fold_s : 0.0;
+  std::printf("incremental cache  build %8.3f s  1-scene update %8.4f s  "
+              "%6.1fx\n",
+              build_s, update_s, update_speedup);
+  std::printf("incremental learn  refit %8.3f s  1-scene fold   %8.4f s  "
+              "%6.1fx\n",
+              refit_s, fold_s, fold_speedup);
+
+  json::Object doc;
+  doc["bench"] = "incremental";
+  doc["scenes"] = static_cast<double>(kIncrementalScenes);
+  doc["reps"] = static_cast<double>(kIncrementalReps);
+  doc["build_s"] = build_s;
+  doc["update_s"] = update_s;
+  doc["update_speedup"] = update_speedup;
+  doc["refit_s"] = refit_s;
+  doc["fold_s"] = fold_s;
+  doc["fold_speedup"] = fold_speedup;
+  return doc;
+}
+
+Status CheckIncrementalBaseline(const json::Object& fresh,
+                                const std::string& baseline_path) {
+  std::string text;
+  FIXY_RETURN_IF_ERROR(io::ReadFileInto(baseline_path, &text));
+  FIXY_ASSIGN_OR_RETURN(const json::Value baseline, json::Parse(text));
+  const double tolerance = HotpathTolerance();
+  size_t compared = 0;
+  const struct {
+    const char* key;
+    double floor;
+  } gates[] = {{"update_speedup", kUpdateSpeedupFloor},
+               {"fold_speedup", kFoldSpeedupFloor}};
+  for (const auto& gate : gates) {
+    const json::Value* committed_value = baseline.Find(gate.key);
+    if (committed_value == nullptr || !committed_value->is_number()) {
+      return Status::InvalidArgument(
+          StrFormat("%s: no %s (not an incremental file?)",
+                    baseline_path.c_str(), gate.key));
+    }
+    const double committed = committed_value->AsDouble();
+    const double measured = fresh.at(gate.key).AsDouble();
+    // Speedups: higher is better. The measurement must clear both the
+    // committed baseline (within tolerance) and the absolute floor the
+    // incremental design promises.
+    const double required =
+        std::max(committed * tolerance, gate.floor * tolerance);
+    const bool ok = measured >= required;
+    std::printf("incremental gate %-14s  %6.1fx vs committed %6.1fx "
+                "(required %6.1fx)  %s\n",
+                gate.key, measured, committed, required,
+                ok ? "OK" : "REGRESSION");
+    if (!ok) {
+      return Status::Internal(StrFormat(
+          "incremental perf regression: %s is %.1fx, below %.1fx (see "
+          "BENCH_incremental.json; if the slowdown is intentional, "
+          "re-baseline with --incremental-json)",
+          gate.key, measured, required));
+    }
+    ++compared;
+  }
+  std::printf("incremental perf gate OK: %zu speedups within band\n",
+              compared);
+  return Status::Ok();
+}
+
+Status RunIncrementalBench(const std::string& out_path,
+                           const std::string& baseline_path) {
+  FIXY_ASSIGN_OR_RETURN(json::Object doc, MeasureIncremental());
+  if (!out_path.empty()) {
+    const std::string text = json::Write(doc, /*pretty=*/true);
+    std::FILE* out = std::fopen(out_path.c_str(), "w");
+    if (out == nullptr) {
+      return Status::IoError("cannot open for writing: " + out_path);
+    }
+    std::fwrite(text.data(), 1, text.size(), out);
+    std::fputc('\n', out);
+    std::fclose(out);
+    std::printf("wrote incremental benchmark to %s\n", out_path.c_str());
+  }
+  if (!baseline_path.empty()) {
+    FIXY_RETURN_IF_ERROR(CheckIncrementalBaseline(doc, baseline_path));
+  }
+  return Status::Ok();
+}
+
 }  // namespace
 }  // namespace fixy::bench
 
 // BENCHMARK_MAIN plus --metrics-json, --ingest-json, --multiapp-json,
 // --hotpath-json/--hotpath-baseline, --shard-json/--shard-baseline/
-// --shard-cli, and --daemon-json/--daemon-baseline flags, peeled from
-// argv before google-benchmark sees them (it rejects flags it does not
-// know).
+// --shard-cli, --daemon-json/--daemon-baseline, and --incremental-json/
+// --incremental-baseline flags, peeled from argv before google-benchmark
+// sees them (it rejects flags it does not know).
 int main(int argc, char** argv) {
   std::string metrics_path;
   std::string ingest_path;
@@ -1014,6 +1183,8 @@ int main(int argc, char** argv) {
   std::string shard_cli;
   std::string daemon_path;
   std::string daemon_baseline;
+  std::string incremental_path;
+  std::string incremental_baseline;
   int kept = 1;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -1097,6 +1268,22 @@ int main(int argc, char** argv) {
       daemon_baseline = argv[++i];
       continue;
     }
+    if (std::strncmp(arg, "--incremental-json=", 19) == 0) {
+      incremental_path = arg + 19;
+      continue;
+    }
+    if (std::strcmp(arg, "--incremental-json") == 0 && i + 1 < argc) {
+      incremental_path = argv[++i];
+      continue;
+    }
+    if (std::strncmp(arg, "--incremental-baseline=", 23) == 0) {
+      incremental_baseline = arg + 23;
+      continue;
+    }
+    if (std::strcmp(arg, "--incremental-baseline") == 0 && i + 1 < argc) {
+      incremental_baseline = argv[++i];
+      continue;
+    }
     argv[kept++] = argv[i];
   }
   argc = kept;
@@ -1146,6 +1333,14 @@ int main(int argc, char** argv) {
   if (!daemon_path.empty() || !daemon_baseline.empty()) {
     const fixy::Status status =
         fixy::bench::RunDaemonBench(daemon_path, daemon_baseline, shard_cli);
+    if (!status.ok()) {
+      std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+      return 1;
+    }
+  }
+  if (!incremental_path.empty() || !incremental_baseline.empty()) {
+    const fixy::Status status = fixy::bench::RunIncrementalBench(
+        incremental_path, incremental_baseline);
     if (!status.ok()) {
       std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
       return 1;

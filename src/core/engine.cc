@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
+#include <mutex>
 #include <future>
 #include <iterator>
 #include <memory>
@@ -76,8 +78,7 @@ Fixy::Fixy(FixyOptions options)
   }
 }
 
-Status Fixy::Learn(const Dataset& training) {
-  const obs::ScopedStageTimer learn_timer("learn.total");
+std::vector<FeaturePtr> Fixy::BaseFeatures() const {
   // Standard learned features (Table 2): class-conditional volume and
   // velocity, plus any user-provided extras.
   std::vector<FeaturePtr> features;
@@ -86,8 +87,15 @@ Status Fixy::Learn(const Dataset& training) {
   for (const FeaturePtr& extra : options_.extra_features) {
     features.push_back(extra);
   }
+  return features;
+}
+
+Status Fixy::Learn(const Dataset& training) {
+  const obs::ScopedStageTimer learn_timer("learn.total");
+  const std::vector<FeaturePtr> features = BaseFeatures();
   const DistributionLearner learner(options_.learner);
-  FIXY_ASSIGN_OR_RETURN(learned_base_, learner.Learn(training, features));
+  FIXY_ASSIGN_OR_RETURN(LearnedFeatureSet base_set,
+                        learner.LearnWithStats(training, features));
 
   // Track-count distribution for the model-error application: counts are
   // discrete, so fit a categorical regardless of the main estimator.
@@ -95,12 +103,47 @@ Status Fixy::Learn(const Dataset& training) {
   count_options.estimator = EstimatorKind::kCategorical;
   const DistributionLearner count_learner(count_options);
   FIXY_ASSIGN_OR_RETURN(
-      std::vector<FeatureDistribution> count_fd,
-      count_learner.Learn(training, {std::make_shared<CountFeature>()}));
+      LearnedFeatureSet count_set,
+      count_learner.LearnWithStats(training,
+                                   {std::make_shared<CountFeature>()}));
 
+  learned_base_ = std::move(base_set.distributions);
+  stats_base_ = std::move(base_set.stats);
+  stats_count_ = std::move(count_set.stats);
   learned_with_count_ = learned_base_;
-  learned_with_count_.push_back(std::move(count_fd.front()));
+  learned_with_count_.push_back(std::move(count_set.distributions.front()));
+  has_stats_ = true;
   learned_flag_ = true;
+  RebuildSpecs();
+  return Status::Ok();
+}
+
+Status Fixy::LearnIncremental(const Dataset& delta) {
+  const obs::ScopedStageTimer learn_timer("learn.total");
+  FIXY_RETURN_IF_ERROR(CheckLearned());
+  if (!has_stats_) {
+    return Status::FailedPrecondition(
+        "model carries no sufficient statistics to fold into (saved before "
+        "incremental learning?) — run a full Learn() instead");
+  }
+  const std::vector<FeaturePtr> features = BaseFeatures();
+  const DistributionLearner learner(options_.learner);
+  LearnedFeatureSet base_state{learned_base_, stats_base_};
+  FIXY_RETURN_IF_ERROR(learner.Fold(delta, features, base_state));
+
+  LearnerOptions count_options = options_.learner;
+  count_options.estimator = EstimatorKind::kCategorical;
+  const DistributionLearner count_learner(count_options);
+  LearnedFeatureSet count_state{{learned_with_count_.back()}, stats_count_};
+  FIXY_RETURN_IF_ERROR(count_learner.Fold(
+      delta, {std::make_shared<CountFeature>()}, count_state));
+
+  // Both folds succeeded — commit.
+  learned_base_ = std::move(base_state.distributions);
+  stats_base_ = std::move(base_state.stats);
+  stats_count_ = std::move(count_state.stats);
+  learned_with_count_ = learned_base_;
+  learned_with_count_.push_back(std::move(count_state.distributions.front()));
   RebuildSpecs();
   return Status::Ok();
 }
@@ -108,8 +151,14 @@ Status Fixy::Learn(const Dataset& training) {
 Status Fixy::SaveModel(const std::string& path) const {
   FIXY_RETURN_IF_ERROR(CheckLearned());
   // learned_with_count_ = learned_base_ + the track-count distribution, so
-  // serializing it captures the full learned state.
-  return SaveLearnedModel(learned_with_count_, path);
+  // serializing it captures the full learned state; the parallel stats
+  // (when held) make the saved model foldable after a reload.
+  std::vector<FeatureStats> stats;
+  if (has_stats_) {
+    stats = stats_base_;
+    stats.insert(stats.end(), stats_count_.begin(), stats_count_.end());
+  }
+  return SaveLearnedModel(learned_with_count_, stats, path);
 }
 
 Status Fixy::LoadModel(const std::string& path) {
@@ -117,26 +166,42 @@ Status Fixy::LoadModel(const std::string& path) {
   for (const FeaturePtr& extra : options_.extra_features) {
     registry.Register(extra);
   }
-  FIXY_ASSIGN_OR_RETURN(learned_with_count_,
-                        LoadLearnedModel(path, registry));
+  FIXY_ASSIGN_OR_RETURN(LoadedModel model,
+                        LoadLearnedModelWithStats(path, registry));
   // Split the count distribution back out: the label-error applications
   // use the manual count *filter* instead of the learned distribution.
+  // The stats (when present) are parallel to the distributions and split
+  // the same way. learned_with_count_ is rebuilt count-last so the
+  // learned state (and a subsequent SaveModel) is canonical whatever
+  // order the file listed the features in.
   learned_base_.clear();
-  bool has_count = false;
-  for (const FeatureDistribution& fd : learned_with_count_) {
+  stats_base_.clear();
+  stats_count_.clear();
+  const bool with_stats = model.has_stats();
+  std::optional<FeatureDistribution> count_fd;
+  for (size_t i = 0; i < model.distributions.size(); ++i) {
+    FeatureDistribution& fd = model.distributions[i];
     if (fd.feature().kind() == FeatureKind::kTrack &&
         fd.feature().name() == "count") {
-      has_count = true;
+      count_fd = std::move(fd);
+      if (with_stats) stats_count_.push_back(std::move(model.stats[i]));
     } else {
-      learned_base_.push_back(fd);
+      learned_base_.push_back(std::move(fd));
+      if (with_stats) stats_base_.push_back(std::move(model.stats[i]));
     }
   }
-  if (!has_count) {
+  if (!count_fd.has_value()) {
     learned_base_.clear();
     learned_with_count_.clear();
+    stats_base_.clear();
+    stats_count_.clear();
+    has_stats_ = false;
     return Status::InvalidArgument(
         "model file is missing the learned 'count' distribution");
   }
+  learned_with_count_ = learned_base_;
+  learned_with_count_.push_back(std::move(*count_fd));
+  has_stats_ = with_stats;
   learned_flag_ = true;
   RebuildSpecs();
   return Status::Ok();
@@ -436,22 +501,69 @@ Result<MultiAppReport> Fixy::RankDatasetStreaming(
   // decode pool is abandoned un-joined and its threads may still run.
   // (`source` is the one caller-owned exception — see StreamOptions.)
   struct StreamContext {
-    explicit StreamContext(size_t capacity, size_t metric_slots)
-        : queue(capacity), decode_metrics(metric_slots) {}
+    StreamContext(size_t capacity, size_t metric_slots, size_t resident_limit)
+        : queue(capacity),
+          decode_metrics(metric_slots),
+          resident_limit(resident_limit) {}
     BoundedQueue<WorkItem> queue;
     std::vector<obs::PipelineMetrics> decode_metrics;
     std::atomic<bool> cancelled{false};
     std::atomic<bool> stalled{false};
+
+    // Residency gate (StreamOptions::max_resident_scenes): loaders take a
+    // permit before decoding; the permit is freed when a rank worker
+    // claims the scene. Limit 0 never blocks but still tracks the peak.
+    const size_t resident_limit;
+    std::mutex resident_mu;
+    std::condition_variable resident_cv;
+    size_t resident_now = 0;
+    size_t resident_peak = 0;
+    bool resident_closed = false;
+
+    /// Blocks until a permit frees up; false once the gate is closed
+    /// (stall shutdown), so a parked loader can bow out.
+    bool AcquireResident() {
+      std::unique_lock<std::mutex> lock(resident_mu);
+      resident_cv.wait(lock, [this] {
+        return resident_closed || resident_limit == 0 ||
+               resident_now < resident_limit;
+      });
+      if (resident_closed) return false;
+      ++resident_now;
+      resident_peak = std::max(resident_peak, resident_now);
+      return true;
+    }
+    void ReleaseResident() {
+      {
+        const std::lock_guard<std::mutex> lock(resident_mu);
+        --resident_now;
+      }
+      resident_cv.notify_one();
+    }
+    void CloseResident() {
+      {
+        const std::lock_guard<std::mutex> lock(resident_mu);
+        resident_closed = true;
+      }
+      resident_cv.notify_all();
+    }
+    size_t ResidentPeak() {
+      const std::lock_guard<std::mutex> lock(resident_mu);
+      return resident_peak;
+    }
   };
-  auto ctx = std::make_shared<StreamContext>(queue_capacity,
-                                             collect ? scene_count : 0);
+  auto ctx = std::make_shared<StreamContext>(
+      queue_capacity, collect ? scene_count : 0, stream.max_resident_scenes);
   BoundedQueue<WorkItem>& queue = ctx->queue;
 
   // Loader side: decode scene i and push it. Push blocks when the queue
-  // is full — that back-pressure is what bounds ingestion memory.
+  // is full — that back-pressure is what bounds ingestion memory — and
+  // the residency gate is taken before the decode even starts, so a
+  // loader blocked on a full queue still counts against the ceiling.
   // Captures ctx by value so abandoned tasks stay memory-safe.
   auto decode_one = [collect, &source, ctx](size_t i) {
     if (ctx->cancelled.load(std::memory_order_relaxed)) return;
+    if (!ctx->AcquireResident()) return;
     obs::MetricsCollector decode_collector;
     const obs::MetricsScope scope(collect ? &decode_collector : nullptr);
     Result<Scene> scene = source.DecodeScene(i);
@@ -463,20 +575,25 @@ Result<MultiAppReport> Fixy::RankDatasetStreaming(
   // deadline; with one, a queue empty for stall_ms flags the run as
   // stalled and the worker bows out (the flag, not the worker, fails the
   // run — items never sit unclaimed, because a timeout can only fire on
-  // an empty queue).
+  // an empty queue). A claimed scene frees its residency permit: it now
+  // belongs to the rank worker, not the ingestion window.
   auto pop_item = [ctx, stall_ms]() -> std::optional<WorkItem> {
-    if (stall_ms <= 0) return ctx->queue.Pop();
     std::optional<WorkItem> item;
-    switch (ctx->queue.PopWithTimeout(stall_ms, &item)) {
-      case BoundedQueue<WorkItem>::PopStatus::kItem:
-        return item;
-      case BoundedQueue<WorkItem>::PopStatus::kClosed:
-        return std::nullopt;
-      case BoundedQueue<WorkItem>::PopStatus::kTimeout:
-        break;
+    if (stall_ms <= 0) {
+      item = ctx->queue.Pop();
+    } else {
+      switch (ctx->queue.PopWithTimeout(stall_ms, &item)) {
+        case BoundedQueue<WorkItem>::PopStatus::kItem:
+          break;
+        case BoundedQueue<WorkItem>::PopStatus::kClosed:
+          return std::nullopt;
+        case BoundedQueue<WorkItem>::PopStatus::kTimeout:
+          ctx->stalled.store(true, std::memory_order_relaxed);
+          return std::nullopt;
+      }
     }
-    ctx->stalled.store(true, std::memory_order_relaxed);
-    return std::nullopt;
+    if (item.has_value()) ctx->ReleaseResident();
+    return item;
   };
 
   // Rank side: long-lived workers popping until the queue is closed and
@@ -561,6 +678,7 @@ Result<MultiAppReport> Fixy::RankDatasetStreaming(
       // wedged one winds down promptly, and the wedged one parks on the
       // leaked pool holding only ctx (and the caller's source) alive.
       ctx->cancelled.store(true, std::memory_order_relaxed);
+      ctx->CloseResident();
       queue.Close();
       (void)decode_pool.release();
       for (std::future<void>& future : rank_futures) future.get();
@@ -613,6 +731,8 @@ Result<MultiAppReport> Fixy::RankDatasetStreaming(
     multi.metrics.counters["batch.scenes_quarantined"] += scenes_any_failed;
     multi.metrics.timers_ms["batch.total"] = total_timer.ElapsedMs();
     multi.metrics.gauges["batch.threads"] = static_cast<double>(rank_threads);
+    multi.metrics.gauges["stream.resident_scenes_peak"] =
+        static_cast<double>(ctx->ResidentPeak());
     double scene_ms_max = 0.0;
     for (const SceneOutcome& outcome : multi.reports.front().outcomes) {
       scene_ms_max = std::max(scene_ms_max, outcome.wall_ms);

@@ -110,6 +110,19 @@ struct StreamOptions {
   /// scene decodes; a too-small value turns a slow decode into a
   /// spurious stall error.
   int stall_timeout_ms = 0;
+
+  /// Hard ceiling on decoded-but-not-yet-ranked scenes: each loader takes
+  /// a permit before decoding and the permit is released when a rank
+  /// worker claims the scene, so at most this many decoded scenes exist
+  /// outside the rank workers at any instant — including the ones loaders
+  /// hold while blocked pushing into a full queue, which queue_capacity
+  /// alone does not bound. 0 (the default) leaves residency bounded only
+  /// by queue_capacity + decode_threads. Values > 0 smaller than the
+  /// decode thread count simply idle the surplus loaders; no deadlock is
+  /// possible because permits are freed by the pop side. The run records
+  /// the observed peak as the stream.resident_scenes_peak gauge when
+  /// metrics are collected.
+  size_t max_resident_scenes = 0;
 };
 
 /// Outcome of ranking one scene within a batch.
@@ -202,10 +215,30 @@ class Fixy {
 
   /// Offline phase: learns the volume and velocity distributions (plus any
   /// extra features) from `training`'s human labels, and the track-count
-  /// distribution used by the model-error application.
+  /// distribution used by the model-error application. Also retains the
+  /// per-feature sufficient statistics the distributions materialized
+  /// from, so LearnIncremental can fold new scenes in later.
   Status Learn(const Dataset& training);
 
+  /// Folds the scenes of `delta` into the retained sufficient statistics
+  /// and re-materializes every learned distribution — the amortized cost
+  /// is proportional to `delta`, not to everything learned so far. For
+  /// the exact estimators (gaussian moments, histogram/categorical
+  /// counts) the result is identical to a full refit over the extended
+  /// dataset; for KDE it is identical while the per-class sample streams
+  /// fit in the reservoir (LearnerOptions::kde_reservoir_capacity) and
+  /// divergence is bounded past it (DESIGN.md §14). On error the learned
+  /// state is unchanged. Errors: FailedPrecondition before Learn() or
+  /// when the model carries no statistics (loaded from a file saved
+  /// before incremental learning); otherwise the learner's errors.
+  Status LearnIncremental(const Dataset& delta);
+
   bool is_learned() const { return learned_flag_; }
+
+  /// True when the engine holds the sufficient statistics
+  /// LearnIncremental needs — after Learn(), or after LoadModel() of a
+  /// file that carried stats.
+  bool supports_incremental_learning() const { return has_stats_; }
 
   /// Online phase (each requires Learn() first; FailedPrecondition
   /// otherwise). Outputs are ranked most-suspicious-first.
@@ -316,6 +349,11 @@ class Fixy {
 
   Status CheckLearned() const;
 
+  /// The standard learned feature list (volume + velocity + extras) —
+  /// must be identical for Learn and LearnIncremental so folded stats
+  /// stay parallel to the features they were collected for.
+  std::vector<FeaturePtr> BaseFeatures() const;
+
   /// Learned-state + registry checks and name resolution shared by every
   /// ranking entry point.
   Result<RunPlan> PlanRun(const std::vector<std::string>& names) const;
@@ -346,6 +384,12 @@ class Fixy {
   /// (Section 8.4 adds "a track feature over the total number of
   /// observations").
   std::vector<FeatureDistribution> learned_with_count_;
+  /// Sufficient statistics behind learned_base_ (parallel to it) and the
+  /// count distribution; empty with has_stats_ false when the model was
+  /// loaded from a stats-less file.
+  std::vector<FeatureStats> stats_base_;
+  std::vector<FeatureStats> stats_count_;
+  bool has_stats_ = false;
   /// Cached specs, parallel to registry_.apps(), built by RebuildSpecs().
   /// Immutable between Learn()/LoadModel() calls and safe to share across
   /// the batch path's worker threads.

@@ -1,7 +1,12 @@
 #include "core/learner.h"
 
+#include <algorithm>
+#include <future>
+#include <optional>
+
 #include "common/macros.h"
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 #include "obs/metrics.h"
 #include "stats/discrete.h"
 #include "stats/gaussian.h"
@@ -55,39 +60,16 @@ const char* EstimatorKindToString(EstimatorKind kind) {
   return "unknown";
 }
 
+Result<EstimatorKind> EstimatorKindFromString(const std::string& name) {
+  if (name == "kde") return EstimatorKind::kKde;
+  if (name == "histogram") return EstimatorKind::kHistogram;
+  if (name == "gaussian") return EstimatorKind::kGaussian;
+  if (name == "categorical") return EstimatorKind::kCategorical;
+  return Status::InvalidArgument("unknown estimator kind: " + name);
+}
+
 DistributionLearner::DistributionLearner(LearnerOptions options)
     : options_(std::move(options)) {}
-
-Result<stats::DistributionPtr> DistributionLearner::FitOne(
-    std::vector<double> values) const {
-  switch (options_.estimator) {
-    case EstimatorKind::kKde: {
-      FIXY_ASSIGN_OR_RETURN(stats::GaussianKde kde,
-                            stats::GaussianKde::Fit(std::move(values)));
-      return stats::DistributionPtr(
-          std::make_shared<stats::GaussianKde>(std::move(kde)));
-    }
-    case EstimatorKind::kHistogram: {
-      FIXY_ASSIGN_OR_RETURN(stats::HistogramDensity hist,
-                            stats::HistogramDensity::Fit(values));
-      return stats::DistributionPtr(
-          std::make_shared<stats::HistogramDensity>(std::move(hist)));
-    }
-    case EstimatorKind::kGaussian: {
-      FIXY_ASSIGN_OR_RETURN(stats::Gaussian gaussian,
-                            stats::Gaussian::Fit(values));
-      return stats::DistributionPtr(
-          std::make_shared<stats::Gaussian>(std::move(gaussian)));
-    }
-    case EstimatorKind::kCategorical: {
-      FIXY_ASSIGN_OR_RETURN(stats::Categorical categorical,
-                            stats::Categorical::Fit(values));
-      return stats::DistributionPtr(
-          std::make_shared<stats::Categorical>(std::move(categorical)));
-    }
-  }
-  return Status::Internal("unknown estimator kind");
-}
 
 Result<DistributionLearner::CollectedValues>
 DistributionLearner::CollectValues(const Dataset& training,
@@ -156,11 +138,116 @@ DistributionLearner::CollectValues(const Dataset& training,
   return collected;
 }
 
+uint64_t SampleStats::n(EstimatorKind kind) const {
+  switch (kind) {
+    case EstimatorKind::kGaussian:
+      return moments.n;
+    case EstimatorKind::kHistogram:
+    case EstimatorKind::kCategorical:
+      return counts.total;
+    case EstimatorKind::kKde:
+      return reservoir.seen;
+  }
+  return 0;
+}
+
+void SampleStats::Add(double x, EstimatorKind kind) {
+  switch (kind) {
+    case EstimatorKind::kGaussian:
+      moments.Add(x);
+      break;
+    case EstimatorKind::kHistogram:
+    case EstimatorKind::kCategorical:
+      counts.Add(x);
+      break;
+    case EstimatorKind::kKde:
+      reservoir.Add(x);
+      break;
+  }
+}
+
+SampleStats DistributionLearner::NewSampleStats() const {
+  SampleStats stats;
+  stats.reservoir.capacity = options_.kde_reservoir_capacity;
+  stats.reservoir.seed = options_.kde_reservoir_seed;
+  return stats;
+}
+
+Result<stats::DistributionPtr> DistributionLearner::FitFromStats(
+    const SampleStats& stats, EstimatorKind kind) const {
+  switch (kind) {
+    case EstimatorKind::kKde: {
+      FIXY_ASSIGN_OR_RETURN(stats::GaussianKde kde,
+                            stats::GaussianKde::Fit(stats.reservoir.items));
+      return stats::DistributionPtr(
+          std::make_shared<stats::GaussianKde>(std::move(kde)));
+    }
+    case EstimatorKind::kHistogram: {
+      FIXY_ASSIGN_OR_RETURN(stats::HistogramDensity hist,
+                            stats::HistogramDensity::Fit(stats.counts.Expand()));
+      return stats::DistributionPtr(
+          std::make_shared<stats::HistogramDensity>(std::move(hist)));
+    }
+    case EstimatorKind::kGaussian: {
+      FIXY_ASSIGN_OR_RETURN(
+          stats::Gaussian gaussian,
+          stats::Gaussian::FitFromMoments(stats.moments.n, stats.moments.sum,
+                                          stats.moments.sum_sq));
+      return stats::DistributionPtr(
+          std::make_shared<stats::Gaussian>(std::move(gaussian)));
+    }
+    case EstimatorKind::kCategorical: {
+      FIXY_ASSIGN_OR_RETURN(stats::Categorical categorical,
+                            stats::Categorical::Fit(stats.counts.Expand()));
+      return stats::DistributionPtr(
+          std::make_shared<stats::Categorical>(std::move(categorical)));
+    }
+  }
+  return Status::Internal("unknown estimator kind");
+}
+
+Result<FeatureDistribution> DistributionLearner::MaterializeOne(
+    const FeaturePtr& feature, const FeatureStats& stats) const {
+  if (stats.class_conditional) {
+    std::map<ObjectClass, stats::DistributionPtr> per_class;
+    for (const auto& [cls, sample_stats] : stats.per_class) {
+      if (sample_stats.n(stats.estimator) < options_.min_samples) continue;
+      FIXY_ASSIGN_OR_RETURN(stats::DistributionPtr dist,
+                            FitFromStats(sample_stats, stats.estimator));
+      per_class[cls] = std::move(dist);
+    }
+    if (per_class.empty()) {
+      return Status::InvalidArgument(
+          StrFormat("feature '%s': no class reached %zu training samples",
+                    feature->name().c_str(), options_.min_samples));
+    }
+    return FeatureDistribution(feature, std::move(per_class));
+  }
+  const uint64_t n = stats.global.n(stats.estimator);
+  if (n < options_.min_samples) {
+    return Status::InvalidArgument(
+        StrFormat("feature '%s': only %zu training samples (need %zu)",
+                  feature->name().c_str(), static_cast<size_t>(n),
+                  options_.min_samples));
+  }
+  FIXY_ASSIGN_OR_RETURN(stats::DistributionPtr dist,
+                        FitFromStats(stats.global, stats.estimator));
+  return FeatureDistribution(feature, std::move(dist));
+}
+
 Result<std::vector<FeatureDistribution>> DistributionLearner::Learn(
     const Dataset& training, const std::vector<FeaturePtr>& features) const {
+  FIXY_ASSIGN_OR_RETURN(LearnedFeatureSet set,
+                        LearnWithStats(training, features));
+  return std::move(set.distributions);
+}
+
+Result<LearnedFeatureSet> DistributionLearner::LearnWithStats(
+    const Dataset& training, const std::vector<FeaturePtr>& features) const {
   const obs::ScopedStageTimer fit_timer("learn.fit");
-  std::vector<FeatureDistribution> learned;
-  learned.reserve(features.size());
+  LearnedFeatureSet set;
+  set.distributions.reserve(features.size());
+  set.stats.reserve(features.size());
   for (const FeaturePtr& feature : features) {
     if (feature == nullptr) {
       return Status::InvalidArgument("null feature passed to learner");
@@ -174,33 +261,230 @@ Result<std::vector<FeatureDistribution>> DistributionLearner::Learn(
       }
       obs::Count("learn.samples." + feature->name(), samples);
     }
-    if (feature->class_conditional()) {
-      std::map<ObjectClass, stats::DistributionPtr> per_class;
-      for (auto& [cls, values] : collected.per_class) {
-        if (values.size() < options_.min_samples) continue;
-        FIXY_ASSIGN_OR_RETURN(stats::DistributionPtr dist,
-                              FitOne(std::move(values)));
-        per_class[cls] = std::move(dist);
+    FeatureStats stats;
+    stats.estimator = options_.estimator;
+    stats.class_conditional = feature->class_conditional();
+    if (stats.class_conditional) {
+      for (const auto& [cls, values] : collected.per_class) {
+        SampleStats sample_stats = NewSampleStats();
+        for (double value : values) sample_stats.Add(value, stats.estimator);
+        stats.per_class[cls] = std::move(sample_stats);
       }
-      if (per_class.empty()) {
-        return Status::InvalidArgument(StrFormat(
-            "feature '%s': no class reached %zu training samples",
-            feature->name().c_str(), options_.min_samples));
-      }
-      learned.emplace_back(feature, std::move(per_class));
     } else {
-      if (collected.global.size() < options_.min_samples) {
-        return Status::InvalidArgument(StrFormat(
-            "feature '%s': only %zu training samples (need %zu)",
-            feature->name().c_str(), collected.global.size(),
-            options_.min_samples));
+      stats.global = NewSampleStats();
+      for (double value : collected.global) {
+        stats.global.Add(value, stats.estimator);
       }
-      FIXY_ASSIGN_OR_RETURN(stats::DistributionPtr dist,
-                            FitOne(std::move(collected.global)));
-      learned.emplace_back(feature, std::move(dist));
+    }
+    FIXY_ASSIGN_OR_RETURN(FeatureDistribution dist,
+                          MaterializeOne(feature, stats));
+    set.distributions.push_back(std::move(dist));
+    set.stats.push_back(std::move(stats));
+  }
+  return set;
+}
+
+Result<std::vector<FeatureDistribution>> DistributionLearner::Materialize(
+    const std::vector<FeaturePtr>& features,
+    const std::vector<FeatureStats>& stats) const {
+  if (features.size() != stats.size()) {
+    return Status::InvalidArgument(
+        StrFormat("cannot materialize: %zu features but %zu stat sets",
+                  features.size(), stats.size()));
+  }
+  std::vector<FeatureDistribution> learned;
+  learned.reserve(features.size());
+  for (size_t i = 0; i < features.size(); ++i) {
+    if (features[i] == nullptr) {
+      return Status::InvalidArgument("null feature passed to learner");
+    }
+    FIXY_ASSIGN_OR_RETURN(FeatureDistribution dist,
+                          MaterializeOne(features[i], stats[i]));
+    learned.push_back(std::move(dist));
+  }
+  return learned;
+}
+
+Result<std::vector<FeatureDistribution>> DistributionLearner::MaterializeDelta(
+    const std::vector<FeaturePtr>& features, const LearnedFeatureSet& state,
+    const std::vector<FeatureStats>& folded) const {
+  if (features.size() != folded.size() ||
+      state.stats.size() != folded.size() ||
+      state.distributions.size() != folded.size()) {
+    return Status::InvalidArgument(
+        StrFormat("cannot materialize delta: %zu features, %zu stat sets, "
+                  "%zu prior distributions",
+                  features.size(), folded.size(),
+                  state.distributions.size()));
+  }
+  // One cell per distribution to (re)fit: class-conditional features have
+  // one per class at min_samples, the rest a single global cell. Cells
+  // whose statistics the fold left untouched keep their existing
+  // DistributionPtr; only the changed ones become fit jobs.
+  struct Cell {
+    size_t feature = 0;
+    std::optional<ObjectClass> cls;
+    const SampleStats* stats = nullptr;  // set only when a fit is needed
+    stats::DistributionPtr reused;       // set only when reusing
+  };
+  std::vector<Cell> cells;
+  size_t fits = 0;
+  for (size_t i = 0; i < features.size(); ++i) {
+    const FeaturePtr& feature = features[i];
+    if (feature == nullptr) {
+      return Status::InvalidArgument("null feature passed to learner");
+    }
+    const FeatureStats& now = folded[i];
+    const FeatureStats& before = state.stats[i];
+    const FeatureDistribution& prior = state.distributions[i];
+    if (now.class_conditional) {
+      bool any = false;
+      for (const auto& [cls, sample_stats] : now.per_class) {
+        if (sample_stats.n(now.estimator) < options_.min_samples) continue;
+        any = true;
+        Cell cell;
+        cell.feature = i;
+        cell.cls = cls;
+        const auto old_stats = before.per_class.find(cls);
+        const auto old_dist = prior.per_class_distributions().find(cls);
+        if (old_stats != before.per_class.end() &&
+            old_stats->second == sample_stats &&
+            old_dist != prior.per_class_distributions().end()) {
+          cell.reused = old_dist->second;
+        } else {
+          cell.stats = &sample_stats;
+          ++fits;
+        }
+        cells.push_back(std::move(cell));
+      }
+      if (!any) {
+        return Status::InvalidArgument(
+            StrFormat("feature '%s': no class reached %zu training samples",
+                      feature->name().c_str(), options_.min_samples));
+      }
+    } else {
+      const uint64_t n = now.global.n(now.estimator);
+      if (n < options_.min_samples) {
+        return Status::InvalidArgument(
+            StrFormat("feature '%s': only %zu training samples (need %zu)",
+                      feature->name().c_str(), static_cast<size_t>(n),
+                      options_.min_samples));
+      }
+      Cell cell;
+      cell.feature = i;
+      if (now.global == before.global && prior.global_distribution()) {
+        cell.reused = prior.global_distribution();
+      } else {
+        cell.stats = &now.global;
+        ++fits;
+      }
+      cells.push_back(std::move(cell));
+    }
+  }
+  // Fit every changed cell; each fit is independent (pure function of the
+  // cell's stats), so they fan out across a pool. Results land in
+  // cell-index slots and errors are reported in cell order, keeping the
+  // outcome deterministic at any thread count.
+  std::vector<Result<stats::DistributionPtr>> fitted(
+      cells.size(), Status::Internal("fit not run"));
+  const auto fit_cell = [&](size_t c) {
+    fitted[c] = FitFromStats(*cells[c].stats, folded[cells[c].feature].estimator);
+  };
+  if (fits > 1) {
+    ThreadPool pool(static_cast<int>(
+        std::min(fits, static_cast<size_t>(
+                           ThreadPool::ResolveThreadCount(0)))));
+    std::vector<std::future<void>> pending;
+    for (size_t c = 0; c < cells.size(); ++c) {
+      if (cells[c].stats != nullptr) {
+        pending.push_back(pool.Submit([&fit_cell, c] { fit_cell(c); }));
+      }
+    }
+    for (std::future<void>& f : pending) f.get();
+  } else {
+    for (size_t c = 0; c < cells.size(); ++c) {
+      if (cells[c].stats != nullptr) fit_cell(c);
+    }
+  }
+  // Assemble per-feature distributions in feature order.
+  std::vector<FeatureDistribution> learned;
+  learned.reserve(features.size());
+  size_t c = 0;
+  for (size_t i = 0; i < features.size(); ++i) {
+    if (folded[i].class_conditional) {
+      std::map<ObjectClass, stats::DistributionPtr> per_class;
+      for (; c < cells.size() && cells[c].feature == i; ++c) {
+        stats::DistributionPtr dist = cells[c].reused;
+        if (dist == nullptr) {
+          FIXY_RETURN_IF_ERROR(fitted[c].status());
+          dist = std::move(*fitted[c]);
+        }
+        per_class[*cells[c].cls] = std::move(dist);
+      }
+      learned.push_back(FeatureDistribution(features[i], std::move(per_class)));
+    } else {
+      stats::DistributionPtr dist = cells[c].reused;
+      if (dist == nullptr) {
+        FIXY_RETURN_IF_ERROR(fitted[c].status());
+        dist = std::move(*fitted[c]);
+      }
+      ++c;
+      learned.push_back(FeatureDistribution(features[i], std::move(dist)));
     }
   }
   return learned;
+}
+
+Status DistributionLearner::Fold(const Dataset& delta,
+                                 const std::vector<FeaturePtr>& features,
+                                 LearnedFeatureSet& state) const {
+  const obs::ScopedStageTimer fit_timer("learn.fit");
+  if (features.size() != state.stats.size()) {
+    return Status::InvalidArgument(
+        StrFormat("cannot fold: %zu features but %zu stat sets",
+                  features.size(), state.stats.size()));
+  }
+  // Fold into a copy so a failed materialization leaves `state` usable.
+  std::vector<FeatureStats> folded = state.stats;
+  for (size_t i = 0; i < features.size(); ++i) {
+    const FeaturePtr& feature = features[i];
+    if (feature == nullptr) {
+      return Status::InvalidArgument("null feature passed to learner");
+    }
+    FeatureStats& stats = folded[i];
+    if (stats.class_conditional != feature->class_conditional()) {
+      return Status::InvalidArgument(StrFormat(
+          "feature '%s': stats class-conditionality does not match",
+          feature->name().c_str()));
+    }
+    FIXY_ASSIGN_OR_RETURN(CollectedValues collected,
+                          CollectValues(delta, *feature));
+    if (obs::Enabled()) {
+      size_t samples = collected.global.size();
+      for (const auto& [cls, values] : collected.per_class) {
+        samples += values.size();
+      }
+      obs::Count("learn.samples." + feature->name(), samples);
+    }
+    if (stats.class_conditional) {
+      for (const auto& [cls, values] : collected.per_class) {
+        auto it = stats.per_class.find(cls);
+        if (it == stats.per_class.end()) {
+          it = stats.per_class.emplace(cls, NewSampleStats()).first;
+        }
+        for (double value : values) it->second.Add(value, stats.estimator);
+      }
+    } else {
+      for (double value : collected.global) {
+        stats.global.Add(value, stats.estimator);
+      }
+    }
+  }
+  FIXY_ASSIGN_OR_RETURN(std::vector<FeatureDistribution> learned,
+                        MaterializeDelta(features, state, folded));
+  state.stats = std::move(folded);
+  state.distributions = std::move(learned);
+  return Status::Ok();
 }
 
 }  // namespace fixy

@@ -10,12 +10,16 @@
 #ifndef FIXY_CORE_LEARNER_H_
 #define FIXY_CORE_LEARNER_H_
 
+#include <cstdint>
+#include <map>
+#include <string>
 #include <vector>
 
 #include "common/result.h"
 #include "data/scene.h"
 #include "dsl/feature_distribution.h"
 #include "dsl/track_builder.h"
+#include "stats/sufficient.h"
 
 namespace fixy {
 
@@ -31,6 +35,10 @@ enum class EstimatorKind {
 };
 
 const char* EstimatorKindToString(EstimatorKind kind);
+
+/// Inverse of EstimatorKindToString. Errors: InvalidArgument for an
+/// unknown name.
+Result<EstimatorKind> EstimatorKindFromString(const std::string& name);
 
 struct LearnerOptions {
   EstimatorKind estimator = EstimatorKind::kKde;
@@ -53,6 +61,58 @@ struct LearnerOptions {
   /// How training observations are assembled into tracks before feature
   /// extraction.
   TrackBuilderOptions track_builder;
+
+  /// Capacity of the per-(feature, class) sample reservoir the KDE
+  /// estimator's sufficient statistics keep (stats/sufficient.h). While a
+  /// stream fits inside the reservoir the incremental fit is exactly the
+  /// full fit; past it the KDE is fit from a uniform subsample and
+  /// incremental-vs-refit divergence is bounded (DESIGN.md §14).
+  uint64_t kde_reservoir_capacity = stats::kDefaultReservoirCapacity;
+
+  /// Seed of the reservoirs' counter-based randomness. Part of the
+  /// persisted model: reloading and folding more scenes continues the
+  /// exact subsampling stream.
+  uint64_t kde_reservoir_seed = 0;
+};
+
+/// Mergeable sufficient statistics of one value stream (one feature, one
+/// class slot). Only the member the estimator needs is populated: moments
+/// for Gaussian, the value multiset for histogram/categorical, the
+/// reservoir for KDE.
+struct SampleStats {
+  stats::MomentStats moments;
+  stats::ValueCounts counts;
+  stats::ValueReservoir reservoir;
+
+  /// Total values ever folded in, whatever the estimator.
+  uint64_t n(EstimatorKind kind) const;
+  void Add(double x, EstimatorKind kind);
+
+  bool operator==(const SampleStats&) const = default;
+};
+
+/// Sufficient statistics for one learned feature, from which its
+/// FeatureDistribution materializes.
+struct FeatureStats {
+  EstimatorKind estimator = EstimatorKind::kKde;
+  bool class_conditional = false;
+  /// Used when !class_conditional.
+  SampleStats global;
+  /// Every class with at least one training sample is tracked — including
+  /// classes still below min_samples, so a later fold can push them over
+  /// the threshold and materialize a distribution for them.
+  std::map<ObjectClass, SampleStats> per_class;
+
+  bool operator==(const FeatureStats&) const = default;
+};
+
+/// A learned model together with the statistics it materialized from.
+/// `stats` is parallel to `distributions`; keeping both lets
+/// Fixy::LearnIncremental fold new scenes in and re-materialize without a
+/// full refit.
+struct LearnedFeatureSet {
+  std::vector<FeatureDistribution> distributions;
+  std::vector<FeatureStats> stats;
 };
 
 /// Learns feature distributions for the given features from a training
@@ -66,6 +126,30 @@ class DistributionLearner {
   /// InvalidArgument error, since scoring with them would be vacuous.
   Result<std::vector<FeatureDistribution>> Learn(
       const Dataset& training, const std::vector<FeaturePtr>& features) const;
+
+  /// Like Learn, but also returns the sufficient statistics each
+  /// distribution was materialized from. Learn() is this with the stats
+  /// discarded — both paths fold values into statistics and fit from
+  /// them, so a model refit from its own stats is byte-identical.
+  Result<LearnedFeatureSet> LearnWithStats(
+      const Dataset& training, const std::vector<FeaturePtr>& features) const;
+
+  /// Folds `delta`'s feature values into `state.stats` (in dataset order,
+  /// the same order LearnWithStats would have consumed them) and
+  /// re-materializes every distribution from the updated statistics.
+  /// `features` must be the list `state` was learned with (same size and
+  /// class-conditionality). On error `state` is left unchanged. Errors:
+  /// InvalidArgument on a feature/stats shape mismatch or when a feature
+  /// still has no class at min_samples after the fold.
+  Status Fold(const Dataset& delta, const std::vector<FeaturePtr>& features,
+              LearnedFeatureSet& state) const;
+
+  /// Materializes one distribution per feature from previously collected
+  /// statistics, enforcing min_samples exactly like Learn. Used to turn a
+  /// deserialized stats set back into a scoreable model.
+  Result<std::vector<FeatureDistribution>> Materialize(
+      const std::vector<FeaturePtr>& features,
+      const std::vector<FeatureStats>& stats) const;
 
   /// Collects the raw feature values for one feature over the dataset,
   /// keyed by object class (class-conditional features) or all under
@@ -82,7 +166,29 @@ class DistributionLearner {
                                         const Feature& feature) const;
 
  private:
-  Result<stats::DistributionPtr> FitOne(std::vector<double> values) const;
+  /// A SampleStats seeded with this learner's reservoir configuration.
+  SampleStats NewSampleStats() const;
+
+  /// Fits one distribution from sufficient statistics (the kind decides
+  /// which member is read).
+  Result<stats::DistributionPtr> FitFromStats(const SampleStats& stats,
+                                              EstimatorKind kind) const;
+
+  /// Materializes one feature's distribution from its stats, enforcing
+  /// min_samples per class (or globally) with Learn's error messages.
+  Result<FeatureDistribution> MaterializeOne(const FeaturePtr& feature,
+                                             const FeatureStats& stats) const;
+
+  /// Fold's materialization: like Materialize(features, folded), but a
+  /// (feature, class) cell whose statistics are unchanged from
+  /// `state.stats` reuses the already-fitted distribution from
+  /// `state.distributions` (a fit is a pure function of its stats, so the
+  /// reuse is byte-identical), and the cells that did change are fitted
+  /// in parallel. This is what makes folding a small delta cost the
+  /// delta's cells, not a full re-fit of every distribution.
+  Result<std::vector<FeatureDistribution>> MaterializeDelta(
+      const std::vector<FeaturePtr>& features, const LearnedFeatureSet& state,
+      const std::vector<FeatureStats>& folded) const;
 
   LearnerOptions options_;
 };

@@ -1,5 +1,6 @@
 #include "core/model_io.h"
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdlib>
 #include <fstream>
@@ -191,10 +192,202 @@ Result<stats::DistributionPtr> DistributionFromJson(
   return Status::InvalidArgument("unknown distribution type: " + type);
 }
 
+namespace {
+
+// One value stream's statistics; which members appear follows the
+// estimator kind, mirroring SampleStats::Add.
+Result<json::Value> SampleStatsToJson(const SampleStats& stats,
+                                      EstimatorKind kind) {
+  json::Object obj;
+  switch (kind) {
+    case EstimatorKind::kGaussian:
+      obj["n"] = stats.moments.n;
+      obj["sum"] = stats.moments.sum;
+      obj["sum_sq"] = stats.moments.sum_sq;
+      break;
+    case EstimatorKind::kHistogram:
+    case EstimatorKind::kCategorical: {
+      obj["total"] = stats.counts.total;
+      json::Array values;
+      json::Array counts;
+      for (const auto& [value, count] : stats.counts.counts) {
+        values.push_back(value);
+        counts.push_back(count);
+      }
+      obj["values"] = std::move(values);
+      obj["counts"] = std::move(counts);
+      break;
+    }
+    case EstimatorKind::kKde: {
+      obj["seen"] = stats.reservoir.seen;
+      obj["capacity"] = stats.reservoir.capacity;
+      obj["seed"] = stats.reservoir.seed;
+      json::Array items;
+      items.reserve(stats.reservoir.items.size());
+      for (double item : stats.reservoir.items) items.push_back(item);
+      obj["items"] = std::move(items);
+      break;
+    }
+  }
+  return json::Value(std::move(obj));
+}
+
+Result<SampleStats> SampleStatsFromJson(const json::Value& value,
+                                        EstimatorKind kind) {
+  if (!value.is_object()) {
+    return Status::InvalidArgument("sample stats must be a JSON object");
+  }
+  SampleStats stats;
+  switch (kind) {
+    case EstimatorKind::kGaussian: {
+      FIXY_ASSIGN_OR_RETURN(int64_t n, value.GetInt64("n"));
+      if (n < 0) return Status::InvalidArgument("moment stats n must be >= 0");
+      FIXY_ASSIGN_OR_RETURN(stats.moments.sum, value.GetDouble("sum"));
+      FIXY_ASSIGN_OR_RETURN(stats.moments.sum_sq, value.GetDouble("sum_sq"));
+      stats.moments.n = static_cast<uint64_t>(n);
+      break;
+    }
+    case EstimatorKind::kHistogram:
+    case EstimatorKind::kCategorical: {
+      FIXY_ASSIGN_OR_RETURN(int64_t total, value.GetInt64("total"));
+      if (total < 0) {
+        return Status::InvalidArgument("value counts total must be >= 0");
+      }
+      const json::Value* values = value.Find("values");
+      const json::Value* counts = value.Find("counts");
+      if (values == nullptr || !values->is_array() || counts == nullptr ||
+          !counts->is_array() ||
+          values->AsArray().size() != counts->AsArray().size()) {
+        return Status::InvalidArgument(
+            "value counts need parallel values/counts arrays");
+      }
+      uint64_t sum = 0;
+      for (size_t i = 0; i < values->AsArray().size(); ++i) {
+        const json::Value& v = values->AsArray()[i];
+        const json::Value& c = counts->AsArray()[i];
+        if (!v.is_number() || !c.is_number() || c.AsDouble() < 1) {
+          return Status::InvalidArgument(
+              "value counts entries must be numbers with counts >= 1");
+        }
+        const auto count = static_cast<uint64_t>(c.AsDouble());
+        if (!stats.counts.counts.emplace(v.AsDouble(), count).second) {
+          return Status::InvalidArgument("value counts has a duplicate value");
+        }
+        sum += count;
+      }
+      if (sum != static_cast<uint64_t>(total)) {
+        return Status::InvalidArgument(
+            "value counts total does not match the counts");
+      }
+      stats.counts.total = static_cast<uint64_t>(total);
+      break;
+    }
+    case EstimatorKind::kKde: {
+      FIXY_ASSIGN_OR_RETURN(int64_t seen, value.GetInt64("seen"));
+      FIXY_ASSIGN_OR_RETURN(int64_t capacity, value.GetInt64("capacity"));
+      FIXY_ASSIGN_OR_RETURN(int64_t seed, value.GetInt64("seed"));
+      if (seen < 0 || capacity < 0 || seed < 0) {
+        return Status::InvalidArgument("reservoir fields must be >= 0");
+      }
+      const json::Value* items = value.Find("items");
+      if (items == nullptr || !items->is_array()) {
+        return Status::InvalidArgument("reservoir missing items array");
+      }
+      stats.reservoir.seen = static_cast<uint64_t>(seen);
+      stats.reservoir.capacity = static_cast<uint64_t>(capacity);
+      stats.reservoir.seed = static_cast<uint64_t>(seed);
+      stats.reservoir.items.reserve(items->AsArray().size());
+      for (const json::Value& item : items->AsArray()) {
+        if (!item.is_number()) {
+          return Status::InvalidArgument("reservoir item must be a number");
+        }
+        stats.reservoir.items.push_back(item.AsDouble());
+      }
+      // Resumability invariant: the reservoir holds min(seen, capacity)
+      // items — anything else cannot have come from ValueReservoir::Add.
+      const uint64_t expected = std::min(stats.reservoir.seen,
+                                         stats.reservoir.capacity);
+      if (stats.reservoir.items.size() != expected) {
+        return Status::InvalidArgument(
+            "reservoir item count does not match seen/capacity");
+      }
+      break;
+    }
+  }
+  return stats;
+}
+
+}  // namespace
+
+Result<json::Value> FeatureStatsToJson(const FeatureStats& stats) {
+  json::Object obj;
+  obj["estimator"] = std::string(EstimatorKindToString(stats.estimator));
+  obj["class_conditional"] = stats.class_conditional;
+  if (stats.class_conditional) {
+    json::Object per_class;
+    for (const auto& [cls, sample_stats] : stats.per_class) {
+      FIXY_ASSIGN_OR_RETURN(json::Value entry,
+                            SampleStatsToJson(sample_stats, stats.estimator));
+      per_class[ObjectClassToString(cls)] = std::move(entry);
+    }
+    obj["per_class"] = std::move(per_class);
+  } else {
+    FIXY_ASSIGN_OR_RETURN(json::Value global,
+                          SampleStatsToJson(stats.global, stats.estimator));
+    obj["global"] = std::move(global);
+  }
+  return json::Value(std::move(obj));
+}
+
+Result<FeatureStats> FeatureStatsFromJson(const json::Value& value) {
+  if (!value.is_object()) {
+    return Status::InvalidArgument("feature stats must be a JSON object");
+  }
+  FIXY_ASSIGN_OR_RETURN(std::string estimator, value.GetString("estimator"));
+  FeatureStats stats;
+  FIXY_ASSIGN_OR_RETURN(stats.estimator, EstimatorKindFromString(estimator));
+  FIXY_ASSIGN_OR_RETURN(stats.class_conditional,
+                        value.GetBool("class_conditional"));
+  if (stats.class_conditional) {
+    const json::Value* per_class = value.Find("per_class");
+    if (per_class == nullptr || !per_class->is_object()) {
+      return Status::InvalidArgument("feature stats missing per_class object");
+    }
+    for (const auto& [cls_name, entry] : per_class->AsObject()) {
+      FIXY_ASSIGN_OR_RETURN(ObjectClass cls, ObjectClassFromString(cls_name));
+      FIXY_ASSIGN_OR_RETURN(SampleStats sample_stats,
+                            SampleStatsFromJson(entry, stats.estimator));
+      stats.per_class[cls] = std::move(sample_stats);
+    }
+    if (stats.per_class.empty()) {
+      return Status::InvalidArgument("per_class stats map is empty");
+    }
+  } else {
+    const json::Value* global = value.Find("global");
+    if (global == nullptr) {
+      return Status::InvalidArgument("feature stats missing global object");
+    }
+    FIXY_ASSIGN_OR_RETURN(stats.global,
+                          SampleStatsFromJson(*global, stats.estimator));
+  }
+  return stats;
+}
+
 Result<json::Value> LearnedModelToJson(
     const std::vector<FeatureDistribution>& learned) {
+  return LearnedModelToJson(learned, {});
+}
+
+Result<json::Value> LearnedModelToJson(
+    const std::vector<FeatureDistribution>& learned,
+    const std::vector<FeatureStats>& stats) {
+  if (!stats.empty() && stats.size() != learned.size()) {
+    return Status::InvalidArgument(
+        "model stats must be empty or parallel to the distributions");
+  }
   json::Array features;
-  for (const FeatureDistribution& fd : learned) {
+  for (size_t i = 0; i < learned.size(); ++i) {
+    const FeatureDistribution& fd = learned[i];
     json::Object entry;
     entry["feature"] = fd.feature().name();
     if (fd.global_distribution() != nullptr) {
@@ -210,6 +403,11 @@ Result<json::Value> LearnedModelToJson(
       }
       entry["per_class"] = std::move(per_class);
     }
+    if (!stats.empty()) {
+      FIXY_ASSIGN_OR_RETURN(json::Value stats_json,
+                            FeatureStatsToJson(stats[i]));
+      entry["stats"] = std::move(stats_json);
+    }
     features.push_back(std::move(entry));
   }
   json::Object doc;
@@ -220,6 +418,13 @@ Result<json::Value> LearnedModelToJson(
 }
 
 Result<std::vector<FeatureDistribution>> LearnedModelFromJson(
+    const json::Value& value, const FeatureRegistry& registry) {
+  FIXY_ASSIGN_OR_RETURN(LoadedModel model,
+                        LearnedModelWithStatsFromJson(value, registry));
+  return std::move(model.distributions);
+}
+
+Result<LoadedModel> LearnedModelWithStatsFromJson(
     const json::Value& value, const FeatureRegistry& registry) {
   if (!value.is_object()) {
     return Status::InvalidArgument("model document must be an object");
@@ -236,7 +441,8 @@ Result<std::vector<FeatureDistribution>> LearnedModelFromJson(
   if (features == nullptr || !features->is_array()) {
     return Status::InvalidArgument("model missing features array");
   }
-  std::vector<FeatureDistribution> learned;
+  LoadedModel model;
+  size_t entries_with_stats = 0;
   for (const json::Value& entry : features->AsArray()) {
     FIXY_ASSIGN_OR_RETURN(std::string name, entry.GetString("feature"));
     FIXY_ASSIGN_OR_RETURN(FeaturePtr feature, registry.Find(name));
@@ -244,7 +450,7 @@ Result<std::vector<FeatureDistribution>> LearnedModelFromJson(
         dist != nullptr) {
       FIXY_ASSIGN_OR_RETURN(stats::DistributionPtr loaded,
                             DistributionFromJson(*dist));
-      learned.emplace_back(std::move(feature), std::move(loaded));
+      model.distributions.emplace_back(std::move(feature), std::move(loaded));
     } else if (const json::Value* per_class = entry.Find("per_class");
                per_class != nullptr && per_class->is_object()) {
       std::map<ObjectClass, stats::DistributionPtr> loaded;
@@ -259,18 +465,39 @@ Result<std::vector<FeatureDistribution>> LearnedModelFromJson(
         return Status::InvalidArgument(
             "per_class distribution map is empty for feature: " + name);
       }
-      learned.emplace_back(std::move(feature), std::move(loaded));
+      model.distributions.emplace_back(std::move(feature), std::move(loaded));
     } else {
       return Status::InvalidArgument(
           "feature entry needs 'distribution' or 'per_class': " + name);
     }
+    if (const json::Value* stats_json = entry.Find("stats");
+        stats_json != nullptr) {
+      FIXY_ASSIGN_OR_RETURN(FeatureStats stats,
+                            FeatureStatsFromJson(*stats_json));
+      model.stats.push_back(std::move(stats));
+      ++entries_with_stats;
+    }
   }
-  return learned;
+  // Stats are all-or-nothing: a partial set cannot be folded into, so it
+  // loads as a plain (non-incremental) model would — except a mix, which
+  // indicates a damaged file.
+  if (entries_with_stats != 0 &&
+      entries_with_stats != model.distributions.size()) {
+    return Status::InvalidArgument(
+        "model carries stats for only some features");
+  }
+  return model;
 }
 
 Status SaveLearnedModel(const std::vector<FeatureDistribution>& learned,
                         const std::string& path) {
-  FIXY_ASSIGN_OR_RETURN(json::Value doc, LearnedModelToJson(learned));
+  return SaveLearnedModel(learned, {}, path);
+}
+
+Status SaveLearnedModel(const std::vector<FeatureDistribution>& learned,
+                        const std::vector<FeatureStats>& stats,
+                        const std::string& path) {
+  FIXY_ASSIGN_OR_RETURN(json::Value doc, LearnedModelToJson(learned, stats));
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) return Status::IoError("cannot open for writing: " + path);
   out << json::Write(doc, /*pretty=*/true);
@@ -281,13 +508,20 @@ Status SaveLearnedModel(const std::vector<FeatureDistribution>& learned,
 
 Result<std::vector<FeatureDistribution>> LoadLearnedModel(
     const std::string& path, const FeatureRegistry& registry) {
+  FIXY_ASSIGN_OR_RETURN(LoadedModel model,
+                        LoadLearnedModelWithStats(path, registry));
+  return std::move(model.distributions);
+}
+
+Result<LoadedModel> LoadLearnedModelWithStats(const std::string& path,
+                                              const FeatureRegistry& registry) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IoError("cannot open for reading: " + path);
   std::ostringstream buffer;
   buffer << in.rdbuf();
   if (in.bad()) return Status::IoError("read failed: " + path);
   FIXY_ASSIGN_OR_RETURN(json::Value doc, json::Parse(buffer.str()));
-  return LearnedModelFromJson(doc, registry);
+  return LearnedModelWithStatsFromJson(doc, registry);
 }
 
 }  // namespace fixy

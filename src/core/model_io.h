@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "core/learner.h"
 #include "dsl/feature_distribution.h"
 #include "json/json.h"
 
@@ -49,21 +50,59 @@ Result<json::Value> DistributionToJson(const stats::Distribution& dist);
 /// Reconstructs a distribution written by DistributionToJson.
 Result<stats::DistributionPtr> DistributionFromJson(const json::Value& value);
 
+/// Serializes one feature's sufficient statistics (core/learner.h) —
+/// the mergeable state Fixy::LearnIncremental folds new scenes into.
+Result<json::Value> FeatureStatsToJson(const FeatureStats& stats);
+
+/// Reconstructs statistics written by FeatureStatsToJson.
+Result<FeatureStats> FeatureStatsFromJson(const json::Value& value);
+
 /// Serializes a learned model (a set of feature distributions). AOFs are
 /// not serialized — they are per-application configuration.
 Result<json::Value> LearnedModelToJson(
     const std::vector<FeatureDistribution>& learned);
+
+/// Serializes a learned model together with the sufficient statistics it
+/// materialized from (`stats` parallel to `learned`; pass an empty vector
+/// to omit them). The document stays version 1: each feature entry just
+/// gains a "stats" member, which pre-incremental readers ignore.
+Result<json::Value> LearnedModelToJson(
+    const std::vector<FeatureDistribution>& learned,
+    const std::vector<FeatureStats>& stats);
 
 /// Reconstructs a learned model; every feature name in the document must
 /// resolve through `registry`.
 Result<std::vector<FeatureDistribution>> LearnedModelFromJson(
     const json::Value& value, const FeatureRegistry& registry);
 
+/// A loaded model, with sufficient statistics when the file carried them.
+struct LoadedModel {
+  std::vector<FeatureDistribution> distributions;
+  /// Parallel to `distributions` when EVERY feature entry carried stats;
+  /// empty otherwise (a model saved before incremental learning, which
+  /// still ranks but cannot be folded into).
+  std::vector<FeatureStats> stats;
+
+  bool has_stats() const { return !stats.empty(); }
+};
+
+/// Like LearnedModelFromJson, but also recovers per-feature statistics.
+/// A malformed "stats" member is an error (a file that claims stats must
+/// carry valid ones); a file with no stats members loads with
+/// `stats` empty.
+Result<LoadedModel> LearnedModelWithStatsFromJson(
+    const json::Value& value, const FeatureRegistry& registry);
+
 /// File-level convenience wrappers.
 Status SaveLearnedModel(const std::vector<FeatureDistribution>& learned,
                         const std::string& path);
+Status SaveLearnedModel(const std::vector<FeatureDistribution>& learned,
+                        const std::vector<FeatureStats>& stats,
+                        const std::string& path);
 Result<std::vector<FeatureDistribution>> LoadLearnedModel(
     const std::string& path, const FeatureRegistry& registry);
+Result<LoadedModel> LoadLearnedModelWithStats(const std::string& path,
+                                              const FeatureRegistry& registry);
 
 }  // namespace fixy
 

@@ -147,6 +147,8 @@ void RecordDaemonMetricsSchema(const std::vector<std::string>& apps) {
   obs::Count("daemon.requests", 0);
   obs::Count("daemon.rejected", 0);
   obs::Count("daemon.errors", 0);
+  obs::Count("daemon.dataset_reopens", 0);
+  obs::Count("daemon.cache_refreshes", 0);
   obs::AddTimeNs("daemon.queue_wait", 0);
   obs::AddTimeNs("daemon.request", 0);
   obs::SetGauge("daemon.queue_depth", 0);

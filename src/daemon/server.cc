@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cerrno>
 #include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <map>
 #include <memory>
@@ -254,6 +255,37 @@ struct FixydServer::Impl {
     const auto it = datasets.find(data_dir);
     if (it != datasets.end() && it->second->fingerprint == fingerprint) {
       return it->second;
+    }
+    // The sources changed under a resident dataset (or this is the first
+    // touch). Report *why* the resident copy went stale, refresh an
+    // existing cache incrementally (only the changed scenes re-encode —
+    // the daemon stays on the mmap path instead of falling back to JSON),
+    // then reopen. A dataset that never had a cache is not given one.
+    if (it != datasets.end()) {
+      collector.Count("daemon.dataset_reopens");
+      const Result<io::CacheStaleness> staleness =
+          io::ExplainCacheStaleness(data_dir);
+      std::printf("fixyd: dataset %s changed (%s); revalidating\n",
+                  data_dir.c_str(),
+                  staleness.ok() ? staleness->Summary().c_str()
+                                 : staleness.status().ToString().c_str());
+      std::fflush(stdout);
+      if (staleness.ok() && staleness->stale) {
+        const Result<io::FxbUpdateReport> refreshed =
+            io::UpdateFxbCache(data_dir);
+        if (refreshed.ok()) {
+          collector.Count("daemon.cache_refreshes");
+          std::printf("fixyd: cache refreshed — %zu scenes (%zu reused, "
+                      "%zu re-encoded, %zu dropped%s)\n",
+                      refreshed->scenes_total, refreshed->scenes_reused,
+                      refreshed->scenes_encoded, refreshed->scenes_dropped,
+                      refreshed->rebuilt ? ", full rebuild" : "");
+        } else {
+          std::printf("fixyd: cache refresh failed (%s); reopening anyway\n",
+                      refreshed.status().ToString().c_str());
+        }
+        std::fflush(stdout);
+      }
     }
     FIXY_ASSIGN_OR_RETURN(shard::ShardSource opened,
                           shard::OpenShardSource(data_dir, /*no_cache=*/false));

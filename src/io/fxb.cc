@@ -5,6 +5,7 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <map>
 
 #include "common/crc32.h"
 #include "common/macros.h"
@@ -292,9 +293,11 @@ Status WriteFileAtomic(const std::string& path, const std::string& contents) {
   return Status::Ok();
 }
 
-// Reads the manifest and returns the scene file names it lists.
+// Reads the manifest and returns the scene file names it lists, plus the
+// dataset name when requested (UpdateFxbCache rebuilds the header name
+// from the manifest without a full dataset load).
 Result<std::vector<std::string>> ReadManifestSceneFiles(
-    const std::string& directory) {
+    const std::string& directory, std::string* dataset_name = nullptr) {
   FIXY_ASSIGN_OR_RETURN(MappedFile manifest_file,
                         MappedFile::Open(directory + "/" + kManifestFile));
   FIXY_ASSIGN_OR_RETURN(json::Value manifest,
@@ -302,6 +305,9 @@ Result<std::vector<std::string>> ReadManifestSceneFiles(
   FIXY_ASSIGN_OR_RETURN(std::string format, manifest.GetString("format"));
   if (format != "fixy-dataset") {
     return Status::InvalidArgument("not a fixy-dataset manifest");
+  }
+  if (dataset_name != nullptr) {
+    FIXY_ASSIGN_OR_RETURN(*dataset_name, manifest.GetString("name"));
   }
   const json::Value* scenes = manifest.Find("scenes");
   if (scenes == nullptr || !scenes->is_array()) {
@@ -318,63 +324,149 @@ Result<std::vector<std::string>> ReadManifestSceneFiles(
   return files;
 }
 
-}  // namespace
+// Stats one source file into a record; reads and CRCs its bytes when
+// `read_contents` (the form recorded at build time).
+Result<FxbSourceRecord> StatSourceRecord(const std::string& directory,
+                                         const std::string& file,
+                                         bool read_contents) {
+  const std::string path = directory + "/" + file;
+  FxbSourceRecord record;
+  record.file = file;
+  std::error_code ec;
+  const uintmax_t size = std::filesystem::file_size(path, ec);
+  if (ec) {
+    return Status::IoError("cannot stat source file: " + path + ": " +
+                           ec.message());
+  }
+  record.size = static_cast<uint64_t>(size);
+  const auto mtime = std::filesystem::last_write_time(path, ec);
+  if (ec) {
+    return Status::IoError("cannot read mtime of: " + path + ": " +
+                           ec.message());
+  }
+  record.mtime_ns = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          mtime.time_since_epoch())
+          .count());
+  if (read_contents) {
+    std::string bytes;
+    FIXY_RETURN_IF_ERROR(ReadFileInto(path, &bytes));
+    record.crc = Crc32(bytes);
+  }
+  return record;
+}
 
-Result<std::string> EncodeFxbDataset(const Dataset& dataset,
-                                     const FxbSourceFingerprint& fingerprint) {
-  if (dataset.scenes.size() > UINT32_MAX ||
-      dataset.name.size() > UINT32_MAX) {
+// Assembles a complete FXB blob from already-encoded scene sections.
+// Shared by EncodeFxbDataset (all sections freshly encoded) and
+// UpdateFxbCache (unchanged sections copied from the old cache), which
+// is what makes an incremental update byte-identical to a full rebuild.
+Result<std::string> AssembleFxbBlob(const std::string& dataset_name,
+                                    const std::vector<std::string>& sections,
+                                    const std::vector<FxbSourceRecord>& sources) {
+  if (sections.size() > UINT32_MAX || dataset_name.size() > UINT32_MAX ||
+      sources.size() > UINT32_MAX) {
     return Status::InvalidArgument("dataset exceeds FXB u32 limits");
   }
-
-  // Sections first: their offsets (relative to the start of the file) are
-  // needed before the header and index can be written.
-  std::string sections;
-  std::vector<std::tuple<uint64_t, uint64_t, uint32_t>> entries;
-  entries.reserve(dataset.scenes.size());
-  const uint64_t sections_base = kFxbHeaderSize + dataset.name.size();
-  for (const Scene& scene : dataset.scenes) {
-    FIXY_ASSIGN_OR_RETURN(std::string section, EncodeScene(scene));
-    entries.emplace_back(sections_base + sections.size(), section.size(),
-                         Crc32(section));
-    sections += section;
+  if (sources.size() < sections.size()) {
+    return Status::InvalidArgument(StrFormat(
+        "FXB source map has %zu records for %zu scenes (need one per scene "
+        "plus the manifest)",
+        sources.size(), sections.size()));
   }
 
+  std::string body;
   std::string index;
-  index.reserve(entries.size() * kFxbIndexEntrySize);
-  for (const auto& [offset, length, crc] : entries) {
-    AppendPod(&index, offset);
-    AppendPod(&index, length);
-    AppendPod(&index, crc);
+  index.reserve(sections.size() * kFxbIndexEntrySize);
+  const uint64_t sections_base = kFxbHeaderSize + dataset_name.size();
+  for (const std::string& section : sections) {
+    AppendPod(&index, static_cast<uint64_t>(sections_base + body.size()));
+    AppendPod(&index, static_cast<uint64_t>(section.size()));
+    AppendPod(&index, Crc32(section));
     AppendPod(&index, uint32_t{0});
+    body += section;
   }
 
+  std::string source_map;
+  for (const FxbSourceRecord& record : sources) {
+    if (record.file.size() > UINT32_MAX) {
+      return Status::InvalidArgument("FXB source file name exceeds u32 limit");
+    }
+    AppendPod(&source_map, static_cast<uint32_t>(record.file.size()));
+    source_map += record.file;
+    AppendPod(&source_map, record.size);
+    AppendPod(&source_map, record.mtime_ns);
+    AppendPod(&source_map, record.crc);
+  }
+
+  const FxbSourceFingerprint fingerprint = FingerprintFromRecords(sources);
   std::string header(kFxbHeaderSize, '\0');
   std::memcpy(header.data(), kFxbMagic, sizeof(kFxbMagic));
   StorePod(&header, kFxbVersionOffset, kFxbVersion);
   StorePod(&header, kFxbSceneCountOffset,
-           static_cast<uint32_t>(dataset.scenes.size()));
+           static_cast<uint32_t>(sections.size()));
   StorePod(&header, kFxbNameBytesOffset,
-           static_cast<uint32_t>(dataset.name.size()));
+           static_cast<uint32_t>(dataset_name.size()));
   StorePod(&header, kFxbIndexOffsetOffset,
-           static_cast<uint64_t>(sections_base + sections.size()));
+           static_cast<uint64_t>(sections_base + body.size()));
   StorePod(&header, kFxbSourceFilesOffset, fingerprint.file_count);
   StorePod(&header, kFxbSourceBytesOffset, fingerprint.total_bytes);
   StorePod(&header, kFxbSourceMtimeOffset, fingerprint.max_mtime_ns);
-  StorePod(&header, kFxbFlagsOffset, uint32_t{0});
+  StorePod(&header, kFxbSourceCountOffset,
+           static_cast<uint32_t>(sources.size()));
   StorePod(&header, kFxbIndexCrcOffset, Crc32(index));
-  StorePod(&header, kFxbReservedOffset, uint32_t{0});
+  StorePod(&header, kFxbSourceMapCrcOffset, Crc32(source_map));
   StorePod(&header, kFxbHeaderCrcOffset,
            Crc32(header.data(), kFxbHeaderCrcOffset));
 
   std::string blob;
-  blob.reserve(header.size() + dataset.name.size() + sections.size() +
-               index.size());
+  blob.reserve(header.size() + dataset_name.size() + body.size() +
+               index.size() + source_map.size());
   blob += header;
-  blob += dataset.name;
-  blob += sections;
+  blob += dataset_name;
+  blob += body;
   blob += index;
+  blob += source_map;
   return blob;
+}
+
+}  // namespace
+
+Result<std::vector<FxbSourceRecord>> CollectSourceRecords(
+    const std::string& directory, bool read_contents) {
+  FIXY_ASSIGN_OR_RETURN(std::vector<std::string> files,
+                        ReadManifestSceneFiles(directory));
+  files.push_back(kManifestFile);  // the manifest itself counts as a source
+  std::vector<FxbSourceRecord> records;
+  records.reserve(files.size());
+  for (const std::string& file : files) {
+    FIXY_ASSIGN_OR_RETURN(FxbSourceRecord record,
+                          StatSourceRecord(directory, file, read_contents));
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
+FxbSourceFingerprint FingerprintFromRecords(
+    const std::vector<FxbSourceRecord>& records) {
+  FxbSourceFingerprint fingerprint;
+  for (const FxbSourceRecord& record : records) {
+    fingerprint.file_count += 1;
+    fingerprint.total_bytes += record.size;
+    fingerprint.max_mtime_ns =
+        std::max(fingerprint.max_mtime_ns, record.mtime_ns);
+  }
+  return fingerprint;
+}
+
+Result<std::string> EncodeFxbDataset(
+    const Dataset& dataset, const std::vector<FxbSourceRecord>& sources) {
+  std::vector<std::string> sections;
+  sections.reserve(dataset.scenes.size());
+  for (const Scene& scene : dataset.scenes) {
+    FIXY_ASSIGN_OR_RETURN(std::string section, EncodeScene(scene));
+    sections.push_back(std::move(section));
+  }
+  return AssembleFxbBlob(dataset.name, sections, sources);
 }
 
 Result<FxbReader> FxbReader::Open(const std::string& path,
@@ -461,7 +553,60 @@ Result<FxbReader> FxbReader::Parse(FxbReader reader) {
     entry.crc = LoadPod<uint32_t>(index_bytes, base + kFxbIndexEntryCrcOffset);
     reader.index_.push_back(entry);
   }
+
+  // The source map runs from the end of the index to the end of the file.
+  const uint32_t source_count = LoadPod<uint32_t>(bytes, kFxbSourceCountOffset);
+  if (source_count < scene_count) {
+    return Status::InvalidArgument(
+        StrFormat("FXB source map has %u records for %u scenes", source_count,
+                  scene_count));
+  }
+  const uint64_t map_offset = index_offset + index_size;
+  const std::string_view map_bytes = bytes.substr(map_offset);
+  const uint32_t stored_map_crc =
+      LoadPod<uint32_t>(bytes, kFxbSourceMapCrcOffset);
+  if (Crc32(map_bytes) != stored_map_crc) {
+    obs::Count("io.fxb.checksum_failures");
+    return Status::FailedPrecondition("FXB source map checksum mismatch");
+  }
+  Cursor cursor(map_bytes);
+  reader.sources_.reserve(source_count);
+  for (uint32_t i = 0; i < source_count; ++i) {
+    FxbSourceRecord record;
+    uint32_t name_len = 0;
+    FIXY_RETURN_IF_ERROR(cursor.Read(&name_len));
+    FIXY_RETURN_IF_ERROR(cursor.ReadString(name_len, &record.file));
+    FIXY_RETURN_IF_ERROR(cursor.Read(&record.size));
+    FIXY_RETURN_IF_ERROR(cursor.Read(&record.mtime_ns));
+    FIXY_RETURN_IF_ERROR(cursor.Read(&record.crc));
+    reader.sources_.push_back(std::move(record));
+  }
+  if (cursor.remaining() != 0) {
+    return Status::InvalidArgument(StrFormat(
+        "FXB source map has %zu trailing bytes", cursor.remaining()));
+  }
   return reader;
+}
+
+Result<std::string> FxbReader::SceneSectionBytes(size_t index) const {
+  if (index >= index_.size()) {
+    return Status::OutOfRange(StrFormat(
+        "scene index %zu out of range (%zu scenes)", index, index_.size()));
+  }
+  const IndexEntry& entry = index_[index];
+  const std::string_view bytes = data();
+  if (entry.offset > bytes.size() ||
+      entry.length > bytes.size() - entry.offset) {
+    return Status::InvalidArgument(
+        StrFormat("FXB scene %zu section extends past the file", index));
+  }
+  const std::string_view section = bytes.substr(entry.offset, entry.length);
+  if (Crc32(section) != entry.crc) {
+    obs::Count("io.fxb.checksum_failures");
+    return Status::FailedPrecondition(
+        StrFormat("FXB scene %zu section checksum mismatch", index));
+  }
+  return std::string(section);
 }
 
 Result<Scene> FxbReader::DecodeScene(size_t index) const {
@@ -516,44 +661,25 @@ std::string FxbCachePath(const std::string& directory) {
 
 Result<FxbSourceFingerprint> ComputeSourceFingerprint(
     const std::string& directory) {
-  FIXY_ASSIGN_OR_RETURN(std::vector<std::string> files,
-                        ReadManifestSceneFiles(directory));
-  files.push_back(kManifestFile);  // the manifest itself counts as a source
-
-  FxbSourceFingerprint fingerprint;
-  for (const std::string& file : files) {
-    const std::string path = directory + "/" + file;
-    std::error_code ec;
-    const uintmax_t size = std::filesystem::file_size(path, ec);
-    if (ec) {
-      return Status::IoError("cannot stat source file: " + path + ": " +
-                             ec.message());
-    }
-    const auto mtime = std::filesystem::last_write_time(path, ec);
-    if (ec) {
-      return Status::IoError("cannot read mtime of: " + path + ": " +
-                             ec.message());
-    }
-    fingerprint.file_count += 1;
-    fingerprint.total_bytes += static_cast<uint64_t>(size);
-    const uint64_t mtime_ns = static_cast<uint64_t>(
-        std::chrono::duration_cast<std::chrono::nanoseconds>(
-            mtime.time_since_epoch())
-            .count());
-    fingerprint.max_mtime_ns = std::max(fingerprint.max_mtime_ns, mtime_ns);
-  }
-  return fingerprint;
+  FIXY_ASSIGN_OR_RETURN(std::vector<FxbSourceRecord> records,
+                        CollectSourceRecords(directory, /*read_contents=*/false));
+  return FingerprintFromRecords(records);
 }
 
 Result<size_t> BuildFxbCache(const std::string& directory) {
-  // Fingerprint before loading: a source file modified mid-build then
-  // differs from the recorded fingerprint, so the cache reads as stale
-  // rather than silently matching the new contents.
-  FIXY_ASSIGN_OR_RETURN(FxbSourceFingerprint fingerprint,
-                        ComputeSourceFingerprint(directory));
+  // Record source fingerprints before loading: a source file modified
+  // mid-build then differs from the recorded records, so the cache reads
+  // as stale rather than silently matching the new contents.
+  FIXY_ASSIGN_OR_RETURN(std::vector<FxbSourceRecord> sources,
+                        CollectSourceRecords(directory, /*read_contents=*/true));
   FIXY_ASSIGN_OR_RETURN(Dataset dataset, LoadDataset(directory));
-  FIXY_ASSIGN_OR_RETURN(std::string blob,
-                        EncodeFxbDataset(dataset, fingerprint));
+  if (dataset.scenes.size() + 1 != sources.size()) {
+    return Status::Internal(
+        StrFormat("FXB build raced a manifest edit: %zu scenes loaded but "
+                  "%zu source records collected",
+                  dataset.scenes.size(), sources.size()));
+  }
+  FIXY_ASSIGN_OR_RETURN(std::string blob, EncodeFxbDataset(dataset, sources));
 
   // Decode-back parity check: every scene must round-trip byte-identically
   // through the binary container before the cache is trusted.
@@ -577,21 +703,245 @@ Result<size_t> BuildFxbCache(const std::string& directory) {
   return dataset.scenes.size();
 }
 
+std::string CacheStaleness::Summary() const {
+  if (!stale) return "cache is fresh";
+  std::string out;
+  for (const std::string& reason : reasons) {
+    if (!out.empty()) out += "; ";
+    out += reason;
+  }
+  return out;
+}
+
+CacheStaleness CompareCacheSources(
+    const FxbReader& reader, const std::vector<FxbSourceRecord>& current) {
+  CacheStaleness result;
+  const std::vector<FxbSourceRecord>& recorded = reader.sources();
+
+  // Whole-fingerprint summary reasons first: they name the aggregate that
+  // moved even when many files changed at once.
+  const FxbSourceFingerprint now = FingerprintFromRecords(current);
+  const FxbSourceFingerprint& then = reader.fingerprint();
+  if (now.file_count != then.file_count) {
+    result.reasons.push_back(StrFormat(
+        "source file count changed (cache recorded %llu, directory has %llu)",
+        static_cast<unsigned long long>(then.file_count),
+        static_cast<unsigned long long>(now.file_count)));
+  }
+  if (now.total_bytes != then.total_bytes) {
+    result.reasons.push_back(StrFormat(
+        "source total bytes changed (cache recorded %llu, directory has %llu)",
+        static_cast<unsigned long long>(then.total_bytes),
+        static_cast<unsigned long long>(now.total_bytes)));
+  }
+  if (now.max_mtime_ns != then.max_mtime_ns) {
+    result.reasons.push_back("source mtime changed since the cache was built");
+  }
+
+  // Per-file detail from the source map.
+  std::map<std::string, const FxbSourceRecord*> by_name;
+  for (const FxbSourceRecord& record : recorded) by_name[record.file] = &record;
+  std::map<std::string, bool> seen;
+  for (const FxbSourceRecord& record : current) {
+    seen[record.file] = true;
+    const auto it = by_name.find(record.file);
+    if (it == by_name.end()) {
+      result.reasons.push_back("added since the build: " + record.file);
+      continue;
+    }
+    const FxbSourceRecord& old = *it->second;
+    if (record.size != old.size) {
+      result.reasons.push_back(StrFormat(
+          "%s changed size (%llu -> %llu bytes)", record.file.c_str(),
+          static_cast<unsigned long long>(old.size),
+          static_cast<unsigned long long>(record.size)));
+    } else if (record.mtime_ns != old.mtime_ns) {
+      result.reasons.push_back(record.file + " was modified (mtime changed)");
+    } else if (record.crc != 0 && record.crc != old.crc) {
+      result.reasons.push_back(record.file +
+                               " changed contents (same size and mtime, "
+                               "different checksum)");
+    }
+  }
+  for (const FxbSourceRecord& record : recorded) {
+    if (!seen.count(record.file)) {
+      result.reasons.push_back("removed since the build: " + record.file);
+    }
+  }
+
+  result.stale = !result.reasons.empty();
+  return result;
+}
+
+Result<CacheStaleness> ExplainCacheStaleness(const std::string& directory,
+                                             bool verify_contents) {
+  const std::string path = FxbCachePath(directory);
+  std::error_code ec;
+  if (!std::filesystem::exists(path, ec) || ec) {
+    return Status::NotFound("no FXB cache at " + path);
+  }
+  Result<FxbReader> reader = FxbReader::Open(path);
+  if (!reader.ok()) {
+    CacheStaleness result;
+    result.stale = true;
+    result.reasons.push_back("cache is unreadable: " +
+                             reader.status().message());
+    return result;
+  }
+  FIXY_ASSIGN_OR_RETURN(
+      std::vector<FxbSourceRecord> current,
+      CollectSourceRecords(directory, /*read_contents=*/verify_contents));
+  return CompareCacheSources(*reader, current);
+}
+
 Result<FxbReader> OpenFreshCache(const std::string& directory) {
   const std::string path = FxbCachePath(directory);
   std::error_code ec;
   if (!std::filesystem::exists(path, ec) || ec) {
     return Status::NotFound("no FXB cache at " + path);
   }
-  FIXY_ASSIGN_OR_RETURN(FxbReader reader, FxbReader::Open(path));
-  FIXY_ASSIGN_OR_RETURN(FxbSourceFingerprint current,
-                        ComputeSourceFingerprint(directory));
-  if (!(reader.fingerprint() == current)) {
+  Result<FxbReader> reader = FxbReader::Open(path);
+  if (!reader.ok() && reader.status().message().find("unsupported FXB "
+                                                     "version") !=
+                          std::string::npos) {
+    // An older-format cache is stale, not hostile: the standard refresh
+    // advice applies.
     return Status::FailedPrecondition(
-        "FXB cache is stale: source files changed since it was built (run "
-        "`fixy_cli cache` to refresh)");
+        "FXB cache is stale: " + reader.status().message() +
+        " (run `fixy_cli cache` to refresh)");
   }
-  return reader;
+  FIXY_RETURN_IF_ERROR(reader.status());
+  FIXY_ASSIGN_OR_RETURN(std::vector<FxbSourceRecord> current,
+                        CollectSourceRecords(directory, /*read_contents=*/false));
+  // Fast path: the whole-cache fingerprint; precise fallback: the
+  // per-file map (catches e.g. a rename that preserves count, bytes, and
+  // newest mtime).
+  if (reader->fingerprint() == FingerprintFromRecords(current)) {
+    const CacheStaleness per_file = CompareCacheSources(*reader, current);
+    if (!per_file.stale) return reader;
+    return Status::FailedPrecondition("FXB cache is stale: " +
+                                      per_file.Summary() +
+                                      " (run `fixy_cli cache` to refresh)");
+  }
+  const CacheStaleness staleness = CompareCacheSources(*reader, current);
+  return Status::FailedPrecondition("FXB cache is stale: " +
+                                    staleness.Summary() +
+                                    " (run `fixy_cli cache` to refresh)");
+}
+
+Result<FxbUpdateReport> UpdateFxbCache(const std::string& directory) {
+  const std::string cache_path = FxbCachePath(directory);
+  FxbUpdateReport report;
+
+  // No usable cache (missing, corrupt, or an older format version) means
+  // there is nothing to reuse: fall back to a full build.
+  std::error_code ec;
+  Result<FxbReader> old_reader = std::filesystem::exists(cache_path, ec) && !ec
+                                     ? FxbReader::Open(cache_path)
+                                     : Status::NotFound("no cache");
+  if (!old_reader.ok()) {
+    FIXY_ASSIGN_OR_RETURN(const size_t scenes, BuildFxbCache(directory));
+    report.scenes_total = scenes;
+    report.scenes_encoded = scenes;
+    report.rebuilt = true;
+    obs::Count("io.fxb.sections_reencoded", scenes);
+    return report;
+  }
+
+  std::string dataset_name;
+  FIXY_ASSIGN_OR_RETURN(std::vector<std::string> files,
+                        ReadManifestSceneFiles(directory, &dataset_name));
+
+  // Map the old cache's per-scene records by source file name.
+  std::map<std::string, size_t> old_scene_by_file;
+  const std::vector<FxbSourceRecord>& old_sources = old_reader->sources();
+  for (size_t i = 0; i < old_reader->scene_count(); ++i) {
+    old_scene_by_file.emplace(old_sources[i].file, i);
+  }
+
+  std::vector<std::string> sections;
+  std::vector<FxbSourceRecord> sources;
+  sections.reserve(files.size());
+  sources.reserve(files.size() + 1);
+  std::map<std::string, bool> in_manifest;
+  for (const std::string& file : files) {
+    in_manifest[file] = true;
+    FIXY_ASSIGN_OR_RETURN(
+        FxbSourceRecord fresh,
+        StatSourceRecord(directory, file, /*read_contents=*/false));
+    const auto it = old_scene_by_file.find(file);
+    bool reuse = false;
+    if (it != old_scene_by_file.end()) {
+      const FxbSourceRecord& old = old_sources[it->second];
+      if (fresh.size == old.size && fresh.mtime_ns == old.mtime_ns) {
+        // Stat fast path: unchanged on disk.
+        fresh.crc = old.crc;
+        reuse = true;
+      } else {
+        // Stat mismatch: read the file once — a touched-but-identical
+        // file (same bytes, new mtime) still reuses its section.
+        std::string bytes;
+        FIXY_RETURN_IF_ERROR(
+            ReadFileInto(directory + "/" + file, &bytes));
+        fresh.crc = Crc32(bytes);
+        reuse = fresh.crc == old.crc && fresh.size == old.size;
+      }
+      if (reuse) {
+        // Copy the section byte-for-byte, but only after verifying its
+        // checksum: a corrupt section must be re-encoded, not propagated.
+        Result<std::string> section =
+            old_reader->SceneSectionBytes(it->second);
+        if (section.ok()) {
+          sections.push_back(std::move(*section));
+          sources.push_back(std::move(fresh));
+          report.scenes_reused += 1;
+          obs::Count("io.fxb.sections_reused");
+          continue;
+        }
+        reuse = false;
+      }
+    }
+    // Added, changed, or corrupt-in-cache: encode from the JSON source.
+    if (fresh.crc == 0) {
+      std::string bytes;
+      FIXY_RETURN_IF_ERROR(ReadFileInto(directory + "/" + file, &bytes));
+      fresh.crc = Crc32(bytes);
+    }
+    FIXY_ASSIGN_OR_RETURN(Scene scene, LoadScene(directory + "/" + file));
+    FIXY_ASSIGN_OR_RETURN(std::string section, EncodeScene(scene));
+    // Parity check for the fresh section only (reused sections were
+    // CRC-verified against the old index above).
+    FIXY_ASSIGN_OR_RETURN(Scene decoded, DecodeSceneSection(section));
+    if (SceneToString(decoded) != SceneToString(scene)) {
+      return Status::Internal(StrFormat(
+          "FXB parity check failed: scene '%s' does not round-trip "
+          "byte-identically",
+          scene.name().c_str()));
+    }
+    sections.push_back(std::move(section));
+    sources.push_back(std::move(fresh));
+    report.scenes_encoded += 1;
+    report.encoded_files.push_back(file);
+    obs::Count("io.fxb.sections_reencoded");
+  }
+  for (size_t i = 0; i < old_reader->scene_count(); ++i) {
+    if (!in_manifest.count(old_sources[i].file)) {
+      report.scenes_dropped += 1;
+      report.dropped_files.push_back(old_sources[i].file);
+      obs::Count("io.fxb.sections_dropped");
+    }
+  }
+
+  FIXY_ASSIGN_OR_RETURN(
+      FxbSourceRecord manifest_record,
+      StatSourceRecord(directory, kManifestFile, /*read_contents=*/true));
+  sources.push_back(std::move(manifest_record));
+
+  FIXY_ASSIGN_OR_RETURN(std::string blob,
+                        AssembleFxbBlob(dataset_name, sections, sources));
+  FIXY_RETURN_IF_ERROR(WriteFileAtomic(cache_path, blob));
+  report.scenes_total = sections.size();
+  return report;
 }
 
 Result<DirectorySceneSource> DirectorySceneSource::Open(
@@ -624,6 +974,9 @@ void RecordFxbMetricsSchema() {
   obs::Count("io.fxb.cache_misses", 0);
   obs::Count("io.fxb.checksum_failures", 0);
   obs::Count("io.fxb.scenes_decoded", 0);
+  obs::Count("io.fxb.sections_dropped", 0);
+  obs::Count("io.fxb.sections_reencoded", 0);
+  obs::Count("io.fxb.sections_reused", 0);
   obs::AddTimeNs("io.fxb.queue_wait", 0);
 }
 

@@ -36,6 +36,27 @@ Result<Gaussian> Gaussian::Fit(const std::vector<double>& samples) {
   return Gaussian(mean, stddev);
 }
 
+Result<Gaussian> Gaussian::FitFromMoments(uint64_t n, double sum,
+                                          double sum_sq) {
+  if (n == 0) {
+    return Status::InvalidArgument("Gaussian fit requires samples");
+  }
+  if (!std::isfinite(sum) || !std::isfinite(sum_sq)) {
+    return Status::InvalidArgument("Gaussian moment sums are not finite");
+  }
+  const double dn = static_cast<double>(n);
+  const double mean = sum / dn;
+  double stddev = 0.0;
+  if (n > 1) {
+    const double variance = (sum_sq - sum * sum / dn) / (dn - 1.0);
+    if (variance > 0.0) stddev = std::sqrt(variance);
+  }
+  if (stddev <= 0.0) {
+    stddev = std::max(1e-6, std::abs(mean) * 0.01);
+  }
+  return Gaussian(mean, stddev);
+}
+
 double Gaussian::Density(double x) const {
   const double u = (x - mean_) / stddev_;
   return kInvSqrt2Pi / stddev_ * std::exp(-0.5 * u * u);

@@ -3,6 +3,7 @@
 #ifndef FIXY_STATS_GAUSSIAN_H_
 #define FIXY_STATS_GAUSSIAN_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "common/result.h"
@@ -19,6 +20,15 @@ class Gaussian final : public Distribution {
   /// Maximum-likelihood fit. Degenerate samples (zero spread) get a small
   /// positive stddev. Errors: InvalidArgument for empty/non-finite samples.
   static Result<Gaussian> Fit(const std::vector<double>& samples);
+
+  /// Fits from mergeable sufficient statistics (n, Σx, Σx²) — the
+  /// incremental learner's path (stats/sufficient.h). Uses the same
+  /// sample-variance (n-1) convention and the same degenerate-spread
+  /// fallback as Fit(); results match Fit() up to floating-point
+  /// reassociation of the sums. Errors: InvalidArgument for n == 0 or
+  /// non-finite sums.
+  static Result<Gaussian> FitFromMoments(uint64_t n, double sum,
+                                         double sum_sq);
 
   double Density(double x) const override;
   double ModeDensity() const override;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 
 #include "common/logging.h"
 #include "common/macros.h"
@@ -70,17 +71,113 @@ GaussianKde::GaussianKde(std::vector<double> samples, double bandwidth)
           (bandwidth_ * static_cast<double>(samples_.size()));
   FIXY_CHECK_MSG(std::isfinite(norm_) && norm_ > 0.0,
                  "GaussianKde normalization is not finite");
-  // For a Gaussian KDE the mode is near one of the sample points; evaluating
-  // the density at every sample gives an accurate normalization constant.
-  // The samples are sorted, so the batch path scans them with one sliding
-  // window instead of a binary search per sample.
-  std::vector<double> densities(samples_.size());
-  DensityBatch(samples_, densities);
-  double max_density = 0.0;
-  for (double d : densities) {
-    max_density = std::max(max_density, d);
+  // mode_density_ stays at its "not computed" sentinel: ModeDensity()
+  // derives it on first use, so fitting stays cheap for distributions
+  // that are folded or serialized but never scored.
+}
+
+GaussianKde::GaussianKde(const GaussianKde& other)
+    : samples_(other.samples_),
+      bandwidth_(other.bandwidth_),
+      inv_bandwidth_(other.inv_bandwidth_),
+      norm_(other.norm_),
+      mode_density_(other.mode_density_.load(std::memory_order_relaxed)) {}
+
+GaussianKde::GaussianKde(GaussianKde&& other) noexcept
+    : samples_(std::move(other.samples_)),
+      bandwidth_(other.bandwidth_),
+      inv_bandwidth_(other.inv_bandwidth_),
+      norm_(other.norm_),
+      mode_density_(other.mode_density_.load(std::memory_order_relaxed)) {}
+
+GaussianKde& GaussianKde::operator=(const GaussianKde& other) {
+  samples_ = other.samples_;
+  bandwidth_ = other.bandwidth_;
+  inv_bandwidth_ = other.inv_bandwidth_;
+  norm_ = other.norm_;
+  mode_density_.store(other.mode_density_.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+  return *this;
+}
+
+GaussianKde& GaussianKde::operator=(GaussianKde&& other) noexcept {
+  samples_ = std::move(other.samples_);
+  bandwidth_ = other.bandwidth_;
+  inv_bandwidth_ = other.inv_bandwidth_;
+  norm_ = other.norm_;
+  mode_density_.store(other.mode_density_.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+  return *this;
+}
+
+double GaussianKde::ModeDensity() const {
+  // For a Gaussian KDE the mode is near one of the sample points; the
+  // maximum of the density over the samples gives an accurate
+  // normalization constant. It is derived on first use — a fold or a
+  // save/load round trip never pays for it — and cached. Racing first
+  // callers each compute the same deterministic value, so the relaxed
+  // store is benign.
+  const double cached = mode_density_.load(std::memory_order_relaxed);
+  if (cached >= 0.0) return cached;
+  const double computed = ExactModeDensity();
+  mode_density_.store(computed, std::memory_order_relaxed);
+  return computed;
+}
+
+double GaussianKde::ExactModeDensity() const {
+  const size_t n = samples_.size();
+  // Small fits: the full sliding-window scan is already cheap, and the
+  // bound arrays would cost more than they save.
+  if (n <= 2048) {
+    size_t lo = 0;
+    size_t hi = 0;
+    double best = 0.0;
+    for (double x : samples_) {
+      best = std::max(best, WindowedSum(x, &lo, &hi) * norm_);
+    }
+    return best;
   }
-  mode_density_ = max_density;
+  // Large fits: a full scan is O(n * window) kernel evaluations — for a
+  // reservoir-capacity KDE that dominates the entire fit. Instead, bound
+  // each sample's density from above by counting neighbors in annuli of
+  // width h = bandwidth/8 out to the 8-bandwidth kernel cutoff: a
+  // neighbor at distance d in annulus k (k*h < d <= (k+1)*h) contributes
+  // at most exp(-(k*h)^2 / (2*bw^2)) of a kernel. Each annulus count is a
+  // monotone two-pointer sweep, so all bounds cost O(K * n). Only samples
+  // whose bound beats the best exact density seen so far are evaluated
+  // exactly; the true argmax can never be pruned (its bound is >= its
+  // density, which is >= every other density), so the result equals the
+  // full scan's, bit for bit.
+  constexpr int kAnnuli = 64;  // kAnnuli * h == the 8-bandwidth cutoff
+  const double h = bandwidth_ / 8.0;
+  std::vector<double> bound(n, 0.0);
+  std::vector<uint32_t> prev_window(n, 0);
+  for (int k = 1; k <= kAnnuli; ++k) {
+    const double radius = k * h;
+    const double edge = (k - 1) * h * inv_bandwidth_;
+    const double weight = std::exp(-0.5 * edge * edge);
+    size_t lo = 0;
+    size_t hi = 0;
+    for (size_t i = 0; i < n; ++i) {
+      while (lo < n && samples_[lo] < samples_[i] - radius) ++lo;
+      if (hi < lo) hi = lo;
+      while (hi < n && samples_[hi] <= samples_[i] + radius) ++hi;
+      const uint32_t window = static_cast<uint32_t>(hi - lo);
+      bound[i] += weight * static_cast<double>(window - prev_window[i]);
+      prev_window[i] = window;
+    }
+  }
+  std::vector<uint32_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = static_cast<uint32_t>(i);
+  std::sort(order.begin(), order.end(), [&bound](uint32_t a, uint32_t b) {
+    return bound[a] > bound[b];
+  });
+  double best = 0.0;
+  for (const uint32_t idx : order) {
+    if (bound[idx] * norm_ <= best) break;  // the rest are bounded lower
+    best = std::max(best, DensityUncounted(samples_[idx]));
+  }
+  return best;
 }
 
 Result<GaussianKde> GaussianKde::Fit(std::vector<double> samples,

@@ -1,0 +1,52 @@
+#include "stats/sufficient.h"
+
+#include "common/random.h"
+
+namespace fixy::stats {
+
+void MomentStats::Add(double x) {
+  ++n;
+  sum += x;
+  sum_sq += x * x;
+}
+
+void MomentStats::Merge(const MomentStats& other) {
+  n += other.n;
+  sum += other.sum;
+  sum_sq += other.sum_sq;
+}
+
+void ValueCounts::Add(double x) {
+  ++counts[x];
+  ++total;
+}
+
+void ValueCounts::Merge(const ValueCounts& other) {
+  for (const auto& [value, count] : other.counts) {
+    counts[value] += count;
+  }
+  total += other.total;
+}
+
+std::vector<double> ValueCounts::Expand() const {
+  std::vector<double> out;
+  out.reserve(static_cast<size_t>(total));
+  for (const auto& [value, count] : counts) {
+    out.insert(out.end(), static_cast<size_t>(count), value);
+  }
+  return out;
+}
+
+void ValueReservoir::Add(double x) {
+  const uint64_t k = seen++;
+  if (k < capacity) {
+    items.push_back(x);
+    return;
+  }
+  const uint64_t j = SplitMix64(seed ^ k).Next() % (k + 1);
+  if (j < capacity) {
+    items[static_cast<size_t>(j)] = x;
+  }
+}
+
+}  // namespace fixy::stats

@@ -313,9 +313,35 @@ const char* ToString(BinaryCorruptionKind kind) {
       return "version-bump";
     case BinaryCorruptionKind::kSectionLengthLie:
       return "section-length-lie";
+    case BinaryCorruptionKind::kSourceMapFlip:
+      return "source-map-flip";
+    case BinaryCorruptionKind::kSourceRecordLie:
+      return "source-record-lie";
   }
   return "unknown";
 }
+
+namespace {
+
+// Locates the source map region [index end, blob end). Returns false when
+// the header lies badly enough that there is no in-bounds map to target.
+bool SourceMapRegion(const std::string& blob, size_t* begin, size_t* size) {
+  if (blob.size() < io::kFxbHeaderSize) return false;
+  const uint32_t scene_count =
+      LoadField<uint32_t>(blob, io::kFxbSceneCountOffset);
+  const uint64_t index_offset =
+      LoadField<uint64_t>(blob, io::kFxbIndexOffsetOffset);
+  const uint64_t index_size =
+      static_cast<uint64_t>(scene_count) * io::kFxbIndexEntrySize;
+  if (index_offset > blob.size() || index_size > blob.size() - index_offset) {
+    return false;
+  }
+  *begin = static_cast<size_t>(index_offset + index_size);
+  *size = blob.size() - *begin;
+  return *size > 0;
+}
+
+}  // namespace
 
 std::string DocumentCorruptor::ApplyBinary(BinaryCorruptionKind kind,
                                            const std::string& blob,
@@ -407,6 +433,62 @@ std::string DocumentCorruptor::ApplyBinary(BinaryCorruptionKind kind,
                           entry, static_cast<unsigned long long>(lied));
       return out;
     }
+    case BinaryCorruptionKind::kSourceMapFlip: {
+      size_t map_begin = 0;
+      size_t map_size = 0;
+      if (!SourceMapRegion(blob, &map_begin, &map_size)) {
+        return ApplyBinaryByteFlip(blob, &rng_, detail);
+      }
+      std::string out = blob;
+      const size_t pos =
+          map_begin + static_cast<size_t>(rng_.UniformInt(map_size));
+      out[pos] = static_cast<char>(
+          out[pos] ^ static_cast<char>(1 + rng_.UniformInt(255)));
+      *detail = StrFormat("source-map-flip(byte %zu)", pos);
+      return out;
+    }
+    case BinaryCorruptionKind::kSourceRecordLie: {
+      size_t map_begin = 0;
+      size_t map_size = 0;
+      // The smallest record (empty name) still carries its fixed tail.
+      if (!SourceMapRegion(blob, &map_begin, &map_size) ||
+          map_size < sizeof(uint32_t) + io::kFxbSourceRecordTailSize) {
+        return ApplyBinaryByteFlip(blob, &rng_, detail);
+      }
+      std::string out = blob;
+      // Walk to a random record and rewrite its mtime_ns and crc fields.
+      const uint32_t source_count =
+          LoadField<uint32_t>(out, io::kFxbSourceCountOffset);
+      if (source_count == 0) return ApplyBinaryByteFlip(blob, &rng_, detail);
+      const size_t target = static_cast<size_t>(rng_.UniformInt(source_count));
+      size_t pos = map_begin;
+      for (size_t i = 0; i < source_count; ++i) {
+        if (pos + sizeof(uint32_t) > out.size()) {
+          return ApplyBinaryByteFlip(blob, &rng_, detail);
+        }
+        const uint32_t name_len = LoadField<uint32_t>(out, pos);
+        const size_t tail = pos + sizeof(uint32_t) + name_len;
+        if (tail + io::kFxbSourceRecordTailSize > out.size()) {
+          return ApplyBinaryByteFlip(blob, &rng_, detail);
+        }
+        if (i == target) {
+          const size_t mtime_off = tail + sizeof(uint64_t);
+          const size_t crc_off = mtime_off + sizeof(uint64_t);
+          StoreField<uint64_t>(&out, mtime_off, rng_.NextUint64());
+          StoreField<uint32_t>(&out, crc_off,
+                               static_cast<uint32_t>(rng_.NextUint64()));
+          break;
+        }
+        pos = tail + io::kFxbSourceRecordTailSize;
+      }
+      // Re-seal the map and header CRCs so the lie parses cleanly and
+      // only the staleness comparison sees it.
+      StoreField<uint32_t>(&out, io::kFxbSourceMapCrcOffset,
+                           Crc32(out.data() + map_begin, map_size));
+      RefreshHeaderCrc(&out);
+      *detail = StrFormat("source-record-lie(record %zu)", target);
+      return out;
+    }
   }
   return ApplyBinaryByteFlip(blob, &rng_, detail);
 }
@@ -496,8 +578,10 @@ CorruptionResult DocumentCorruptor::CorruptBinary(const std::string& blob) {
       BinaryCorruptionKind::kChecksumFlip,
       BinaryCorruptionKind::kVersionBump,
       BinaryCorruptionKind::kSectionLengthLie,
+      BinaryCorruptionKind::kSourceMapFlip,
+      BinaryCorruptionKind::kSourceRecordLie,
   };
-  const BinaryCorruptionKind kind = kKinds[rng_.UniformInt(6)];
+  const BinaryCorruptionKind kind = kKinds[rng_.UniformInt(8)];
   CorruptionResult result;
   std::string detail;
   result.document = ApplyBinary(kind, blob, &detail);

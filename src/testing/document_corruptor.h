@@ -65,6 +65,14 @@ enum class BinaryCorruptionKind {
   /// Rewrites one index entry's section length (CRCs recomputed), so the
   /// reader's bounds/section checks must catch the lie.
   kSectionLengthLie,
+  /// XORs one byte inside the per-scene source map (header intact), so
+  /// the source map CRC check must reject the container.
+  kSourceMapFlip,
+  /// Rewrites one source record's mtime and CRC with the map and header
+  /// CRCs re-sealed — a per-scene fingerprint lying about its source.
+  /// The container opens; incremental staleness logic must treat the
+  /// lied-about scene as changed, never crash.
+  kSourceRecordLie,
 };
 
 /// Human-readable name, e.g. "version-bump".

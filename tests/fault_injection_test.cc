@@ -250,7 +250,13 @@ const std::string& BaseFxbBlob() {
                              2000 + i)
               .scene);
     }
-    auto encoded = io::EncodeFxbDataset(dataset, {4, 1 << 20, 99});
+    std::vector<io::FxbSourceRecord> sources;
+    for (const Scene& scene : dataset.scenes) {
+      sources.push_back({scene.name() + ".fixy.json", 1 << 18, 99,
+                         static_cast<uint32_t>(sources.size() + 1)});
+    }
+    sources.push_back({"manifest.json", 256, 100, 5});
+    auto encoded = io::EncodeFxbDataset(dataset, sources);
     if (!encoded.ok()) std::abort();
     return new std::string(std::move(*encoded));
   }();
@@ -341,6 +347,8 @@ TEST_F(FaultInjectionTest, EachBinaryCorruptionKindIsSurvivable) {
       BinaryCorruptionKind::kChecksumFlip,
       BinaryCorruptionKind::kVersionBump,
       BinaryCorruptionKind::kSectionLengthLie,
+      BinaryCorruptionKind::kSourceMapFlip,
+      BinaryCorruptionKind::kSourceRecordLie,
   };
   for (const BinaryCorruptionKind kind : kinds) {
     for (uint64_t seed = 0; seed < 30; ++seed) {

@@ -57,8 +57,21 @@ Dataset MakeDataset(int scenes = 3) {
   return dataset;
 }
 
+// Fabricated per-scene source records for in-memory blobs (no files on
+// disk to stat): one per scene plus the manifest, with distinct
+// size/mtime/crc values so map round-trips are observable.
+std::vector<FxbSourceRecord> FakeSources(const Dataset& dataset) {
+  std::vector<FxbSourceRecord> sources;
+  for (size_t i = 0; i < dataset.scenes.size(); ++i) {
+    sources.push_back({dataset.scenes[i].name() + ".fixy.json", 1024 + i,
+                       100 + i, static_cast<uint32_t>(7 + i)});
+  }
+  sources.push_back({"manifest.json", 512, 999, 42});
+  return sources;
+}
+
 std::string Encode(const Dataset& dataset) {
-  auto blob = EncodeFxbDataset(dataset, {3, 4096, 17});
+  auto blob = EncodeFxbDataset(dataset, FakeSources(dataset));
   EXPECT_TRUE(blob.ok()) << blob.status();
   return *blob;
 }
@@ -89,7 +102,9 @@ TEST(FxbFormatTest, RoundTripPreservesEveryScene) {
   ASSERT_TRUE(reader.ok()) << reader.status();
   EXPECT_EQ(reader->dataset_name(), "fxb_test");
   EXPECT_EQ(reader->scene_count(), dataset.scenes.size());
-  EXPECT_EQ(reader->fingerprint(), (FxbSourceFingerprint{3, 4096, 17}));
+  const std::vector<FxbSourceRecord> sources = FakeSources(dataset);
+  EXPECT_EQ(reader->fingerprint(), FingerprintFromRecords(sources));
+  EXPECT_EQ(reader->sources(), sources);
   for (size_t i = 0; i < dataset.scenes.size(); ++i) {
     const auto scene = reader->DecodeScene(i);
     ASSERT_TRUE(scene.ok()) << scene.status();
@@ -143,12 +158,45 @@ TEST(FxbFormatTest, RejectsHeaderChecksumMismatch) {
 
 TEST(FxbFormatTest, RejectsIndexChecksumMismatch) {
   std::string blob = Encode(MakeDataset(2));
-  // Flip a byte inside the index region (tail of the blob) without
-  // refreshing the index CRC.
-  blob[blob.size() - kFxbIndexEntrySize] ^= 0x40;
+  // Flip a byte inside the index region without refreshing the index CRC.
+  uint64_t index_offset = 0;
+  std::memcpy(&index_offset, blob.data() + kFxbIndexOffsetOffset, 8);
+  blob[index_offset + kFxbIndexEntrySize] ^= 0x40;
   const auto reader = FxbReader::FromBuffer(std::move(blob));
   ASSERT_FALSE(reader.ok());
   EXPECT_EQ(reader.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(FxbFormatTest, RejectsSourceMapChecksumMismatch) {
+  std::string blob = Encode(MakeDataset(2));
+  // The source map is the tail of the blob; flip its last byte without
+  // refreshing the map CRC.
+  blob[blob.size() - 1] ^= 0x40;
+  const auto reader = FxbReader::FromBuffer(std::move(blob));
+  ASSERT_FALSE(reader.ok());
+  EXPECT_EQ(reader.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(reader.status().message().find("source map"), std::string::npos);
+}
+
+TEST(FxbFormatTest, RejectsSourceCountBelowSceneCount) {
+  std::string blob = Encode(MakeDataset(2));
+  PokeHeader<uint32_t>(&blob, kFxbSourceCountOffset, 1);
+  const auto reader = FxbReader::FromBuffer(std::move(blob));
+  ASSERT_FALSE(reader.ok());
+  EXPECT_EQ(reader.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FxbFormatTest, SceneSectionBytesVerifiesChecksum) {
+  const Dataset dataset = MakeDataset(2);
+  std::string blob = Encode(dataset);
+  auto reader = FxbReader::FromBuffer(std::string(blob));
+  ASSERT_TRUE(reader.ok()) << reader.status();
+  const auto section = reader->SceneSectionBytes(0);
+  ASSERT_TRUE(section.ok()) << section.status();
+  const auto decoded = FxbReader::FromBuffer(std::move(blob))->DecodeScene(0);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(reader->SceneSectionBytes(5).status().code(),
+            StatusCode::kOutOfRange);
 }
 
 TEST(FxbFormatTest, RejectsTruncatedBlob) {

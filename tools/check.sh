@@ -5,7 +5,8 @@
 #
 # Usage:
 #   tools/check.sh            # plain + asan + tsan + ubsan + metrics
-#                             # + cache + multiapp + shard + daemon + perf
+#                             # + cache + multiapp + shard + daemon
+#                             # + incremental + perf
 #   tools/check.sh plain      # just the tier-1 build/test
 #   tools/check.sh address    # just the asan build/test
 #   tools/check.sh thread     # just the tsan build/test
@@ -34,12 +35,19 @@
 #                             # verify graceful shutdown unlinks the socket,
 #                             # then the daemon concurrency/corruption suites
 #                             # under plain + asan builds
+#   tools/check.sh incremental # incremental-ingestion sweep: 1-scene edit
+#                             # cache update byte-identical to a rebuild,
+#                             # watch --learn-labels fold byte-identical to
+#                             # a full refit, watch smoke with a live edit,
+#                             # and the randomized parity/merge suites
 #   tools/check.sh perf       # perf-regression gate: re-run the hot-path
 #                             # throughput bench and fail if any scenes/sec
 #                             # row drops below the tolerance band of the
 #                             # committed BENCH_hotpath.json, then the same
-#                             # for the cold rows of BENCH_shard.json and the
-#                             # resident p50 latencies of BENCH_daemon.json
+#                             # for the cold rows of BENCH_shard.json, the
+#                             # resident p50 latencies of BENCH_daemon.json,
+#                             # and the update/fold speedups of
+#                             # BENCH_incremental.json
 #                             # (see FIXY_PERF_TOLERANCE, default 0.75)
 set -euo pipefail
 
@@ -422,6 +430,112 @@ run_daemon_sweep() {
   echo "==== daemon: OK ===="
 }
 
+run_incremental_sweep() {
+  echo "==== incremental: build fixy_cli ===="
+  cmake -B build -S .
+  cmake --build build -j "${JOBS}" --target fixy_cli incremental_test
+  local cli="build/tools/fixy_cli"
+  [ -x "${cli}" ] || cli="$(find build -name fixy_cli -type f | head -1)"
+  local work
+  work="$(mktemp -d)"
+  trap 'rm -rf "${work}"' RETURN
+
+  echo "==== incremental: edit -> update vs rebuild byte parity ===="
+  "${cli}" generate --out "${work}/ds" --profile lyft --scenes 6 --seed 23
+  "${cli}" cache "${work}/ds" > /dev/null
+  local scene
+  scene="$(ls "${work}/ds" | grep '\.fixy\.json$' | head -1)"
+  # Rewrite one scene in place, refresh the cache incrementally, and
+  # compare against a from-scratch build of the same sources.
+  printf '\n' >> "${work}/ds/${scene}"
+  "${cli}" cache "${work}/ds" | grep -q "1 re-encoded" \
+      || { echo "incremental sweep FAILED: cache update did not re-encode" >&2
+           return 1; }
+  cp "${work}/ds/dataset.fxb" "${work}/updated.fxb"
+  rm "${work}/ds/dataset.fxb"
+  "${cli}" cache "${work}/ds" > /dev/null
+  cmp "${work}/ds/dataset.fxb" "${work}/updated.fxb" \
+      || { echo "incremental sweep FAILED: updated cache differs from a" \
+                "fresh rebuild" >&2; return 1; }
+
+  echo "==== incremental: merge vs refit model parity ===="
+  # Learn + cache the 4-scene head, add two more scenes WHILE watch
+  # --learn-labels is running (bootstrap never folds — only live updates
+  # do), and compare the folded model against one full learn over all 6.
+  "${cli}" generate --out "${work}/head" --profile lyft --scenes 4 --seed 31
+  "${cli}" generate --out "${work}/more" --profile lyft --scenes 6 --seed 31
+  "${cli}" learn --data "${work}/head" --model "${work}/folded.json"
+  "${cli}" cache "${work}/head" > /dev/null
+  "${cli}" watch --data "${work}/head" --model "${work}/folded.json" \
+      --learn-labels --interval-ms 50 > "${work}/watch.log" 2>&1 &
+  local watch_pid=$!
+  trap 'kill "${watch_pid}" 2>/dev/null; rm -rf "${work}"' RETURN
+  local i
+  for i in $(seq 1 100); do
+    # The bootstrap cycle ranks every head scene; its last line marks it.
+    grep -q "lyft_like_3 \[suspect-tracks\]" "${work}/watch.log" && break
+    kill -0 "${watch_pid}" 2>/dev/null \
+        || { echo "incremental sweep FAILED: watch died at bootstrap" >&2
+             cat "${work}/watch.log" >&2; return 1; }
+    sleep 0.1
+  done
+  local extra
+  for extra in $(ls "${work}/more" | grep '\.fixy\.json$' | tail -2); do
+    cp "${work}/more/${extra}" "${work}/head/${extra}"
+  done
+  python3 - "${work}/head/manifest.json" <<'EOF'
+import json, sys
+path = sys.argv[1]
+doc = json.load(open(path))
+doc["scenes"] += ["lyft_like_4.fixy.json", "lyft_like_5.fixy.json"]
+json.dump(doc, open(path, "w"), indent=2)
+EOF
+  for i in $(seq 1 200); do
+    # Wait until every added scene has been folded in (one or two folds,
+    # depending on how the poll interleaves with the manifest edit).
+    local folded_total
+    # `|| true` swallows grep's no-match status (pipefail would otherwise
+    # fail the whole assignment before any fold happened).
+    folded_total="$(grep -o "folded [0-9]* scene" "${work}/watch.log" \
+        | awk '{s += $2} END {print s + 0}' || true)"
+    [ "${folded_total}" -ge 2 ] && break
+    kill -0 "${watch_pid}" 2>/dev/null \
+        || { echo "incremental sweep FAILED: watch died mid-fold" >&2
+             cat "${work}/watch.log" >&2; return 1; }
+    sleep 0.1
+  done
+  kill -INT "${watch_pid}"
+  wait "${watch_pid}" \
+      || { echo "incremental sweep FAILED: watch exited non-zero" >&2
+           cat "${work}/watch.log" >&2; return 1; }
+  trap 'rm -rf "${work}"' RETURN
+  grep -q "watch: folded" "${work}/watch.log" \
+      || { echo "incremental sweep FAILED: watch never folded the added" \
+                "scenes" >&2; cat "${work}/watch.log" >&2; return 1; }
+  "${cli}" learn --data "${work}/head" --model "${work}/refit.json"
+  cmp "${work}/folded.json" "${work}/refit.json" \
+      || { echo "incremental sweep FAILED: folded model differs from a" \
+                "full refit" >&2; return 1; }
+
+  echo "==== incremental: watch smoke with a live edit ===="
+  "${cli}" learn --data "${work}/ds" --model "${work}/watch_model.json"
+  printf '\n' >> "${work}/ds/${scene}"
+  "${cli}" watch --data "${work}/ds" --model "${work}/watch_model.json" \
+      --interval-ms 0 --max-cycles 2 --metrics-json "${work}/watch.json" \
+      > "${work}/smoke.log"
+  grep -q "watch: stopped after 2 cycles" "${work}/smoke.log" \
+      || { echo "incremental sweep FAILED: watch did not run its cycles" >&2
+           cat "${work}/smoke.log" >&2; return 1; }
+  grep -q '"watch.cycles"' "${work}/watch.json" \
+      || { echo "incremental sweep FAILED: watch metrics missing" >&2
+           return 1; }
+
+  echo "==== incremental: randomized parity + merge suites ===="
+  (cd build && ctest --output-on-failure -j "${JOBS}" \
+      -R "Incremental|MergeRefit|SufficientStats|Watch")
+  echo "==== incremental: OK ===="
+}
+
 run_perf_gate() {
   echo "==== perf: build bench_throughput ===="
   cmake -B build -S .
@@ -448,6 +562,12 @@ run_perf_gate() {
   echo "==== perf: re-measure vs committed BENCH_daemon.json ===="
   "${bench}" --benchmark_filter=NothingMatchesThis \
       --daemon-baseline BENCH_daemon.json
+  [ -f BENCH_incremental.json ] \
+      || { echo "perf gate FAILED: BENCH_incremental.json not committed" >&2
+           return 1; }
+  echo "==== perf: re-measure vs committed BENCH_incremental.json ===="
+  "${bench}" --benchmark_filter=NothingMatchesThis \
+      --incremental-baseline BENCH_incremental.json
   echo "==== perf: OK ===="
 }
 
@@ -471,6 +591,8 @@ case "${mode}" in
     run_shard_sweep ;;
   daemon)
     run_daemon_sweep ;;
+  incremental)
+    run_incremental_sweep ;;
   perf)
     run_perf_gate ;;
   all)
@@ -483,9 +605,10 @@ case "${mode}" in
     run_multiapp_sweep
     run_shard_sweep
     run_daemon_sweep
+    run_incremental_sweep
     run_perf_gate ;;
   *)
-    echo "usage: $0 [plain|address|thread|undefined|metrics|cache|multiapp|shard|daemon|perf|all]" >&2
+    echo "usage: $0 [plain|address|thread|undefined|metrics|cache|multiapp|shard|daemon|incremental|perf|all]" >&2
     exit 2 ;;
 esac
 echo "all requested suites passed"

@@ -234,6 +234,169 @@ if(NOT CLI_OUTPUT MATCHES "using cache")
   message(FATAL_ERROR "rank did not use the rebuilt cache: ${CLI_OUTPUT}")
 endif()
 
+# ---- Incremental cache refresh: one staleness reason per change kind. ----
+run_cli(generate --out ${WORK}/inc --profile internal --scenes 3 --seed 11)
+run_cli(learn --data ${WORK}/inc --model ${WORK}/inc_model.json)
+run_cli(cache ${WORK}/inc)
+if(NOT CLI_OUTPUT MATCHES "cache status: no cache yet")
+  message(FATAL_ERROR "first cache run missing no-cache status: ${CLI_OUTPUT}")
+endif()
+
+# Fresh cache: repeated runs are no-ops.
+run_cli(cache ${WORK}/inc)
+if(NOT CLI_OUTPUT MATCHES "is fresh \\(3 scenes\\); nothing to do")
+  message(FATAL_ERROR "fresh cache was not a no-op: ${CLI_OUTPUT}")
+endif()
+
+file(GLOB INC_SCENES ${WORK}/inc/*.fixy.json)
+list(SORT INC_SCENES)
+list(GET INC_SCENES 0 INC_A)
+list(GET INC_SCENES 1 INC_B)
+list(GET INC_SCENES 2 INC_C)
+
+# mtime-only touch: reported as modified, but the checksum fallback
+# proves the content unchanged and every section is reused.
+file(TOUCH ${INC_A})
+run_cli(cache ${WORK}/inc)
+if(NOT CLI_OUTPUT MATCHES "was modified \\(mtime changed\\)")
+  message(FATAL_ERROR "mtime touch not reported: ${CLI_OUTPUT}")
+endif()
+if(NOT CLI_OUTPUT MATCHES "3 reused, 0 re-encoded, 0 dropped")
+  message(FATAL_ERROR "mtime-only touch should reuse all sections: ${CLI_OUTPUT}")
+endif()
+
+# Size change: only the grown scene re-encodes.
+file(APPEND ${INC_B} "\n")
+run_cli(cache ${WORK}/inc)
+if(NOT CLI_OUTPUT MATCHES "changed size \\(")
+  message(FATAL_ERROR "size change not reported: ${CLI_OUTPUT}")
+endif()
+if(NOT CLI_OUTPUT MATCHES "2 reused, 1 re-encoded, 0 dropped")
+  message(FATAL_ERROR "size change should re-encode one section: ${CLI_OUTPUT}")
+endif()
+
+# Removal: drop the last scene from the manifest; its section is dropped.
+get_filename_component(INC_C_NAME ${INC_C} NAME)
+file(READ ${WORK}/inc/manifest.json INC_MANIFEST)
+string(REPLACE ",\n    \"${INC_C_NAME}\"" "" INC_MANIFEST_2 "${INC_MANIFEST}")
+if(INC_MANIFEST_2 STREQUAL INC_MANIFEST)
+  message(FATAL_ERROR "test bug: could not remove ${INC_C_NAME} from manifest")
+endif()
+file(WRITE ${WORK}/inc/manifest.json "${INC_MANIFEST_2}")
+run_cli(cache ${WORK}/inc)
+if(NOT CLI_OUTPUT MATCHES "removed since the build: ${INC_C_NAME}")
+  message(FATAL_ERROR "removal not reported: ${CLI_OUTPUT}")
+endif()
+if(NOT CLI_OUTPUT MATCHES "cached 2 scenes .*2 reused, 0 re-encoded, 1 dropped")
+  message(FATAL_ERROR "removal should drop one section: ${CLI_OUTPUT}")
+endif()
+
+# Addition: restore the manifest; the scene file is still on disk, so it
+# comes back as "added" and re-encodes.
+file(WRITE ${WORK}/inc/manifest.json "${INC_MANIFEST}")
+run_cli(cache ${WORK}/inc)
+if(NOT CLI_OUTPUT MATCHES "added since the build: ${INC_C_NAME}")
+  message(FATAL_ERROR "addition not reported: ${CLI_OUTPUT}")
+endif()
+if(NOT CLI_OUTPUT MATCHES "cached 3 scenes .*2 reused, 1 re-encoded, 0 dropped")
+  message(FATAL_ERROR "addition should re-encode one section: ${CLI_OUTPUT}")
+endif()
+
+# The refreshed cache ranks byte-identically to the JSON path.
+run_cli(rank --data ${WORK}/inc --model ${WORK}/inc_model.json --out ${WORK}/inc_fxb.json)
+if(NOT CLI_OUTPUT MATCHES "using cache")
+  message(FATAL_ERROR "rank did not use the refreshed cache: ${CLI_OUTPUT}")
+endif()
+run_cli(rank --data ${WORK}/inc --model ${WORK}/inc_model.json --no-cache
+        --out ${WORK}/inc_json.json)
+file(READ ${WORK}/inc_fxb.json INC_P_FXB)
+file(READ ${WORK}/inc_json.json INC_P_JSON)
+if(NOT INC_P_FXB STREQUAL INC_P_JSON)
+  message(FATAL_ERROR "refreshed-cache proposals differ from JSON path")
+endif()
+
+# The stat pass's blind spot: a same-size rewrite with a restored mtime
+# looks fresh to `cache`, but `cache --verify` checksums every source,
+# reports the lie, and full-rebuilds. Needs POSIX cp/touch to backdate.
+find_program(TOUCH_EXE touch)
+find_program(CP_EXE cp)
+if(TOUCH_EXE AND CP_EXE)
+  execute_process(COMMAND ${CP_EXE} -p ${INC_A} ${WORK}/inc_a.ref
+                  RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "cp -p failed")
+  endif()
+  # Flip one digit of a box coordinate in place: same size, new bytes.
+  file(READ ${INC_A} INC_A_TEXT)
+  string(REGEX REPLACE "(\"cx\":[0-9]+\\.[0-9]*)3" "\\14" INC_A_LIED
+         "${INC_A_TEXT}")
+  if(INC_A_LIED STREQUAL INC_A_TEXT)
+    string(REGEX REPLACE "(\"cx\":[0-9]+\\.[0-9]*)1" "\\12" INC_A_LIED
+           "${INC_A_TEXT}")
+  endif()
+  if(INC_A_LIED STREQUAL INC_A_TEXT)
+    message(FATAL_ERROR "test bug: no digit to flip in ${INC_A}")
+  endif()
+  file(WRITE ${INC_A} "${INC_A_LIED}")
+  execute_process(COMMAND ${TOUCH_EXE} -r ${WORK}/inc_a.ref ${INC_A}
+                  RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "touch -r failed")
+  endif()
+  run_cli(cache ${WORK}/inc)
+  if(NOT CLI_OUTPUT MATCHES "is fresh")
+    message(FATAL_ERROR "stat-only cache should miss the backdated edit: ${CLI_OUTPUT}")
+  endif()
+  run_cli(cache ${WORK}/inc --verify)
+  if(NOT CLI_OUTPUT MATCHES "different checksum")
+    message(FATAL_ERROR "cache --verify missed the backdated edit: ${CLI_OUTPUT}")
+  endif()
+  if(NOT CLI_OUTPUT MATCHES "full rebuild: a source changed behind its stat record")
+    message(FATAL_ERROR "cache --verify did not full-rebuild: ${CLI_OUTPUT}")
+  endif()
+  run_cli(cache ${WORK}/inc --verify)
+  if(NOT CLI_OUTPUT MATCHES "is fresh")
+    message(FATAL_ERROR "cache --verify rebuild did not converge: ${CLI_OUTPUT}")
+  endif()
+endif()
+
+# ---- watch: bounded smoke run over a quiet dataset. ----
+run_cli(watch --data ${WORK}/inc --model ${WORK}/inc_model.json
+        --interval-ms 0 --max-cycles 2 --metrics-json ${WORK}/watch_metrics.json)
+if(NOT CLI_OUTPUT MATCHES "watch: stopped after 2 cycles")
+  message(FATAL_ERROR "watch did not stop after --max-cycles: ${CLI_OUTPUT}")
+endif()
+file(READ ${WORK}/watch_metrics.json WATCH_METRICS)
+if(NOT WATCH_METRICS MATCHES "watch\\.cycles")
+  message(FATAL_ERROR "watch metrics missing watch.cycles: ${WATCH_METRICS}")
+endif()
+
+# ---- --max-resident-scenes: checked flag, bounded streaming still exact. ----
+# (Fresh uncapped baseline: the --verify section above may have rewritten
+# a scene, so the earlier proposals are from a different dataset.)
+run_cli(rank --data ${WORK}/inc --model ${WORK}/inc_model.json
+        --decode-threads 2 --out ${WORK}/inc_uncapped.json)
+run_cli(rank --data ${WORK}/inc --model ${WORK}/inc_model.json
+        --decode-threads 2 --max-resident-scenes 1 --out ${WORK}/inc_capped.json)
+if(NOT CLI_OUTPUT MATCHES "using cache")
+  message(FATAL_ERROR "capped rank did not use the cache: ${CLI_OUTPUT}")
+endif()
+file(READ ${WORK}/inc_capped.json INC_P_CAPPED)
+file(READ ${WORK}/inc_uncapped.json INC_P_UNCAPPED)
+if(NOT INC_P_CAPPED STREQUAL INC_P_UNCAPPED)
+  message(FATAL_ERROR "--max-resident-scenes changed the proposals")
+endif()
+execute_process(COMMAND ${CLI} rank --data ${WORK}/inc --model ${WORK}/inc_model.json
+                --max-resident-scenes -1 RESULT_VARIABLE rc OUTPUT_QUIET ERROR_QUIET)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "--max-resident-scenes -1 should fail")
+endif()
+execute_process(COMMAND ${CLI} rank --data ${WORK}/inc --model ${WORK}/inc_model.json
+                --max-resident-scenes bogus RESULT_VARIABLE rc OUTPUT_QUIET ERROR_QUIET)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "--max-resident-scenes bogus should fail")
+endif()
+
 # ---- Distinct, clearly-worded errors for bad dataset directories. ----
 execute_process(COMMAND ${CLI} rank --data ${WORK}/does_not_exist --model ${WORK}/model.json
                 RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)

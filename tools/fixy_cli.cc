@@ -26,8 +26,15 @@
 //             --metrics-json dumps a PipelineMetrics snapshot (stage
 //             timers + counters); --verbose-metrics prints it as a table.
 //   cache     <DIR> (or --data DIR)
-//             Build or refresh DIR's binary scene cache (dataset.fxb),
-//             verifying every scene round-trips byte-identically.
+//             Build or incrementally refresh DIR's binary scene cache
+//             (dataset.fxb): reports why it was stale, re-encodes only the
+//             added/changed scenes, and verifies every fresh scene
+//             round-trips byte-identically.
+//   watch     --data DIR --model FILE [--interval-ms N] [--learn-labels]
+//             Poll DIR for source changes; each change refreshes the cache
+//             incrementally, optionally folds the changed scenes into the
+//             model (sufficient-statistics merge), and re-ranks only the
+//             changed scenes.
 //   info      --data DIR
 //             Print dataset statistics.
 //
@@ -58,6 +65,7 @@
 #include "daemon/client.h"
 #include "daemon/protocol.h"
 #include "daemon/server.h"
+#include "daemon/watch.h"
 #include "dsl/aof.h"
 #include "graph/factor_graph.h"
 #include "io/fxb.h"
@@ -101,7 +109,8 @@ class Flags {
  public:
   static Result<Flags> Parse(int argc, char** argv, int first) {
     static const std::set<std::string> kBooleanFlags = {
-        "keep-going", "fail-fast", "verbose-metrics", "no-cache", "resume"};
+        "keep-going", "fail-fast", "verbose-metrics", "no-cache", "resume",
+        "learn-labels", "verify"};
     Flags flags;
     for (int i = first; i < argc; ++i) {
       const std::string arg = argv[i];
@@ -371,6 +380,9 @@ Status CmdRank(const Flags& flags) {
     obs::Count("io.files_read", 0);
     obs::AddTimeNs("io.load", 0);
     obs::AddTimeNs("io.parse", 0);
+    // Gauges merge with max(), so the streaming path's real peak always
+    // wins over this schema placeholder.
+    obs::SetGauge("stream.resident_scenes_peak", 0);
   }
 
   // Every application — the three standard ones plus the demo user app —
@@ -436,6 +448,13 @@ Status CmdRank(const Flags& flags) {
   if (decode_threads < 1) {
     return Status::InvalidArgument("--decode-threads must be >= 1");
   }
+  // Hard ceiling on decoded-but-unranked scenes resident in memory during
+  // the streaming cache path (0 = bounded by queue capacity alone).
+  FIXY_ASSIGN_OR_RETURN(const int max_resident,
+                        flags.GetIntOr("max-resident-scenes", 0));
+  if (max_resident < 0) {
+    return Status::InvalidArgument("--max-resident-scenes must be >= 0");
+  }
 
   // Ingestion: a fresh dataset.fxb cache streams scenes into the rank
   // workers (decode overlapped with ranking); otherwise the JSON loader
@@ -500,6 +519,7 @@ Status CmdRank(const Flags& flags) {
                   io::FxbCachePath(data).c_str(), source.scene_count());
       StreamOptions stream;
       stream.decode_threads = decode_threads;
+      stream.max_resident_scenes = static_cast<size_t>(max_resident);
       FIXY_ASSIGN_OR_RETURN(
           multi_report,
           fixy.RankDatasetStreaming(source, apps, batch, stream));
@@ -507,9 +527,16 @@ Status CmdRank(const Flags& flags) {
     } else {
       obs::Count("io.fxb.cache_misses");
       if (cache.status().code() == StatusCode::kFailedPrecondition) {
-        std::printf("cache at %s is stale; loading JSON (run `fixy_cli "
-                    "cache %s` to refresh)\n",
-                    io::FxbCachePath(data).c_str(), data.c_str());
+        // Surface *why* the cache is stale (per-file reasons) so the fix
+        // is obvious from the rank output alone.
+        const Result<io::CacheStaleness> staleness =
+            io::ExplainCacheStaleness(data);
+        std::printf("cache at %s is stale (%s); loading JSON (run "
+                    "`fixy_cli cache %s` to refresh)\n",
+                    io::FxbCachePath(data).c_str(),
+                    staleness.ok() ? staleness->Summary().c_str()
+                                   : cache.status().ToString().c_str(),
+                    data.c_str());
       }
     }
   }
@@ -791,9 +818,116 @@ Status CmdCache(const std::string& positional, const Flags& flags) {
     FIXY_ASSIGN_OR_RETURN(data, flags.GetRequired("data"));
   }
   FIXY_RETURN_IF_ERROR(CheckDatasetDirectory(data));
-  FIXY_ASSIGN_OR_RETURN(const size_t scenes, io::BuildFxbCache(data));
-  std::printf("cached %zu scenes to %s (JSON/FXB parity verified)\n", scenes,
-              io::FxbCachePath(data).c_str());
+  // Report *why* a refresh is needed before doing it — one line per
+  // changed file (added/removed/resized/touched/rewritten), so the cache
+  // command doubles as the staleness diagnostic. --verify additionally
+  // checksums every source file, catching the one edit the stat pass
+  // cannot: a same-size rewrite whose mtime was restored.
+  const bool verify = flags.Has("verify");
+  const Result<io::CacheStaleness> staleness =
+      io::ExplainCacheStaleness(data, /*verify_contents=*/verify);
+  bool checksum_lie = false;
+  if (staleness.ok()) {
+    std::printf("cache status: %s\n", staleness->Summary().c_str());
+    if (!staleness->stale) {
+      // Fresh: leave the file untouched so repeated `cache` runs are
+      // byte-stable no-ops.
+      FIXY_ASSIGN_OR_RETURN(const io::FxbReader reader,
+                            io::OpenFreshCache(data));
+      std::printf("cache at %s is fresh (%zu scenes); nothing to do\n",
+                  io::FxbCachePath(data).c_str(), reader.scene_count());
+      return Status::Ok();
+    }
+    for (const std::string& reason : staleness->reasons) {
+      if (reason.find("different checksum") != std::string::npos) {
+        checksum_lie = true;
+      }
+    }
+  } else if (staleness.status().code() == StatusCode::kNotFound) {
+    std::printf("cache status: no cache yet (full build)\n");
+  } else {
+    return staleness.status();
+  }
+  if (checksum_lie) {
+    // A source lied to the stat fast path (same size and mtime, new
+    // bytes); the incremental updater trusts stat and would reuse the
+    // stale section, so force a full rebuild instead.
+    FIXY_ASSIGN_OR_RETURN(const size_t scenes, io::BuildFxbCache(data));
+    std::printf("cached %zu scenes to %s (full rebuild: a source changed "
+                "behind its stat record; JSON/FXB parity verified)\n",
+                scenes, io::FxbCachePath(data).c_str());
+    return Status::Ok();
+  }
+  // Incremental refresh: only added/changed scenes re-encode, removed
+  // scenes drop, every unchanged section is copied byte-for-byte — the
+  // result is byte-identical to a from-scratch build.
+  FIXY_ASSIGN_OR_RETURN(const io::FxbUpdateReport update,
+                        io::UpdateFxbCache(data));
+  std::printf("cached %zu scenes to %s (%zu reused, %zu re-encoded, "
+              "%zu dropped%s; JSON/FXB parity verified)\n",
+              update.scenes_total, io::FxbCachePath(data).c_str(),
+              update.scenes_reused, update.scenes_encoded,
+              update.scenes_dropped, update.rebuilt ? ", full build" : "");
+  return Status::Ok();
+}
+
+// `fixy_cli watch`: the polling loop in daemon/watch.h — detect source
+// changes, refresh the cache incrementally, optionally fold the changed
+// scenes' labels into the model, and re-rank only the changed scenes.
+Status CmdWatch(const Flags& flags) {
+  daemon::WatchOptions options;
+  FIXY_ASSIGN_OR_RETURN(options.data_dir, flags.GetRequired("data"));
+  FIXY_ASSIGN_OR_RETURN(options.model_path, flags.GetRequired("model"));
+  options.model_out = flags.GetOr("model-out", "");
+  FIXY_ASSIGN_OR_RETURN(options.poll_interval_ms,
+                        flags.GetIntOr("interval-ms", 1000));
+  if (options.poll_interval_ms < 0) {
+    return Status::InvalidArgument("--interval-ms must be >= 0");
+  }
+  FIXY_ASSIGN_OR_RETURN(options.max_cycles, flags.GetIntOr("max-cycles", 0));
+  if (options.max_cycles < 0) {
+    return Status::InvalidArgument("--max-cycles must be >= 0");
+  }
+  options.learn_labels = flags.Has("learn-labels");
+  FIXY_ASSIGN_OR_RETURN(options.top, flags.GetIntOr("top", 10));
+  if (options.top < 0) {
+    return Status::InvalidArgument("--top must be >= 0");
+  }
+  FIXY_ASSIGN_OR_RETURN(options.batch.num_threads,
+                        flags.GetIntOr("threads", 0));
+  if (options.batch.num_threads < 0) {
+    return Status::InvalidArgument("--threads must be >= 0");
+  }
+  if (flags.Has("app") && flags.Has("apps")) {
+    return Status::InvalidArgument("pass either --app or --apps, not both");
+  }
+  if (flags.Has("apps")) {
+    const std::string list = flags.GetOr("apps", "");
+    // "all" -> empty selection -> every registered application.
+    if (list != "all") options.apps = SplitApps(list);
+  } else if (flags.Has("app")) {
+    options.apps.push_back(flags.GetOr("app", ""));
+  }
+  const std::string metrics_path = flags.GetOr("metrics-json", "");
+  const bool verbose_metrics = flags.Has("verbose-metrics");
+  options.collect_metrics = verbose_metrics || !metrics_path.empty();
+  // Same engine configuration as CmdRank, so watch re-ranks are
+  // byte-identical to one-shot `rank` runs over the same scenes.
+  options.engine.extra_applications.push_back(SuspectTracksApp());
+  options.install_signal_handlers = true;
+
+  FIXY_ASSIGN_OR_RETURN(const daemon::WatchReport report,
+                        daemon::WatchDataset(options));
+  if (options.collect_metrics) {
+    FIXY_RETURN_IF_ERROR(obs::ValidateMetrics(report.metrics));
+    if (!metrics_path.empty()) {
+      FIXY_RETURN_IF_ERROR(obs::SaveMetrics(report.metrics, metrics_path));
+      std::printf("wrote metrics to %s\n", metrics_path.c_str());
+    }
+    if (verbose_metrics) {
+      std::printf("%s", obs::FormatMetricsTable(report.metrics).c_str());
+    }
+  }
   return Status::Ok();
 }
 
@@ -839,6 +973,8 @@ void PrintUsage() {
       "           [--no-cache] ignore dataset.fxb and parse the JSON files\n"
       "           [--decode-threads N] loader threads for the cache's\n"
       "           streaming path (default 1)\n"
+      "           [--max-resident-scenes N] cap decoded-but-unranked scenes\n"
+      "           resident in memory on the streaming path (0 = queue-bound)\n"
       "           [--workers N]  rank in N worker processes over scene-range\n"
       "           shards; each completed shard writes a CRC'd checkpoint,\n"
       "           failed shards retry with capped backoff and quarantine\n"
@@ -864,8 +1000,22 @@ void PrintUsage() {
       "           [--deadline-ms D] [--model FILE] [--timeout-ms T]\n"
       "           one request against a running fixyd; rank-dataset\n"
       "           --out writes files byte-identical to `rank --out`\n"
-      "  cache    DIR | --data DIR\n"
-      "           build or refresh DIR's binary scene cache (dataset.fxb)\n"
+      "  cache    DIR | --data DIR [--verify]\n"
+      "           build or incrementally refresh DIR's binary scene cache\n"
+      "           (dataset.fxb): reports why it was stale, re-encodes only\n"
+      "           the added/changed scenes, drops removed ones, and copies\n"
+      "           unchanged sections byte-for-byte; --verify checksums\n"
+      "           every source (catches same-size edits with restored\n"
+      "           mtimes) and full-rebuilds when one lied to the stat pass\n"
+      "  watch    --data DIR --model FILE [--interval-ms N] [--max-cycles N]\n"
+      "           [--learn-labels] [--model-out FILE] [--app NAME|--apps ...]\n"
+      "           [--top K] [--threads N] [--metrics-json FILE]\n"
+      "           [--verbose-metrics]\n"
+      "           poll DIR for source changes: refresh the cache\n"
+      "           incrementally, optionally fold changed scenes' labels\n"
+      "           into the model (saved to --model-out, default --model),\n"
+      "           and re-rank only the changed scenes; SIGINT/SIGTERM (or\n"
+      "           --max-cycles) stop the loop\n"
       "  info     --data DIR\n");
 }
 
@@ -903,6 +1053,8 @@ int Main(int argc, char** argv) {
     status = CmdQuery(*flags);
   } else if (command == "cache") {
     status = CmdCache(positional, *flags);
+  } else if (command == "watch") {
+    status = CmdWatch(*flags);
   } else if (command == "info") {
     status = CmdInfo(*flags);
   } else {
