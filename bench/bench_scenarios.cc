@@ -1,0 +1,61 @@
+// The scenario-diversity sweep: every built-in preset crossed with the
+// three paper applications (missing tracks, missing observations, model
+// errors), scored as precision@10 / recall per cell. This is the grid
+// behind `fixy_cli sweep --presets all` and the table in EXPERIMENTS.md;
+// the paper's evaluation covers only the first two rows (the Lyft-like
+// and internal-like conditions).
+//
+// Usage: bench_scenarios [scenes_per_cell]   (default 4)
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "scenario/presets.h"
+#include "scenario/spec.h"
+#include "scenario/sweep.h"
+#include "workloads.h"
+
+namespace fixy::bench {
+namespace {
+
+int Run(int scenes_per_cell) {
+  PrintHeader("Scenario diversity: preset x application sweep");
+
+  std::vector<scenario::ScenarioSpec> specs;
+  for (const std::string& name : scenario::PresetNames()) {
+    specs.push_back(scenario::PresetByName(name).value());
+  }
+
+  scenario::SweepOptions options;
+  options.scenes_per_cell = scenes_per_cell;
+  options.top_k = 10;
+
+  const Result<scenario::SweepReport> report =
+      scenario::RunSweep(specs, options);
+  if (!report.ok()) {
+    std::fprintf(stderr, "sweep failed: %s\n",
+                 std::string(report.status().message()).c_str());
+    return 1;
+  }
+  std::printf("%zu scenarios x %zu applications, %d scenes per cell\n\n",
+              report.value().scenarios.size(), report.value().apps.size(),
+              scenes_per_cell);
+  std::printf("%s", scenario::FormatSweepTable(report.value()).c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace fixy::bench
+
+int main(int argc, char** argv) {
+  int scenes = 4;
+  if (argc > 1) {
+    scenes = std::atoi(argv[1]);
+    if (scenes <= 0) {
+      std::fprintf(stderr, "usage: %s [scenes_per_cell > 0]\n", argv[0]);
+      return 2;
+    }
+  }
+  return fixy::bench::Run(scenes);
+}

@@ -1,0 +1,92 @@
+#include "eval/cell_diff.h"
+
+#include <cmath>
+#include <utility>
+
+#include "common/string_util.h"
+#include "eval/report.h"
+
+namespace fixy::eval {
+
+CellDiffReport DiffMetricCells(const std::vector<MetricCell>& base,
+                               const std::vector<MetricCell>& current,
+                               const CellDiffOptions& options) {
+  // Index both sides by row key; maps also give the deterministic output
+  // order whatever order the cells arrived in.
+  std::map<std::string, const MetricCell*> base_rows;
+  std::map<std::string, const MetricCell*> current_rows;
+  for (const MetricCell& cell : base) base_rows[cell.row] = &cell;
+  for (const MetricCell& cell : current) current_rows[cell.row] = &cell;
+
+  CellDiffReport report;
+  for (const auto& [row, cell] : current_rows) {
+    if (base_rows.count(row) == 0) report.added_rows.push_back(row);
+  }
+  for (const auto& [row, base_cell] : base_rows) {
+    const auto current_it = current_rows.find(row);
+    if (current_it == current_rows.end()) {
+      report.removed_rows.push_back(row);
+      continue;
+    }
+    ++report.rows_compared;
+    const MetricCell* current_cell = current_it->second;
+    // Union of metric names, sorted; absent reads as 0.
+    std::map<std::string, std::pair<double, double>> merged;
+    for (const auto& [metric, value] : base_cell->values) {
+      merged[metric].first = value;
+    }
+    for (const auto& [metric, value] : current_cell->values) {
+      merged[metric].second = value;
+    }
+    for (const auto& [metric, values] : merged) {
+      const double delta = values.second - values.first;
+      if (std::abs(delta) <= options.tolerance) continue;
+      CellChange change;
+      change.row = row;
+      change.metric = metric;
+      change.base = values.first;
+      change.current = values.second;
+      change.delta = delta;
+      change.regressed =
+          options.higher_is_better.count(metric) > 0 && delta < 0.0;
+      report.changes.push_back(std::move(change));
+    }
+  }
+  return report;
+}
+
+std::string FormatCellDiff(const CellDiffReport& report) {
+  if (report.Empty()) {
+    return StrFormat("no differences (%zu cells compared)\n",
+                     report.rows_compared);
+  }
+  std::string out;
+  for (const std::string& row : report.added_rows) {
+    out += "ADDED   " + row + "\n";
+  }
+  for (const std::string& row : report.removed_rows) {
+    out += "REMOVED " + row + "\n";
+  }
+  if (!report.changes.empty()) {
+    Table table({"cell", "metric", "base", "current", "delta", ""});
+    size_t regressions = 0;
+    for (const CellChange& change : report.changes) {
+      if (change.regressed) ++regressions;
+      table.AddRow({change.row, change.metric,
+                    StrFormat("%.6g", change.base),
+                    StrFormat("%.6g", change.current),
+                    StrFormat("%+.6g", change.delta),
+                    change.regressed ? "REGRESSED" : "changed"});
+    }
+    out += table.ToString();
+    out += StrFormat("%zu changed metric(s), %zu regression(s), %zu cells "
+                     "compared\n",
+                     report.changes.size(), regressions,
+                     report.rows_compared);
+  } else {
+    out += StrFormat("%zu cells compared\n", report.rows_compared);
+  }
+  return out;
+}
+
+}  // namespace fixy::eval

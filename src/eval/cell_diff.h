@@ -1,0 +1,79 @@
+// Metrics-diff reporting between two evaluation runs: a generic,
+// grid-agnostic diff over named metric cells (row key -> metric -> value)
+// that highlights changed, regressed, added, and removed cells. The
+// scenario sweep harness feeds its per-cell precision@k/recall table
+// through this to compare two sweep runs; the module itself knows nothing
+// about scenarios, so any future grid (estimator ablations, bench
+// baselines) can reuse it.
+#ifndef FIXY_EVAL_CELL_DIFF_H_
+#define FIXY_EVAL_CELL_DIFF_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace fixy::eval {
+
+/// One row of a metrics grid: a stable key (e.g. "scenario/app") and its
+/// metric values.
+struct MetricCell {
+  std::string row;
+  std::map<std::string, double> values;
+};
+
+/// One metric that differs between base and current beyond tolerance.
+struct CellChange {
+  std::string row;
+  std::string metric;
+  double base = 0.0;
+  double current = 0.0;
+  double delta = 0.0;
+  /// True when the metric has a quality direction (options.higher_is_better)
+  /// and the current value is worse.
+  bool regressed = false;
+};
+
+struct CellDiffOptions {
+  /// Differences at or below this magnitude are noise, not changes.
+  double tolerance = 1e-9;
+  /// Metrics where larger is better; a drop beyond tolerance in one of
+  /// these marks the change as a regression.
+  std::set<std::string> higher_is_better;
+};
+
+struct CellDiffReport {
+  /// Rows present only in current / only in base (sorted by row key).
+  std::vector<std::string> added_rows;
+  std::vector<std::string> removed_rows;
+  /// Changed metrics, sorted by (row, metric).
+  std::vector<CellChange> changes;
+  size_t rows_compared = 0;
+
+  bool Empty() const {
+    return added_rows.empty() && removed_rows.empty() && changes.empty();
+  }
+  bool HasRegression() const {
+    for (const CellChange& change : changes) {
+      if (change.regressed) return true;
+    }
+    return false;
+  }
+};
+
+/// Diffs `current` against `base`. Row keys match cells across the runs;
+/// a metric present on one side only is treated as 0 on the other (counts
+/// and rates both read naturally that way). Output ordering is
+/// deterministic regardless of input order.
+CellDiffReport DiffMetricCells(const std::vector<MetricCell>& base,
+                               const std::vector<MetricCell>& current,
+                               const CellDiffOptions& options = {});
+
+/// Human-readable report: one line per added/removed row, then a table of
+/// changed metrics with REGRESSED / improved / changed markers; "no
+/// differences" when empty.
+std::string FormatCellDiff(const CellDiffReport& report);
+
+}  // namespace fixy::eval
+
+#endif  // FIXY_EVAL_CELL_DIFF_H_

@@ -666,23 +666,17 @@ Result<FxbSourceFingerprint> ComputeSourceFingerprint(
   return FingerprintFromRecords(records);
 }
 
-Result<size_t> BuildFxbCache(const std::string& directory) {
-  // Record source fingerprints before loading: a source file modified
-  // mid-build then differs from the recorded records, so the cache reads
-  // as stale rather than silently matching the new contents.
-  FIXY_ASSIGN_OR_RETURN(std::vector<FxbSourceRecord> sources,
-                        CollectSourceRecords(directory, /*read_contents=*/true));
-  FIXY_ASSIGN_OR_RETURN(Dataset dataset, LoadDataset(directory));
-  if (dataset.scenes.size() + 1 != sources.size()) {
-    return Status::Internal(
-        StrFormat("FXB build raced a manifest edit: %zu scenes loaded but "
-                  "%zu source records collected",
-                  dataset.scenes.size(), sources.size()));
-  }
-  FIXY_ASSIGN_OR_RETURN(std::string blob, EncodeFxbDataset(dataset, sources));
+namespace {
 
-  // Decode-back parity check: every scene must round-trip byte-identically
-  // through the binary container before the cache is trusted.
+// Shared tail of both cache builders: encode, decode-back parity check
+// (every scene must round-trip byte-identically through the container
+// before the cache is trusted), atomic write.
+Status EncodeVerifyWrite(const Dataset& dataset,
+                         const std::vector<FxbSourceRecord>& sources,
+                         const std::string& directory) {
+  Result<std::string> encoded = EncodeFxbDataset(dataset, sources);
+  FIXY_RETURN_IF_ERROR(encoded.status());
+  const std::string& blob = *encoded;
   FIXY_ASSIGN_OR_RETURN(FxbReader reader, FxbReader::FromBuffer(blob));
   if (reader.scene_count() != dataset.scenes.size()) {
     return Status::Internal(
@@ -698,8 +692,43 @@ Result<size_t> BuildFxbCache(const std::string& directory) {
                     dataset.scenes[i].name().c_str()));
     }
   }
+  return WriteFileAtomic(FxbCachePath(directory), blob);
+}
 
-  FIXY_RETURN_IF_ERROR(WriteFileAtomic(FxbCachePath(directory), blob));
+}  // namespace
+
+Result<size_t> BuildFxbCache(const std::string& directory) {
+  // Record source fingerprints before loading: a source file modified
+  // mid-build then differs from the recorded records, so the cache reads
+  // as stale rather than silently matching the new contents.
+  FIXY_ASSIGN_OR_RETURN(std::vector<FxbSourceRecord> sources,
+                        CollectSourceRecords(directory, /*read_contents=*/true));
+  FIXY_ASSIGN_OR_RETURN(Dataset dataset, LoadDataset(directory));
+  if (dataset.scenes.size() + 1 != sources.size()) {
+    return Status::Internal(
+        StrFormat("FXB build raced a manifest edit: %zu scenes loaded but "
+                  "%zu source records collected",
+                  dataset.scenes.size(), sources.size()));
+  }
+  FIXY_RETURN_IF_ERROR(EncodeVerifyWrite(dataset, sources, directory));
+  return dataset.scenes.size();
+}
+
+Result<size_t> BuildFxbCacheFromDataset(const Dataset& dataset,
+                                        const std::string& directory) {
+  // The source fingerprints still come from disk (the files SaveDataset
+  // just wrote); only the JSON re-parse is skipped. A manifest that does
+  // not line up with the in-memory scene list means the directory holds
+  // some other dataset — refuse rather than record lying fingerprints.
+  FIXY_ASSIGN_OR_RETURN(std::vector<FxbSourceRecord> sources,
+                        CollectSourceRecords(directory, /*read_contents=*/true));
+  if (dataset.scenes.size() + 1 != sources.size()) {
+    return Status::InvalidArgument(StrFormat(
+        "cannot build cache from memory: %zu scenes in memory but %zu "
+        "source records on disk in %s",
+        dataset.scenes.size(), sources.size(), directory.c_str()));
+  }
+  FIXY_RETURN_IF_ERROR(EncodeVerifyWrite(dataset, sources, directory));
   return dataset.scenes.size();
 }
 

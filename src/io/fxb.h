@@ -200,6 +200,17 @@ Result<FxbSourceFingerprint> ComputeSourceFingerprint(
 /// load), then an atomic write of dataset.fxb. Returns the scene count.
 Result<size_t> BuildFxbCache(const std::string& directory);
 
+/// Builds `directory`'s cache directly from an in-memory dataset that was
+/// just saved there (SaveDataset must have run first — the source
+/// fingerprints still come from the files on disk). Skips the JSON
+/// re-parse of BuildFxbCache, which matters when generating 100k+ scene
+/// synthetic datasets; the result is byte-identical to BuildFxbCache over
+/// the same directory because JSON round-trips doubles bit-exactly (the
+/// decode-back parity check still runs). Errors: InvalidArgument when the
+/// on-disk manifest does not match `dataset`'s scene list.
+Result<size_t> BuildFxbCacheFromDataset(const Dataset& dataset,
+                                        const std::string& directory);
+
 /// Why (and whether) a cache no longer matches its sources. `reasons`
 /// holds one human-readable sentence per detected difference; empty when
 /// fresh.

@@ -1,0 +1,58 @@
+// Turning a scenario spec into an on-disk dataset: generate (or reuse),
+// save the scene JSON, build the FXB cache directly from memory, and
+// record the ground-truth ledger plus a spec-fingerprint lock file that
+// gates reuse. `fixy_cli sim` and the sweep harness share this path.
+#ifndef FIXY_SCENARIO_MATERIALIZE_H_
+#define FIXY_SCENARIO_MATERIALIZE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/result.h"
+#include "scenario/spec.h"
+#include "sim/generate.h"
+
+namespace fixy::scenario {
+
+struct MaterializeOptions {
+  /// Scenes to generate; 0 uses the spec's scene count.
+  int scene_count = 0;
+  /// Seed override; unset uses the spec's seed.
+  std::optional<uint64_t> seed;
+  /// Build dataset.fxb directly from the in-memory dataset (no JSON
+  /// re-parse) after saving the scene files.
+  bool write_fxb = true;
+  /// When true and the directory's lock file matches (same spec
+  /// fingerprint, scene count, and seed) and the cache/ledger load, the
+  /// dataset is reloaded instead of regenerated.
+  bool reuse = false;
+};
+
+struct MaterializedDataset {
+  sim::GeneratedDataset data;
+  /// Scenes actually generated this call (0 on reuse).
+  int scenes_generated = 0;
+  bool reused = false;
+};
+
+/// Generates `spec`'s dataset in memory only (no IO): scenes named
+/// `<spec.name>_<i>`. Deterministic in (spec, scene_count, seed).
+Result<sim::GeneratedDataset> GenerateScenarioDataset(
+    const ScenarioSpec& spec, int scene_count = 0,
+    std::optional<uint64_t> seed = std::nullopt);
+
+/// Materializes `spec` into `directory`: scene JSON + manifest,
+/// gt_ledger.json, scenario.lock.json, and (by default) dataset.fxb.
+/// With options.reuse, a directory whose lock matches is loaded back
+/// (FXB fast path, strict JSON fallback) instead of regenerated.
+Result<MaterializedDataset> MaterializeScenarioDataset(
+    const ScenarioSpec& spec, const std::string& directory,
+    const MaterializeOptions& options = {});
+
+/// `<directory>/scenario.lock.json`.
+std::string ScenarioLockPath(const std::string& directory);
+
+}  // namespace fixy::scenario
+
+#endif  // FIXY_SCENARIO_MATERIALIZE_H_

@@ -1,0 +1,33 @@
+// Built-in scenario presets: the two legacy dataset profiles re-expressed
+// as specs (so `sim::LyftLikeProfile()` / `sim::InternalLikeProfile()`
+// are thin wrappers over the registry and stay byte-identical), plus five
+// diverse conditions the paper's two-dataset evaluation never covered —
+// the scenario-diversity library behind `fixy_cli sim --preset` and the
+// sweep harness.
+#ifndef FIXY_SCENARIO_PRESETS_H_
+#define FIXY_SCENARIO_PRESETS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "scenario/spec.h"
+
+namespace fixy::scenario {
+
+/// Registered preset names, in the fixed registry order the sweep and
+/// `--presets all` use:
+///   lyft-like, internal-like, dense-urban-intersection, highway-convoy,
+///   parking-lot, night-low-recall, multi-sensor-disagreement.
+std::vector<std::string> PresetNames();
+
+/// The preset registered under `name`. Errors: InvalidArgument listing
+/// every registered name.
+Result<ScenarioSpec> PresetByName(const std::string& name);
+
+/// One-line description per preset (parallel to PresetNames order).
+std::vector<std::string> PresetDescriptions();
+
+}  // namespace fixy::scenario
+
+#endif  // FIXY_SCENARIO_PRESETS_H_

@@ -1,0 +1,96 @@
+// Scenarios as data: the declarative scenario spec behind the simulator.
+//
+// A ScenarioSpec is the external, JSON-serializable description of one
+// synthetic-dataset generation setup — world layout and class mix,
+// sensor occlusion and dropout windows, vendor label-error rates,
+// detector calibration, scene count, and seed. Specs are parsed with a
+// *strict* validator (unknown keys, out-of-range values, and bad enum
+// strings are errors that name the offending path and list the valid
+// choices) and then compiled into the existing `sim` parameter structs,
+// so every generation knob the hard-coded profiles used to bake in is
+// now specifiable from a file or a built-in preset (presets.h).
+//
+// Document shape (all fields optional except `name`; defaults are the
+// `sim` struct defaults):
+//
+//   {
+//     "format": "fixy-scenario", "version": 1,
+//     "name": "night_low_recall", "description": "...",
+//     "scenes": 8, "seed": 42,
+//     "world":    { "duration_seconds": 15.0, "frame_rate_hz": 10.0,
+//                   "ego_speed_mps": 8.0, "mean_object_count": 28.0,
+//                   "spawn_behind_meters": 40.0,
+//                   "spawn_ahead_meters": 60.0,
+//                   "class_mix": { "car": 0.66, "truck": 0.12,
+//                                  "pedestrian": 0.14,
+//                                  "motorcycle": 0.08 } },
+//     "sensor":   { "max_range_meters": 75.0,
+//                   "occlusion_visibility_threshold": 0.6,
+//                   "near_field_meters": 6.0,
+//                   "dropout_windows": [ { "start_seconds": 3.0,
+//                                          "end_seconds": 4.5 } ] },
+//     "labeler":  { "missing_track_rate": 0.1, ... },
+//     "detector": { "calibration": "calibrated" | "uncalibrated", ... }
+//   }
+#ifndef FIXY_SCENARIO_SPEC_H_
+#define FIXY_SCENARIO_SPEC_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "json/json.h"
+#include "sim/profiles.h"
+
+namespace fixy::scenario {
+
+/// One fully-specified generation setup. The embedded `sim` structs carry
+/// the per-stage knobs; `scene_count` and `seed` complete the recipe, so
+/// (spec) alone determines every byte of the generated dataset.
+struct ScenarioSpec {
+  /// Scene-name prefix and cache key. Restricted to [A-Za-z0-9._-] so the
+  /// name is safe as a file and directory name.
+  std::string name;
+  std::string description;
+  int scene_count = 4;
+  uint64_t seed = 42;
+
+  sim::WorldParams world;
+  sim::SensorParams sensor;
+  sim::LabelerProfile labeler;
+  sim::DetectorParams detector;
+};
+
+/// Parses and strictly validates a scenario document. Errors:
+/// InvalidArgument naming the offending path — unknown keys list the
+/// valid fields, enum mismatches list the valid values, range violations
+/// state the permitted interval.
+Result<ScenarioSpec> ScenarioFromJson(const json::Value& value);
+Result<ScenarioSpec> ScenarioFromString(std::string_view text);
+
+/// Reads and parses a scenario file.
+Result<ScenarioSpec> LoadScenario(const std::string& path);
+
+/// Canonical serialization: every field explicit, keys sorted (the json
+/// Object is a sorted map), so ToJson -> FromJson -> ToJson is a fixed
+/// point and the compact string doubles as the spec fingerprint.
+json::Value ScenarioToJson(const ScenarioSpec& spec);
+
+/// The compact canonical JSON of `spec` — the cache lock fingerprint.
+std::string ScenarioFingerprint(const ScenarioSpec& spec);
+
+/// Compiles a spec into the simulator's profile bundle, checking the
+/// cross-field constraints a single-field validator cannot (class mix
+/// must have positive total weight, ghost frame bounds must be ordered,
+/// dropout windows must lie inside the scene duration).
+Result<sim::SimProfile> CompileScenario(const ScenarioSpec& spec);
+
+/// Zero-touches every scenario.* / sweep.* metric key so the metrics
+/// snapshot schema is one fixed set whether or not a run generated
+/// scenarios (mirrors io::RecordFxbMetricsSchema).
+void RecordScenarioMetricsSchema();
+
+}  // namespace fixy::scenario
+
+#endif  // FIXY_SCENARIO_SPEC_H_

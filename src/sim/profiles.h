@@ -27,10 +27,15 @@ struct SimProfile {
 
 /// The noisy public-dataset profile: high missing-label rates, an
 /// uncalibrated detector with frequent hallucinations.
+///
+/// Defined in src/scenario (fixy_scenario): the profile is compiled from
+/// the "lyft-like" scenario preset, so spec-driven and hard-coded callers
+/// generate byte-identical datasets.
 SimProfile LyftLikeProfile();
 
 /// The audited internal-dataset profile: low missing-label rates, a
-/// calibrated detector with few hallucinations.
+/// calibrated detector with few hallucinations. Defined in src/scenario
+/// (the "internal-like" preset), like LyftLikeProfile.
 SimProfile InternalLikeProfile();
 
 }  // namespace fixy::sim

@@ -41,10 +41,28 @@ double CoverageFraction(const AngularInterval& target,
   return (hi - lo) / (2.0 * target.half_width);
 }
 
+bool InDropout(double timestamp, const SensorParams& params) {
+  for (const SensorDropoutWindow& window : params.dropout_windows) {
+    if (timestamp >= window.start_seconds && timestamp < window.end_seconds) {
+      return true;
+    }
+  }
+  return false;
+}
+
 }  // namespace
 
 void ComputeVisibility(GtScene* scene, const SensorParams& params) {
   for (int f = 0; f < scene->num_frames; ++f) {
+    if (!params.dropout_windows.empty() &&
+        InDropout(scene->TimestampOf(f), params)) {
+      for (GtObject& object : scene->objects) {
+        GtState& state = object.states[static_cast<size_t>(f)];
+        state.visible = false;
+        state.occlusion_fraction = 1.0;
+      }
+      continue;
+    }
     const geom::Vec2 ego = scene->ego_positions[static_cast<size_t>(f)];
     // Precompute intervals for this frame.
     std::vector<AngularInterval> intervals;

@@ -6,9 +6,20 @@
 #ifndef FIXY_SIM_SENSOR_H_
 #define FIXY_SIM_SENSOR_H_
 
+#include <vector>
+
 #include "sim/ground_truth.h"
 
 namespace fixy::sim {
+
+/// A timespan during which the sensor records nothing (bus resets,
+/// inter-sensor sync loss). Frames whose timestamp t satisfies
+/// start_seconds <= t < end_seconds see every object as invisible — the
+/// scenario-spec mechanism behind the multi-sensor-disagreement preset.
+struct SensorDropoutWindow {
+  double start_seconds = 0.0;
+  double end_seconds = 0.0;
+};
 
 struct SensorParams {
   /// Objects beyond this range are not observable.
@@ -19,6 +30,9 @@ struct SensorParams {
   /// Objects closer than this are never occluded (they tower over
   /// anything between them and the sensor).
   double near_field_meters = 6.0;
+  /// Total sensor blackouts. Empty (the default) reproduces the legacy
+  /// visibility model byte-for-byte.
+  std::vector<SensorDropoutWindow> dropout_windows;
 };
 
 /// Computes visibility for every object state in `scene`.

@@ -6,7 +6,7 @@
 # Usage:
 #   tools/check.sh            # plain + asan + tsan + ubsan + metrics
 #                             # + cache + multiapp + shard + daemon
-#                             # + incremental + perf
+#                             # + incremental + sweep + perf
 #   tools/check.sh plain      # just the tier-1 build/test
 #   tools/check.sh address    # just the asan build/test
 #   tools/check.sh thread     # just the tsan build/test
@@ -35,6 +35,13 @@
 #                             # verify graceful shutdown unlinks the socket,
 #                             # then the daemon concurrency/corruption suites
 #                             # under plain + asan builds
+#   tools/check.sh sweep      # scenario sweep: validator rejections name
+#                             # the offending field, sim --preset datasets
+#                             # byte-identical to the legacy profiles, a
+#                             # 2x3 scenario-x-app grid byte-identical at
+#                             # any --threads, metrics-diff + regression
+#                             # gate smoke, and the scenario suites under
+#                             # plain + asan builds
 #   tools/check.sh incremental # incremental-ingestion sweep: 1-scene edit
 #                             # cache update byte-identical to a rebuild,
 #                             # watch --learn-labels fold byte-identical to
@@ -536,6 +543,98 @@ EOF
   echo "==== incremental: OK ===="
 }
 
+run_scenario_sweep() {
+  echo "==== sweep: build fixy_cli + scenario_test ===="
+  cmake -B build -S .
+  cmake --build build -j "${JOBS}" --target fixy_cli scenario_test
+  local cli="build/tools/fixy_cli"
+  [ -x "${cli}" ] || cli="$(find build -name fixy_cli -type f | head -1)"
+  local work
+  work="$(mktemp -d)"
+  trap 'rm -rf "${work}"' RETURN
+
+  echo "==== sweep: scenario validator rejects with field paths ===="
+  cat > "${work}/bad_key.scenario.json" <<'EOF'
+{"name": "bad", "wrold": {}}
+EOF
+  cat > "${work}/bad_enum.scenario.json" <<'EOF'
+{"name": "bad", "detector": {"calibration": "sometimes"}}
+EOF
+  if "${cli}" sim --out "${work}/bad_ds" \
+      --scenario "${work}/bad_key.scenario.json" > "${work}/bad.log" 2>&1; then
+    echo "sweep FAILED: malformed scenario was accepted" >&2
+    return 1
+  fi
+  grep -q "wrold" "${work}/bad.log" \
+      || { echo "sweep FAILED: validator error does not name the unknown" \
+                "field" >&2; cat "${work}/bad.log" >&2; return 1; }
+  if "${cli}" sim --out "${work}/bad_ds" \
+      --scenario "${work}/bad_enum.scenario.json" > "${work}/bad.log" 2>&1; then
+    echo "sweep FAILED: bad enum value was accepted" >&2
+    return 1
+  fi
+  grep -q "valid values: calibrated, uncalibrated" "${work}/bad.log" \
+      || { echo "sweep FAILED: enum error does not list valid values" >&2
+           cat "${work}/bad.log" >&2; return 1; }
+
+  echo "==== sweep: preset sim is byte-identical to the legacy profile ===="
+  "${cli}" generate --out "${work}/legacy" --profile lyft --scenes 3 --seed 9
+  "${cli}" sim --out "${work}/preset" --preset lyft-like --scenes 3 --seed 9 \
+      > /dev/null
+  local scene
+  for scene in $(ls "${work}/legacy" | grep '\.fixy\.json$'); do
+    cmp "${work}/legacy/${scene}" "${work}/preset/${scene}" \
+        || { echo "sweep FAILED: sim --preset lyft-like ${scene} differs" \
+                  "from generate --profile lyft" >&2; return 1; }
+  done
+
+  echo "==== sweep: 2x3 grid, byte-identical at any thread count ===="
+  local grid="lyft-like,internal-like"
+  local apps="missing-tracks,missing-obs,model-errors"
+  "${cli}" sweep --report "${work}/report_t1.json" \
+      --presets "${grid}" --apps "${apps}" --scenes 2 --top 5 --threads 1 \
+      --cache-dir "${work}/cache" > "${work}/sweep_t1.log"
+  "${cli}" sweep --report "${work}/report_t4.json" \
+      --presets "${grid}" --apps "${apps}" --scenes 2 --top 5 --threads 4 \
+      --cache-dir "${work}/cache" > /dev/null
+  cmp "${work}/report_t1.json" "${work}/report_t4.json" \
+      || { echo "sweep FAILED: reports differ between --threads 1 and 4" >&2
+           return 1; }
+  grep -q "p@5" "${work}/sweep_t1.log" \
+      || { echo "sweep FAILED: per-cell table missing from output" >&2
+           cat "${work}/sweep_t1.log" >&2; return 1; }
+  grep -q "wrote sweep report (6 cells)" "${work}/sweep_t1.log" \
+      || { echo "sweep FAILED: expected 6 cells in the 2x3 grid" >&2
+           cat "${work}/sweep_t1.log" >&2; return 1; }
+
+  echo "==== sweep: metrics-diff between two runs ===="
+  "${cli}" sweep --diff-only --baseline "${work}/report_t1.json" \
+      --report "${work}/report_t4.json" > "${work}/diff.log"
+  grep -q "no differences (6 cells compared)" "${work}/diff.log" \
+      || { echo "sweep FAILED: identical reports did not diff clean" >&2
+           cat "${work}/diff.log" >&2; return 1; }
+  # A doctored baseline (inflated hit counts) must trip the regression gate.
+  sed 's/"hits": [0-9]*/"hits": 999/' "${work}/report_t1.json" \
+      > "${work}/doctored.json"
+  if "${cli}" sweep --diff-only --baseline "${work}/doctored.json" \
+      --report "${work}/report_t4.json" --fail-on-regression \
+      > "${work}/regress.log" 2>&1; then
+    echo "sweep FAILED: --fail-on-regression passed a doctored baseline" >&2
+    return 1
+  fi
+  grep -q "REGRESSED" "${work}/regress.log" \
+      || { echo "sweep FAILED: regression diff missing REGRESSED rows" >&2
+           cat "${work}/regress.log" >&2; return 1; }
+
+  echo "==== sweep: scenario suites (plain + asan) ===="
+  local tests_re="SpecValidator|SpecRoundTrip|Presets|Materialize|DropoutWindows|LedgerIo|Sweep|CellDiff"
+  (cd build && ctest --output-on-failure -j "${JOBS}" -R "${tests_re}")
+  cmake -B build-asan -S . -DFIXY_SANITIZE=address
+  cmake --build build-asan -j "${JOBS}" --target scenario_test fixy_cli
+  (cd build-asan && ctest --output-on-failure -j "${JOBS}" -R "${tests_re}")
+  echo "==== sweep: OK ===="
+}
+
 run_perf_gate() {
   echo "==== perf: build bench_throughput ===="
   cmake -B build -S .
@@ -593,6 +692,8 @@ case "${mode}" in
     run_daemon_sweep ;;
   incremental)
     run_incremental_sweep ;;
+  sweep)
+    run_scenario_sweep ;;
   perf)
     run_perf_gate ;;
   all)
@@ -606,9 +707,10 @@ case "${mode}" in
     run_shard_sweep
     run_daemon_sweep
     run_incremental_sweep
+    run_scenario_sweep
     run_perf_gate ;;
   *)
-    echo "usage: $0 [plain|address|thread|undefined|metrics|cache|multiapp|shard|daemon|incremental|perf|all]" >&2
+    echo "usage: $0 [plain|address|thread|undefined|metrics|cache|multiapp|shard|daemon|incremental|sweep|perf|all]" >&2
     exit 2 ;;
 esac
 echo "all requested suites passed"

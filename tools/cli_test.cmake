@@ -439,4 +439,144 @@ if(NOT "${out}${err}" MATCHES "does not exist")
   message(FATAL_ERROR "cache missing-directory error not distinct: ${out}${err}")
 endif()
 
+# ---- Scenario-driven sim: presets, spec files, legacy parity. ----
+run_cli(sim --list-presets)
+foreach(preset lyft-like internal-like parking-lot night-low-recall)
+  if(NOT CLI_OUTPUT MATCHES "${preset}")
+    message(FATAL_ERROR "sim --list-presets missing ${preset}: ${CLI_OUTPUT}")
+  endif()
+endforeach()
+
+run_cli(sim --out ${WORK}/sim_ds --preset internal-like --scenes 2 --seed 5 --fxb)
+if(NOT CLI_OUTPUT MATCHES "wrote 2 scenes")
+  message(FATAL_ERROR "sim output missing scene count: ${CLI_OUTPUT}")
+endif()
+foreach(artifact dataset.fxb gt_ledger.json scenario.lock.json manifest.json)
+  if(NOT EXISTS ${WORK}/sim_ds/${artifact})
+    message(FATAL_ERROR "sim --fxb did not write ${artifact}")
+  endif()
+endforeach()
+
+# The preset-driven dataset must be byte-identical to the legacy
+# hard-coded profile for the same seed (fresh generate: the ${WORK}/ds
+# fixture had a scene mutated by the staleness test above).
+run_cli(generate --out ${WORK}/legacy_ds --profile internal --scenes 2 --seed 5)
+file(GLOB SIM_SCENES RELATIVE ${WORK}/sim_ds ${WORK}/sim_ds/*.fixy.json)
+list(LENGTH SIM_SCENES SIM_SCENE_COUNT)
+if(NOT SIM_SCENE_COUNT EQUAL 2)
+  message(FATAL_ERROR "sim wrote ${SIM_SCENE_COUNT} scene files, expected 2")
+endif()
+foreach(scene ${SIM_SCENES})
+  file(READ ${WORK}/sim_ds/${scene} SIM_SCENE)
+  file(READ ${WORK}/legacy_ds/${scene} LEGACY_SCENE)
+  if(NOT SIM_SCENE STREQUAL LEGACY_SCENE)
+    message(FATAL_ERROR "sim --preset internal-like ${scene} differs from legacy generate")
+  endif()
+endforeach()
+
+# The sim dataset ranks end-to-end through its direct-built FXB cache.
+run_cli(rank --data ${WORK}/sim_ds --model ${WORK}/model.json --top 3)
+if(NOT CLI_OUTPUT MATCHES "using cache")
+  message(FATAL_ERROR "rank did not use sim's direct-built cache: ${CLI_OUTPUT}")
+endif()
+
+# A scenario spec file drives sim too; a malformed one fails naming the
+# offending path, and --preset/--scenario are mutually exclusive.
+file(WRITE ${WORK}/custom.scenario.json
+     "{\"name\": \"custom\", \"scenes\": 1, \"world\": {\"duration_seconds\": 6.0, \"mean_object_count\": 10.0}}")
+run_cli(sim --out ${WORK}/custom_ds --scenario ${WORK}/custom.scenario.json)
+if(NOT CLI_OUTPUT MATCHES "wrote 1 scenes .*custom")
+  message(FATAL_ERROR "sim --scenario output unexpected: ${CLI_OUTPUT}")
+endif()
+file(WRITE ${WORK}/bad.scenario.json "{\"name\": \"bad\", \"world\": {\"duration_seconds\": -1}}")
+execute_process(COMMAND ${CLI} sim --out ${WORK}/bad_ds --scenario ${WORK}/bad.scenario.json
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "sim on a malformed scenario should fail")
+endif()
+if(NOT "${out}${err}" MATCHES "scenario.world.duration_seconds")
+  message(FATAL_ERROR "scenario validation error missing field path: ${out}${err}")
+endif()
+execute_process(COMMAND ${CLI} sim --out ${WORK}/x --preset lyft-like
+                --scenario ${WORK}/custom.scenario.json
+                RESULT_VARIABLE rc OUTPUT_QUIET ERROR_QUIET)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "sim with both --preset and --scenario should fail")
+endif()
+
+# sim numeric flags are checked like rank's.
+foreach(bad_flags
+        "sim;--out;${WORK}/x;--preset;lyft-like;--scenes;abc"
+        "sim;--out;${WORK}/x;--preset;lyft-like;--seed;1.5"
+        "sim;--out;${WORK}/x;--preset;lyft-like;--scenes;-3")
+  execute_process(COMMAND ${CLI} ${bad_flags}
+                  RESULT_VARIABLE rc OUTPUT_QUIET ERROR_QUIET)
+  if(rc EQUAL 0)
+    message(FATAL_ERROR "expected failure for: ${bad_flags}")
+  endif()
+endforeach()
+
+# ---- Sweep: small grid, cached re-run parity, metrics-diff. ----
+run_cli(sweep --report ${WORK}/sweep_a.json --presets internal-like
+        --apps missing-tracks,model-errors --scenes 2 --top 5
+        --cache-dir ${WORK}/sweep_cache)
+if(NOT CLI_OUTPUT MATCHES "wrote sweep report \\(2 cells\\)")
+  message(FATAL_ERROR "sweep summary missing cell count: ${CLI_OUTPUT}")
+endif()
+if(NOT CLI_OUTPUT MATCHES "p@5")
+  message(FATAL_ERROR "sweep table missing precision column: ${CLI_OUTPUT}")
+endif()
+file(READ ${WORK}/sweep_a.json SWEEP_A)
+if(NOT SWEEP_A MATCHES "fixy-sweep")
+  message(FATAL_ERROR "sweep report missing format marker: ${SWEEP_A}")
+endif()
+
+# Re-running the same grid (reusing the cache) is byte-identical, and the
+# diff against the first report is clean; --diff-only compares two saved
+# reports without running.
+run_cli(sweep --report ${WORK}/sweep_b.json --presets internal-like
+        --apps missing-tracks,model-errors --scenes 2 --top 5
+        --cache-dir ${WORK}/sweep_cache --baseline ${WORK}/sweep_a.json
+        --fail-on-regression)
+if(NOT CLI_OUTPUT MATCHES "no differences \\(2 cells compared\\)")
+  message(FATAL_ERROR "repeat sweep diff not clean: ${CLI_OUTPUT}")
+endif()
+file(READ ${WORK}/sweep_b.json SWEEP_B)
+if(NOT SWEEP_A STREQUAL SWEEP_B)
+  message(FATAL_ERROR "cached sweep re-run is not byte-identical")
+endif()
+run_cli(sweep --diff-only --baseline ${WORK}/sweep_a.json --report ${WORK}/sweep_b.json)
+if(NOT CLI_OUTPUT MATCHES "no differences")
+  message(FATAL_ERROR "sweep --diff-only unexpected output: ${CLI_OUTPUT}")
+endif()
+
+# A doctored baseline (more hits than reality) must trip
+# --fail-on-regression in --diff-only mode.
+string(REGEX REPLACE "\"hits\": [0-9]+" "\"hits\": 999"
+       SWEEP_DOCTORED "${SWEEP_A}")
+file(WRITE ${WORK}/sweep_doctored.json "${SWEEP_DOCTORED}")
+execute_process(COMMAND ${CLI} sweep --diff-only
+                --baseline ${WORK}/sweep_doctored.json
+                --report ${WORK}/sweep_b.json --fail-on-regression
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "sweep --fail-on-regression should fail on a doctored baseline")
+endif()
+if(NOT "${out}${err}" MATCHES "REGRESSED")
+  message(FATAL_ERROR "regression diff missing REGRESSED marker: ${out}${err}")
+endif()
+
+# sweep numeric and selection flags are checked.
+foreach(bad_flags
+        "sweep;--report;${WORK}/x.json;--presets;internal-like;--top;abc"
+        "sweep;--report;${WORK}/x.json;--presets;internal-like;--threads;-2"
+        "sweep;--report;${WORK}/x.json;--presets;frobnicate"
+        "sweep;--report;${WORK}/x.json;--presets;internal-like;--estimator;magic")
+  execute_process(COMMAND ${CLI} ${bad_flags}
+                  RESULT_VARIABLE rc OUTPUT_QUIET ERROR_QUIET)
+  if(rc EQUAL 0)
+    message(FATAL_ERROR "expected failure for: ${bad_flags}")
+  endif()
+endforeach()
+
 file(REMOVE_RECURSE ${WORK})

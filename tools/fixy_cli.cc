@@ -3,6 +3,20 @@
 // Subcommands:
 //   generate  --profile lyft|internal --scenes N --seed S --out DIR
 //             Simulate a labeled dataset (with injected errors) to DIR.
+//   sim       --out DIR [--preset NAME | --scenario FILE] [--scenes N]
+//             [--seed S] [--fxb] [--list-presets]
+//             The spec-driven generate: materialize a scenario (built-in
+//             preset or JSON spec file) to DIR — scene JSON, ground-truth
+//             ledger, and a lock file recording the recipe; --fxb also
+//             builds dataset.fxb straight from memory (no JSON re-parse).
+//   sweep     --report FILE [--presets a,b,c|all] [--scenarios f1,f2]
+//             [--apps a,b,c] [--scenes N] [--seed S] [--top K]
+//             [--threads N] [--estimator E] [--cache-dir DIR]
+//             [--baseline FILE] [--fail-on-regression] [--diff-only]
+//             Run a scenario x application grid (generate or reuse each
+//             dataset, learn, rank, score against the ledger), print the
+//             per-cell precision@k/recall table, and save the report;
+//             --baseline diffs against a previous run's report.
 //   learn     --data DIR --model FILE [--estimator kde|histogram|gaussian]
 //             Learn feature distributions from DIR's labels; save to FILE.
 //   rank      --data DIR --model FILE
@@ -74,8 +88,13 @@
 #include "core/ranker.h"
 #include "eval/dataset_stats.h"
 #include "io/scene_io.h"
+#include "eval/cell_diff.h"
 #include "obs/metrics.h"
 #include "obs/metrics_json.h"
+#include "scenario/materialize.h"
+#include "scenario/presets.h"
+#include "scenario/spec.h"
+#include "scenario/sweep.h"
 #include "shard/coordinator.h"
 #include "shard/worker.h"
 #include "sim/generate.h"
@@ -110,7 +129,8 @@ class Flags {
   static Result<Flags> Parse(int argc, char** argv, int first) {
     static const std::set<std::string> kBooleanFlags = {
         "keep-going", "fail-fast", "verbose-metrics", "no-cache", "resume",
-        "learn-labels", "verify"};
+        "learn-labels", "verify", "fxb", "list-presets", "diff-only",
+        "fail-on-regression"};
     Flags flags;
     for (int i = first; i < argc; ++i) {
       const std::string arg = argv[i];
@@ -298,6 +318,175 @@ Status CmdGenerate(const Flags& flags) {
   return Status::Ok();
 }
 
+// `sim` — the spec-driven generate: a scenario (preset or JSON file)
+// materializes into scene JSON + ground-truth ledger + lock file, with
+// --fxb building the binary cache straight from the in-memory dataset
+// (no JSON re-parse), which is the path that makes 100k+ scene datasets
+// practical.
+Status CmdSim(const Flags& flags) {
+  if (flags.Has("list-presets")) {
+    const std::vector<std::string> names = scenario::PresetNames();
+    const std::vector<std::string> descriptions =
+        scenario::PresetDescriptions();
+    for (size_t i = 0; i < names.size(); ++i) {
+      std::printf("%-26s %s\n", names[i].c_str(), descriptions[i].c_str());
+    }
+    return Status::Ok();
+  }
+  if (flags.Has("preset") && flags.Has("scenario")) {
+    return Status::InvalidArgument(
+        "pass either --preset or --scenario, not both");
+  }
+  scenario::ScenarioSpec spec;
+  if (flags.Has("scenario")) {
+    FIXY_ASSIGN_OR_RETURN(spec,
+                          scenario::LoadScenario(flags.GetOr("scenario", "")));
+  } else {
+    FIXY_ASSIGN_OR_RETURN(
+        spec, scenario::PresetByName(flags.GetOr("preset", "lyft-like")));
+  }
+  FIXY_ASSIGN_OR_RETURN(std::string out, flags.GetRequired("out"));
+  scenario::MaterializeOptions options;
+  FIXY_ASSIGN_OR_RETURN(options.scene_count, flags.GetIntOr("scenes", 0));
+  if (options.scene_count < 0) {
+    return Status::InvalidArgument(
+        "--scenes must be >= 0 (0 = the scenario's own count)");
+  }
+  if (flags.Has("seed")) {
+    FIXY_ASSIGN_OR_RETURN(const int64_t seed, flags.GetInt64Or("seed", 0));
+    options.seed = static_cast<uint64_t>(seed);
+  }
+  options.write_fxb = flags.Has("fxb");
+  FIXY_ASSIGN_OR_RETURN(
+      const scenario::MaterializedDataset result,
+      scenario::MaterializeScenarioDataset(spec, out, options));
+  std::printf("wrote %zu scenes (%zu observations, %zu injected errors) "
+              "from scenario \"%s\" to %s%s\n",
+              result.data.dataset.scenes.size(),
+              result.data.dataset.TotalObservations(),
+              result.data.ledger.errors.size(), spec.name.c_str(), out.c_str(),
+              options.write_fxb ? " (+ dataset.fxb)" : "");
+  return Status::Ok();
+}
+
+// The scenario half of a sweep grid: `--presets a,b,c|all` resolves
+// against the registry, `--scenarios f1,f2` loads spec files, and the two
+// concatenate (presets first).
+Result<std::vector<scenario::ScenarioSpec>> SweepGrid(const Flags& flags) {
+  std::vector<scenario::ScenarioSpec> specs;
+  const std::string presets =
+      flags.GetOr("presets", flags.Has("scenarios") ? "" : "all");
+  if (presets == "all") {
+    for (const std::string& name : scenario::PresetNames()) {
+      FIXY_ASSIGN_OR_RETURN(scenario::ScenarioSpec spec,
+                            scenario::PresetByName(name));
+      specs.push_back(std::move(spec));
+    }
+  } else if (!presets.empty()) {
+    for (const std::string& name : SplitApps(presets)) {
+      FIXY_ASSIGN_OR_RETURN(scenario::ScenarioSpec spec,
+                            scenario::PresetByName(name));
+      specs.push_back(std::move(spec));
+    }
+  }
+  if (flags.Has("scenarios")) {
+    for (const std::string& path : SplitApps(flags.GetOr("scenarios", ""))) {
+      FIXY_ASSIGN_OR_RETURN(scenario::ScenarioSpec spec,
+                            scenario::LoadScenario(path));
+      specs.push_back(std::move(spec));
+    }
+  }
+  return specs;
+}
+
+// `sweep` — run a scenario × application grid (generate or reuse each
+// scenario's dataset, learn, rank, score against the ground-truth
+// ledger), print the per-cell precision@k/recall table, save the report
+// as JSON, and optionally diff against a previous run's report.
+Status CmdSweep(const Flags& flags) {
+  FIXY_ASSIGN_OR_RETURN(std::string report_path, flags.GetRequired("report"));
+  const std::string baseline_path = flags.GetOr("baseline", "");
+
+  // --diff-only: compare two saved reports without running anything.
+  if (flags.Has("diff-only")) {
+    if (baseline_path.empty()) {
+      return Status::InvalidArgument(
+          "--diff-only compares --baseline FILE against --report FILE");
+    }
+    FIXY_ASSIGN_OR_RETURN(const scenario::SweepReport base,
+                          scenario::LoadSweepReport(baseline_path));
+    FIXY_ASSIGN_OR_RETURN(const scenario::SweepReport current,
+                          scenario::LoadSweepReport(report_path));
+    const eval::CellDiffReport diff =
+        scenario::DiffSweepReports(base, current);
+    std::printf("%s", eval::FormatCellDiff(diff).c_str());
+    if (flags.Has("fail-on-regression") && diff.HasRegression()) {
+      return Status::FailedPrecondition("sweep regressed against baseline " +
+                                        baseline_path);
+    }
+    return Status::Ok();
+  }
+
+  FIXY_ASSIGN_OR_RETURN(const std::vector<scenario::ScenarioSpec> specs,
+                        SweepGrid(flags));
+  scenario::SweepOptions options;
+  if (flags.Has("apps")) {
+    options.apps = SplitApps(flags.GetOr("apps", ""));
+  }
+  FIXY_ASSIGN_OR_RETURN(options.scenes_per_cell, flags.GetIntOr("scenes", 0));
+  if (options.scenes_per_cell < 0) {
+    return Status::InvalidArgument(
+        "--scenes must be >= 0 (0 = each scenario's own count)");
+  }
+  if (flags.Has("seed")) {
+    FIXY_ASSIGN_OR_RETURN(const int64_t seed, flags.GetInt64Or("seed", 0));
+    options.seed = static_cast<uint64_t>(seed);
+  }
+  FIXY_ASSIGN_OR_RETURN(const int top, flags.GetIntOr("top", 10));
+  if (top < 1) {
+    return Status::InvalidArgument("--top must be >= 1");
+  }
+  options.top_k = static_cast<size_t>(top);
+  FIXY_ASSIGN_OR_RETURN(options.threads, flags.GetIntOr("threads", 0));
+  if (options.threads < 0) {
+    return Status::InvalidArgument("--threads must be >= 0");
+  }
+  options.cache_dir = flags.GetOr("cache-dir", "");
+  const std::string estimator = flags.GetOr("estimator", "kde");
+  if (estimator == "kde") {
+    options.engine.learner.estimator = EstimatorKind::kKde;
+  } else if (estimator == "histogram") {
+    options.engine.learner.estimator = EstimatorKind::kHistogram;
+  } else if (estimator == "gaussian") {
+    options.engine.learner.estimator = EstimatorKind::kGaussian;
+  } else {
+    return Status::InvalidArgument("unknown estimator: " + estimator);
+  }
+  // Same registry surface as `rank`: the demo user application is
+  // rankable in a sweep too (--apps suspect-tracks).
+  options.engine.extra_applications.push_back(SuspectTracksApp());
+
+  FIXY_ASSIGN_OR_RETURN(const scenario::SweepReport report,
+                        scenario::RunSweep(specs, options));
+  FIXY_RETURN_IF_ERROR(scenario::SaveSweepReport(report, report_path));
+  std::printf("%s", scenario::FormatSweepTable(report).c_str());
+  std::printf("wrote sweep report (%zu cells) to %s\n", report.cells.size(),
+              report_path.c_str());
+
+  if (!baseline_path.empty()) {
+    FIXY_ASSIGN_OR_RETURN(const scenario::SweepReport base,
+                          scenario::LoadSweepReport(baseline_path));
+    const eval::CellDiffReport diff = scenario::DiffSweepReports(base, report);
+    std::printf("\ndiff against %s:\n%s", baseline_path.c_str(),
+                eval::FormatCellDiff(diff).c_str());
+    if (flags.Has("fail-on-regression") && diff.HasRegression()) {
+      return Status::FailedPrecondition("sweep regressed against baseline " +
+                                        baseline_path);
+    }
+  }
+  return Status::Ok();
+}
+
 Status CmdLearn(const Flags& flags) {
   FIXY_ASSIGN_OR_RETURN(std::string data, flags.GetRequired("data"));
   FIXY_ASSIGN_OR_RETURN(std::string model_path, flags.GetRequired("model"));
@@ -376,6 +565,7 @@ Status CmdRank(const Flags& flags) {
     // cache or were parsed from JSON.
     io::RecordFxbMetricsSchema();
     shard::RecordShardMetricsSchema();
+    scenario::RecordScenarioMetricsSchema();
     obs::Count("io.bytes_read", 0);
     obs::Count("io.files_read", 0);
     obs::AddTimeNs("io.load", 0);
@@ -955,6 +1145,26 @@ void PrintUsage() {
       "usage: fixy_cli <command> [--flag value ...]\n"
       "  generate --out DIR [--profile lyft|internal] [--scenes N] "
       "[--seed S]\n"
+      "  sim      --out DIR [--preset NAME | --scenario FILE] [--scenes N]\n"
+      "           [--seed S] [--fxb] [--list-presets]\n"
+      "           materialize a scenario (preset or JSON spec file) to DIR:\n"
+      "           scene JSON + gt_ledger.json + scenario.lock.json; --fxb\n"
+      "           also builds dataset.fxb directly from the in-memory\n"
+      "           dataset (no JSON re-parse); --list-presets lists the\n"
+      "           built-in scenarios\n"
+      "  sweep    --report FILE [--presets a,b,c|all] [--scenarios f1,f2]\n"
+      "           [--apps a,b,c] [--scenes N] [--seed S] [--top K]\n"
+      "           [--threads N] [--estimator kde|histogram|gaussian]\n"
+      "           [--cache-dir DIR] [--baseline FILE]\n"
+      "           [--fail-on-regression] [--diff-only]\n"
+      "           run a scenario x application grid and score each cell\n"
+      "           against the ground-truth ledger (precision@k + recall);\n"
+      "           prints the per-cell table and writes the report JSON\n"
+      "           (byte-identical at any --threads); --cache-dir reuses\n"
+      "           previously materialized datasets; --baseline FILE diffs\n"
+      "           this run against a saved report (REGRESSED cells marked,\n"
+      "           --fail-on-regression exits non-zero); --diff-only\n"
+      "           compares --baseline against --report without running\n"
       "  learn    --data DIR --model FILE [--estimator "
       "kde|histogram|gaussian]\n"
       "  rank     --data DIR --model FILE [--app NAME] [--top K] "
@@ -1041,6 +1251,10 @@ int Main(int argc, char** argv) {
   Status status;
   if (command == "generate") {
     status = CmdGenerate(*flags);
+  } else if (command == "sim") {
+    status = CmdSim(*flags);
+  } else if (command == "sweep") {
+    status = CmdSweep(*flags);
   } else if (command == "learn") {
     status = CmdLearn(*flags);
   } else if (command == "rank") {
